@@ -1,0 +1,59 @@
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/rblas"
+	"repro/internal/scan"
+)
+
+// Reproducible BLAS-1-style reductions: results are internally exact and
+// bit-identical for every worker count. workers <= 1 runs sequentially.
+// See internal/rblas for the semantics of each operation.
+
+func blasCfg(p Params, workers int) rblas.Config {
+	return rblas.Config{Params: p, Workers: workers}
+}
+
+// ASum returns the reproducible sum of absolute values (BLAS dasum).
+func ASum(p Params, xs []float64, workers int) (float64, error) {
+	return rblas.ASum(blasCfg(p, workers), xs)
+}
+
+// Nrm2 returns the reproducible Euclidean norm: the sum of squares is
+// exact; one deterministic high-precision square root follows.
+func Nrm2(p Params, xs []float64, workers int) (float64, error) {
+	return rblas.Nrm2(blasCfg(p, workers), xs)
+}
+
+// Mean returns the reproducible arithmetic mean (exact sum, one rounding).
+func Mean(p Params, xs []float64, workers int) (float64, error) {
+	return rblas.Mean(blasCfg(p, workers), xs)
+}
+
+// Variance returns the reproducible unbiased sample variance, evaluated
+// exactly so the textbook formula cannot cancel catastrophically.
+func Variance(p Params, xs []float64, workers int) (float64, error) {
+	return rblas.Variance(blasCfg(p, workers), xs)
+}
+
+// DotParallel is Dot with a multi-worker reduction (bit-identical to the
+// sequential result for every worker count).
+func DotParallel(p Params, xs, ys []float64, workers int) (float64, error) {
+	return rblas.Dot(blasCfg(p, workers), xs, ys)
+}
+
+// PrefixSum returns the reproducible inclusive prefix sums of xs: each
+// out[i] is the correctly rounded exact sum of xs[0..i], bit-identical for
+// every worker count.
+func PrefixSum(p Params, xs []float64, workers int) ([]float64, error) {
+	return scan.Inclusive(p, xs, workers)
+}
+
+// PrefixSumExclusive is PrefixSum with out[0] = 0 and a one-slot shift.
+func PrefixSumExclusive(p Params, xs []float64, workers int) ([]float64, error) {
+	return scan.Exclusive(p, xs, workers)
+}
+
+// AccumulatorMerge is re-exported for building custom parallel reductions:
+// into.Merge(from) folds a partial accumulator and its sticky error.
+var _ = (*core.Accumulator).Merge

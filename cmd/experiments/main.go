@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Each experiment prints the rows/series of one published table or figure;
+// absolute times are host-dependent, but the shapes (who wins, by what
+// factor, where crossovers fall) reproduce the paper. Run everything at a
+// reduced scale with:
+//
+//	experiments -exp all -scale 0.01
+//
+// or a single experiment at full published scale (slow):
+//
+//	experiments -exp fig4 -scale 1
+//
+// Use -csv to also write each table as CSV for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag    = flag.String("exp", "all", "comma-separated experiment names, or 'all'; see -list")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		scale      = flag.Float64("scale", 0.01, "problem-size multiplier (1.0 = paper scale)")
+		trials     = flag.Int("trials", 0, "override timing repetitions (0 = per-experiment default)")
+		seed       = flag.Uint64("seed", 2016, "workload RNG seed")
+		maxThreads = flag.Int("maxthreads", 0, "cap thread/rank sweeps (0 = paper maxima)")
+		csvDir     = flag.String("csv", "", "directory for CSV output (empty = none)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	var names []string
+	if *expFlag == "all" {
+		for _, e := range experiments.All() {
+			names = append(names, e.Name)
+		}
+	} else {
+		names = strings.Split(*expFlag, ",")
+	}
+
+	cfg := experiments.Config{
+		Seed:       *seed,
+		Scale:      *scale,
+		Trials:     *trials,
+		MaxThreads: *maxThreads,
+		Out:        os.Stdout,
+		CSVDir:     *csvDir,
+	}
+	fmt.Printf("# order-invariant summation experiments (scale %g, seed %d, GOMAXPROCS %d)\n\n",
+		*scale, *seed, runtime.GOMAXPROCS(0))
+	start := time.Now()
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if err := experiments.RunAndReport(name, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("# total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}

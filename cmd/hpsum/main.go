@@ -1,0 +1,117 @@
+// Command hpsum sums floating-point numbers exactly from stdin or files,
+// one value per line (blank lines and #-comments ignored), using the
+// order-invariant HP method.
+//
+//	hpsum < values.txt
+//	hpsum -n 8 -k 4 values.txt
+//	hpsum -adaptive -compare values.txt
+//
+// With -compare it also prints the naive left-to-right float64 sum and the
+// difference, showing the rounding error the HP method removed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/floatsum"
+)
+
+func main() {
+	var (
+		nFlag    = flag.Int("n", 6, "HP total limbs N")
+		kFlag    = flag.Int("k", 3, "HP fractional limbs k")
+		adaptive = flag.Bool("adaptive", false, "use the adaptive accumulator (any finite range)")
+		compare  = flag.Bool("compare", false, "also print the naive float64 sum and difference")
+		exactOut = flag.Bool("exact", false, "print the exact sum as a rational number")
+	)
+	flag.Parse()
+
+	if err := run(*nFlag, *kFlag, *adaptive, *compare, *exactOut, flag.Args(), os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hpsum: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, k int, adaptive, compare, exactOut bool, files []string, out io.Writer) error {
+	var readers []io.Reader
+	if len(files) == 0 {
+		readers = append(readers, os.Stdin)
+	} else {
+		for _, f := range files {
+			fh, err := os.Open(f)
+			if err != nil {
+				return err
+			}
+			defer fh.Close()
+			readers = append(readers, fh)
+		}
+	}
+
+	params := core.Params{N: n, K: k}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	var addExact func(x float64) error
+	var result func() (*core.HP, float64)
+	if adaptive {
+		acc := core.NewAdaptive(core.Params128)
+		addExact = acc.Add
+		result = func() (*core.HP, float64) { return acc.Sum(), acc.Float64() }
+	} else {
+		acc := core.NewAccumulator(params)
+		addExact = func(x float64) error {
+			acc.Add(x)
+			return acc.Err()
+		}
+		result = func() (*core.HP, float64) { return acc.Sum(), acc.Float64() }
+	}
+
+	var values []float64
+	count := 0
+	for _, r := range readers {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			for _, field := range strings.Fields(line) {
+				x, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return fmt.Errorf("parse %q: %w", field, err)
+				}
+				if err := addExact(x); err != nil {
+					return fmt.Errorf("value %g: %w", x, err)
+				}
+				count++
+				if compare {
+					values = append(values, x)
+				}
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+
+	hp, sum := result()
+	fmt.Fprintf(out, "count: %d\n", count)
+	fmt.Fprintf(out, "hp sum: %.17g\n", sum)
+	if exactOut {
+		fmt.Fprintf(out, "exact: %s\n", hp.Rat().RatString())
+	}
+	if compare {
+		naive := floatsum.Naive(values)
+		fmt.Fprintf(out, "naive float64 sum: %.17g\n", naive)
+		fmt.Fprintf(out, "difference (hp - naive): %.17g\n", sum-naive)
+	}
+	return nil
+}

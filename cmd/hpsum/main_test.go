@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "values.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBasicSum(t *testing.T) {
+	path := writeTemp(t, "1.5\n2.25\n# comment\n\n-0.75\n")
+	var out strings.Builder
+	if err := run(6, 3, false, false, false, []string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "count: 3") {
+		t.Errorf("missing count: %q", got)
+	}
+	if !strings.Contains(got, "hp sum: 3\n") {
+		t.Errorf("missing sum: %q", got)
+	}
+}
+
+func TestRunMultipleValuesPerLine(t *testing.T) {
+	path := writeTemp(t, "1 2 3\n4 5\n")
+	var out strings.Builder
+	if err := run(6, 3, false, false, false, []string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "count: 5") ||
+		!strings.Contains(out.String(), "hp sum: 15") {
+		t.Errorf("output: %q", out.String())
+	}
+}
+
+func TestRunCompareAndExact(t *testing.T) {
+	path := writeTemp(t, "0.1\n0.2\n-0.3\n")
+	var out strings.Builder
+	if err := run(6, 3, false, true, true, []string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"naive float64 sum:", "difference", "exact:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in %q", want, got)
+		}
+	}
+}
+
+func TestRunAdaptiveWideRange(t *testing.T) {
+	path := writeTemp(t, "1e300\n-1e300\n2.5\n1e-300\n")
+	var out strings.Builder
+	if err := run(2, 1, true, false, false, []string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hp sum: 2.5") {
+		t.Errorf("output: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	// Parse error.
+	bad := writeTemp(t, "not-a-number\n")
+	if err := run(6, 3, false, false, false, []string{bad}, &out); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	// Range error without adaptive.
+	big := writeTemp(t, "1e300\n")
+	if err := run(2, 1, false, false, false, []string{big}, &out); err == nil {
+		t.Error("overflow not surfaced")
+	}
+	// Invalid params.
+	small := writeTemp(t, "1\n")
+	if err := run(2, 5, false, false, false, []string{small}, &out); err == nil {
+		t.Error("invalid params accepted")
+	}
+	// Missing file.
+	if err := run(6, 3, false, false, false, []string{"/nonexistent/file"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

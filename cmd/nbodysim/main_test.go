@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunHPVerifyPasses(t *testing.T) {
+	var out strings.Builder
+	if err := run(16, 10, 1e-3, 2, "hp", "gravity", 1, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verify: PASS") {
+		t.Errorf("HP verify did not pass:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "net force (exact HP sum): (0, 0, 0)") {
+		t.Errorf("net force not exactly zero:\n%s", out.String())
+	}
+}
+
+func TestRunFloat64Mode(t *testing.T) {
+	var out strings.Builder
+	// float64 mode may or may not diverge at this tiny size; it must not
+	// error either way.
+	if err := run(16, 10, 1e-3, 2, "float64", "gravity", 1, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fingerprint:") {
+		t.Error("missing fingerprint")
+	}
+}
+
+func TestRunLennardJones(t *testing.T) {
+	var out strings.Builder
+	if err := run(12, 5, 1e-4, 1, "hp", "lj", 2, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "lennard-jones") {
+		t.Error("missing force name")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run(8, 1, 1e-3, 1, "quantum", "gravity", 1, false, &out); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := run(8, 1, 1e-3, 1, "hp", "strong-nuclear", 1, false, &out); err == nil {
+		t.Error("bad force accepted")
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	if err := run(64, 20, 0.001, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(3, 10, 0.001, 1); err == nil {
+		t.Error("odd n accepted")
+	}
+	if err := run(0, 10, 0.001, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := run(64, 0, 0.001, 1); err == nil {
+		t.Error("trials=0 accepted")
+	}
+}

@@ -1,0 +1,204 @@
+// Command verify produces and checks reproducibility certificates: the
+// exact accumulator states (hex limbs) after running canonical seeded
+// workloads through every order-invariant method in this repository, with
+// sequential and parallel evaluation. Because the methods reduce real
+// arithmetic to integer arithmetic, the certificate must be byte-identical
+// on every machine, OS, and Go release.
+//
+//	verify > cert.txt          # on machine A
+//	verify -check cert.txt     # on machine B: exits 1 on any mismatch
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/binned"
+	"repro/internal/core"
+	"repro/internal/hallberg"
+	"repro/internal/rng"
+)
+
+func main() {
+	check := ""
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-check", "--check":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "verify: -check needs a file")
+				os.Exit(2)
+			}
+			i++
+			check = args[i]
+		case "-h", "-help", "--help":
+			fmt.Println("usage: verify [-check cert.txt]")
+			return
+		default:
+			fmt.Fprintf(os.Stderr, "verify: unknown flag %q\n", args[i])
+			os.Exit(2)
+		}
+	}
+
+	if check == "" {
+		if err := emit(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	f, err := os.Open(check)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	mismatches, err := compare(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+		os.Exit(1)
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "verify: %d certificate line(s) mismatched\n", mismatches)
+		os.Exit(1)
+	}
+	fmt.Println("certificate verified: all sums bit-identical")
+}
+
+// entries computes the certificate lines in a fixed order.
+func entries() ([][2]string, error) {
+	var out [][2]string
+	add := func(name, value string) { out = append(out, [2]string{name, value}) }
+
+	hpText := func(h *core.HP) string {
+		t, _ := h.MarshalText()
+		return string(t)
+	}
+
+	// HP over the three canonical workloads, sequential and parallel.
+	uni := rng.UniformSet(rng.New(2016), 1<<20, -0.5, 0.5)
+	seqU, err := repro.SumHP(repro.Params384, uni)
+	if err != nil {
+		return nil, fmt.Errorf("hp-uniform: %w", err)
+	}
+	add("hp-uniform-seq", hpText(seqU))
+	parU, err := repro.ParallelSumHP(repro.Params384, uni, 8)
+	if err != nil {
+		return nil, fmt.Errorf("hp-uniform-par: %w", err)
+	}
+	add("hp-uniform-par8", hpText(parU))
+
+	wide := rng.WideRangeQuantized(rng.New(7), 1<<18, -223, 191, -256)
+	seqW, err := repro.SumHP(repro.Params512, wide)
+	if err != nil {
+		return nil, fmt.Errorf("hp-widerange: %w", err)
+	}
+	add("hp-widerange-seq", hpText(seqW))
+
+	zero := rng.ZeroSum(rng.New(3), 1<<16, 0.001)
+	seqZ, err := repro.SumHP(repro.Params192, zero)
+	if err != nil {
+		return nil, fmt.Errorf("hp-zerosum: %w", err)
+	}
+	add("hp-zerosum-seq", hpText(seqZ))
+
+	r := rng.New(99)
+	xs := rng.UniformSet(r, 1<<16, -1, 1)
+	ys := rng.UniformSet(r, 1<<16, -1, 1)
+	dot, err := repro.DotHP(repro.Params512, xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("hp-dot: %w", err)
+	}
+	add("hp-dot-seq", hpText(dot))
+
+	// Hallberg limbs (normalized canonical form).
+	hp := hallberg.New(10, 38)
+	hacc := hallberg.NewAccumulator(hp)
+	hacc.AddAll(uni[:1<<18])
+	if hacc.Err() != nil {
+		return nil, fmt.Errorf("hallberg: %w", hacc.Err())
+	}
+	if _, err := hacc.Sum().Normalize(); err != nil {
+		return nil, fmt.Errorf("hallberg normalize: %w", err)
+	}
+	add("hallberg-uniform-seq", fmt.Sprintf("%x", hacc.Sum().Limbs()))
+
+	// Binned bins (float64 bit patterns).
+	bacc := binned.New(30)
+	bacc.AddAll(uni[:1<<18])
+	if bacc.Err() != nil {
+		return nil, fmt.Errorf("binned: %w", bacc.Err())
+	}
+	var sb strings.Builder
+	for _, v := range bacc.Bins() {
+		if v != 0 {
+			fmt.Fprintf(&sb, "%x.", v)
+		}
+	}
+	add("binned-uniform-seq", sb.String())
+
+	return out, nil
+}
+
+// emit writes the certificate to w.
+func emit(w io.Writer) error {
+	es, err := entries()
+	if err != nil {
+		return err
+	}
+	for _, e := range es {
+		if _, err := fmt.Fprintf(w, "%s\t%s\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compare recomputes the certificate and diffs it against r, returning the
+// number of mismatched or missing lines.
+func compare(r io.Reader) (int, error) {
+	es, err := entries()
+	if err != nil {
+		return 0, err
+	}
+	want := make(map[string]string, len(es))
+	order := make([]string, 0, len(es))
+	for _, e := range es {
+		want[e[0]] = e[1]
+		order = append(order, e[0])
+	}
+	got := map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, "\t")
+		if !ok {
+			return 0, fmt.Errorf("malformed certificate line %q", line)
+		}
+		got[name] = value
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	mismatches := 0
+	for _, name := range order {
+		switch {
+		case got[name] == "":
+			fmt.Fprintf(os.Stderr, "missing: %s\n", name)
+			mismatches++
+		case got[name] != want[name]:
+			fmt.Fprintf(os.Stderr, "MISMATCH %s:\n  theirs %s\n  ours   %s\n",
+				name, got[name], want[name])
+			mismatches++
+		}
+	}
+	return mismatches, nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmitAndVerifyRoundTrip(t *testing.T) {
+	var cert strings.Builder
+	if err := emit(&cert); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cert.String(), "hp-uniform-seq\thp:6,3:") {
+		t.Errorf("certificate missing expected entry:\n%s", cert.String())
+	}
+	// Self-verification must pass.
+	mismatches, err := compare(strings.NewReader(cert.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mismatches != 0 {
+		t.Errorf("self-verification found %d mismatches", mismatches)
+	}
+}
+
+func TestSequentialEqualsParallelInCertificate(t *testing.T) {
+	es, err := entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]string{}
+	for _, e := range es {
+		vals[e[0]] = e[1]
+	}
+	if vals["hp-uniform-seq"] != vals["hp-uniform-par8"] {
+		t.Error("sequential and 8-worker sums differ in the certificate")
+	}
+	// The zero-sum workload must certify as exactly zero.
+	if !strings.Contains(vals["hp-zerosum-seq"], ":000000000000000") {
+		t.Errorf("zero-sum certificate not zero: %s", vals["hp-zerosum-seq"])
+	}
+}
+
+func TestCompareDetectsTampering(t *testing.T) {
+	var cert strings.Builder
+	if err := emit(&cert); err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(cert.String(), "hp:6,3:", "hp:6,3:f", 1)
+	mismatches, err := compare(strings.NewReader(tampered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mismatches == 0 {
+		t.Error("tampered certificate verified")
+	}
+	// Missing lines are detected too.
+	short := strings.SplitN(cert.String(), "\n", 2)[1]
+	mismatches, err = compare(strings.NewReader(short))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mismatches == 0 {
+		t.Error("truncated certificate verified")
+	}
+	// Malformed lines are rejected.
+	if _, err := compare(strings.NewReader("garbage-without-tab")); err == nil {
+		t.Error("malformed certificate accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The float64 sum of these three values depends on the order; the HP sum
+// does not, and is exactly the rounded true value.
+func ExampleSum() {
+	naive := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	orderA := []float64{1 << 53, 1, -(1 << 53)} // the 1 is absorbed and lost
+	orderB := []float64{1 << 53, -(1 << 53), 1} // the 1 survives
+	sumA, err := repro.Sum(repro.Params384, orderA)
+	if err != nil {
+		panic(err)
+	}
+	sumB, err := repro.Sum(repro.Params384, orderB)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("naive order A:", naive(orderA))
+	fmt.Println("naive order B:", naive(orderB))
+	fmt.Println("HP order A:   ", sumA)
+	fmt.Println("HP order B:   ", sumB)
+	// Output:
+	// naive order A: 0
+	// naive order B: 1
+	// HP order A:    1
+	// HP order B:    1
+}
+
+func ExampleAccumulator() {
+	acc := repro.NewAccumulator(repro.Params384)
+	for _, x := range []float64{0.1, 0.2, 0.3, -0.6} {
+		acc.Add(x)
+	}
+	if err := acc.Err(); err != nil {
+		panic(err)
+	}
+	// The exact sum of the BINARY values nearest those decimals is not 0;
+	// HP reports it faithfully instead of hiding it.
+	fmt.Printf("%.17g\n", acc.Float64())
+	// Output:
+	// 2.7755575615628914e-17
+}
+
+func ExampleParallelSum() {
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = 0.1
+	}
+	s1, _ := repro.ParallelSum(repro.Params384, xs, 1)
+	s8, _ := repro.ParallelSum(repro.Params384, xs, 8)
+	fmt.Println("1 worker == 8 workers:", s1 == s8)
+	// Output:
+	// 1 worker == 8 workers: true
+}
+
+func ExampleAdaptiveSum() {
+	// No format choice needed: any finite float64 works.
+	sum, err := repro.AdaptiveSum([]float64{1e308, -1e308, 2.5, 1e-308})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sum)
+	// Output:
+	// 2.5
+}
+
+func ExampleDot() {
+	// The large products cancel exactly; float64 loses the residual.
+	xs := []float64{1e15, -1e15, 1}
+	ys := []float64{1e15, 1e15, 0.5}
+	naive := xs[0]*ys[0] + xs[1]*ys[1] + xs[2]*ys[2]
+	dot, err := repro.Dot(repro.Params512, xs, ys)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("naive:", naive)
+	fmt.Println("exact:", dot)
+	// Output:
+	// naive: 0.5
+	// exact: 0.5
+}
+
+func ExampleVariance() {
+	// Textbook-formula variance of near-identical large values: exact
+	// internally, so no catastrophic cancellation.
+	v, err := repro.Variance(repro.Params512, []float64{1e9, 1e9 + 1, 1e9 + 2}, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v)
+	// Output:
+	// 1
+}
+
+func ExampleFromFloat64() {
+	hp, err := repro.FromFloat64(repro.Params192, -0.8125)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(hp.Float64())
+	fmt.Println(hp.Rat().RatString())
+	// Output:
+	// -0.8125
+	// -13/16
+}

@@ -1,0 +1,139 @@
+// Reproducible conjugate gradients.
+//
+//	go run ./examples/cg
+//
+// Krylov solvers are steered entirely by inner products: every alpha and
+// beta is a ratio of dot products, so reduction rounding changes the
+// search directions, the iterate path, and even the iteration count at
+// which convergence is declared. This example solves the same SPD system
+// twice — once with float64 dot products whose summation order differs
+// between runs (simulating different worker decompositions), once with the
+// exact repro.Dot — and compares the paths.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+	"repro/internal/rng"
+)
+
+const (
+	dim  = 400
+	iter = 200
+	tol  = 1e-10
+)
+
+// matvec computes y = A x for the SPD tridiagonal-plus-rank-noise matrix
+// A = tridiag(-1, d_i, -1) with d_i in [2.5, 3.5].
+func matvec(diag []float64, x []float64) []float64 {
+	n := len(x)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := diag[i] * x[i]
+		if i > 0 {
+			v -= x[i-1]
+		}
+		if i+1 < n {
+			v -= x[i+1]
+		}
+		y[i] = v
+	}
+	return y
+}
+
+// dotFn computes a dot product; the two implementations below differ only
+// in reduction strategy.
+type dotFn func(a, b []float64) float64
+
+// floatDot sums in blocks of the given width, mimicking a parallel
+// reduction with that many workers.
+func floatDot(blocks int) dotFn {
+	return func(a, b []float64) float64 {
+		n := len(a)
+		partials := make([]float64, blocks)
+		for w := 0; w < blocks; w++ {
+			lo, hi := w*n/blocks, (w+1)*n/blocks
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += a[i] * b[i]
+			}
+			partials[w] = s
+		}
+		s := 0.0
+		for _, p := range partials {
+			s += p
+		}
+		return s
+	}
+}
+
+// exactDot is the order-invariant dot product.
+func exactDot(a, b []float64) float64 {
+	d, err := repro.Dot(repro.Params512, a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d
+}
+
+// cg runs conjugate gradients and returns the iterate, the iterations
+// used, and the final residual norm.
+func cg(diag, rhs []float64, dot dotFn) ([]float64, int, float64) {
+	n := len(rhs)
+	x := make([]float64, n)
+	r := append([]float64(nil), rhs...)
+	p := append([]float64(nil), rhs...)
+	rs := dot(r, r)
+	k := 0
+	for ; k < iter && math.Sqrt(rs) > tol; k++ {
+		ap := matvec(diag, p)
+		alpha := rs / dot(p, ap)
+		for i := 0; i < n; i++ {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rsNew := dot(r, r)
+		beta := rsNew / rs
+		rs = rsNew
+		for i := 0; i < n; i++ {
+			p[i] = r[i] + beta*p[i]
+		}
+	}
+	return x, k, math.Sqrt(rs)
+}
+
+func main() {
+	r := rng.New(17)
+	diag := make([]float64, dim)
+	rhs := make([]float64, dim)
+	for i := range diag {
+		diag[i] = r.Uniform(2.5, 3.5)
+		rhs[i] = r.Uniform(-1, 1)
+	}
+
+	fmt.Printf("CG on a %dx%d SPD system, tol %g\n\n", dim, dim, tol)
+	fmt.Printf("%-28s %-6s %-14s %-24s\n", "dot product", "iters", "residual", "x[0]")
+
+	solutions := map[float64]bool{}
+	for _, blocks := range []int{1, 2, 4, 8, 16} {
+		x, k, res := cg(diag, rhs, floatDot(blocks))
+		solutions[x[0]] = true
+		fmt.Printf("float64, %2d-block reduction  %-6d %-14.4g %-24.17g\n",
+			blocks, k, res, x[0])
+	}
+
+	exactSeen := map[float64]bool{}
+	for range []int{0, 1, 2} {
+		x, k, res := cg(diag, rhs, exactDot)
+		exactSeen[x[0]] = true
+		fmt.Printf("%-28s %-6d %-14.4g %-24.17g\n", "exact (repro.Dot)", k, res, x[0])
+	}
+
+	fmt.Printf("\nfloat64 reductions: %d distinct solver paths across decompositions\n",
+		len(solutions))
+	fmt.Printf("exact reductions:   %d distinct path — same iterates everywhere\n",
+		len(exactSeen))
+}

@@ -1,0 +1,195 @@
+// N-body reproducibility demo: the paper's motivating workload (§II.A).
+//
+//	go run ./examples/nbody
+//
+// A small gravitational N-body system is integrated twice with different
+// parallel decompositions of the force accumulation. With plain float64
+// accumulation the trajectories drift apart — the per-particle force sums
+// pick up order-dependent rounding, which the symplectic integrator then
+// amplifies step after step. With HP accumulation the two runs stay
+// bit-identical for the whole simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+	"repro/internal/omp"
+	"repro/internal/rng"
+)
+
+const (
+	nBodies = 64
+	steps   = 2000
+	dt      = 1e-3
+	soft2   = 1e-4 // softening^2 keeps close encounters finite
+)
+
+type system struct {
+	px, py, vx, vy, mass []float64
+}
+
+func newSystem(seed uint64) *system {
+	r := rng.New(seed)
+	s := &system{
+		px: make([]float64, nBodies), py: make([]float64, nBodies),
+		vx: make([]float64, nBodies), vy: make([]float64, nBodies),
+		mass: make([]float64, nBodies),
+	}
+	for i := 0; i < nBodies; i++ {
+		s.px[i] = r.Uniform(-1, 1)
+		s.py[i] = r.Uniform(-1, 1)
+		s.vx[i] = r.Uniform(-0.1, 0.1)
+		s.vy[i] = r.Uniform(-0.1, 0.1)
+		s.mass[i] = r.Uniform(0.5, 1.5)
+	}
+	return s
+}
+
+// pairForce returns the x/y force components exerted on body i by body j.
+func (s *system) pairForce(i, j int) (fx, fy float64) {
+	dx := s.px[j] - s.px[i]
+	dy := s.py[j] - s.py[i]
+	r2 := dx*dx + dy*dy + soft2
+	inv := s.mass[i] * s.mass[j] / (r2 * math.Sqrt(r2))
+	return dx * inv, dy * inv
+}
+
+// stepFloat64 advances the system one leapfrog step, accumulating each
+// body's force with plain float64 adds. The per-body partial forces are
+// computed by a team of workers, each covering a block of source bodies,
+// and combined in worker order — so the ORDER of the additions depends on
+// the worker count, and with it the rounded result.
+func (s *system) stepFloat64(team *omp.Team) {
+	n := nBodies
+	type partial struct{ fx, fy []float64 }
+	total := omp.Reduce(team, n,
+		func(int) *partial {
+			return &partial{fx: make([]float64, n), fy: make([]float64, n)}
+		},
+		func(p *partial, _, lo, hi int) {
+			for j := lo; j < hi; j++ { // source bodies in this worker's block
+				for i := 0; i < n; i++ {
+					if i == j {
+						continue
+					}
+					fx, fy := s.pairForce(i, j)
+					p.fx[i] += fx
+					p.fy[i] += fy
+				}
+			}
+		},
+		func(into, from *partial) {
+			for i := 0; i < n; i++ {
+				into.fx[i] += from.fx[i]
+				into.fy[i] += from.fy[i]
+			}
+		})
+	s.kick(func(i int) (float64, float64) { return total.fx[i], total.fy[i] })
+}
+
+// stepHP is stepFloat64 with HP force accumulators: the combined force is
+// exact, so the result is independent of the worker decomposition.
+func (s *system) stepHP(team *omp.Team, params repro.Params) error {
+	n := nBodies
+	type partial struct{ fx, fy []*repro.Accumulator }
+	total := omp.Reduce(team, n,
+		func(int) *partial {
+			p := &partial{fx: make([]*repro.Accumulator, n), fy: make([]*repro.Accumulator, n)}
+			for i := 0; i < n; i++ {
+				p.fx[i] = repro.NewAccumulator(params)
+				p.fy[i] = repro.NewAccumulator(params)
+			}
+			return p
+		},
+		func(p *partial, _, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				for i := 0; i < n; i++ {
+					if i == j {
+						continue
+					}
+					fx, fy := s.pairForce(i, j)
+					p.fx[i].Add(fx)
+					p.fy[i].Add(fy)
+				}
+			}
+		},
+		func(into, from *partial) {
+			for i := 0; i < n; i++ {
+				into.fx[i].Merge(from.fx[i])
+				into.fy[i].Merge(from.fy[i])
+			}
+		})
+	for i := 0; i < n; i++ {
+		if err := total.fx[i].Err(); err != nil {
+			return err
+		}
+		if err := total.fy[i].Err(); err != nil {
+			return err
+		}
+	}
+	s.kick(func(i int) (float64, float64) {
+		return total.fx[i].Float64(), total.fy[i].Float64()
+	})
+	return nil
+}
+
+// kick applies one leapfrog velocity+position update from the force getter.
+func (s *system) kick(force func(i int) (fx, fy float64)) {
+	for i := 0; i < nBodies; i++ {
+		fx, fy := force(i)
+		s.vx[i] += dt * fx / s.mass[i]
+		s.vy[i] += dt * fy / s.mass[i]
+	}
+	for i := 0; i < nBodies; i++ {
+		s.px[i] += dt * s.vx[i]
+		s.py[i] += dt * s.vy[i]
+	}
+}
+
+// maxDivergence returns the largest coordinate difference between two runs.
+func maxDivergence(a, b *system) float64 {
+	d := 0.0
+	for i := 0; i < nBodies; i++ {
+		d = math.Max(d, math.Abs(a.px[i]-b.px[i]))
+		d = math.Max(d, math.Abs(a.py[i]-b.py[i]))
+	}
+	return d
+}
+
+func main() {
+	fmt.Printf("N-body: %d bodies, %d leapfrog steps, dt=%g\n\n", nBodies, steps, dt)
+
+	// Two decompositions of the same simulation.
+	team1 := omp.NewTeam(1)
+	team3 := omp.NewTeam(3)
+
+	// float64 force accumulation.
+	f1, f3 := newSystem(11), newSystem(11)
+	for s := 0; s < steps; s++ {
+		f1.stepFloat64(team1)
+		f3.stepFloat64(team3)
+	}
+	fmt.Printf("float64 forces: max coordinate divergence (1 vs 3 workers) = %.3g\n",
+		maxDivergence(f1, f3))
+
+	// HP force accumulation.
+	h1, h3 := newSystem(11), newSystem(11)
+	for s := 0; s < steps; s++ {
+		if err := h1.stepHP(team1, repro.Params384); err != nil {
+			log.Fatal(err)
+		}
+		if err := h3.stepHP(team3, repro.Params384); err != nil {
+			log.Fatal(err)
+		}
+	}
+	div := maxDivergence(h1, h3)
+	fmt.Printf("HP forces:      max coordinate divergence (1 vs 3 workers) = %.3g\n", div)
+	if div == 0 {
+		fmt.Println("\nbit-identical trajectories: the reduction order no longer matters.")
+	} else {
+		fmt.Println("\nUNEXPECTED divergence with HP accumulation!")
+	}
+}

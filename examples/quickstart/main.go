@@ -1,0 +1,75 @@
+// Quickstart: the order-invariant summation API in one minute.
+//
+//	go run ./examples/quickstart
+//
+// It demonstrates the rounding problem (two orderings of the same values
+// giving different float64 sums), then the HP accumulator returning one
+// bit-identical result for both orders, plus the parallel and adaptive
+// entry points.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/rng"
+)
+
+func main() {
+	// A set of 100k small values whose exact sum is zero — the kind of
+	// force accumulation an N-body step performs.
+	r := rng.New(7)
+	forward := rng.ZeroSum(r, 100_000, 0.001)
+	shuffled := rng.Reorder(r, forward)
+
+	// Plain float64: the result depends on the order.
+	naive := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	fmt.Println("true sum:                 0")
+	fmt.Printf("float64, order A:         %.20g\n", naive(forward))
+	fmt.Printf("float64, order B:         %.20g\n", naive(shuffled))
+
+	// HP: one exact answer, whatever the order.
+	sumA, err := repro.Sum(repro.Params384, forward)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sumB, err := repro.Sum(repro.Params384, shuffled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HP, order A:              %.20g\n", sumA)
+	fmt.Printf("HP, order B:              %.20g\n", sumB)
+
+	// Parallel reduction: bit-identical for any worker count.
+	for _, workers := range []int{1, 4, 16} {
+		s, err := repro.ParallelSum(repro.Params384, forward, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("HP, %2d workers:           %.20g\n", workers, s)
+	}
+
+	// Incremental accumulation with explicit error handling.
+	acc := repro.NewAccumulator(repro.Params384)
+	for _, x := range forward {
+		acc.Add(x)
+	}
+	if err := acc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HP, incremental:          %.20g\n", acc.Float64())
+
+	// Adaptive: no range choice needed, any finite float64 works.
+	s, err := repro.AdaptiveSum([]float64{1e300, 2.5, -1e300, 1e-300})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adaptive wide-range sum:  %.20g (exact: 2.5 + 1e-300)\n", s)
+}

@@ -1,0 +1,138 @@
+// Package bench is the measurement and reporting harness behind the
+// paper-reproduction experiments: repeated-trial timing, formatted ASCII
+// tables matching the paper's tables, and CSV emission for the figures'
+// data series.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Measure runs f trials times and returns the mean wall-clock duration per
+// trial, discarding nothing: the paper reports times "averaged over 10
+// trials". Trials must be >= 1.
+func Measure(trials int, f func()) time.Duration {
+	if trials < 1 {
+		panic("bench: trials < 1")
+	}
+	start := time.Now()
+	for i := 0; i < trials; i++ {
+		f()
+	}
+	return time.Since(start) / time.Duration(trials)
+}
+
+// MeasureMedian runs f trials times and returns the median duration,
+// which is more robust on shared machines.
+func MeasureMedian(trials int, f func()) time.Duration {
+	if trials < 1 {
+		panic("bench: trials < 1")
+	}
+	ds := make([]time.Duration, trials)
+	for i := range ds {
+		start := time.Now()
+		f()
+		ds[i] = time.Since(start)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[trials/2]
+}
+
+// Table is a simple column-aligned report.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint writes the table to w with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV writes the table as RFC-4180-ish CSV (no quoting needed for our
+// numeric content; commas in cells are rejected).
+func (t *Table) CSV(w io.Writer) error {
+	write := func(cells []string) error {
+		for _, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				return fmt.Errorf("bench: cell %q needs quoting", c)
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.Join(cells, ","))
+		return err
+	}
+	if err := write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Seconds formats a duration as seconds with engineering-friendly
+// precision, like the paper's wallclock axes.
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%.6g", d.Seconds())
+}
+
+// F formats a float with %.6g, the default numeric cell format.
+func F(v float64) string { return fmt.Sprintf("%.6g", v) }
+
+// N formats an integer with base-2 magnitude suffixes (1K, 16M) when exact,
+// matching the paper's axis labels.
+func N(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasureReturnsPerTrialMean(t *testing.T) {
+	calls := 0
+	d := Measure(5, func() { calls++; time.Sleep(time.Millisecond) })
+	if calls != 5 {
+		t.Errorf("f called %d times", calls)
+	}
+	if d < 500*time.Microsecond || d > 50*time.Millisecond {
+		t.Errorf("per-trial mean %v implausible", d)
+	}
+}
+
+func TestMeasureMedian(t *testing.T) {
+	calls := 0
+	d := MeasureMedian(3, func() { calls++ })
+	if calls != 3 {
+		t.Errorf("f called %d times", calls)
+	}
+	if d < 0 {
+		t.Errorf("negative duration %v", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("trials=0 accepted")
+		}
+	}()
+	Measure(0, func() {})
+}
+
+func TestTableFprint(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Headers: []string{"n", "time"},
+	}
+	tbl.AddRow("128", "0.5")
+	tbl.AddRow("1048576", "123.25")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"Demo", "n", "time", "1048576", "123.25", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: "n" header padded to the width of "1048576".
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatal("too few lines")
+	}
+	if !strings.Contains(lines[1], "n        time") {
+		t.Errorf("header not aligned: %q", lines[1])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,b\n1,2\n" {
+		t.Errorf("CSV = %q", got)
+	}
+	bad := &Table{Headers: []string{"a,b"}}
+	if err := bad.CSV(&buf); err == nil {
+		t.Error("comma cell accepted")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := N(16 << 20); got != "16M" {
+		t.Errorf("N(16M) = %q", got)
+	}
+	if got := N(2048); got != "2K" {
+		t.Errorf("N(2048) = %q", got)
+	}
+	if got := N(100); got != "100" {
+		t.Errorf("N(100) = %q", got)
+	}
+	if got := N(1500); got != "1500" {
+		t.Errorf("N(1500) = %q", got)
+	}
+	if got := Seconds(1500 * time.Millisecond); got != "1.5" {
+		t.Errorf("Seconds = %q", got)
+	}
+	if got := F(0.125); got != "0.125" {
+		t.Errorf("F = %q", got)
+	}
+}

@@ -1,0 +1,251 @@
+// Package binned implements pre-rounded (binned) reproducible summation in
+// the style of Demmel & Nguyen (refs [6-8] of the reproduced paper; the
+// approach behind ReproBLAS). It is the third order-invariant summation
+// family alongside the HP and Hallberg fixed-point methods, implemented
+// here as a comparison baseline.
+//
+// The double exponent range is divided into fixed, data-independent bins of
+// W bits. Each input value is pre-rounded (split) into at most
+// ceil(53/W)+1 slices at the fixed bin boundaries using the error-free
+// extraction  h = fl((x + M) - M)  with M = 1.5 * 2^(q+52), which rounds x
+// to the nearest multiple of 2^q with no rounding error in the remainder.
+// Every slice deposited into bin i is a multiple of 2^(q_i) bounded by
+// ~2^(q_i+W), so the bin's float64 accumulator performs EXACT integer-like
+// additions for up to 2^(52-W) deposits. Because the slices are a function
+// of the value alone (never of accumulator state) and all additions are
+// exact, the bin vector — and hence the final sum — is bit-identical for
+// every summation order.
+//
+// Like the Hallberg method, the technique has a summand budget fixed by a
+// width parameter (W here, M there); unlike both fixed-point methods it
+// covers the entire double exponent range with a handful of float64 cells.
+package binned
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Errors reported by the accumulator.
+var (
+	// ErrNotFinite is returned when adding NaN or infinity.
+	ErrNotFinite = errors.New("binned: value is NaN or infinite")
+	// ErrTooManySummands is returned when more than MaxSummands values are
+	// added, voiding the exactness guarantee.
+	ErrTooManySummands = errors.New("binned: summand budget exceeded")
+)
+
+// emin is the lowest bin boundary exponent: below the smallest subnormal,
+// so every finite double's lowest bit lies above it.
+const emin = -1080
+
+// emax bounds the largest double exponent (2^1024 exclusive).
+const emax = 1024
+
+// Acc is a binned reproducible accumulator. Create with New.
+type Acc struct {
+	w     int
+	bins  []float64
+	count int64
+	err   error
+}
+
+// New returns an accumulator with W-bit bins. W must lie in [8, 44]; the
+// summand budget is 2^(52-W) (W=40 gives 4096 summands, W=26 gives 67M).
+func New(w int) *Acc {
+	if w < 8 || w > 44 {
+		panic(fmt.Sprintf("binned: W=%d outside [8, 44]", w))
+	}
+	nBins := (emax-emin)/w + 2
+	return &Acc{w: w, bins: make([]float64, nBins)}
+}
+
+// WFor returns the largest bin width whose budget covers n summands.
+func WFor(n int64) (int, error) {
+	for w := 44; w >= 8; w-- {
+		if int64(1)<<uint(52-w) >= n {
+			return w, nil
+		}
+	}
+	return 0, fmt.Errorf("binned: no W accommodates %d summands", n)
+}
+
+// W returns the configured bin width.
+func (a *Acc) W() int { return a.w }
+
+// MaxSummands returns the exactness budget 2^(52-W).
+func (a *Acc) MaxSummands() int64 { return int64(1) << uint(52-a.w) }
+
+// Count returns the number of values added since the last Reset.
+func (a *Acc) Count() int64 { return a.count }
+
+// Err returns the sticky error, or nil.
+func (a *Acc) Err() error { return a.err }
+
+// binBottom returns the boundary exponent q_i of bin i.
+func (a *Acc) binBottom(i int) int { return emin + i*a.w }
+
+// binIndex returns the bin whose range contains exponent e.
+func (a *Acc) binIndex(e int) int {
+	i := (e - emin) / a.w
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(a.bins) {
+		i = len(a.bins) - 1
+	}
+	return i
+}
+
+// extract rounds x to the nearest multiple of 2^q error-free and returns
+// (h, x-h). Requires |x| < 2^(q+51), which the slicing loop guarantees.
+func extract(x float64, q int) (h, rem float64) {
+	m := math.Ldexp(1.5, q+52)
+	h = (x + m) - m
+	return h, x - h
+}
+
+// scaleShift returns the power-of-two scaling applied to bin i's contents.
+// Bins near the top of the double range store their values scaled by
+// 2^-highBinShift so that the extraction constant 1.5*2^(q+52) and the
+// rounded slices themselves cannot overflow; scaling by a power of two is
+// exact, so the bin arithmetic stays error-free.
+func (a *Acc) scaleShift(i int) int {
+	if a.binBottom(i) > 800 {
+		return highBinShift
+	}
+	return 0
+}
+
+// highBinShift is the exponent offset for high bins: large enough that
+// q - highBinShift <= 971 for every bin bottom q, small enough that
+// scaled values stay normal (q >= 800 implies x >= 2^543 after scaling).
+const highBinShift = 256
+
+// Add deposits x's fixed-boundary slices into the bins. NaN/Inf latch
+// ErrNotFinite; exceeding the budget latches ErrTooManySummands (the sum
+// keeps accumulating but exactness is no longer guaranteed, as with the
+// Hallberg method past its carry budget).
+func (a *Acc) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		if a.err == nil {
+			a.err = ErrNotFinite
+		}
+		return
+	}
+	a.count++
+	if a.count > a.MaxSummands() && a.err == nil {
+		a.err = ErrTooManySummands
+	}
+	if x == 0 {
+		return
+	}
+	_, e := math.Frexp(x) // |x| in [2^(e-1), 2^e)
+	i := a.binIndex(e)
+	rem := x
+	for rem != 0 && i > 0 {
+		q := a.binBottom(i)
+		if se := a.scaleShift(i); se != 0 {
+			hs, rs := extract(math.Ldexp(rem, -se), q-se)
+			if hs != 0 {
+				a.bins[i] += hs // exact: multiples of 2^(q-se), within budget
+			}
+			rem = math.Ldexp(rs, se) // exact power-of-two rescale
+		} else {
+			var h float64
+			h, rem = extract(rem, q)
+			if h != 0 {
+				a.bins[i] += h // exact: both multiples of 2^q, within budget
+			}
+		}
+		i--
+	}
+	if rem != 0 {
+		a.bins[0] += rem // bottom bin holds everything below emin+W exactly
+	}
+}
+
+// AddAll adds every element of xs.
+func (a *Acc) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// Merge folds another accumulator's bins into a (both must share W),
+// charging its count against the budget. Bin-wise addition remains exact
+// while the combined count respects the budget.
+func (a *Acc) Merge(b *Acc) error {
+	if a.w != b.w {
+		return fmt.Errorf("binned: merging W=%d into W=%d", b.w, a.w)
+	}
+	if b.err != nil && a.err == nil {
+		a.err = b.err
+	}
+	a.count += b.count
+	if a.count > a.MaxSummands() && a.err == nil {
+		a.err = ErrTooManySummands
+	}
+	for i, v := range b.bins {
+		a.bins[i] += v
+	}
+	return nil
+}
+
+// Bins returns a copy of the bin vector (diagnostics and tests).
+func (a *Acc) Bins() []float64 {
+	out := make([]float64, len(a.bins))
+	copy(out, a.bins)
+	return out
+}
+
+// Float64 returns the sum of the bins accumulated from the highest bin
+// downward. The bin contents are order-invariant, so this deterministic
+// conversion yields a bit-identical result for every input ordering; it is
+// within 1 ulp of the correctly rounded exact sum (use Rat for exactness).
+func (a *Acc) Float64() float64 {
+	s := 0.0
+	for i := len(a.bins) - 1; i >= 0; i-- {
+		s += math.Ldexp(a.bins[i], a.scaleShift(i))
+	}
+	return s
+}
+
+// Rat returns the exact sum of the bins as a rational number.
+func (a *Acc) Rat() *big.Rat {
+	sum := new(big.Rat)
+	term := new(big.Rat)
+	for i, v := range a.bins {
+		if v == 0 {
+			continue
+		}
+		term.SetFloat64(v)
+		if se := a.scaleShift(i); se != 0 {
+			scale := new(big.Int).Lsh(big.NewInt(1), uint(se))
+			term.Mul(term, new(big.Rat).SetInt(scale))
+		}
+		sum.Add(sum, term)
+	}
+	return sum
+}
+
+// IsZero reports whether the exact sum is zero.
+func (a *Acc) IsZero() bool { return a.Rat().Sign() == 0 }
+
+// Reset zeroes the bins, the count, and the sticky error.
+func (a *Acc) Reset() {
+	for i := range a.bins {
+		a.bins[i] = 0
+	}
+	a.count = 0
+	a.err = nil
+}
+
+// Sum computes the binned reproducible sum of xs with W-bit bins.
+func Sum(w int, xs []float64) (float64, error) {
+	a := New(w)
+	a.AddAll(xs)
+	return a.Float64(), a.Err()
+}

@@ -1,0 +1,256 @@
+package binned
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+func TestExtractErrorFree(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 5000; i++ {
+		q := -300 + r.Intn(600)
+		// |x| < 2^(q+51): random magnitude within the precondition.
+		x := r.Exp2Uniform(q-30, q+50)
+		h, rem := extract(x, q)
+		// h is a multiple of 2^q.
+		scaled := math.Ldexp(h, -q)
+		if scaled != math.Trunc(scaled) {
+			t.Fatalf("h=%g not a multiple of 2^%d", h, q)
+		}
+		// The split is exact: h + rem == x with no rounding.
+		lhs := exact.New()
+		lhs.Add(x)
+		rhs := exact.New()
+		rhs.AddAll([]float64{h, rem})
+		if lhs.Rat().Cmp(rhs.Rat()) != 0 {
+			t.Fatalf("extract(%g, %d) lost bits", x, q)
+		}
+		// The remainder is at most half a unit.
+		if math.Abs(rem) > math.Ldexp(1, q-1) {
+			t.Fatalf("remainder %g exceeds 2^%d", rem, q-1)
+		}
+	}
+}
+
+func TestExactnessVsOracle(t *testing.T) {
+	r := rng.New(2)
+	for _, w := range []int{20, 30, 40} {
+		// Stay within budget: n <= 2^(52-w).
+		n := 2000
+		xs := rng.WideRange(r, n, -200, 200)
+		a := New(w)
+		a.AddAll(xs)
+		if a.Err() != nil {
+			t.Fatalf("W=%d: %v", w, a.Err())
+		}
+		oracle := exact.New()
+		oracle.AddAll(xs)
+		if a.Rat().Cmp(oracle.Rat()) != 0 {
+			t.Errorf("W=%d: binned sum diverged from oracle", w)
+		}
+	}
+}
+
+func TestOrderInvariance(t *testing.T) {
+	r := rng.New(3)
+	xs := rng.WideRange(r, 3000, -300, 300)
+	a := New(40)
+	a.AddAll(xs)
+	for trial := 0; trial < 5; trial++ {
+		b := New(40)
+		b.AddAll(rng.Reorder(r, xs))
+		ba, bb := a.Bins(), b.Bins()
+		for i := range ba {
+			if ba[i] != bb[i] {
+				t.Fatalf("trial %d: bin %d differs (%g vs %g)", trial, i, ba[i], bb[i])
+			}
+		}
+		if a.Float64() != b.Float64() {
+			t.Fatalf("trial %d: Float64 differs", trial)
+		}
+	}
+}
+
+func TestZeroSumExact(t *testing.T) {
+	r := rng.New(4)
+	xs := rng.ZeroSum(r, 4096, 0.001)
+	a := New(40)
+	a.AddAll(xs)
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+	if !a.IsZero() {
+		t.Errorf("zero-sum set: %s", a.Rat().RatString())
+	}
+	if got := a.Float64(); got != 0 {
+		t.Errorf("Float64 = %g", got)
+	}
+}
+
+func TestFullDoubleRange(t *testing.T) {
+	// Unlike the fixed-point methods, binned summation covers the entire
+	// double range with no (N, k) choice.
+	xs := []float64{
+		math.MaxFloat64 / 2, -math.MaxFloat64 / 2,
+		math.SmallestNonzeroFloat64, 1e308, -1e308, 42,
+	}
+	a := New(40)
+	a.AddAll(xs)
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+	oracle := exact.New()
+	oracle.AddAll(xs)
+	if a.Rat().Cmp(oracle.Rat()) != 0 {
+		t.Error("full-range sum diverged from oracle")
+	}
+	// The huge terms cancel exactly; the rounded result is ~42.
+	if got, want := a.Float64(), oracle.Float64(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Float64 = %g, want %g", got, want)
+	}
+}
+
+func TestHighBinScaling(t *testing.T) {
+	// Values whose slices land in the scaled bins must still sum exactly.
+	r := rng.New(6)
+	var xs []float64
+	for i := 0; i < 500; i++ {
+		xs = append(xs, r.Exp2Uniform(900, 1020))
+	}
+	a := New(40)
+	a.AddAll(xs)
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+	oracle := exact.New()
+	oracle.AddAll(xs)
+	if a.Rat().Cmp(oracle.Rat()) != 0 {
+		t.Error("high-bin sum diverged from oracle")
+	}
+	if got, want := a.Float64(), oracle.Float64(); got != want && math.Abs(got/want-1) > 1e-15 {
+		t.Errorf("Float64 = %g, want %g", got, want)
+	}
+}
+
+func TestBudgetLatch(t *testing.T) {
+	a := New(44) // budget 2^8 = 256
+	if a.MaxSummands() != 256 {
+		t.Fatalf("MaxSummands = %d", a.MaxSummands())
+	}
+	for i := 0; i < 256; i++ {
+		a.Add(1.0)
+	}
+	if a.Err() != nil {
+		t.Fatalf("within budget: %v", a.Err())
+	}
+	a.Add(1.0)
+	if a.Err() != ErrTooManySummands {
+		t.Errorf("Err = %v", a.Err())
+	}
+	if a.Count() != 257 {
+		t.Errorf("Count = %d", a.Count())
+	}
+}
+
+func TestNonFiniteLatch(t *testing.T) {
+	a := New(40)
+	a.Add(math.NaN())
+	if a.Err() != ErrNotFinite {
+		t.Errorf("Err = %v", a.Err())
+	}
+	a.Reset()
+	if a.Err() != nil || a.Count() != 0 || !a.IsZero() {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	r := rng.New(5)
+	xs := rng.UniformSet(r, 2000, -0.5, 0.5)
+	whole := New(40)
+	whole.AddAll(xs)
+
+	a := New(40)
+	a.AddAll(xs[:1000])
+	b := New(40)
+	b.AddAll(xs[1000:])
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+	if a.Count() != 2000 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	wa, aa := whole.Bins(), a.Bins()
+	for i := range wa {
+		if wa[i] != aa[i] {
+			t.Fatalf("bin %d differs after merge", i)
+		}
+	}
+	if err := a.Merge(New(30)); err == nil {
+		t.Error("mismatched W accepted")
+	}
+}
+
+func TestWFor(t *testing.T) {
+	w, err := WFor(4096)
+	if err != nil || w != 40 {
+		t.Errorf("WFor(4096) = %d, %v", w, err)
+	}
+	w, err = WFor(32 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(1)<<uint(52-w) < 32<<20 {
+		t.Errorf("WFor(32M) = %d too narrow", w)
+	}
+	if _, err := WFor(1 << 50); err == nil {
+		t.Error("absurd budget accepted")
+	}
+}
+
+func TestNewPanicsOnBadW(t *testing.T) {
+	for _, w := range []int{7, 45, 0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("W=%d accepted", w)
+				}
+			}()
+			New(w)
+		}()
+	}
+}
+
+func TestSumHelper(t *testing.T) {
+	got, err := Sum(40, []float64{0.1, 0.2, -0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exact.Sum([]float64{0.1, 0.2, -0.3})
+	if got != want {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+}
+
+func TestSubnormalInputs(t *testing.T) {
+	min := math.SmallestNonzeroFloat64
+	a := New(40)
+	a.AddAll([]float64{min, min, min, -min})
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+	oracle := exact.New()
+	oracle.AddAll([]float64{min, min, min, -min})
+	if a.Rat().Cmp(oracle.Rat()) != 0 {
+		t.Error("subnormal sum diverged")
+	}
+	if got := a.Float64(); got != 2*min {
+		t.Errorf("Float64 = %g, want %g", got, 2*min)
+	}
+}

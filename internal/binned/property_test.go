@@ -1,0 +1,97 @@
+package binned
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+)
+
+// anyFinite generates arbitrary finite float64 values over the full
+// exponent range — binned summation has no range restriction.
+type anyFinite float64
+
+func (anyFinite) Generate(r *rand.Rand, _ int) reflect.Value {
+	e := -1070 + r.Intn(2090)
+	x := math.Ldexp(1+r.Float64(), e)
+	if r.Intn(2) == 1 {
+		x = -x
+	}
+	return reflect.ValueOf(anyFinite(x))
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+// Any multiset of finite doubles within the budget sums exactly.
+func TestPropExactOverFullRange(t *testing.T) {
+	f := func(vs [24]anyFinite) bool {
+		a := New(30) // budget 2^22
+		o := exact.New()
+		for _, v := range vs {
+			a.Add(float64(v))
+			o.Add(float64(v))
+		}
+		return a.Err() == nil && a.Rat().Cmp(o.Rat()) == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Bin states are identical for any two orderings of the same multiset.
+func TestPropBinsOrderInvariant(t *testing.T) {
+	f := func(vs [16]anyFinite) bool {
+		a := New(40)
+		b := New(40)
+		for _, v := range vs {
+			a.Add(float64(v))
+		}
+		for i := len(vs) - 1; i >= 0; i-- {
+			b.Add(float64(vs[i]))
+		}
+		ba, bb := a.Bins(), b.Bins()
+		for i := range ba {
+			if math.Float64bits(ba[i]) != math.Float64bits(bb[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Merging split accumulators equals accumulating whole.
+func TestPropMergeEquivalence(t *testing.T) {
+	f := func(vs [20]anyFinite, splitAt uint8) bool {
+		cut := int(splitAt) % len(vs)
+		whole := New(36)
+		a := New(36)
+		b := New(36)
+		for i, v := range vs {
+			whole.Add(float64(v))
+			if i < cut {
+				a.Add(float64(v))
+			} else {
+				b.Add(float64(v))
+			}
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		wa, aa := whole.Bins(), a.Bins()
+		for i := range wa {
+			if math.Float64bits(wa[i]) != math.Float64bits(aa[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+// Accumulator is the convenience type for summing many float64 values into
+// one HP number. It owns a conversion scratch buffer so the hot
+// convert-and-add path performs no allocation, and it records the first
+// overflow/underflow sticky error rather than failing mid-stream, so a long
+// reduction can be checked once at the end.
+//
+// An Accumulator is not safe for concurrent use; see Atomic for the
+// CAS-based shared accumulator of paper §III.B.2.
+type Accumulator struct {
+	sum     *HP
+	scratch *HP
+	err     error
+}
+
+// NewAccumulator returns a zeroed accumulator with the given parameters.
+func NewAccumulator(p Params) *Accumulator {
+	return &Accumulator{sum: New(p), scratch: New(p)}
+}
+
+// Params returns the accumulator's HP parameters.
+func (a *Accumulator) Params() Params { return a.sum.p }
+
+// Add converts x and adds it to the running sum. Conversion or addition
+// faults set the sticky error (first one wins) and leave the sum unchanged
+// for conversion faults; addition overflow wraps, as integer hardware would.
+func (a *Accumulator) Add(x float64) {
+	if err := a.scratch.SetFloat64(x); err != nil {
+		if a.err == nil {
+			a.err = err
+		}
+		return
+	}
+	if a.sum.Add(a.scratch) && a.err == nil {
+		a.err = ErrOverflow
+	}
+}
+
+// AddAll adds every element of xs.
+func (a *Accumulator) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// AddHP adds a partial sum in HP form (for combining per-worker partials).
+func (a *Accumulator) AddHP(x *HP) {
+	if x.p != a.sum.p {
+		if a.err == nil {
+			a.err = ErrParamMismatch
+		}
+		return
+	}
+	if a.sum.Add(x) && a.err == nil {
+		a.err = ErrOverflow
+	}
+}
+
+// Merge folds another accumulator's partial sum into a, propagating its
+// sticky error: the natural combine step when per-worker partials are
+// reduced into a final result.
+func (a *Accumulator) Merge(from *Accumulator) {
+	if from.err != nil && a.err == nil {
+		a.err = from.err
+	}
+	a.AddHP(from.sum)
+}
+
+// Err returns the first overflow/underflow/conversion error, or nil.
+func (a *Accumulator) Err() error { return a.err }
+
+// Sum returns the accumulated HP value (not a copy; it remains owned by a).
+func (a *Accumulator) Sum() *HP { return a.sum }
+
+// Float64 returns the running sum rounded to float64.
+func (a *Accumulator) Float64() float64 { return a.sum.Float64() }
+
+// Reset zeroes the sum and clears the sticky error.
+func (a *Accumulator) Reset() {
+	a.sum.SetZero()
+	a.err = nil
+}
+
+// Sum computes the HP sum of xs with parameters p, returning the rounded
+// float64 result. It reports the first range error encountered, if any.
+func Sum(p Params, xs []float64) (float64, error) {
+	a := NewAccumulator(p)
+	a.AddAll(xs)
+	return a.Float64(), a.Err()
+}
+
+// SumHP is like Sum but returns the full-precision HP result.
+func SumHP(p Params, xs []float64) (*HP, error) {
+	a := NewAccumulator(p)
+	a.AddAll(xs)
+	return a.Sum(), a.Err()
+}

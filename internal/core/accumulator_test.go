@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+func TestAccumulatorBasic(t *testing.T) {
+	a := NewAccumulator(Params192)
+	if a.Params() != Params192 {
+		t.Errorf("Params = %v", a.Params())
+	}
+	a.Add(1.5)
+	a.Add(-0.25)
+	a.Add(2.0)
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Float64(); got != 3.25 {
+		t.Errorf("sum = %g, want 3.25", got)
+	}
+	a.Reset()
+	if !a.Sum().IsZero() || a.Err() != nil {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestAccumulatorStickyError(t *testing.T) {
+	a := NewAccumulator(Params128)
+	a.Add(1)
+	a.Add(1e300) // overflow: sticky
+	a.Add(2)     // still accumulated
+	if a.Err() != ErrOverflow {
+		t.Errorf("Err = %v, want ErrOverflow", a.Err())
+	}
+	if got := a.Float64(); got != 3 {
+		t.Errorf("sum after skipped conversion = %g, want 3", got)
+	}
+	// First error wins.
+	a.Add(math.Ldexp(1, -100)) // underflow, but overflow came first
+	if a.Err() != ErrOverflow {
+		t.Errorf("sticky error replaced: %v", a.Err())
+	}
+}
+
+func TestAccumulatorAddHP(t *testing.T) {
+	a := NewAccumulator(Params192)
+	a.Add(1.5)
+	partial, err := FromFloat64(Params192, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddHP(partial)
+	if got := a.Float64(); got != 4 {
+		t.Errorf("sum = %g, want 4", got)
+	}
+	wrong := New(Params128)
+	a.AddHP(wrong)
+	if a.Err() != ErrParamMismatch {
+		t.Errorf("Err = %v, want ErrParamMismatch", a.Err())
+	}
+}
+
+func TestSumHelpers(t *testing.T) {
+	r := rng.New(11)
+	xs := rng.UniformSet(r, 1000, -0.5, 0.5)
+	got, err := Sum(Params384, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := exact.Sum(xs); got != want {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+	hp, err := SumHP(Params384, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Float64() != got {
+		t.Error("SumHP and Sum disagree")
+	}
+}
+
+// Splitting a reduction into per-worker partials and combining them with
+// AddHP must give the same limbs as one sequential pass — the structure all
+// of the paper's parallel experiments rely on.
+func TestAccumulatorPartialCombination(t *testing.T) {
+	r := rng.New(12)
+	xs := rng.UniformSet(r, 4096, -0.5, 0.5)
+	whole := NewAccumulator(Params384)
+	whole.AddAll(xs)
+
+	for _, pieces := range []int{2, 3, 7, 16} {
+		combined := NewAccumulator(Params384)
+		chunk := (len(xs) + pieces - 1) / pieces
+		for lo := 0; lo < len(xs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(xs) {
+				hi = len(xs)
+			}
+			part := NewAccumulator(Params384)
+			part.AddAll(xs[lo:hi])
+			if part.Err() != nil {
+				t.Fatal(part.Err())
+			}
+			combined.AddHP(part.Sum())
+		}
+		if combined.Err() != nil {
+			t.Fatal(combined.Err())
+		}
+		if !combined.Sum().Equal(whole.Sum()) {
+			t.Errorf("pieces=%d: partial combination differs from sequential", pieces)
+		}
+	}
+}

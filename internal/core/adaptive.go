@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Adaptive is an HP accumulator that widens its own format at runtime to
+// accommodate any range of inputs — the extension the paper names as future
+// work in §V ("extend the HP method to adaptively adjust precision at
+// runtime"). It starts from an initial Params and, whenever a value would
+// overflow the whole part or underflow the fractional part, grows the
+// affected side by exactly the limbs required (plus a configurable slack)
+// and remaps the running sum losslessly.
+//
+// Because every widening is exact and every addition is exact, the final
+// value is independent of both the order of the additions and the sequence
+// of widenings they trigger: order invariance is preserved even though
+// intermediate formats may differ between runs.
+type Adaptive struct {
+	sum     *HP
+	scratch *HP
+	// slack limbs added beyond the minimum on each growth, to amortize
+	// repeated widenings over monotone workloads.
+	slack int
+}
+
+// NewAdaptive returns an adaptive accumulator starting at p, growing by at
+// least one extra limb of slack per widening.
+func NewAdaptive(p Params) *Adaptive {
+	return &Adaptive{sum: New(p), scratch: New(p), slack: 1}
+}
+
+// Params returns the current (possibly widened) format.
+func (a *Adaptive) Params() Params { return a.sum.p }
+
+// widen grows the format by moreWhole whole limbs and moreFrac fractional
+// limbs, remapping the running sum exactly: the limb vector is sign-extended
+// at the most significant end and zero-padded at the least significant end.
+func (a *Adaptive) widen(moreWhole, moreFrac int) {
+	old := a.sum
+	p := Params{N: old.p.N + moreWhole + moreFrac, K: old.p.K + moreFrac}
+	next := New(p)
+	ext := uint64(0)
+	if old.IsNeg() {
+		ext = ^uint64(0)
+	}
+	for i := 0; i < moreWhole; i++ {
+		next.limbs[i] = ext
+	}
+	copy(next.limbs[moreWhole:], old.limbs)
+	// The trailing moreFrac limbs stay zero: the value is unchanged.
+	a.sum = next
+	a.scratch = New(p)
+}
+
+// need returns how many extra whole/frac limbs are required to represent x
+// exactly in the current format (zero values mean it already fits).
+func (a *Adaptive) need(x float64) (moreWhole, moreFrac int) {
+	if x == 0 {
+		return 0, 0
+	}
+	frac, exp := math.Frexp(x)
+	if frac < 0 {
+		frac = -frac
+	}
+	m := uint64(frac * (1 << 53))
+	tz := bits.TrailingZeros64(m)
+	lowBit := exp - 53 + tz // position of x's lowest set bit (power of two)
+	highBit := exp - 1      // position of x's highest set bit
+	p := a.sum.p
+	if lowBit < -64*p.K {
+		moreFrac = (-lowBit - 64*p.K + 63) / 64
+	}
+	// The magnitude must fit below the sign bit: highBit <= 64*(N-K)-2.
+	if highBit > 64*(p.N-p.K)-2 {
+		moreWhole = (highBit - (64*(p.N-p.K) - 2) + 63) / 64
+	}
+	return moreWhole, moreFrac
+}
+
+// Add adds x exactly, widening the format first if required. It returns
+// ErrNotFinite for NaN/Inf; it cannot overflow or underflow.
+func (a *Adaptive) Add(x float64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return ErrNotFinite
+	}
+	if mw, mf := a.need(x); mw > 0 || mf > 0 {
+		if mw > 0 {
+			mw += a.slack
+		}
+		if mf > 0 {
+			mf += a.slack
+		}
+		a.widen(mw, mf)
+	}
+	// Conversion cannot fail now; addition may still overflow the whole
+	// part through accumulation, in which case we widen and retry.
+	if err := a.scratch.SetFloat64(x); err != nil {
+		return err
+	}
+	before := a.sum.Clone()
+	if a.sum.Add(a.scratch) {
+		a.sum = before
+		a.widen(1+a.slack, 0)
+		if err := a.scratch.SetFloat64(x); err != nil {
+			return err
+		}
+		if a.sum.Add(a.scratch) {
+			// Cannot happen: one extra limb absorbs any single addition.
+			return ErrOverflow
+		}
+	}
+	return nil
+}
+
+// AddAll adds every element of xs, stopping at the first non-finite value.
+func (a *Adaptive) AddAll(xs []float64) error {
+	for _, x := range xs {
+		if err := a.Add(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sum returns the current sum (owned by a; Clone to keep it).
+func (a *Adaptive) Sum() *HP { return a.sum }
+
+// Float64 returns the running sum rounded to float64.
+func (a *Adaptive) Float64() float64 { return a.sum.Float64() }

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+func TestAdaptiveNoWidenWhenInRange(t *testing.T) {
+	a := NewAdaptive(Params192)
+	for _, v := range []float64{1, -0.5, 1e10, math.Ldexp(1, -100)} {
+		if err := a.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Params() != Params192 {
+		t.Errorf("widened unnecessarily to %v", a.Params())
+	}
+}
+
+func TestAdaptiveWidensFraction(t *testing.T) {
+	a := NewAdaptive(Params128) // resolution 2^-64
+	if err := a.Add(math.Ldexp(1, -100)); err != nil {
+		t.Fatal(err)
+	}
+	p := a.Params()
+	if p.K < 2 {
+		t.Errorf("expected fractional widening, got %v", p)
+	}
+	if got := a.Float64(); got != math.Ldexp(1, -100) {
+		t.Errorf("value after widening = %g", got)
+	}
+}
+
+func TestAdaptiveWidensWhole(t *testing.T) {
+	a := NewAdaptive(Params128) // range < 2^63
+	if err := a.Add(math.Ldexp(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	p := a.Params()
+	if p.N-p.K < 3 {
+		t.Errorf("expected whole widening, got %v", p)
+	}
+	if got := a.Float64(); got != math.Ldexp(1, 100) {
+		t.Errorf("value after widening = %g", got)
+	}
+}
+
+func TestAdaptiveWidensOnAccumulatedOverflow(t *testing.T) {
+	// Each value fits, but the running sum outgrows the whole part.
+	a := NewAdaptive(Params128)
+	v := math.Ldexp(1, 62)
+	for i := 0; i < 8; i++ {
+		if err := a.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := math.Ldexp(1, 65)
+	if got := a.Float64(); got != want {
+		t.Errorf("sum = %g, want %g (params now %v)", got, want, a.Params())
+	}
+}
+
+func TestAdaptivePreservesNegativeOnWiden(t *testing.T) {
+	a := NewAdaptive(Params128)
+	if err := a.Add(-3.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(math.Ldexp(1, 100)); err != nil { // forces whole widening
+		t.Fatal(err)
+	}
+	if err := a.Add(math.Ldexp(1, -100)); err != nil { // forces frac widening
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	oracle.AddAll([]float64{-3.5, math.Ldexp(1, 100), math.Ldexp(1, -100)})
+	if a.Sum().Rat().Cmp(oracle.Rat()) != 0 {
+		t.Errorf("widening lost value: %s vs oracle %s",
+			a.Sum().Rat().RatString(), oracle.Rat().RatString())
+	}
+}
+
+func TestAdaptiveFullDoubleRange(t *testing.T) {
+	// The whole point of the extension: any finite double works, including
+	// extremes of the exponent range, without a priori parameter choice.
+	a := NewAdaptive(Params128)
+	vals := []float64{
+		math.MaxFloat64,
+		-math.MaxFloat64 / 4,
+		math.SmallestNonzeroFloat64,
+		-math.SmallestNonzeroFloat64,
+		1.0,
+	}
+	oracle := exact.New()
+	for _, v := range vals {
+		if err := a.Add(v); err != nil {
+			t.Fatalf("Add(%g): %v", v, err)
+		}
+		oracle.Add(v)
+	}
+	if a.Sum().Rat().Cmp(oracle.Rat()) != 0 {
+		t.Error("adaptive sum diverged from oracle over full double range")
+	}
+	if got, want := a.Float64(), oracle.Float64(); got != want {
+		t.Errorf("Float64 = %g, want %g", got, want)
+	}
+}
+
+func TestAdaptiveOrderInvariantAcrossWideningOrders(t *testing.T) {
+	// Different input orders trigger different widening sequences, but the
+	// final value must be identical.
+	r := rng.New(5)
+	vals := []float64{1e200, 1e-200, -1, 42.5, math.Ldexp(1, -900), math.Ldexp(1, 900)}
+	a := NewAdaptive(Params128)
+	if err := a.AddAll(vals); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		b := NewAdaptive(Params128)
+		if err := b.AddAll(rng.Reorder(r, vals)); err != nil {
+			t.Fatal(err)
+		}
+		if a.Sum().Rat().Cmp(b.Sum().Rat()) != 0 {
+			t.Fatalf("trial %d: order-dependent adaptive result", trial)
+		}
+		if a.Float64() != b.Float64() {
+			t.Fatalf("trial %d: Float64 differs", trial)
+		}
+	}
+}
+
+func TestAdaptiveRejectsNonFinite(t *testing.T) {
+	a := NewAdaptive(Params128)
+	if err := a.Add(math.NaN()); err != ErrNotFinite {
+		t.Errorf("NaN: %v", err)
+	}
+	if err := a.Add(math.Inf(-1)); err != ErrNotFinite {
+		t.Errorf("-Inf: %v", err)
+	}
+	if !a.Sum().IsZero() {
+		t.Error("rejected values must not change the sum")
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// AtomicArray is a contiguous bank of HP atomic accumulators — the "256
+// partial sums" structure of the paper's CUDA experiment — laid out so
+// that no two accumulators share a cache line. With a []*Atomic the limbs
+// of neighbouring accumulators can land on one line and every atomic add
+// then ping-pongs the line between cores (false sharing); the padded
+// layout removes that coupling. BenchmarkAblationPadding quantifies the
+// difference.
+type AtomicArray struct {
+	p      Params
+	stride int // limbs per slot, padded to a multiple of the cache line
+	limbs  []atomic.Uint64
+}
+
+// cacheLineWords is the assumed cache line size in 8-byte words.
+const cacheLineWords = 8
+
+// NewAtomicArray returns a bank of count zeroed accumulators with
+// parameters p. It panics if p is invalid or count < 1.
+func NewAtomicArray(p Params, count int) *AtomicArray {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if count < 1 {
+		panic("core: AtomicArray count < 1")
+	}
+	stride := (p.N + cacheLineWords - 1) / cacheLineWords * cacheLineWords
+	return &AtomicArray{
+		p:      p,
+		stride: stride,
+		limbs:  make([]atomic.Uint64, stride*count),
+	}
+}
+
+// Params returns the accumulators' HP parameters.
+func (a *AtomicArray) Params() Params { return a.p }
+
+// Len returns the number of accumulators in the bank.
+func (a *AtomicArray) Len() int { return len(a.limbs) / a.stride }
+
+// slot returns the limb window of accumulator i (most significant first).
+func (a *AtomicArray) slot(i int) []atomic.Uint64 {
+	return a.limbs[i*a.stride : i*a.stride+a.p.N]
+}
+
+// AddHP atomically adds x to accumulator i using fetch-add per limb, with
+// the same carry hand-off as Atomic.AddHP.
+func (a *AtomicArray) AddHP(i int, x *HP) {
+	if x.p != a.p {
+		panic(ErrParamMismatch)
+	}
+	s := a.slot(i)
+	var carry uint64
+	for j := a.p.N - 1; j >= 0; j-- {
+		delta := x.limbs[j] + carry
+		carry = 0
+		if delta < x.limbs[j] {
+			carry = 1
+		}
+		if delta == 0 {
+			continue
+		}
+		next := s[j].Add(delta)
+		if next < delta {
+			carry++
+		}
+	}
+}
+
+// AddHPCAS is AddHP with compare-and-swap loops, matching Atomic.AddHPCAS.
+func (a *AtomicArray) AddHPCAS(i int, x *HP) {
+	if x.p != a.p {
+		panic(ErrParamMismatch)
+	}
+	s := a.slot(i)
+	var carry uint64
+	for j := a.p.N - 1; j >= 0; j-- {
+		delta := x.limbs[j] + carry
+		carry = 0
+		if delta < x.limbs[j] {
+			carry = 1
+		}
+		if delta == 0 {
+			continue
+		}
+		for {
+			old := s[j].Load()
+			next, co := bits.Add64(old, delta, 0)
+			if s[j].CompareAndSwap(old, next) {
+				carry += co
+				break
+			}
+		}
+	}
+}
+
+// AddFloat64 converts x into scratch (caller-owned) and atomically adds it
+// to accumulator i.
+func (a *AtomicArray) AddFloat64(i int, x float64, scratch *HP) error {
+	if err := scratch.SetFloat64(x); err != nil {
+		return err
+	}
+	a.AddHP(i, scratch)
+	return nil
+}
+
+// Snapshot copies accumulator i into a plain HP value; as with Atomic, the
+// read is only meaningful after all writers have finished.
+func (a *AtomicArray) Snapshot(i int) *HP {
+	z := New(a.p)
+	s := a.slot(i)
+	for j := range s {
+		z.limbs[j] = s[j].Load()
+	}
+	return z
+}
+
+// Combine folds every accumulator into one HP sum (after writers finish).
+func (a *AtomicArray) Combine() (*HP, error) {
+	acc := NewAccumulator(a.p)
+	for i := 0; i < a.Len(); i++ {
+		acc.AddHP(a.Snapshot(i))
+	}
+	return acc.Sum(), acc.Err()
+}
+
+// Reset zeroes every accumulator; must not race with adds.
+func (a *AtomicArray) Reset() {
+	for i := range a.limbs {
+		a.limbs[i].Store(0)
+	}
+}

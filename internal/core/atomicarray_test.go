@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestAtomicArrayLayout(t *testing.T) {
+	a := NewAtomicArray(Params384, 4)
+	if a.Len() != 4 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	if a.Params() != Params384 {
+		t.Error("Params")
+	}
+	// Stride is a cache-line multiple and covers N limbs.
+	if a.stride%cacheLineWords != 0 || a.stride < Params384.N {
+		t.Errorf("stride = %d", a.stride)
+	}
+	// Adjacent slots do not overlap.
+	scratch := New(Params384)
+	if err := a.AddFloat64(0, 1.5, scratch); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddFloat64(1, 2.5, scratch); err != nil {
+		t.Fatal(err)
+	}
+	if a.Snapshot(0).Float64() != 1.5 || a.Snapshot(1).Float64() != 2.5 {
+		t.Error("slots interfere")
+	}
+	if a.Snapshot(2).Float64() != 0 {
+		t.Error("untouched slot dirty")
+	}
+	sum, err := a.Combine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Float64() != 4 {
+		t.Errorf("Combine = %g", sum.Float64())
+	}
+	a.Reset()
+	if s, _ := a.Combine(); !s.IsZero() {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestAtomicArrayConcurrentMatchesSequential(t *testing.T) {
+	p := Params384
+	const workers = 8
+	const perWorker = 2000
+	const slots = 16
+	r := rng.New(93)
+	xs := rng.UniformSet(r, workers*perWorker, -0.5, 0.5)
+
+	seq := NewAccumulator(p)
+	seq.AddAll(xs)
+
+	for _, cas := range []bool{false, true} {
+		bank := NewAtomicArray(p, slots)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int, slice []float64) {
+				defer wg.Done()
+				scratch := New(p)
+				for i, x := range slice {
+					if err := scratch.SetFloat64(x); err != nil {
+						t.Error(err)
+						return
+					}
+					slot := (w + i) % slots
+					if cas {
+						bank.AddHPCAS(slot, scratch)
+					} else {
+						bank.AddHP(slot, scratch)
+					}
+				}
+			}(w, xs[w*perWorker:(w+1)*perWorker])
+		}
+		wg.Wait()
+		got, err := bank.Combine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(seq.Sum()) {
+			t.Errorf("cas=%v: bank sum differs from sequential", cas)
+		}
+	}
+}
+
+func TestAtomicArrayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("count=0 accepted")
+		}
+	}()
+	NewAtomicArray(Params128, 0)
+}
+
+func TestAtomicArrayParamMismatch(t *testing.T) {
+	a := NewAtomicArray(Params128, 2)
+	x := New(Params192)
+	defer func() {
+		if recover() == nil {
+			t.Error("param mismatch accepted")
+		}
+	}()
+	a.AddHP(0, x)
+}

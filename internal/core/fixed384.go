@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Accum384 is a specialization of the HP accumulator for the paper's
+// strong-scaling format HP(N=6, k=3): the limb vector is a fixed array and
+// the conversion and carry chain are fully unrolled, removing the slice
+// indirection and loop overhead of the general implementation. It exists
+// for the DESIGN.md "fixed-size specialization" ablation
+// (BenchmarkAblationFixed384) and for hot paths that know their format at
+// compile time. Results are bit-identical to the general HP(6,3) path.
+type Accum384 struct {
+	// limbs[0] is most significant, as in HP.
+	limbs [6]uint64
+	err   error
+}
+
+// NewAccum384 returns a zeroed fixed-format accumulator.
+func NewAccum384() *Accum384 { return &Accum384{} }
+
+// Err returns the sticky range error, or nil.
+func (a *Accum384) Err() error { return a.err }
+
+// Reset zeroes the accumulator and clears the sticky error.
+func (a *Accum384) Reset() {
+	a.limbs = [6]uint64{}
+	a.err = nil
+}
+
+// Add accumulates x exactly. Range faults latch the sticky error and leave
+// the sum unchanged, exactly like Accumulator.Add with Params384.
+func (a *Accum384) Add(x float64) {
+	if x == 0 {
+		return
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		if a.err == nil {
+			a.err = ErrNotFinite
+		}
+		return
+	}
+	frac, exp := math.Frexp(x)
+	neg := false
+	if frac < 0 {
+		neg = true
+		frac = -frac
+	}
+	m := uint64(frac * (1 << 53))
+	s := exp - 53 + 192 // k=3: scale by 2^192
+	if s < 0 {
+		sh := uint(-s)
+		if sh >= 64 || m&((uint64(1)<<sh)-1) != 0 {
+			if a.err == nil {
+				a.err = ErrUnderflow
+			}
+			return
+		}
+		m >>= sh
+		s = 0
+	}
+	if bits.Len64(m)+s > 383 { // 64*6 - 1
+		if a.err == nil {
+			a.err = ErrOverflow
+		}
+		return
+	}
+
+	var v [6]uint64
+	j := s >> 6
+	off := uint(s & 63)
+	v[5-j] = m << off
+	if off != 0 {
+		if hi := m >> (64 - off); hi != 0 {
+			v[4-j] = hi
+		}
+	}
+	if neg {
+		var c uint64
+		v[5], c = bits.Add64(^v[5], 0, 1)
+		v[4], c = bits.Add64(^v[4], 0, c)
+		v[3], c = bits.Add64(^v[3], 0, c)
+		v[2], c = bits.Add64(^v[2], 0, c)
+		v[1], c = bits.Add64(^v[1], 0, c)
+		v[0], _ = bits.Add64(^v[0], 0, c)
+	}
+
+	signA := a.limbs[0] >> 63
+	signV := v[0] >> 63
+	var c uint64
+	a.limbs[5], c = bits.Add64(a.limbs[5], v[5], 0)
+	a.limbs[4], c = bits.Add64(a.limbs[4], v[4], c)
+	a.limbs[3], c = bits.Add64(a.limbs[3], v[3], c)
+	a.limbs[2], c = bits.Add64(a.limbs[2], v[2], c)
+	a.limbs[1], c = bits.Add64(a.limbs[1], v[1], c)
+	a.limbs[0], _ = bits.Add64(a.limbs[0], v[0], c)
+	if signA == signV && a.limbs[0]>>63 != signA && a.err == nil {
+		a.err = ErrOverflow
+	}
+}
+
+// AddAll accumulates every element of xs.
+func (a *Accum384) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// HP returns the current sum as a general HP value with Params384.
+func (a *Accum384) HP() *HP {
+	z := New(Params384)
+	copy(z.limbs, a.limbs[:])
+	return z
+}
+
+// Float64 returns the sum rounded to float64 (correctly rounded, like
+// HP.Float64).
+func (a *Accum384) Float64() float64 { return a.HP().Float64() }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// The specialization must match the general HP(6,3) path bit for bit on
+// every input sequence.
+func TestAccum384MatchesGeneral(t *testing.T) {
+	r := rng.New(61)
+	fixed := NewAccum384()
+	general := NewAccumulator(Params384)
+	for i := 0; i < 20000; i++ {
+		x := r.Exp2Uniform(-130, 150) // lowest mantissa bit stays above 2^-192
+		fixed.Add(x)
+		general.Add(x)
+	}
+	if fixed.Err() != nil || general.Err() != nil {
+		t.Fatalf("errs: %v %v", fixed.Err(), general.Err())
+	}
+	if !fixed.HP().Equal(general.Sum()) {
+		t.Error("fixed-format limbs differ from general path")
+	}
+	if fixed.Float64() != general.Float64() {
+		t.Error("Float64 differs")
+	}
+}
+
+func TestAccum384PropertyEquivalence(t *testing.T) {
+	f := func(raw []float64) bool {
+		fixed := NewAccum384()
+		general := NewAccumulator(Params384)
+		for _, x := range raw {
+			// Clamp to the format's range so both paths accept.
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			fixed.Add(x)
+			general.Add(x)
+		}
+		if (fixed.Err() == nil) != (general.Err() == nil) {
+			return false
+		}
+		if fixed.Err() != nil {
+			return fixed.Err() == general.Err()
+		}
+		return fixed.HP().Equal(general.Sum())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccum384Errors(t *testing.T) {
+	a := NewAccum384()
+	a.Add(math.NaN())
+	if a.Err() != ErrNotFinite {
+		t.Errorf("NaN: %v", a.Err())
+	}
+	a.Reset()
+	a.Add(math.Ldexp(1, 200)) // beyond 2^191
+	if a.Err() != ErrOverflow {
+		t.Errorf("overflow: %v", a.Err())
+	}
+	a.Reset()
+	a.Add(math.Ldexp(1, -250)) // below 2^-192
+	if a.Err() != ErrUnderflow {
+		t.Errorf("underflow: %v", a.Err())
+	}
+	a.Reset()
+	a.Add(1.5)
+	a.Add(-0.25)
+	if a.Err() != nil || a.Float64() != 1.25 {
+		t.Errorf("sum = %g, err %v", a.Float64(), a.Err())
+	}
+	// Faulting adds must not modify the sum.
+	a.Add(math.Ldexp(1, 200))
+	if a.Float64() != 1.25 {
+		t.Error("faulting add changed the sum")
+	}
+	// Accumulated overflow (two huge values) is detected.
+	b := NewAccum384()
+	big := math.Ldexp(1, 190)
+	b.Add(big)
+	b.Add(big)
+	if b.Err() != ErrOverflow {
+		t.Errorf("accumulated overflow: %v", b.Err())
+	}
+}
+
+func TestAccum384ZeroSum(t *testing.T) {
+	r := rng.New(62)
+	xs := rng.ZeroSum(r, 8192, 0.001)
+	a := NewAccum384()
+	a.AddAll(xs)
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+	if !a.HP().IsZero() {
+		t.Error("zero-sum set not exactly zero")
+	}
+}

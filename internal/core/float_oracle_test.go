@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// float64ViaBig converts x's exact rational value to float64 using
+// math/big's correctly rounded conversion, the oracle for HP.Float64.
+func float64ViaBig(x *HP) float64 {
+	f := new(big.Float).SetPrec(uint(64*x.Params().N) + 64)
+	f.SetRat(x.Rat())
+	v, _ := f.Float64()
+	return v
+}
+
+// TestFloat64MatchesBigOracleRandomLimbs drives HP.Float64's rounding logic
+// with arbitrary bit patterns — including values unreachable from float64
+// conversion — and demands agreement with math/big's correctly rounded
+// result, covering normals, subnormal outputs, and overflow saturation.
+func TestFloat64MatchesBigOracleRandomLimbs(t *testing.T) {
+	r := rng.New(71)
+	paramsList := []Params{
+		Params128, Params192, Params384, Params512,
+		{N: 18, K: 17}, // results reach the subnormal double range
+		{N: 18, K: 1},  // results overflow the double range
+		{N: 20, K: 19},
+	}
+	buf := make([]byte, 8*20)
+	for _, p := range paramsList {
+		z := New(p)
+		for trial := 0; trial < 3000; trial++ {
+			// Random limbs with random sparsity so leading-zero handling,
+			// tie cases, and sticky bits all get exercised.
+			for i := 0; i < p.N; i++ {
+				var l uint64
+				switch r.Intn(4) {
+				case 0:
+					l = 0
+				case 1:
+					l = r.Uint64()
+				case 2:
+					l = uint64(1) << uint(r.Intn(64)) // single bit: tie-prone
+				case 3:
+					l = r.Uint64() & (r.Uint64() | r.Uint64()) // sparse-ish
+				}
+				binary.BigEndian.PutUint64(buf[8*i:], l)
+			}
+			if err := z.SetRawLimbs(buf[:8*p.N]); err != nil {
+				t.Fatal(err)
+			}
+			got := z.Float64()
+			want := float64ViaBig(z)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("%v limbs %#x: Float64 = %g, oracle = %g",
+					p, z.Limbs(), got, want)
+			}
+		}
+	}
+}
+
+// Targeted tie patterns: value = (2^53 + 1) * 2^e has a guard bit exactly
+// set and zero sticky, the hardest rounding case.
+func TestFloat64ExactTies(t *testing.T) {
+	p := Params{N: 4, K: 2}
+	z := New(p)
+	buf := make([]byte, 32)
+	for e := 0; e < 60; e++ {
+		// A = (2^54 + 2) << e: mantissa 2^53+1 at scale e+1.
+		lo := new(big.Int).Lsh(big.NewInt((1<<54)+2), uint(e))
+		limbs := lo.FillBytes(make([]byte, 32))
+		copy(buf, limbs)
+		if err := z.SetRawLimbs(buf); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := z.Float64(), float64ViaBig(z); got != want {
+			t.Fatalf("e=%d: got %g, want %g", e, got, want)
+		}
+	}
+}

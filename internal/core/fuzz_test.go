@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+// Native Go fuzz targets. `go test` runs them over the seed corpus; `go
+// test -fuzz=FuzzX ./internal/core` explores further. Each target encodes
+// an invariant that must hold for arbitrary float64 bit patterns.
+
+func seedFloats(f *testing.F) {
+	for _, v := range []float64{
+		0, 1, -1, 0.5, 0.1, -0.001, 1e15, -1e15,
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.Ldexp(1, 62), math.Ldexp(1, -64), math.Ldexp(-1.5, -60),
+		math.Inf(1), math.Inf(-1), math.NaN(),
+	} {
+		f.Add(v)
+	}
+}
+
+// FuzzRoundTrip: SetFloat64 either rejects a value or stores it exactly.
+func FuzzRoundTrip(f *testing.F) {
+	seedFloats(f)
+	f.Fuzz(func(t *testing.T, x float64) {
+		z := New(Params512)
+		err := z.SetFloat64(x)
+		if err != nil {
+			if !z.IsZero() {
+				t.Fatal("receiver not zeroed after rejection")
+			}
+			return
+		}
+		if got := z.Float64(); got != x {
+			t.Fatalf("round trip %g -> %g", x, got)
+		}
+		// Exactness stronger than Float64 equality: the stored rational
+		// equals the input's rational value.
+		o := exact.New()
+		o.Add(x)
+		if z.Rat().Cmp(o.Rat()) != 0 {
+			t.Fatalf("stored value of %g not exact", x)
+		}
+	})
+}
+
+// FuzzListing1Agreement: the paper's conversion loop and the exact bit
+// decomposition accept the same inputs and produce identical limbs.
+func FuzzListing1Agreement(f *testing.F) {
+	seedFloats(f)
+	f.Fuzz(func(t *testing.T, x float64) {
+		a := New(Params384)
+		b := New(Params384)
+		errA := a.SetFloat64(x)
+		errB := b.SetFloat64Listing1(x)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("acceptance differs for %g: %v vs %v", x, errA, errB)
+		}
+		if errA == nil && !a.Equal(b) {
+			t.Fatalf("limbs differ for %g", x)
+		}
+	})
+}
+
+// FuzzAddMatchesOracle: x + y in HP equals the exact rational sum whenever
+// both convert.
+func FuzzAddMatchesOracle(f *testing.F) {
+	f.Add(1.5, -0.25)
+	f.Add(0.1, 0.2)
+	f.Add(1e15, 1e-15)
+	f.Add(-math.Ldexp(1, 60), math.Ldexp(1, 60))
+	f.Fuzz(func(t *testing.T, x, y float64) {
+		a := New(Params512)
+		b := New(Params512)
+		if a.SetFloat64(x) != nil || b.SetFloat64(y) != nil {
+			return
+		}
+		if overflow := a.Add(b); overflow {
+			return // wrapped by design; exactness claim void
+		}
+		o := exact.New()
+		o.AddAll([]float64{x, y})
+		if a.Rat().Cmp(o.Rat()) != 0 {
+			t.Fatalf("%g + %g inexact", x, y)
+		}
+	})
+}
+
+// FuzzProductPaths: the TwoProduct and Kulisch product paths agree with
+// the exact rational product wherever they accept the inputs.
+func FuzzProductPaths(f *testing.F) {
+	f.Add(1.5, -2.25)
+	f.Add(0.1, 0.1)
+	f.Add(1e20, 1e-20)
+	f.Fuzz(func(t *testing.T, x, y float64) {
+		acc := NewAccumulator(Params512)
+		acc.AddProductExact(x, y)
+		if acc.Err() != nil {
+			return
+		}
+		want := exact.New()
+		p, e, err := TwoProduct(x, y)
+		if err == nil {
+			want.AddAll([]float64{p, e})
+			if acc.Sum().Rat().Cmp(want.Rat()) != 0 {
+				t.Fatalf("product paths disagree for %g * %g", x, y)
+			}
+		}
+	})
+}
+
+// FuzzMarshalRoundTrip: any accepted encoding decodes to identical state,
+// and arbitrary byte mutations never crash the decoder.
+func FuzzMarshalRoundTrip(f *testing.F) {
+	good, _ := func() ([]byte, error) {
+		h, err := FromFloat64(Params192, -12.375)
+		if err != nil {
+			return nil, err
+		}
+		return h.MarshalBinary()
+	}()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 2, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h HP
+		if err := h.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != string(data) {
+			t.Fatalf("re-encoding differs: %x vs %x", out, data)
+		}
+	})
+}

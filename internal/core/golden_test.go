@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Golden limb snapshots: the HP state after summing canonical seeded
+// workloads, pinned as hex. These are reproducibility certificates — the
+// exact values must match on EVERY architecture, OS, and Go release this
+// repository is built on, and any change to the RNG, the conversion, or
+// the carry chain trips them. (The same workloads on the paper's C
+// implementation would produce the same limbs: the representation is
+// specified exactly by eq. 2.)
+
+func limbsHex(h *HP) string {
+	return fmt.Sprintf("%016x", h.Limbs())
+}
+
+func TestGoldenUniformSum(t *testing.T) {
+	xs := rng.UniformSet(rng.New(2016), 100000, -0.5, 0.5)
+	hp, err := SumHP(Params384, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := limbsHex(hp)
+	const want = "[0000000000000000 0000000000000000 0000000000000097 d2fb6ee2a75a8000 0000000000000000 0000000000000000]"
+	if got != want {
+		t.Errorf("golden uniform sum drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestGoldenWideRangeSum(t *testing.T) {
+	xs := rng.WideRangeQuantized(rng.New(7), 50000, -223, 191, -256)
+	hp, err := SumHP(Params512, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := limbsHex(hp)
+	const want = "[0000000000000004 ec8cba5e0db9c0df 8045b808c483bef9 facc251edc02a468 cd5572d2828429ca 9faf76de11940af0 cd2dbd9b5fa6d8f2 b14b3158d857b438]"
+	if got != want {
+		t.Errorf("golden wide-range sum drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestGoldenDotProduct(t *testing.T) {
+	r := rng.New(99)
+	xs := rng.UniformSet(r, 20000, -1, 1)
+	ys := rng.UniformSet(r, 20000, -1, 1)
+	hp, err := DotHP(Params512, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := limbsHex(hp)
+	const want = "[ffffffffffffffff ffffffffffffffff ffffffffffffffff ffffffffffffffdf aa1cc4ce6538fe51 89f7df0483000000 0000000000000000 0000000000000000]"
+	if got != want {
+		t.Errorf("golden dot product drifted:\n got %s\nwant %s", got, want)
+	}
+}

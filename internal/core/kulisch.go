@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Kulisch-style exact product accumulation: instead of splitting a product
+// with floating-point error-free transformations (TwoProduct, which fails
+// near the overflow/underflow boundaries), multiply the two 53-bit integer
+// significands into an exact 106-bit integer with math/bits.Mul64 and
+// deposit it directly into the fixed-point accumulator at the correct bit
+// offset. This is how Kulisch long accumulators implement exact dot
+// products in hardware, and it covers the ENTIRE double range — the only
+// failure modes are the accumulator's own overflow/underflow bounds.
+
+// AddProductExact accumulates x*y exactly via integer significand
+// multiplication. Unlike AddProduct it has no error-free-transformation
+// range restrictions; it returns ErrNotFinite for NaN/Inf inputs and
+// ErrOverflow/ErrUnderflow only when the exact product does not fit the
+// accumulator format. Faults latch the sticky error and leave the sum
+// unchanged.
+func (a *Accumulator) AddProductExact(x, y float64) {
+	if err := a.scratch.setProduct(x, y); err != nil {
+		if a.err == nil {
+			a.err = err
+		}
+		return
+	}
+	if a.sum.Add(a.scratch) && a.err == nil {
+		a.err = ErrOverflow
+	}
+}
+
+// setProduct sets z to the exact value of x*y.
+func (z *HP) setProduct(x, y float64) error {
+	z.SetZero()
+	if x == 0 || y == 0 {
+		return nil
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+		return ErrNotFinite
+	}
+	fx, ex := math.Frexp(x)
+	fy, ey := math.Frexp(y)
+	neg := false
+	if fx < 0 {
+		neg = !neg
+		fx = -fx
+	}
+	if fy < 0 {
+		neg = !neg
+		fy = -fy
+	}
+	mx := uint64(fx * (1 << 53)) // in [2^52, 2^53)
+	my := uint64(fy * (1 << 53))
+	hi, lo := bits.Mul64(mx, my) // exact 106-bit product, in [2^104, 2^106)
+	// x*y = (hi*2^64 + lo) * 2^(ex+ey-106); scaled into the accumulator:
+	// A = (hi*2^64 + lo) * 2^s with s = ex + ey - 106 + 64k.
+	s := ex + ey - 106 + 64*z.p.K
+	if s < 0 {
+		sh := uint(-s)
+		// Shift the 128-bit product right only if no set bits are lost.
+		switch {
+		case sh >= 128:
+			return ErrUnderflow
+		case sh >= 64:
+			if lo != 0 || hi&(uint64(1)<<(sh-64)-1) != 0 {
+				return ErrUnderflow
+			}
+			lo = hi >> (sh - 64)
+			hi = 0
+		default:
+			if lo&(uint64(1)<<sh-1) != 0 {
+				return ErrUnderflow
+			}
+			lo = lo>>sh | hi<<(64-sh)
+			hi >>= sh
+		}
+		s = 0
+	}
+	// Bit length of the (possibly shifted) product.
+	bl := bits.Len64(hi) + 64
+	if hi == 0 {
+		bl = bits.Len64(lo)
+	}
+	if bl+s > 64*z.p.N-1 {
+		return ErrOverflow
+	}
+	// Deposit the two words at limb offset j with intra-limb shift off.
+	j := s / 64
+	off := uint(s % 64)
+	n := z.p.N
+	z.limbs[n-1-j] = lo << off
+	if off == 0 {
+		if hi != 0 {
+			z.limbs[n-2-j] = hi
+		}
+	} else {
+		mid := lo>>(64-off) | hi<<off
+		if mid != 0 {
+			z.limbs[n-2-j] = mid
+		}
+		if top := hi >> (64 - off); top != 0 {
+			z.limbs[n-3-j] = top
+		}
+	}
+	if neg {
+		z.negate()
+	}
+	return nil
+}
+
+// MulPow2 multiplies x by 2^e exactly (a limb/bit shift). It returns
+// ErrOverflow if magnitude bits would shift past the sign bit and
+// ErrUnderflow if set bits would shift out below the lowest limb; x is
+// unchanged on error. Negative values are handled via their magnitude so
+// truncation semantics never arise.
+func (x *HP) MulPow2(e int) error {
+	if e == 0 || x.IsZero() {
+		return nil
+	}
+	mag := make([]uint64, x.p.N)
+	neg := x.magnitude(mag)
+	bl := magBitLen(mag)
+	if e > 0 {
+		if bl+e > 64*x.p.N-1 {
+			return ErrOverflow
+		}
+		shiftLeft(mag, uint(e))
+	} else {
+		if anyBitBelow(mag, -e) {
+			return ErrUnderflow
+		}
+		shiftRight(mag, uint(-e))
+	}
+	copy(x.limbs, mag)
+	if neg {
+		x.negate()
+	}
+	return nil
+}
+
+// shiftLeft shifts the big-endian limb vector left (toward the most
+// significant end) by s bits. The caller guarantees no overflow.
+func shiftLeft(limbs []uint64, s uint) {
+	n := len(limbs)
+	limbShift := int(s / 64)
+	bitShift := s % 64
+	for i := 0; i < n; i++ {
+		var v uint64
+		src := i + limbShift
+		if src < n {
+			v = limbs[src] << bitShift
+			if bitShift != 0 && src+1 < n {
+				v |= limbs[src+1] >> (64 - bitShift)
+			}
+		}
+		limbs[i] = v
+	}
+}
+
+// shiftRight shifts the big-endian limb vector right by s bits. The caller
+// guarantees no set bits are lost.
+func shiftRight(limbs []uint64, s uint) {
+	n := len(limbs)
+	limbShift := int(s / 64)
+	bitShift := s % 64
+	for i := n - 1; i >= 0; i-- {
+		var v uint64
+		src := i - limbShift
+		if src >= 0 {
+			v = limbs[src] >> bitShift
+			if bitShift != 0 && src-1 >= 0 {
+				v |= limbs[src-1] << (64 - bitShift)
+			}
+		}
+		limbs[i] = v
+	}
+}

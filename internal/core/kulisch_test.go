@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSetProductMatchesRational(t *testing.T) {
+	r := rng.New(81)
+	z := New(Params512)
+	for i := 0; i < 5000; i++ {
+		// Product low bit at ex+ey-106 must stay above 2^-256 (k=4).
+		x := r.Exp2Uniform(-70, 120)
+		y := r.Exp2Uniform(-70, 120)
+		if err := z.setProduct(x, y); err != nil {
+			t.Fatalf("setProduct(%g, %g): %v", x, y, err)
+		}
+		if z.Rat().Cmp(ratProduct(x, y)) != 0 {
+			t.Fatalf("setProduct(%g, %g) inexact", x, y)
+		}
+	}
+}
+
+// The Kulisch path must agree with the TwoProduct path wherever both work.
+func TestAddProductExactMatchesTwoProduct(t *testing.T) {
+	r := rng.New(82)
+	a := NewAccumulator(Params512)
+	b := NewAccumulator(Params512)
+	for i := 0; i < 2000; i++ {
+		x := r.Exp2Uniform(-70, 70)
+		y := r.Exp2Uniform(-70, 70)
+		a.AddProduct(x, y)
+		b.AddProductExact(x, y)
+	}
+	if a.Err() != nil || b.Err() != nil {
+		t.Fatalf("errs: %v / %v", a.Err(), b.Err())
+	}
+	if !a.Sum().Equal(b.Sum()) {
+		t.Error("TwoProduct and Kulisch paths disagree")
+	}
+}
+
+// Where TwoProduct fails (extreme magnitudes), the Kulisch path still
+// works, limited only by the accumulator format.
+func TestAddProductExactBeyondEFTRange(t *testing.T) {
+	// Huge: |x| >= 2^995 breaks the Veltkamp split; a wide format holds it.
+	wide := NewAccumulator(Params{N: 40, K: 20})
+	x, y := math.Ldexp(1.5, 1000), math.Ldexp(1+math.Ldexp(1, -50), 20)
+	if _, _, err := TwoProduct(x, y); err == nil {
+		t.Fatal("expected TwoProduct failure for the test to be meaningful")
+	}
+	wide.AddProductExact(x, y)
+	if wide.Err() != nil {
+		t.Fatal(wide.Err())
+	}
+	if wide.Sum().Rat().Cmp(ratProduct(x, y)) != 0 {
+		t.Error("huge product inexact")
+	}
+
+	// Tiny: product underflows double entirely; still exact in fixed point.
+	tiny := NewAccumulator(Params{N: 40, K: 39})
+	u, v := math.Ldexp(1.25, -600), math.Ldexp(1.5, -700)
+	if _, _, err := TwoProduct(u, v); err == nil {
+		t.Fatal("expected TwoProduct failure")
+	}
+	tiny.AddProductExact(u, v)
+	if tiny.Err() != nil {
+		t.Fatal(tiny.Err())
+	}
+	if tiny.Sum().Rat().Cmp(ratProduct(u, v)) != 0 {
+		t.Error("tiny product inexact")
+	}
+}
+
+func TestAddProductExactFaults(t *testing.T) {
+	a := NewAccumulator(Params128)
+	a.AddProductExact(math.NaN(), 1)
+	if a.Err() != ErrNotFinite {
+		t.Errorf("NaN: %v", a.Err())
+	}
+	b := NewAccumulator(Params128)
+	b.AddProductExact(1e18, 1e18) // beyond 2^63 range
+	if b.Err() != ErrOverflow {
+		t.Errorf("overflow: %v", b.Err())
+	}
+	c := NewAccumulator(Params128)
+	c.AddProductExact(1e-12, 1e-12) // bits below 2^-64
+	if c.Err() != ErrUnderflow {
+		t.Errorf("underflow: %v", c.Err())
+	}
+	for _, acc := range []*Accumulator{a, b, c} {
+		if !acc.Sum().IsZero() {
+			t.Error("faulting product changed the sum")
+		}
+	}
+	// Zero operands are fine.
+	d := NewAccumulator(Params128)
+	d.AddProductExact(0, 1e308)
+	d.AddProductExact(2, 3)
+	if d.Err() != nil || d.Float64() != 6 {
+		t.Errorf("sum = %g, err %v", d.Float64(), d.Err())
+	}
+}
+
+// Products spanning three limbs (off != 0 and hi bits crossing two limb
+// boundaries) must deposit correctly.
+func TestSetProductThreeLimbSpan(t *testing.T) {
+	p := Params{N: 5, K: 2}
+	z := New(p)
+	// Choose exponents so s % 64 is large and the 106-bit product straddles
+	// three limbs.
+	x := math.Ldexp(1+math.Ldexp(1, -52), 30) // full 53-bit mantissa
+	y := math.Ldexp(1+math.Ldexp(1, -52), 31)
+	if err := z.setProduct(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if z.Rat().Cmp(ratProduct(x, y)) != 0 {
+		t.Error("three-limb product inexact")
+	}
+}
+
+func TestMulPow2(t *testing.T) {
+	p := Params192
+	x, _ := FromFloat64(p, 3.25)
+	if err := x.MulPow2(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Float64(); got != 52 {
+		t.Errorf("3.25 * 2^4 = %g", got)
+	}
+	if err := x.MulPow2(-6); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Float64(); got != 0.8125 {
+		t.Errorf("52 * 2^-6 = %g", got)
+	}
+	// Negative values.
+	y, _ := FromFloat64(p, -1.5)
+	if err := y.MulPow2(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := y.Float64(); got != -6 {
+		t.Errorf("-1.5 * 2^2 = %g", got)
+	}
+	if err := y.MulPow2(-126); err != nil { // near the 2^-128 floor (k=2)
+		t.Fatal(err)
+	}
+	want := new(big.Rat).SetInt64(-6)
+	want.Quo(want, new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), 126)))
+	if y.Rat().Cmp(want) != 0 {
+		t.Error("-6 * 2^-126 inexact")
+	}
+	// Overflow and underflow leave the value unchanged.
+	z, _ := FromFloat64(p, 1)
+	if err := z.MulPow2(64); err != ErrOverflow {
+		t.Errorf("overflow: %v", err)
+	}
+	if z.Float64() != 1 {
+		t.Error("value changed on overflow")
+	}
+	if err := z.MulPow2(-129); err != ErrUnderflow {
+		t.Errorf("underflow: %v", err)
+	}
+	if z.Float64() != 1 {
+		t.Error("value changed on underflow")
+	}
+	// Zero and identity shifts.
+	zero := New(p)
+	if err := zero.MulPow2(1000); err != nil || !zero.IsZero() {
+		t.Error("zero shift")
+	}
+	if err := z.MulPow2(0); err != nil || z.Float64() != 1 {
+		t.Error("identity shift")
+	}
+	// Cross-limb shifts round-trip.
+	w, _ := FromFloat64(p, 1.0)
+	if err := w.MulPow2(62); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.MulPow2(-62); err != nil {
+		t.Fatal(err)
+	}
+	if w.Float64() != 1 {
+		t.Errorf("round trip shift = %g", w.Float64())
+	}
+}
+
+func TestDotExactHelper(t *testing.T) {
+	// Mixed magnitudes beyond TwoProduct's comfort, via the wide format.
+	xs := []float64{math.Ldexp(1.5, 900), math.Ldexp(1.25, -900), 2}
+	ys := []float64{math.Ldexp(1.5, 100), math.Ldexp(1.25, -100), 3}
+	p := Params{N: 40, K: 20}
+	acc := NewAccumulator(p)
+	for i := range xs {
+		acc.AddProductExact(xs[i], ys[i])
+	}
+	if acc.Err() != nil {
+		t.Fatal(acc.Err())
+	}
+	want := new(big.Rat)
+	for i := range xs {
+		want.Add(want, ratProduct(xs[i], ys[i]))
+	}
+	if acc.Sum().Rat().Cmp(want) != 0 {
+		t.Error("wide-range exact dot diverged")
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+)
+
+// This file transcribes the paper's Listings 1 and 2 (C pseudo-code) into
+// Go. The primary implementations in hp.go use exact bit decomposition and
+// math/bits carry chains; these variants are kept because (a) they document
+// the published algorithm faithfully, (b) property tests prove both paths
+// produce identical limbs, and (c) the ablation benchmarks compare their
+// cost (the paper's operation-count analysis in §IV.A is about this loop).
+
+// SetFloat64Listing1 sets x to v using the paper's Listing 1: a single pass
+// of floating-point multiplies that peels 64 bits per iteration, with a
+// look-ahead on the remainder to fold the two's-complement +1 into the same
+// pass for negative values. Every step is exact for in-range doubles
+// (remainder subtraction and power-of-two scaling introduce no rounding).
+//
+// Range checking is identical to SetFloat64: the published listing assumes
+// in-range input, so out-of-range values are rejected before the loop.
+func (x *HP) SetFloat64Listing1(v float64) error {
+	x.SetZero()
+	if v == 0 {
+		return nil
+	}
+	if err := x.checkRange(v); err != nil {
+		return err
+	}
+	n := x.p.N
+	// dtmp = fabs(r) * 2^(-64*(N-k-1)): scale so the integer part of dtmp
+	// is limb 0. (The listing's exponent is positive in print; the scaling
+	// direction follows from eq. 2.)
+	dtmp := math.Abs(v) * math.Ldexp(1, -64*(n-x.p.K-1))
+	isneg := v < 0
+	for i := 0; i < n-1; i++ {
+		itmp := uint64(dtmp)
+		dtmp = (dtmp - float64(itmp)) * 0x1p64
+		if isneg {
+			if dtmp <= 0 {
+				x.limbs[i] = ^itmp + 1
+			} else {
+				x.limbs[i] = ^itmp
+			}
+		} else {
+			x.limbs[i] = itmp
+		}
+	}
+	last := uint64(dtmp)
+	if isneg {
+		x.limbs[n-1] = ^last + 1
+	} else {
+		x.limbs[n-1] = last
+	}
+	return nil
+}
+
+// checkRange validates that finite v fits the format exactly, mirroring the
+// checks in SetFloat64 without touching the limbs.
+func (x *HP) checkRange(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return ErrNotFinite
+	}
+	frac, exp := math.Frexp(v)
+	if frac < 0 {
+		frac = -frac
+	}
+	m := uint64(frac * (1 << 53))
+	s := exp - 53 + 64*x.p.K
+	if s < 0 {
+		sh := uint(-s)
+		if sh >= 64 || m&((uint64(1)<<sh)-1) != 0 {
+			return ErrUnderflow
+		}
+		m >>= sh
+		s = 0
+	}
+	if bits.Len64(m)+s > 64*x.p.N-1 {
+		return ErrOverflow
+	}
+	return nil
+}
+
+// AddListing2 adds y to x using the paper's Listing 2: explicit
+// comparison-based carry detection instead of math/bits.Add64. It reports
+// signed overflow exactly as Add does.
+func (x *HP) AddListing2(y *HP) (overflow bool) {
+	if x.p != y.p {
+		panic(ErrParamMismatch)
+	}
+	a, b := x.limbs, y.limbs
+	n := len(a)
+	signX := a[0] >> 63
+	signY := b[0] >> 63
+
+	a[n-1] += b[n-1]
+	var co uint64
+	if a[n-1] < b[n-1] {
+		co = 1
+	}
+	for i := n - 2; i >= 1; i-- {
+		a[i] = a[i] + b[i] + co
+		// If a[i] ended equal to b[i], the addition was a[i] += co + 2^64*0
+		// with the old a[i] being either 0 (co preserved) or 2^64-co; in
+		// both cases the carry-out equals the carry-in, so co is unchanged.
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				co = 1
+			} else {
+				co = 0
+			}
+		}
+	}
+	a[0] = a[0] + b[0] + co
+	return signX == signY && a[0]>>63 != signX
+}
+
+// Float64Listing1Inverse converts x to float64 by the inverse of Listing 1:
+// accumulate limbs most-significant first with floating-point multiply-adds.
+// Unlike Float64 it is subject to double rounding in rare ties; it is kept
+// for fidelity with the paper and for the conversion ablation benchmark.
+func (x *HP) Float64Listing1Inverse() float64 {
+	mag := make([]uint64, x.p.N)
+	neg := x.magnitude(mag)
+	v := 0.0
+	w := math.Ldexp(1, 64*(x.p.N-x.p.K-1))
+	for i := 0; i < x.p.N; i++ {
+		v += float64(mag[i]) * w
+		w *= 0x1p-64
+	}
+	if neg {
+		v = -v
+	}
+	return v
+}

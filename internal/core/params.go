@@ -1,0 +1,106 @@
+// Package core implements the HP (High-Precision) order-invariant summation
+// method of Small, Kalia, Nakano and Vashishta (IPDPS 2016).
+//
+// A real number r is represented by N unsigned 64-bit limbs a[0..N-1]
+// (limb 0 most significant) that together form one two's-complement integer
+// A of 64*N bits; k of the limbs hold the fractional part, so
+//
+//	r = A * 2^(-64k) = sum_{i=0..N-1} a_i * 2^(64*(N-k-1-i))   (paper eq. 2)
+//
+// Addition of two HP numbers is plain multi-limb integer addition, which is
+// fully associative and implemented identically on every architecture:
+// given sufficient precision, the sum of any multiset of values is therefore
+// bit-identical regardless of summation order, thread count, or platform.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Errors reported by conversions and arithmetic. Overflow and underflow
+// correspond to the three overflow points and two underflow points the paper
+// enumerates in §III.B.1.
+var (
+	// ErrNotFinite is returned when converting a NaN or infinity, which have
+	// no fixed-point representation.
+	ErrNotFinite = errors.New("core: value is NaN or infinite")
+	// ErrOverflow is returned when a value's magnitude exceeds the maximum
+	// range of the configured HP format, or when an addition wraps past it.
+	ErrOverflow = errors.New("core: HP overflow")
+	// ErrUnderflow is returned when a nonzero value has significant bits
+	// below 2^(-64k) that would be silently lost, breaking exactness.
+	ErrUnderflow = errors.New("core: HP underflow")
+	// ErrParamMismatch is returned when combining HP values with different
+	// (N, k) parameters.
+	ErrParamMismatch = errors.New("core: mismatched HP parameters")
+)
+
+// Params selects an HP format: N total 64-bit limbs, of which K hold the
+// fractional part. The paper's notation is (N, k).
+type Params struct {
+	N int // total limbs; N >= 1
+	K int // fractional limbs; 0 <= K <= N
+}
+
+// Common formats used throughout the paper's evaluation.
+var (
+	// Params128 is HP(N=2, k=1): 128 bits, range ±9.22e18, smallest 5.42e-20.
+	Params128 = Params{N: 2, K: 1}
+	// Params192 is HP(N=3, k=2), used for the Figure 1 exactness demo.
+	Params192 = Params{N: 3, K: 2}
+	// Params384 is HP(N=6, k=3), used for the strong-scaling experiments
+	// (Figures 5-8). The paper's Table 1 lists this row as "256 bits", a
+	// typo: 6 limbs * 64 = 384 bits, consistent with its range columns.
+	Params384 = Params{N: 6, K: 3}
+	// Params512 is HP(N=8, k=4), used for the Figure 4 comparison versus
+	// the Hallberg method.
+	Params512 = Params{N: 8, K: 4}
+)
+
+// Validate reports whether p is a usable HP format.
+func (p Params) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("core: N must be >= 1, got %d", p.N)
+	}
+	if p.K < 0 || p.K > p.N {
+		return fmt.Errorf("core: k must be in [0, N], got k=%d N=%d", p.K, p.N)
+	}
+	return nil
+}
+
+// Bits returns the total number of bits in the representation (64*N).
+func (p Params) Bits() int { return 64 * p.N }
+
+// PrecisionBits returns the number of bits that carry value precision: all
+// bits except the single sign bit (paper §IV.A counts 511 for N=8).
+func (p Params) PrecisionBits() int { return 64*p.N - 1 }
+
+// MaxRange returns the magnitude bound of the format as a float64: values v
+// with |v| < MaxRange are representable (up to fractional truncation). It
+// equals 2^(64*(N-K) - 1) and may be +Inf if it exceeds float64 range.
+func (p Params) MaxRange() float64 {
+	return math.Ldexp(1, 64*(p.N-p.K)-1)
+}
+
+// Smallest returns the smallest positive representable value, 2^(-64K).
+func (p Params) Smallest() float64 {
+	return math.Ldexp(1, -64*p.K)
+}
+
+// MaxRangeBig returns the exact magnitude bound 2^(64*(N-K)-1).
+func (p Params) MaxRangeBig() *big.Float {
+	f := big.NewFloat(1)
+	return f.SetMantExp(f, 64*(p.N-p.K)-1)
+}
+
+// SmallestBig returns the exact smallest positive value 2^(-64K).
+func (p Params) SmallestBig() *big.Float {
+	f := big.NewFloat(1)
+	return f.SetMantExp(f, -64*p.K)
+}
+
+// String returns a compact description such as "HP(N=6,k=3)".
+func (p Params) String() string { return fmt.Sprintf("HP(N=%d,k=%d)", p.N, p.K) }

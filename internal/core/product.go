@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// Exact accumulation of products: the N-body force sums that motivate the
+// paper are sums of PRODUCTS (mass * mass / r^2 terms), and the product
+// itself rounds before the HP accumulator ever sees it. TwoProduct removes
+// that rounding: x*y is split error-free into p + e (Dekker 1971, via
+// Veltkamp splitting — no FMA dependency, so results are identical on every
+// architecture, in keeping with the paper's portability goal), and both
+// halves are accumulated exactly.
+
+// ErrProductRange is returned when a product's magnitude is too extreme
+// for the error-free transformation (overflow of the splitting constant,
+// or an error term below the subnormal range).
+var ErrProductRange = errors.New("core: product outside error-free range")
+
+// splitConst is the Veltkamp splitting constant 2^27 + 1 for float64.
+const splitConst = 1<<27 + 1
+
+// veltkamp splits a into hi + lo with hi carrying the top 26 significand
+// bits and lo the bottom 27, both exact.
+func veltkamp(a float64) (hi, lo float64) {
+	c := splitConst * a
+	hi = c - (c - a)
+	return hi, a - hi
+}
+
+// TwoProduct returns p = fl(x*y) and the exact error e with x*y == p + e.
+// It reports ErrProductRange when the transformation's preconditions fail:
+// |x| or |y| at or above 2^995 (the splitting constant would overflow) or a
+// nonzero product with magnitude below 2^-967 (the error term could fall
+// below the subnormal range and round).
+func TwoProduct(x, y float64) (p, e float64, err error) {
+	p = x * y
+	if p == 0 {
+		if x != 0 && y != 0 {
+			return 0, 0, ErrProductRange // product underflowed to zero
+		}
+		return 0, 0, nil
+	}
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		return p, 0, ErrProductRange
+	}
+	if ax := math.Abs(x); ax >= 0x1p995 {
+		return p, 0, ErrProductRange
+	}
+	if ay := math.Abs(y); ay >= 0x1p995 {
+		return p, 0, ErrProductRange
+	}
+	if math.Abs(p) < 0x1p-967 {
+		return p, 0, ErrProductRange
+	}
+	x1, x2 := veltkamp(x)
+	y1, y2 := veltkamp(y)
+	e = ((x1*y1 - p) + x1*y2 + x2*y1) + x2*y2
+	return p, e, nil
+}
+
+// AddProduct accumulates x*y exactly: the rounded product and its exact
+// rounding error are both added, so the running sum carries the true
+// product. Range faults latch the sticky error and leave the sum unchanged.
+func (a *Accumulator) AddProduct(x, y float64) {
+	p, e, err := TwoProduct(x, y)
+	if err != nil {
+		if a.err == nil {
+			a.err = err
+		}
+		return
+	}
+	a.Add(p)
+	if e != 0 {
+		a.Add(e)
+	}
+}
+
+// DotHP returns the exact dot product of xs and ys as an HP value. The
+// slices must have equal length.
+func DotHP(p Params, xs, ys []float64) (*HP, error) {
+	if len(xs) != len(ys) {
+		return nil, errors.New("core: dot product length mismatch")
+	}
+	acc := NewAccumulator(p)
+	for i := range xs {
+		acc.AddProduct(xs[i], ys[i])
+	}
+	if acc.Err() != nil {
+		return nil, acc.Err()
+	}
+	return acc.Sum(), nil
+}
+
+// Dot returns the correctly rounded exact dot product of xs and ys.
+func Dot(p Params, xs, ys []float64) (float64, error) {
+	hp, err := DotHP(p, xs, ys)
+	if err != nil {
+		return 0, err
+	}
+	return hp.Float64(), nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+// ratProduct returns the exact rational product of x and y.
+func ratProduct(x, y float64) *big.Rat {
+	rx := new(big.Rat).SetFloat64(x)
+	ry := new(big.Rat).SetFloat64(y)
+	return rx.Mul(rx, ry)
+}
+
+func TestTwoProductErrorFree(t *testing.T) {
+	r := rng.New(51)
+	for i := 0; i < 5000; i++ {
+		x := r.Exp2Uniform(-300, 300)
+		y := r.Exp2Uniform(-300, 300)
+		p, e, err := TwoProduct(x, y)
+		if err != nil {
+			t.Fatalf("TwoProduct(%g, %g): %v", x, y, err)
+		}
+		sum := exact.New()
+		sum.AddAll([]float64{p, e})
+		if sum.Rat().Cmp(ratProduct(x, y)) != 0 {
+			t.Fatalf("TwoProduct(%g, %g) = %g + %g, not exact", x, y, p, e)
+		}
+	}
+}
+
+func TestTwoProductSpecialCases(t *testing.T) {
+	if p, e, err := TwoProduct(0, 5); p != 0 || e != 0 || err != nil {
+		t.Error("0 * 5")
+	}
+	if p, e, err := TwoProduct(3, 0); p != 0 || e != 0 || err != nil {
+		t.Error("3 * 0")
+	}
+	if _, _, err := TwoProduct(1e300, 1e300); err != ErrProductRange {
+		t.Errorf("overflow: %v", err)
+	}
+	if _, _, err := TwoProduct(0x1p996, 2); err != ErrProductRange {
+		t.Errorf("split overflow: %v", err)
+	}
+	if _, _, err := TwoProduct(1e-200, 1e-200); err != ErrProductRange {
+		t.Errorf("deep underflow: %v", err)
+	}
+	if _, _, err := TwoProduct(1e-160, 1e-160); err != ErrProductRange {
+		t.Errorf("near-subnormal error term: %v", err)
+	}
+	if _, _, err := TwoProduct(math.NaN(), 1); err != ErrProductRange {
+		t.Errorf("NaN: %v", err)
+	}
+}
+
+func TestAddProductExactness(t *testing.T) {
+	r := rng.New(52)
+	acc := NewAccumulator(Params512)
+	want := new(big.Rat)
+	for i := 0; i < 500; i++ {
+		x := r.Exp2Uniform(-60, 60)
+		y := r.Exp2Uniform(-60, 60)
+		acc.AddProduct(x, y)
+		want.Add(want, ratProduct(x, y))
+	}
+	if acc.Err() != nil {
+		t.Fatal(acc.Err())
+	}
+	if acc.Sum().Rat().Cmp(want) != 0 {
+		t.Error("AddProduct sum diverged from exact rational product sum")
+	}
+}
+
+func TestAddProductRangeFaultLatches(t *testing.T) {
+	acc := NewAccumulator(Params512)
+	acc.AddProduct(1, 2)
+	acc.AddProduct(1e300, 1e300) // faults
+	acc.AddProduct(3, 4)
+	if acc.Err() != ErrProductRange {
+		t.Errorf("Err = %v", acc.Err())
+	}
+	if got := acc.Float64(); got != 14 {
+		t.Errorf("sum = %g, want 14 (faulting product skipped)", got)
+	}
+}
+
+func TestDotMatchesOracle(t *testing.T) {
+	r := rng.New(53)
+	n := 2000
+	xs := rng.UniformSet(r, n, -1, 1)
+	ys := rng.UniformSet(r, n, -1, 1)
+	got, err := Dot(Params512, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Rat)
+	for i := range xs {
+		want.Add(want, ratProduct(xs[i], ys[i]))
+	}
+	wf := new(big.Float).SetPrec(200)
+	wf.SetRat(want)
+	wantF, _ := wf.Float64()
+	if got != wantF {
+		t.Errorf("Dot = %.20g, want %.20g", got, wantF)
+	}
+	if _, err := Dot(Params512, xs, ys[:10]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestDotOrderInvariance(t *testing.T) {
+	r := rng.New(54)
+	n := 1000
+	xs := rng.UniformSet(r, n, -1, 1)
+	ys := rng.UniformSet(r, n, -1, 1)
+	ref, err := DotHP(Params512, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same pairs, reversed order.
+	rx := make([]float64, n)
+	ry := make([]float64, n)
+	for i := range xs {
+		rx[i] = xs[n-1-i]
+		ry[i] = ys[n-1-i]
+	}
+	rev, err := DotHP(Params512, rx, ry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Equal(rev) {
+		t.Error("dot product not order invariant")
+	}
+}
+
+// The ill-conditioned dot product that defeats plain float64: large
+// cancelling products with a small residual.
+func TestDotIllConditioned(t *testing.T) {
+	xs := []float64{1e15, -1e15, 1}
+	ys := []float64{1e15, 1e15, 0.5}
+	got, err := Dot(Params512, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("Dot = %g, want 0.5", got)
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+// inRange512 wraps a float64 guaranteed to be exactly representable in
+// HP(8,4): magnitude in [2^-200, 2^200), so the lowest mantissa bit stays
+// above the 2^-256 resolution floor. It implements quick.Generator.
+type inRange512 float64
+
+func (inRange512) Generate(r *rand.Rand, _ int) reflect.Value {
+	e := -200 + r.Intn(400)
+	m := 1 + r.Float64()
+	x := math.Ldexp(m, e)
+	if r.Intn(2) == 1 {
+		x = -x
+	}
+	return reflect.ValueOf(inRange512(x))
+}
+
+// smallSet wraps a bounded set of in-range values for multi-operand
+// properties.
+type smallSet []float64
+
+func (smallSet) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(64)
+	xs := make([]float64, n)
+	for i := range xs {
+		e := -200 + r.Intn(400)
+		xs[i] = math.Ldexp(1+r.Float64(), e)
+		if r.Intn(2) == 1 {
+			xs[i] = -xs[i]
+		}
+	}
+	return reflect.ValueOf(smallSet(xs))
+}
+
+var quickCfg = &quick.Config{MaxCount: 400}
+
+// Property 3 (DESIGN.md): FromFloat64(x).Float64() == x for in-range x.
+func TestPropRoundTrip(t *testing.T) {
+	f := func(v inRange512) bool {
+		z, err := FromFloat64(Params512, float64(v))
+		if err != nil {
+			return false
+		}
+		return z.Float64() == float64(v)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property 5: the paper's Listing 1 conversion produces limbs identical to
+// the exact bit-decomposition path.
+func TestPropListing1MatchesBitDecompose(t *testing.T) {
+	for _, p := range []Params{Params128, Params192, Params384, Params512} {
+		p := p
+		f := func(v inRange512) bool {
+			x := float64(v)
+			a := New(p)
+			b := New(p)
+			errA := a.SetFloat64(x)
+			errB := b.SetFloat64Listing1(x)
+			if (errA == nil) != (errB == nil) {
+				return false
+			}
+			if errA != nil {
+				return true // both rejected out-of-range input
+			}
+			return a.Equal(b)
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%v: %v", p, err)
+		}
+	}
+}
+
+// The paper's Listing 2 addition produces the same limbs and overflow
+// verdict as the math/bits carry chain.
+func TestPropListing2MatchesAdd(t *testing.T) {
+	p := Params{N: 5, K: 2}
+	f := func(raw [10]uint64) bool {
+		a1 := New(p)
+		a2 := New(p)
+		b := New(p)
+		copy(a1.limbs, raw[:5])
+		copy(a2.limbs, raw[:5])
+		copy(b.limbs, raw[5:])
+		ov1 := a1.Add(b)
+		ov2 := a2.AddListing2(b)
+		return ov1 == ov2 && a1.Equal(a2)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property 4: x + (-x) == 0 and negation is an exact involution.
+func TestPropNegation(t *testing.T) {
+	f := func(v inRange512) bool {
+		x, err := FromFloat64(Params512, float64(v))
+		if err != nil {
+			return false
+		}
+		negX, err := FromFloat64(Params512, -float64(v))
+		if err != nil {
+			return false
+		}
+		// Conversion of -x equals two's complement of conversion of x.
+		if !x.Clone().Neg().Equal(negX) {
+			return false
+		}
+		sum := x.Clone()
+		sum.Add(negX)
+		return sum.IsZero()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property 1: order invariance — summing any permutation yields
+// bit-identical limbs.
+func TestPropOrderInvariance(t *testing.T) {
+	f := func(s smallSet, seed uint64) bool {
+		xs := []float64(s)
+		r := rng.New(seed)
+		a := NewAccumulator(Params512)
+		a.AddAll(xs)
+		b := NewAccumulator(Params512)
+		b.AddAll(rng.Reorder(r, xs))
+		return a.Err() == nil && b.Err() == nil && a.Sum().Equal(b.Sum())
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property 2: exactness — the HP sum equals the arbitrary-precision oracle.
+func TestPropExactnessVsOracle(t *testing.T) {
+	f := func(s smallSet) bool {
+		xs := []float64(s)
+		acc := NewAccumulator(Params512)
+		acc.AddAll(xs)
+		if acc.Err() != nil {
+			return false
+		}
+		oracle := exact.New()
+		oracle.AddAll(xs)
+		return acc.Sum().Rat().Cmp(oracle.Rat()) == 0 &&
+			acc.Float64() == oracle.Float64()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Addition is commutative and associative at the limb level.
+func TestPropAddCommutativeAssociative(t *testing.T) {
+	p := Params{N: 4, K: 2}
+	f := func(raw [12]uint64) bool {
+		mk := func(off int) *HP {
+			z := New(p)
+			copy(z.limbs, raw[off:off+4])
+			z.limbs[0] &= (1 << 62) - 1 // keep positive with headroom: no overflow noise
+			return z
+		}
+		a, b, c := mk(0), mk(4), mk(8)
+		ab := a.Clone()
+		ab.Add(b)
+		ba := b.Clone()
+		ba.Add(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		abc1 := ab.Clone()
+		abc1.Add(c)
+		bc := b.Clone()
+		bc.Add(c)
+		abc2 := a.Clone()
+		abc2.Add(bc)
+		return abc1.Equal(abc2)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cmp is consistent with subtraction sign and with Float64 ordering.
+func TestPropCmpConsistent(t *testing.T) {
+	f := func(v1, v2 inRange512) bool {
+		a, err := FromFloat64(Params512, float64(v1))
+		if err != nil {
+			return false
+		}
+		b, err := FromFloat64(Params512, float64(v2))
+		if err != nil {
+			return false
+		}
+		cmp := a.Cmp(b)
+		diff := a.Clone()
+		diff.Sub(b)
+		if cmp != diff.Sign() {
+			return false
+		}
+		switch {
+		case float64(v1) < float64(v2):
+			return cmp == -1
+		case float64(v1) > float64(v2):
+			return cmp == 1
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Marshal round trip preserves value and parameters exactly.
+func TestPropMarshalRoundTrip(t *testing.T) {
+	f := func(raw [8]uint64) bool {
+		x := New(Params512)
+		copy(x.limbs, raw[:])
+		data, err := x.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var y HP
+		if err := y.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return y.Equal(x)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// The adaptive accumulator matches the oracle on arbitrary finite doubles,
+// including values far outside any fixed format.
+func TestPropAdaptiveExactness(t *testing.T) {
+	f := func(vals []float64) bool {
+		a := NewAdaptive(Params128)
+		oracle := exact.New()
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if err := a.Add(v); err != nil {
+				return false
+			}
+			oracle.Add(v)
+		}
+		return a.Sum().Rat().Cmp(oracle.Rat()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

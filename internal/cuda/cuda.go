@@ -1,0 +1,136 @@
+// Package cuda is a CUDA-style execution-model simulator standing in for
+// the paper's GPU environment (Figure 7, Tesla K20m). A kernel launch runs
+// a grid of blocks of threads; every logical thread executes the kernel
+// function with its own thread context, but at most MaxResidentThreads are
+// in flight at once — the resource cap that produces the paper's throughput
+// plateau beyond 2048 launched threads (the K20m holds at most 2496
+// resident threads). Atomic operations on shared accumulators are provided
+// in the CAS-loop style of pre-Pascal CUDA double-precision atomics.
+package cuda
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Device models the execution resources of one GPU.
+type Device struct {
+	// Name is a free-form label used in reports.
+	Name string
+	// MaxResidentThreads caps how many logical threads may be in flight
+	// concurrently, modeling SM occupancy limits. Zero means unlimited.
+	MaxResidentThreads int
+}
+
+// TeslaK20m returns a device with the resident-thread capacity the paper
+// reports for its GPU: "the Tesla K20m supports a maximum of 2496
+// concurrent threads" (§IV.B).
+func TeslaK20m() *Device {
+	return &Device{Name: "Tesla K20m (simulated)", MaxResidentThreads: 2496}
+}
+
+// Config describes a launch geometry.
+type Config struct {
+	Blocks          int
+	ThreadsPerBlock int
+}
+
+// Threads returns the total logical thread count of the launch.
+func (c Config) Threads() int { return c.Blocks * c.ThreadsPerBlock }
+
+// Validate reports whether the geometry is usable.
+func (c Config) Validate() error {
+	if c.Blocks < 1 || c.ThreadsPerBlock < 1 {
+		return fmt.Errorf("cuda: invalid launch config %dx%d",
+			c.Blocks, c.ThreadsPerBlock)
+	}
+	return nil
+}
+
+// ThreadCtx identifies one logical thread within a launch, mirroring
+// blockIdx/threadIdx/blockDim/gridDim.
+type ThreadCtx struct {
+	Block  int // blockIdx.x
+	Thread int // threadIdx.x
+	Global int // Block*ThreadsPerBlock + Thread
+	Cfg    Config
+}
+
+// Launch executes kernel once per logical thread of the grid and waits for
+// completion, holding in-flight parallelism at MaxResidentThreads. A panic
+// in any thread aborts the launch and is returned as an error.
+func (d *Device) Launch(cfg Config, kernel func(t ThreadCtx)) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	total := cfg.Threads()
+	resident := total
+	if d.MaxResidentThreads > 0 && resident > d.MaxResidentThreads {
+		resident = d.MaxResidentThreads
+	}
+	var next atomic.Int64
+	var panicked atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(resident)
+	for w := 0; w < resident; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicked.CompareAndSwap(nil, fmt.Sprintf("%v", p))
+				}
+			}()
+			for {
+				if panicked.Load() != nil {
+					return
+				}
+				g := int(next.Add(1)) - 1
+				if g >= total {
+					return
+				}
+				kernel(ThreadCtx{
+					Block:  g / cfg.ThreadsPerBlock,
+					Thread: g % cfg.ThreadsPerBlock,
+					Global: g,
+					Cfg:    cfg,
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		return fmt.Errorf("cuda: kernel panicked: %v", p)
+	}
+	return nil
+}
+
+// AtomicFloat64 is a float64 accumulator updated with a compare-and-swap
+// loop on the raw bits — the construction CUDA required for double
+// atomicAdd before compute capability 6.0, and the double-precision
+// counterpart of the HP atomic adder in the Figure 7 experiment.
+type AtomicFloat64 struct {
+	bits atomic.Uint64
+}
+
+// Add atomically performs a += x.
+func (a *AtomicFloat64) Add(x float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (a *AtomicFloat64) Load() float64 {
+	return math.Float64frombits(a.bits.Load())
+}
+
+// Store sets the value; it must not race with Add.
+func (a *AtomicFloat64) Store(x float64) {
+	a.bits.Store(math.Float64bits(x))
+}

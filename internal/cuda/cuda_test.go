@@ -1,0 +1,160 @@
+package cuda
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestLaunchCoversEveryThreadOnce(t *testing.T) {
+	d := &Device{MaxResidentThreads: 16}
+	cfg := Config{Blocks: 13, ThreadsPerBlock: 37}
+	counts := make([]atomic.Int32, cfg.Threads())
+	err := d.Launch(cfg, func(tc ThreadCtx) {
+		counts[tc.Global].Add(1)
+		if tc.Global != tc.Block*cfg.ThreadsPerBlock+tc.Thread {
+			t.Errorf("inconsistent ctx: %+v", tc)
+		}
+		if tc.Thread < 0 || tc.Thread >= cfg.ThreadsPerBlock ||
+			tc.Block < 0 || tc.Block >= cfg.Blocks {
+			t.Errorf("out-of-range ctx: %+v", tc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range counts {
+		if counts[g].Load() != 1 {
+			t.Fatalf("thread %d ran %d times", g, counts[g].Load())
+		}
+	}
+}
+
+func TestResidencyCapRespected(t *testing.T) {
+	d := &Device{MaxResidentThreads: 8}
+	var inFlight, highWater atomic.Int64
+	err := d.Launch(Config{Blocks: 64, ThreadsPerBlock: 8}, func(tc ThreadCtx) {
+		cur := inFlight.Add(1)
+		for {
+			hw := highWater.Load()
+			if cur <= hw || highWater.CompareAndSwap(hw, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw := highWater.Load(); hw > 8 {
+		t.Errorf("high-water concurrency %d exceeds cap 8", hw)
+	}
+}
+
+func TestUnlimitedDevice(t *testing.T) {
+	d := &Device{} // MaxResidentThreads == 0: unlimited
+	var ran atomic.Int64
+	if err := d.Launch(Config{Blocks: 4, ThreadsPerBlock: 32}, func(ThreadCtx) {
+		ran.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 128 {
+		t.Errorf("ran %d", ran.Load())
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	d := TeslaK20m()
+	if d.MaxResidentThreads != 2496 {
+		t.Errorf("K20m residency = %d", d.MaxResidentThreads)
+	}
+	if err := d.Launch(Config{Blocks: 0, ThreadsPerBlock: 4}, func(ThreadCtx) {}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestLaunchPanicIsError(t *testing.T) {
+	d := &Device{MaxResidentThreads: 4}
+	err := d.Launch(Config{Blocks: 2, ThreadsPerBlock: 8}, func(tc ThreadCtx) {
+		if tc.Global == 5 {
+			panic("device-side assert")
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "device-side assert") {
+		t.Errorf("panic not surfaced: %v", err)
+	}
+}
+
+func TestAtomicFloat64ExactIntegerAdds(t *testing.T) {
+	// Integer-valued adds below 2^53 are exact in float64, so the CAS
+	// accumulator must reach the exact total under contention.
+	var a AtomicFloat64
+	const workers = 8
+	const per = 10000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Load(); got != workers*per {
+		t.Errorf("atomic float sum = %g, want %d", got, workers*per)
+	}
+	a.Store(0)
+	if a.Load() != 0 {
+		t.Error("Store failed")
+	}
+}
+
+// The paper's Figure 7 kernel structure: p threads accumulate a strided
+// slice of the input into 256 shared HP partial sums selected by
+// t mod 256; the result must be bit-identical to sequential summation for
+// any launch geometry.
+func TestFigure7KernelStructure(t *testing.T) {
+	p := core.Params384
+	r := rng.New(77)
+	xs := rng.UniformSet(r, 1<<14, -0.5, 0.5)
+	seq := core.NewAccumulator(p)
+	seq.AddAll(xs)
+
+	d := TeslaK20m()
+	for _, threads := range []int{256, 512, 1024} {
+		partials := make([]*core.Atomic, 256)
+		for i := range partials {
+			partials[i] = core.NewAtomic(p)
+		}
+		cfg := Config{Blocks: threads / 256, ThreadsPerBlock: 256}
+		err := d.Launch(cfg, func(tc ThreadCtx) {
+			scratch := core.New(p)
+			total := tc.Cfg.Threads()
+			for i := tc.Global; i < len(xs); i += total {
+				if err := partials[tc.Global%256].AddFloat64(xs[i], scratch); err != nil {
+					panic(err)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := core.NewAccumulator(p)
+		for _, part := range partials {
+			final.AddHP(part.Snapshot())
+		}
+		if final.Err() != nil {
+			t.Fatal(final.Err())
+		}
+		if !final.Sum().Equal(seq.Sum()) {
+			t.Errorf("threads=%d: GPU-style sum differs from sequential", threads)
+		}
+	}
+}

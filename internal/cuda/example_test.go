@@ -1,0 +1,51 @@
+package cuda_test
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/cuda"
+)
+
+// A kernel launch: every logical thread of the grid runs once, with
+// in-flight parallelism capped at the device's resident-thread limit.
+func ExampleDevice_Launch() {
+	device := &cuda.Device{Name: "demo", MaxResidentThreads: 64}
+	cfg := cuda.Config{Blocks: 8, ThreadsPerBlock: 32}
+	var visited atomic.Int64
+	err := device.Launch(cfg, func(tc cuda.ThreadCtx) {
+		visited.Add(1)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("threads run:", visited.Load())
+	// Output:
+	// threads run: 256
+}
+
+// Block-synchronized launch: __syncthreads-style barriers let a block
+// stage data through shared memory.
+func ExampleDevice_LaunchSync() {
+	device := &cuda.Device{MaxResidentThreads: 128}
+	cfg := cuda.Config{Blocks: 2, ThreadsPerBlock: 4}
+	shared := [2][4]int{}
+	var anomalies atomic.Int64
+	err := device.LaunchSync(cfg, func(tc cuda.ThreadCtx, sync func()) {
+		shared[tc.Block][tc.Thread] = 1
+		sync() // all writes in this block are now visible
+		total := 0
+		for _, v := range shared[tc.Block] {
+			total += v
+		}
+		if total != 4 {
+			anomalies.Add(1)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("anomalies:", anomalies.Load())
+	// Output:
+	// anomalies: 0
+}

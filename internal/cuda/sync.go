@@ -1,0 +1,94 @@
+package cuda
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/omp"
+)
+
+// LaunchSync executes the grid with intra-block synchronization support:
+// every thread of a block runs concurrently and the kernel receives a sync
+// function equivalent to CUDA's __syncthreads(), so kernels can stage data
+// through block-shared state (e.g. the classic shared-memory tree
+// reduction). Blocks are scheduled in waves of up to
+// MaxResidentThreads/ThreadsPerBlock concurrent blocks, mirroring SM
+// occupancy.
+//
+// As on real hardware, every thread of a block must reach the same sequence
+// of sync calls; a divergent barrier deadlocks the block. A panic in any
+// thread aborts the launch and is returned as an error (panics raised while
+// other threads wait at a barrier are converted to errors before the
+// barrier can deadlock the launch, because each block's goroutines are
+// joined independently per wave).
+func (d *Device) LaunchSync(cfg Config, kernel func(tc ThreadCtx, sync func())) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	blockSlots := cfg.Blocks
+	if d.MaxResidentThreads > 0 {
+		blockSlots = d.MaxResidentThreads / cfg.ThreadsPerBlock
+		if blockSlots < 1 {
+			blockSlots = 1
+		}
+		if blockSlots > cfg.Blocks {
+			blockSlots = cfg.Blocks
+		}
+	}
+	var nextBlock atomic.Int64
+	var panicked atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(blockSlots)
+	for w := 0; w < blockSlots; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if panicked.Load() != nil {
+					return
+				}
+				b := int(nextBlock.Add(1)) - 1
+				if b >= cfg.Blocks {
+					return
+				}
+				runBlock(cfg, b, kernel, &panicked)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		return fmt.Errorf("cuda: kernel panicked: %v", p)
+	}
+	return nil
+}
+
+// runBlock executes one block's threads as a goroutine gang sharing a
+// barrier.
+func runBlock(cfg Config, block int, kernel func(tc ThreadCtx, sync func()),
+	panicked *atomic.Value) {
+	barrier := omp.NewBarrier(cfg.ThreadsPerBlock)
+	var wg sync.WaitGroup
+	wg.Add(cfg.ThreadsPerBlock)
+	for t := 0; t < cfg.ThreadsPerBlock; t++ {
+		go func(t int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicked.CompareAndSwap(nil, fmt.Sprintf("block %d thread %d: %v", block, t, p))
+					// Keep the rest of the block from deadlocking on the
+					// barrier: release it until every peer has exited.
+					// (A real GPU would trap the whole block; releasing the
+					// barrier is our equivalent.)
+					barrier.Abandon()
+				}
+			}()
+			kernel(ThreadCtx{
+				Block:  block,
+				Thread: t,
+				Global: block*cfg.ThreadsPerBlock + t,
+				Cfg:    cfg,
+			}, barrier.Wait)
+		}(t)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,132 @@
+package cuda
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestLaunchSyncBarrierSemantics(t *testing.T) {
+	d := &Device{MaxResidentThreads: 64}
+	cfg := Config{Blocks: 8, ThreadsPerBlock: 16}
+	// Shared per-block staging array: every thread writes its slot before
+	// the barrier; after the barrier every thread must see all writes.
+	shared := make([][]int32, cfg.Blocks)
+	for b := range shared {
+		shared[b] = make([]int32, cfg.ThreadsPerBlock)
+	}
+	var violations atomic.Int32
+	err := d.LaunchSync(cfg, func(tc ThreadCtx, sync func()) {
+		shared[tc.Block][tc.Thread] = int32(tc.Thread + 1)
+		sync()
+		for i, v := range shared[tc.Block] {
+			if v != int32(i+1) {
+				violations.Add(1)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations.Load() != 0 {
+		t.Errorf("%d barrier visibility violations", violations.Load())
+	}
+}
+
+func TestLaunchSyncMultiPhase(t *testing.T) {
+	d := &Device{MaxResidentThreads: 32}
+	cfg := Config{Blocks: 4, ThreadsPerBlock: 8}
+	counters := make([]atomic.Int32, cfg.Blocks)
+	var bad atomic.Int32
+	err := d.LaunchSync(cfg, func(tc ThreadCtx, sync func()) {
+		for phase := int32(1); phase <= 10; phase++ {
+			counters[tc.Block].Add(1)
+			sync()
+			if got := counters[tc.Block].Load(); got < phase*int32(cfg.ThreadsPerBlock) {
+				bad.Add(1)
+			}
+			sync()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() != 0 {
+		t.Errorf("%d phase violations", bad.Load())
+	}
+}
+
+func TestLaunchSyncPanicDoesNotDeadlock(t *testing.T) {
+	d := &Device{MaxResidentThreads: 32}
+	cfg := Config{Blocks: 2, ThreadsPerBlock: 8}
+	err := d.LaunchSync(cfg, func(tc ThreadCtx, sync func()) {
+		if tc.Block == 1 && tc.Thread == 3 {
+			panic("lost thread")
+		}
+		sync() // peers must not hang waiting for the dead thread
+	})
+	if err == nil || !strings.Contains(err.Error(), "lost thread") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLaunchSyncValidation(t *testing.T) {
+	d := TeslaK20m()
+	if err := d.LaunchSync(Config{}, func(ThreadCtx, func()) {}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// The classic CUDA shared-memory tree reduction, implemented on the
+// synchronized launch path: each block reduces its tile into a single HP
+// partial with log2(blockDim) barrier phases, then thread 0 performs one
+// atomic add per block. The result must match sequential summation exactly.
+func TestBlockTreeReductionHP(t *testing.T) {
+	p := core.Params384
+	r := rng.New(91)
+	xs := rng.UniformSet(r, 1<<14, -0.5, 0.5)
+	seq := core.NewAccumulator(p)
+	seq.AddAll(xs)
+
+	d := TeslaK20m()
+	cfg := Config{Blocks: 16, ThreadsPerBlock: 64}
+	global := core.NewAtomic(p)
+	// Block-shared staging: one HP accumulator per thread slot per block.
+	shared := make([][]*core.Accumulator, cfg.Blocks)
+	for b := range shared {
+		shared[b] = make([]*core.Accumulator, cfg.ThreadsPerBlock)
+		for t := range shared[b] {
+			shared[b][t] = core.NewAccumulator(p)
+		}
+	}
+	err := d.LaunchSync(cfg, func(tc ThreadCtx, sync func()) {
+		mine := shared[tc.Block][tc.Thread]
+		total := tc.Cfg.Threads()
+		for i := tc.Global; i < len(xs); i += total {
+			mine.Add(xs[i])
+		}
+		sync()
+		// Tree combine within the block.
+		for stride := tc.Cfg.ThreadsPerBlock / 2; stride > 0; stride /= 2 {
+			if tc.Thread < stride {
+				shared[tc.Block][tc.Thread].Merge(shared[tc.Block][tc.Thread+stride])
+			}
+			sync()
+		}
+		if tc.Thread == 0 {
+			if err := shared[tc.Block][0].Err(); err != nil {
+				panic(err)
+			}
+			global.AddHP(shared[tc.Block][0].Sum())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := global.Snapshot(); !got.Equal(seq.Sum()) {
+		t.Error("block tree reduction differs from sequential sum")
+	}
+}

@@ -1,0 +1,110 @@
+// Package exact provides an arbitrary-precision, exact accumulator for
+// float64 values, used as the ground-truth oracle in tests and experiments.
+//
+// Every finite float64 is an integer multiple of 2^-1074 (the smallest
+// subnormal). The accumulator therefore keeps one big.Int holding the sum
+// scaled by 2^1074; addition of any number of float64 values is exact, and
+// the result can be recovered either exactly (as a big.Rat or big.Float) or
+// correctly rounded to float64.
+package exact
+
+import (
+	"math"
+	"math/big"
+)
+
+// scaleBits is the fixed binary scale of the accumulator: 2^-1074 is the
+// smallest positive subnormal float64, so every finite float64 value times
+// 2^1074 is an integer.
+const scaleBits = 1074
+
+// Acc is an exact accumulator for float64 values. The zero value is an
+// accumulator holding 0 and is ready to use.
+type Acc struct {
+	sum big.Int // value = sum * 2^-scaleBits
+	tmp big.Int // scratch, avoids per-Add allocation
+}
+
+// New returns a new exact accumulator holding zero.
+func New() *Acc { return &Acc{} }
+
+// Add adds x to the accumulator. It panics if x is NaN or infinite, since
+// those values have no exact rational meaning.
+func (a *Acc) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		panic("exact: Add of NaN or Inf")
+	}
+	if x == 0 {
+		return
+	}
+	frac, exp := math.Frexp(x) // x = frac * 2^exp, |frac| in [0.5, 1)
+	m := int64(frac * (1 << 53))
+	shift := exp - 53 + scaleBits // x * 2^scaleBits = m * 2^shift
+	a.tmp.SetInt64(m)
+	if shift > 0 {
+		a.tmp.Lsh(&a.tmp, uint(shift))
+	} else if shift < 0 {
+		// Subnormal x: m carries trailing zeros from the Frexp
+		// normalization, so this right shift is exact.
+		a.tmp.Rsh(&a.tmp, uint(-shift))
+	}
+	a.sum.Add(&a.sum, &a.tmp)
+}
+
+// AddAll adds every element of xs.
+func (a *Acc) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// IsZero reports whether the exact sum is exactly zero.
+func (a *Acc) IsZero() bool { return a.sum.Sign() == 0 }
+
+// Sign returns -1, 0, or +1 according to the sign of the exact sum.
+func (a *Acc) Sign() int { return a.sum.Sign() }
+
+// Rat returns the exact sum as a rational number.
+func (a *Acc) Rat() *big.Rat {
+	r := new(big.Rat).SetInt(&a.sum)
+	den := new(big.Int).Lsh(big.NewInt(1), scaleBits)
+	return r.Quo(r, new(big.Rat).SetInt(den))
+}
+
+// BigFloat returns the exact sum as a big.Float carrying enough precision to
+// represent it exactly.
+func (a *Acc) BigFloat() *big.Float {
+	f := new(big.Float)
+	prec := uint(a.sum.BitLen())
+	if prec < 64 {
+		prec = 64
+	}
+	f.SetPrec(prec).SetInt(&a.sum)
+	// SetMantExp(f, e) yields f * 2^e (it adds e to f's exponent).
+	return f.SetMantExp(f, -scaleBits)
+}
+
+// Float64 returns the exact sum correctly rounded (to nearest, ties to even)
+// to float64.
+func (a *Acc) Float64() float64 {
+	v, _ := a.BigFloat().Float64()
+	return v
+}
+
+// Cmp compares the exact sum with the exact value of x, returning -1, 0, +1.
+func (a *Acc) Cmp(x float64) int {
+	var b Acc
+	b.Add(x)
+	return a.sum.Cmp(&b.sum)
+}
+
+// Reset returns the accumulator to zero.
+func (a *Acc) Reset() { a.sum.SetInt64(0) }
+
+// Sum computes the exact sum of xs, correctly rounded to float64. It is a
+// convenience wrapper around an Acc.
+func Sum(xs []float64) float64 {
+	var a Acc
+	a.AddAll(xs)
+	return a.Float64()
+}

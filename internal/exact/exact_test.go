@@ -1,0 +1,173 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroAndSigns(t *testing.T) {
+	a := New()
+	if !a.IsZero() || a.Sign() != 0 || a.Float64() != 0 {
+		t.Error("fresh accumulator not zero")
+	}
+	a.Add(1.5)
+	if a.Sign() != 1 {
+		t.Error("sign after positive add")
+	}
+	a.Add(-3.0)
+	if a.Sign() != -1 || a.Float64() != -1.5 {
+		t.Errorf("sum = %g, want -1.5", a.Float64())
+	}
+	a.Add(1.5)
+	if !a.IsZero() {
+		t.Error("exact cancellation failed")
+	}
+}
+
+func TestClassicCatastrophicCancellation(t *testing.T) {
+	// 2^53 + 1 - 2^53 loses the 1 in double arithmetic (the 1 falls below
+	// the ulp and the tie rounds to the even 2^53); the oracle keeps it.
+	xs := []float64{1 << 53, 1, -(1 << 53)}
+	if got := Sum(xs); got != 1 {
+		t.Errorf("oracle sum = %g, want 1", got)
+	}
+	naive := 0.0
+	for _, x := range xs { // runtime loop: constant folding would be exact
+		naive += x
+	}
+	if naive != 0 {
+		t.Errorf("naive sum = %g, expected the 1 to be absorbed", naive)
+	}
+}
+
+func TestSubnormals(t *testing.T) {
+	min := math.SmallestNonzeroFloat64
+	a := New()
+	a.Add(min)
+	a.Add(min)
+	if got := a.Float64(); got != 2*min {
+		t.Errorf("2*minsub = %g, want %g", got, 2*min)
+	}
+	a.Add(-2 * min)
+	if !a.IsZero() {
+		t.Error("subnormal cancellation failed")
+	}
+}
+
+func TestExtremes(t *testing.T) {
+	a := New()
+	a.Add(math.MaxFloat64)
+	a.Add(math.MaxFloat64)
+	// Exact value 2*MaxFloat64 overflows float64: must round to +Inf.
+	if got := a.Float64(); !math.IsInf(got, 1) {
+		t.Errorf("2*MaxFloat64 = %g, want +Inf", got)
+	}
+	a.Add(-math.MaxFloat64)
+	if got := a.Float64(); got != math.MaxFloat64 {
+		t.Errorf("back in range: %g", got)
+	}
+}
+
+func TestRejectsNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%g) did not panic", v)
+				}
+			}()
+			New().Add(v)
+		}()
+	}
+}
+
+func TestRatAndCmp(t *testing.T) {
+	a := New()
+	a.Add(0.5)
+	a.Add(0.25)
+	if got := a.Rat().RatString(); got != "3/4" {
+		t.Errorf("Rat = %s, want 3/4", got)
+	}
+	if a.Cmp(0.75) != 0 || a.Cmp(1) != -1 || a.Cmp(0) != 1 {
+		t.Error("Cmp inconsistent")
+	}
+	a.Reset()
+	if !a.IsZero() {
+		t.Error("Reset failed")
+	}
+}
+
+// Against float64 arithmetic on cases float64 gets exactly right: sums of a
+// few same-exponent values are exact in double, so the oracle must agree.
+func TestAgreementOnExactDoubleSums(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		// Same-magnitude addition a+a is always exact (or Inf).
+		want := a + a
+		if math.IsInf(want, 0) {
+			return true
+		}
+		return Sum([]float64{a, a}) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+type fullRange float64
+
+func (fullRange) Generate(r *rand.Rand, _ int) reflect.Value {
+	e := -1070 + r.Intn(2070)
+	x := math.Ldexp(1+r.Float64(), e)
+	if r.Intn(2) == 1 {
+		x = -x
+	}
+	return reflect.ValueOf(fullRange(x))
+}
+
+// Round-trip: a single value must come back bit-identical.
+func TestPropSingleValueRoundTrip(t *testing.T) {
+	f := func(v fullRange) bool {
+		a := New()
+		a.Add(float64(v))
+		return a.Float64() == float64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// x + (-x) is exactly zero for any finite x.
+func TestPropExactCancellation(t *testing.T) {
+	f := func(v fullRange) bool {
+		a := New()
+		a.Add(float64(v))
+		a.Add(-float64(v))
+		return a.IsZero()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The oracle is order invariant by construction; verify anyway.
+func TestPropOrderInvariance(t *testing.T) {
+	f := func(vs [8]fullRange) bool {
+		a, b := New(), New()
+		for _, v := range vs {
+			a.Add(float64(v))
+		}
+		for i := len(vs) - 1; i >= 0; i-- {
+			b.Add(float64(vs[i]))
+		}
+		return a.Rat().Cmp(b.Rat()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/binned"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/floatsum"
+	"repro/internal/hallberg"
+	"repro/internal/rng"
+)
+
+func init() {
+	register("compare",
+		"cross-method comparison: accuracy, order invariance, and cost of every summation algorithm",
+		runCompare)
+}
+
+// runCompare extends the paper's evaluation with a side-by-side of every
+// summation family in this repository on one workload: plain and
+// compensated floating-point summation (order-dependent), and the three
+// order-invariant families — Hallberg, HP, and Demmel-Nguyen-style binned
+// summation (paper refs [6-8]) — plus the adaptive HP extension. For each
+// method it reports the error against the exact oracle, whether two
+// different orderings produced bit-identical results, and the per-add cost.
+func runCompare(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.scaled(1<<20, 1<<10)
+	if n%2 == 1 {
+		n++
+	}
+	trials := cfg.trials(5)
+	r := rng.New(cfg.Seed)
+	xs := rng.ZeroSum(r, n, 0.001) // true sum exactly 0
+	ys := rng.Reorder(r, xs)
+
+	w, err := binned.WFor(int64(n))
+	if err != nil {
+		return nil, err
+	}
+	hallP, err := hallberg.ParamsFor(256, int64(n))
+	if err != nil {
+		return nil, err
+	}
+
+	type method struct {
+		name string
+		sum  func(xs []float64) (float64, error)
+	}
+	methods := []method{
+		{"double (naive)", func(v []float64) (float64, error) { return floatsum.Naive(v), nil }},
+		{"pairwise", func(v []float64) (float64, error) { return floatsum.Pairwise(v), nil }},
+		{"kahan", func(v []float64) (float64, error) { return floatsum.Kahan(v), nil }},
+		{"neumaier", func(v []float64) (float64, error) { return floatsum.Neumaier(v), nil }},
+		{"expansion (Priest)", func(v []float64) (float64, error) { return floatsum.ExpansionSum(v), nil }},
+		{fmt.Sprintf("binned W=%d", w), func(v []float64) (float64, error) { return binned.Sum(w, v) }},
+		{hallP.String(), func(v []float64) (float64, error) { return hallberg.Sum(hallP, v) }},
+		{"HP(N=3,k=2)", func(v []float64) (float64, error) { return core.Sum(core.Params192, v) }},
+		{"HP adaptive", func(v []float64) (float64, error) {
+			a := core.NewAdaptive(core.Params128)
+			if err := a.AddAll(v); err != nil {
+				return 0, err
+			}
+			return a.Float64(), nil
+		}},
+	}
+
+	oracle := exact.New()
+	oracle.AddAll(xs)
+	trueSum := oracle.Float64() // exactly 0 by construction
+
+	tbl := &bench.Table{
+		Title: fmt.Sprintf("Method comparison: zero-sum set, n=%s, true sum = 0", bench.N(n)),
+		Headers: []string{"method", "error_orderA", "error_orderB",
+			"order_invariant", "ns_per_add"},
+	}
+	for _, m := range methods {
+		var a, b float64
+		var err error
+		d := bench.Measure(trials, func() {
+			a, err = m.sum(xs)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("compare: %s: %w", m.name, err)
+		}
+		if b, err = m.sum(ys); err != nil {
+			return nil, fmt.Errorf("compare: %s: %w", m.name, err)
+		}
+		tbl.AddRow(m.name,
+			bench.F(math.Abs(a-trueSum)), bench.F(math.Abs(b-trueSum)),
+			fmt.Sprintf("%v", a == b),
+			bench.F(d.Seconds()/float64(n)*1e9))
+	}
+
+	return &Result{
+		Name:   "compare",
+		Tables: []*bench.Table{tbl},
+		Notes: []string{
+			"order_invariant compares two shuffles of the same multiset for bit equality",
+			"the three integer/binned families are exact AND order-invariant; compensated methods only shrink the error",
+		},
+	}, nil
+}

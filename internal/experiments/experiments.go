@@ -1,0 +1,182 @@
+// Package experiments contains one runnable reproduction per table and
+// figure of the paper's evaluation (plus the §IV.A analytic model). Each
+// experiment generates its workload deterministically from a seed, runs the
+// measured computation, and emits the same rows or series the paper
+// reports, formatted as ASCII tables and optionally CSV.
+//
+// Absolute times depend on the host; the quantities that must match the
+// paper are the shapes: which method wins, by what factor, and where the
+// crossovers fall. EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives every random workload; the default is 2016 (the paper's
+	// publication year, chosen arbitrarily but fixed).
+	Seed uint64
+	// Scale multiplies the paper's problem sizes and trial counts; 1.0
+	// reproduces the published scale, smaller values give quick runs.
+	// Defaults to 1.0.
+	Scale float64
+	// Trials overrides the per-experiment timing repetition (0 = default).
+	Trials int
+	// MaxThreads caps thread/rank sweeps (0 = the paper's maxima).
+	MaxThreads int
+	// Out receives the formatted tables (default os.Stdout).
+	Out io.Writer
+	// CSVDir, when set, receives one CSV file per emitted table.
+	CSVDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 2016
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.Out == nil {
+		c.Out = os.Stdout
+	}
+	return c
+}
+
+// scaled returns n scaled by c.Scale, floored at min.
+func (c Config) scaled(n, min int) int {
+	v := int(float64(n) * c.Scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// trials returns the timing repetition count: the override if set, else
+// def scaled (floored at 1).
+func (c Config) trials(def int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	t := int(float64(def) * c.Scale)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Result is one experiment's report.
+type Result struct {
+	Name   string
+	Tables []*bench.Table
+	Notes  []string
+}
+
+// Fprint writes the full report to w.
+func (r *Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "=== %s ===\n", r.Name)
+	for _, t := range r.Tables {
+		t.Fprint(w)
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// writeCSVs emits each table as <dir>/<experiment>_<k>.csv.
+func (r *Result) writeCSVs(dir string) error {
+	for k, t := range r.Tables {
+		name := fmt.Sprintf("%s_%d.csv", strings.ReplaceAll(r.Name, " ", "_"), k)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		err = t.CSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Runner executes one experiment.
+type Runner func(Config) (*Result, error)
+
+// Entry describes a registered experiment.
+type Entry struct {
+	Name string // registry key: "fig1", "table2", ...
+	Desc string
+	Run  Runner
+}
+
+var registry []Entry
+
+func register(name, desc string, run Runner) {
+	registry = append(registry, Entry{Name: name, Desc: desc, Run: run})
+}
+
+// All returns the registered experiments in evaluation order.
+func All() []Entry {
+	out := make([]Entry, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup returns the experiment registered under name.
+func Lookup(name string) (Entry, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Names returns the registered names, sorted.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAndReport runs the named experiment under cfg, prints its report to
+// cfg.Out, and writes CSVs if requested.
+func RunAndReport(name string, cfg Config) error {
+	cfg = cfg.withDefaults()
+	e, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	res, err := e.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	res.Fprint(cfg.Out)
+	if cfg.CSVDir != "" {
+		if err := os.MkdirAll(cfg.CSVDir, 0o755); err != nil {
+			return err
+		}
+		if err := res.writeCSVs(cfg.CSVDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}

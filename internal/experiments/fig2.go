@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/floatsum"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("fig2",
+		"distribution of random-order double sums for n=1024 (histogram)",
+		runFig2)
+}
+
+// runFig2 reproduces Figure 2: the distribution of floating-point sums of
+// one 1024-element zero-sum set over many random orderings. The paper shows
+// an approximately normal distribution centered on zero; HP computes the
+// true sum (zero) exactly in every trial.
+func runFig2(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	trials := cfg.trials(16384)
+	const n = 1024
+	r := rng.New(cfg.Seed)
+	set := rng.ZeroSum(r, n, 0.001)
+
+	sums := make([]float64, trials)
+	var run stats.Running
+	hpZero := true
+	for t := 0; t < trials; t++ {
+		xs := rng.Reorder(r, set)
+		sums[t] = floatsum.Naive(xs)
+		run.Add(sums[t])
+		hp, err := core.SumHP(core.Params192, xs)
+		if err != nil {
+			return nil, fmt.Errorf("fig2: HP sum: %w", err)
+		}
+		if !hp.IsZero() {
+			hpZero = false
+		}
+	}
+	sigma := run.StdDev()
+	lo, hi := -4*sigma, 4*sigma
+	if sigma == 0 {
+		lo, hi = -1e-18, 1e-18
+	}
+	const bins = 24
+	h := stats.NewHistogram(lo, hi, bins)
+	for _, s := range sums {
+		h.Add(s)
+	}
+
+	tbl := &bench.Table{
+		Title: fmt.Sprintf("Figure 2: histogram of %d double sums, n=%d "+
+			"(bins over ±4 sigma)", trials, n),
+		Headers: []string{"bin_center", "count", "bar"},
+	}
+	var maxCount int64
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", int(40*c/maxCount))
+		}
+		tbl.AddRow(bench.F(h.BinCenter(i)), fmt.Sprintf("%d", c), bar)
+	}
+
+	res := &Result{Name: "fig2", Tables: []*bench.Table{tbl}}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("mean = %.3g, sigma = %.3g (paper: ~normal, mean ~0)", run.Mean(), sigma))
+	// Normality sanity: roughly 68% of mass within 1 sigma.
+	within := 0
+	for _, s := range sums {
+		if s >= run.Mean()-sigma && s <= run.Mean()+sigma {
+			within++
+		}
+	}
+	frac := float64(within) / float64(trials)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("fraction within 1 sigma = %.3f (normal: 0.683)", frac))
+	if hpZero {
+		res.Notes = append(res.Notes, "HP(N=3,k=2) computed exactly 0 in every trial")
+	} else {
+		res.Notes = append(res.Notes, "WARNING: HP produced nonzero residuals")
+	}
+	return res, nil
+}

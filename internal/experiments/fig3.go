@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func init() {
+	register("fig3",
+		"worked example of HP conversion and addition (the paper's Figure 3 walkthrough)",
+		runFig3)
+}
+
+// runFig3 regenerates the content of the paper's Figure 3: a step-by-step
+// example of adding two floating-point numbers through the HP pipeline —
+// each operand converted to limbs (Listing 1), the limb-wise addition with
+// carries (Listing 2), and the conversion of the sum back to double. The
+// figure in the paper is a diagram; this experiment emits the same
+// walkthrough with concrete limb values so a reader can follow every bit.
+func runFig3(cfg Config) (*Result, error) {
+	p := core.Params192
+	// Both literals round to doubles whose lowest bit sits far above the
+	// 2^-128 resolution, so the conversions are exact.
+	x := 1234.56789012345 // an ordinary positive value
+	y := -1234.5678901234 // a close negative value: cancellation case
+	a, err := core.FromFloat64(p, x)
+	if err != nil {
+		return nil, err
+	}
+	b, err := core.FromFloat64(p, y)
+	if err != nil {
+		return nil, err
+	}
+	sum := a.Clone()
+	if sum.Add(b) {
+		return nil, core.ErrOverflow
+	}
+
+	hex := func(h *core.HP) []string {
+		limbs := h.Limbs()
+		out := make([]string, len(limbs))
+		for i, l := range limbs {
+			out[i] = fmt.Sprintf("%016x", l)
+		}
+		return out
+	}
+
+	tbl := &bench.Table{
+		Title:   fmt.Sprintf("Figure 3: worked HP(%d,%d) addition", p.N, p.K),
+		Headers: []string{"step", "limb0 (sign+whole)", "limb1 (frac hi)", "limb2 (frac lo)", "value"},
+	}
+	la, lb, ls := hex(a), hex(b), hex(sum)
+	tbl.AddRow("convert x", la[0], la[1], la[2], fmt.Sprintf("%.17g", a.Float64()))
+	tbl.AddRow("convert y", lb[0], lb[1], lb[2], fmt.Sprintf("%.17g", b.Float64()))
+	tbl.AddRow("x + y", ls[0], ls[1], ls[2], fmt.Sprintf("%.17g", sum.Float64()))
+
+	// Verify both conversion paths agree, as the figure implies.
+	a2 := core.New(p)
+	if err := a2.SetFloat64Listing1(x); err != nil {
+		return nil, err
+	}
+	agree := a2.Equal(a)
+
+	res := &Result{Name: "fig3", Tables: []*bench.Table{tbl}}
+	res.Notes = append(res.Notes,
+		"limb0 bit 63 is the sign; negative operands are stored in two's complement (paper §III.A)",
+		fmt.Sprintf("Listing 1 float-loop conversion produced identical limbs: %v", agree),
+		"the sum of the close +/- pair retains every surviving bit: no catastrophic cancellation")
+	return res, nil
+}

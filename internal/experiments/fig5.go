@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/omp"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("fig5",
+		"OpenMP-style strong scaling of a 32M-value global sum, 1..8 threads",
+		runFig5)
+}
+
+// runFig5 reproduces Figure 5: strong scaling of a global summation of 32M
+// uniform values in [-0.5, 0.5] over a shared-memory thread team, comparing
+// double precision, HP(N=6, k=3), and Hallberg(N=10, M=38). Each thread
+// reduces its static block; the master combines the partials. The paper
+// reports a ~37-38x single-thread HP overhead that amortizes as threads are
+// added; the right panel is strong-scaling efficiency.
+func runFig5(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.scaled(32<<20, 1<<10)
+	r := rng.New(cfg.Seed)
+	xs := rng.UniformSet(r, n, -0.5, 0.5)
+	trials := cfg.trials(10)
+
+	maxThreads := 8
+	if cfg.MaxThreads > 0 && cfg.MaxThreads < maxThreads {
+		maxThreads = cfg.MaxThreads
+	}
+	threadCounts := powersOfTwo(maxThreads)
+
+	tbl := &bench.Table{
+		Title: fmt.Sprintf("Figure 5 (OpenMP substrate): %s values, %d trials", bench.N(n), trials),
+		Headers: []string{"threads", "t_double_s", "t_hp_s", "t_hallberg_s",
+			"eff_double", "eff_hp", "eff_hallberg", "hp_overhead_x"},
+	}
+
+	var t1 [3]time.Duration
+	var hpRef float64
+	hpRefSet := false
+	hpInvariant := true
+	for i, p := range threadCounts {
+		team := omp.NewTeam(p)
+		var sumErr error
+		tDouble := bench.Measure(trials, func() { _ = sumDoubleOMP(team, xs) })
+		var hpVal float64
+		tHP := bench.Measure(trials, func() {
+			v, err := sumHPOMP(team, xs)
+			if err != nil {
+				sumErr = err
+			}
+			hpVal = v
+		})
+		if err := checkScalingErr(methodHP, sumErr); err != nil {
+			return nil, err
+		}
+		tHall := bench.Measure(trials, func() {
+			if _, err := sumHallbergOMP(team, xs); err != nil {
+				sumErr = err
+			}
+		})
+		if err := checkScalingErr(methodHallberg, sumErr); err != nil {
+			return nil, err
+		}
+		if !hpRefSet {
+			hpRef = hpVal
+			hpRefSet = true
+		} else if hpVal != hpRef {
+			hpInvariant = false
+		}
+		if i == 0 {
+			t1 = [3]time.Duration{tDouble, tHP, tHall}
+		}
+		tbl.AddRow(fmt.Sprintf("%d", p),
+			bench.Seconds(tDouble), bench.Seconds(tHP), bench.Seconds(tHall),
+			bench.F(stats.Efficiency(t1[0].Seconds(), tDouble.Seconds(), p)),
+			bench.F(stats.Efficiency(t1[1].Seconds(), tHP.Seconds(), p)),
+			bench.F(stats.Efficiency(t1[2].Seconds(), tHall.Seconds(), p)),
+			bench.F(tHP.Seconds()/tDouble.Seconds()))
+	}
+
+	notes := []string{
+		fmt.Sprintf("single-thread HP overhead vs double: %.3gx (paper: ~37-38x with -O3 SIMD double)",
+			t1[1].Seconds()/t1[0].Seconds()),
+		"paper shape: high-precision cost amortizes as threads increase",
+	}
+	if hpInvariant {
+		notes = append(notes, "HP result bit-identical across every thread count")
+	} else {
+		notes = append(notes, "WARNING: HP result varied with thread count")
+	}
+	return &Result{Name: "fig5", Tables: []*bench.Table{tbl}, Notes: notes}, nil
+}

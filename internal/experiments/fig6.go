@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/hallberg"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("fig6",
+		"MPI-style strong scaling of a 32M-value global sum, 1..128 ranks",
+		runFig6)
+}
+
+// runFig6 reproduces Figure 6: the same 32M-value global summation executed
+// over the message-passing substrate with 1..128 ranks. Each rank reduces
+// its block locally; the partials meet in a binomial-tree MPI_Reduce with a
+// custom reduction operator (OpSumFloat64, OpSumHP, OpSumHallberg), exactly
+// the custom-datatype + MPI_Op structure the paper describes for §IV.B.
+func runFig6(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.scaled(32<<20, 1<<10)
+	r := rng.New(cfg.Seed)
+	xs := rng.UniformSet(r, n, -0.5, 0.5)
+	trials := cfg.trials(10)
+
+	maxRanks := 128
+	if cfg.MaxThreads > 0 && cfg.MaxThreads < maxRanks {
+		maxRanks = cfg.MaxThreads
+	}
+	rankCounts := powersOfTwo(maxRanks)
+
+	runDouble := func(size int) error {
+		return mpi.Run(size, func(c *Comm) error {
+			lo, hi := blockOf(n, size, c.Rank())
+			local := 0.0
+			for _, x := range xs[lo:hi] {
+				local += x
+			}
+			_, err := c.Reduce(0, mpi.EncodeFloat64s([]float64{local}), mpi.OpSumFloat64)
+			return err
+		})
+	}
+	var hpResults []string
+	runHP := func(size int, record bool) error {
+		op := mpi.OpSumHP(hpScaling)
+		return mpi.Run(size, func(c *Comm) error {
+			lo, hi := blockOf(n, size, c.Rank())
+			acc := core.NewAccumulator(hpScaling)
+			acc.AddAll(xs[lo:hi])
+			if acc.Err() != nil {
+				return acc.Err()
+			}
+			buf, err := c.Reduce(0, mpi.EncodeHP(acc.Sum()), op)
+			if err != nil {
+				return err
+			}
+			if record && c.Rank() == 0 {
+				hp, err := mpi.DecodeHP(hpScaling, buf)
+				if err != nil {
+					return err
+				}
+				hpResults = append(hpResults, fmt.Sprintf("%x", hp.Limbs()))
+			}
+			return nil
+		})
+	}
+	runHall := func(size int) error {
+		op := mpi.OpSumHallberg(hallbergScaling)
+		return mpi.Run(size, func(c *Comm) error {
+			lo, hi := blockOf(n, size, c.Rank())
+			acc := hallberg.NewAccumulator(hallbergScaling)
+			acc.AddAll(xs[lo:hi])
+			if acc.Err() != nil {
+				return acc.Err()
+			}
+			_, err := c.Reduce(0, mpi.EncodeHallberg(acc.Sum()), op)
+			return err
+		})
+	}
+
+	tbl := &bench.Table{
+		Title: fmt.Sprintf("Figure 6 (MPI substrate): %s values, %d trials", bench.N(n), trials),
+		Headers: []string{"ranks", "t_double_s", "t_hp_s", "t_hallberg_s",
+			"eff_double", "eff_hp", "eff_hallberg"},
+	}
+	var t1 [3]time.Duration
+	for i, size := range rankCounts {
+		var err error
+		tDouble := bench.Measure(trials, func() {
+			if e := runDouble(size); e != nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig6 double: %w", err)
+		}
+		tHP := bench.Measure(trials, func() {
+			if e := runHP(size, false); e != nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig6 HP: %w", err)
+		}
+		if e := runHP(size, true); e != nil { // one recorded run for invariance check
+			return nil, fmt.Errorf("fig6 HP: %w", e)
+		}
+		tHall := bench.Measure(trials, func() {
+			if e := runHall(size); e != nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig6 hallberg: %w", err)
+		}
+		if i == 0 {
+			t1 = [3]time.Duration{tDouble, tHP, tHall}
+		}
+		tbl.AddRow(fmt.Sprintf("%d", size),
+			bench.Seconds(tDouble), bench.Seconds(tHP), bench.Seconds(tHall),
+			bench.F(stats.Efficiency(t1[0].Seconds(), tDouble.Seconds(), size)),
+			bench.F(stats.Efficiency(t1[1].Seconds(), tHP.Seconds(), size)),
+			bench.F(stats.Efficiency(t1[2].Seconds(), tHall.Seconds(), size)))
+	}
+
+	notes := []string{
+		"reduction uses a binomial tree with custom ops over serialized limbs (the paper's custom MPI datatype + MPI_Op)",
+	}
+	invariant := true
+	for _, h := range hpResults[1:] {
+		if h != hpResults[0] {
+			invariant = false
+		}
+	}
+	if invariant {
+		notes = append(notes, "HP reduced limbs bit-identical across every rank count")
+	} else {
+		notes = append(notes, "WARNING: HP result varied with rank count")
+	}
+	return &Result{Name: "fig6", Tables: []*bench.Table{tbl}, Notes: notes}, nil
+}
+
+// blockOf splits [0, n) evenly over size ranks.
+func blockOf(n, size, rank int) (lo, hi int) {
+	lo = rank * n / size
+	hi = (rank + 1) * n / size
+	return lo, hi
+}
+
+// Comm aliases the substrate's communicator for readability above.
+type Comm = mpi.Comm

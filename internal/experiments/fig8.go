@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/hallberg"
+	"repro/internal/phi"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("fig8",
+		"Xeon Phi offload-style scaling: 1..240 device threads with host-device transfer",
+		runFig8)
+}
+
+// runFig8 reproduces Figure 8: the 32M-value global sum under the
+// heterogeneous offload model — the input array is transferred to the
+// coprocessor each trial, reduced on-device by 1..240 threads into
+// per-thread partials, and combined. The paper observes a very high
+// single-thread cost for the high-precision methods (the Intel compiler
+// vectorizes native doubles) that amortizes with threads, and runtimes at
+// high thread counts dominated by the host-device transfer — reproduced
+// here by the device's modeled PCIe transfer cost.
+func runFig8(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.scaled(32<<20, 1<<10)
+	r := rng.New(cfg.Seed)
+	xs := rng.UniformSet(r, n, -0.5, 0.5)
+	trials := cfg.trials(10)
+	if trials > 5 {
+		trials = 5
+	}
+	device := phi.Phi5110P()
+
+	maxThreads := 240
+	if cfg.MaxThreads > 0 && cfg.MaxThreads < maxThreads {
+		maxThreads = cfg.MaxThreads
+	}
+	threadCounts := powersOfTwo(maxThreads)
+
+	offloadSum := func(threads int, reduce func(buf *phi.Buffer, threads int) error) error {
+		buf := device.OffloadIn(xs) // charged per trial, as in the offload model
+		return reduce(buf, threads)
+	}
+	reduceDouble := func(buf *phi.Buffer, threads int) error {
+		partials := make([]float64, threads)
+		used, err := device.Run(threads, buf.Len(), func(tid, lo, hi int) {
+			s := 0.0
+			data := buf.Data()
+			for _, x := range data[lo:hi] {
+				s += x
+			}
+			partials[tid] = s
+		})
+		if err != nil {
+			return err
+		}
+		total := 0.0
+		for _, p := range partials[:used] {
+			total += p
+		}
+		_ = total
+		return nil
+	}
+	var hpResult *core.HP
+	reduceHP := func(buf *phi.Buffer, threads int) error {
+		partials := make([]*core.Accumulator, threads)
+		used, err := device.Run(threads, buf.Len(), func(tid, lo, hi int) {
+			acc := core.NewAccumulator(hpScaling)
+			acc.AddAll(buf.Data()[lo:hi])
+			partials[tid] = acc
+		})
+		if err != nil {
+			return err
+		}
+		final := core.NewAccumulator(hpScaling)
+		for _, p := range partials[:used] {
+			final.Merge(p)
+		}
+		if final.Err() != nil {
+			return final.Err()
+		}
+		hpResult = final.Sum()
+		return nil
+	}
+	reduceHall := func(buf *phi.Buffer, threads int) error {
+		partials := make([]*hallberg.Accumulator, threads)
+		used, err := device.Run(threads, buf.Len(), func(tid, lo, hi int) {
+			acc := hallberg.NewAccumulator(hallbergScaling)
+			acc.AddAll(buf.Data()[lo:hi])
+			partials[tid] = acc
+		})
+		if err != nil {
+			return err
+		}
+		final := hallberg.NewAccumulator(hallbergScaling)
+		for _, p := range partials[:used] {
+			final.AddNum(p.Sum(), p.Count())
+			if p.Err() != nil {
+				return p.Err()
+			}
+		}
+		return final.Err()
+	}
+
+	tbl := &bench.Table{
+		Title: fmt.Sprintf("Figure 8 (Xeon Phi substrate, %s): %s values, %d trials",
+			device.Name, bench.N(n), trials),
+		Headers: []string{"threads", "t_double_s", "t_hp_s", "t_hallberg_s",
+			"eff_double", "eff_hp", "eff_hallberg"},
+	}
+	// Untimed warmup: fault in the device buffer pages once so the first
+	// measured offload is not charged for first-touch costs.
+	if err := offloadSum(threadCounts[0], reduceDouble); err != nil {
+		return nil, fmt.Errorf("fig8 warmup: %w", err)
+	}
+
+	var t1 [3]time.Duration
+	var hpFirst *core.HP
+	hpInvariant := true
+	for i, threads := range threadCounts {
+		var err error
+		tDouble := bench.Measure(trials, func() {
+			if e := offloadSum(threads, reduceDouble); e != nil {
+				err = e
+			}
+		})
+		tHP := bench.Measure(trials, func() {
+			if e := offloadSum(threads, reduceHP); e != nil {
+				err = e
+			}
+		})
+		tHall := bench.Measure(trials, func() {
+			if e := offloadSum(threads, reduceHall); e != nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig8: %w", err)
+		}
+		if hpFirst == nil {
+			hpFirst = hpResult.Clone()
+		} else if !hpResult.Equal(hpFirst) {
+			hpInvariant = false
+		}
+		if i == 0 {
+			t1 = [3]time.Duration{tDouble, tHP, tHall}
+		}
+		tbl.AddRow(fmt.Sprintf("%d", threads),
+			bench.Seconds(tDouble), bench.Seconds(tHP), bench.Seconds(tHall),
+			bench.F(stats.Efficiency(t1[0].Seconds(), tDouble.Seconds(), threads)),
+			bench.F(stats.Efficiency(t1[1].Seconds(), tHP.Seconds(), threads)),
+			bench.F(stats.Efficiency(t1[2].Seconds(), tHall.Seconds(), threads)))
+	}
+
+	transferS := float64(8*n)/device.TransferBytesPerSec + device.TransferLatency.Seconds()
+	notes := []string{
+		fmt.Sprintf("modeled host->device transfer per trial: %.4gs (bandwidth %.3g GB/s)",
+			transferS, device.TransferBytesPerSec/1e9),
+		"paper shape: transfer time dominates all three methods at high thread counts",
+	}
+	if hpInvariant {
+		notes = append(notes, "HP result bit-identical across every thread count")
+	} else {
+		notes = append(notes, "WARNING: HP result varied with thread count")
+	}
+	return &Result{Name: "fig8", Tables: []*bench.Table{tbl}, Notes: notes}, nil
+}

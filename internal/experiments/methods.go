@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hallberg"
+	"repro/internal/omp"
+)
+
+// Shared summation drivers for the strong-scaling experiments: each method
+// reduces a slice over a thread team with per-thread partials combined by
+// the master, exactly the structure of the paper's OpenMP/MPI/Phi codes.
+// The paper's configurations: double precision, HP(N=6, k=3), and
+// Hallberg(N=10, M=38).
+
+// hpScaling is the HP format used by Figures 5-8.
+var hpScaling = core.Params384
+
+// hallbergScaling is the Hallberg format used by Figures 5-8.
+var hallbergScaling = hallberg.New(10, 38)
+
+// sumDoubleOMP reduces xs with plain float64 addition over threads.
+func sumDoubleOMP(team *omp.Team, xs []float64) float64 {
+	return *omp.Reduce(team, len(xs),
+		func(int) *float64 { v := 0.0; return &v },
+		func(local *float64, _, lo, hi int) {
+			s := 0.0
+			for _, x := range xs[lo:hi] {
+				s += x
+			}
+			*local += s
+		},
+		func(into, from *float64) { *into += *from })
+}
+
+// sumHPOMP reduces xs with HP accumulators over threads.
+func sumHPOMP(team *omp.Team, xs []float64) (float64, error) {
+	total := omp.Reduce(team, len(xs),
+		func(int) *core.Accumulator { return core.NewAccumulator(hpScaling) },
+		func(local *core.Accumulator, _, lo, hi int) { local.AddAll(xs[lo:hi]) },
+		func(into, from *core.Accumulator) { into.Merge(from) })
+	return total.Float64(), total.Err()
+}
+
+// sumHallbergOMP reduces xs with Hallberg accumulators over threads.
+func sumHallbergOMP(team *omp.Team, xs []float64) (float64, error) {
+	total := omp.Reduce(team, len(xs),
+		func(int) *hallberg.Accumulator { return hallberg.NewAccumulator(hallbergScaling) },
+		func(local *hallberg.Accumulator, _, lo, hi int) { local.AddAll(xs[lo:hi]) },
+		func(into, from *hallberg.Accumulator) { into.AddNum(from.Sum(), from.Count()) })
+	return total.Float64(), total.Err()
+}
+
+// method names used consistently across the scaling tables.
+const (
+	methodDouble   = "double"
+	methodHP       = "HP(N=6,k=3)"
+	methodHallberg = "Hallberg(N=10,M=38)"
+)
+
+// checkScalingErr converts a method error into a fatal experiment error
+// with context.
+func checkScalingErr(method string, err error) error {
+	if err != nil {
+		return fmt.Errorf("%s summation failed: %w", method, err)
+	}
+	return nil
+}
+
+// powersOfTwo returns {1, 2, 4, ..., max} (max included even if not a
+// power of two, as with the Phi's 240 threads).
+func powersOfTwo(max int) []int {
+	var out []int
+	for p := 1; p < max; p <<= 1 {
+		out = append(out, p)
+	}
+	out = append(out, max)
+	if len(out) >= 2 && out[len(out)-2] == max {
+		out = out[:len(out)-1]
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package floatsum
+
+// Floating-point expansions (Priest 1991, paper ref. [19]; Shewchuk 1997):
+// a number represented as an unevaluated sum of nonoverlapping float64
+// components, ordered by increasing magnitude. Growing an expansion by one
+// value is exact, so an expansion-based accumulator is another EXACT
+// summation scheme — but unlike the fixed-point methods its size can grow
+// with the data's dynamic range, and its component layout (though not its
+// value) depends on input order, which is why the paper's fixed-size
+// integer representation wins for parallel reduction. It is implemented
+// here as the remaining member of the exact-summation design space.
+
+// Expansion is a nonoverlapping, increasing-magnitude list of components.
+// The zero value is an empty expansion representing 0.
+type Expansion struct {
+	comp []float64
+}
+
+// NewExpansion returns an empty expansion.
+func NewExpansion() *Expansion { return &Expansion{} }
+
+// Len returns the number of components.
+func (e *Expansion) Len() int { return len(e.comp) }
+
+// Components returns a copy of the component list (diagnostics/tests).
+func (e *Expansion) Components() []float64 {
+	out := make([]float64, len(e.comp))
+	copy(out, e.comp)
+	return out
+}
+
+// Add grows the expansion by x exactly (Shewchuk's GROW-EXPANSION):
+// TwoSum x through every component, keeping the error terms.
+func (e *Expansion) Add(x float64) {
+	q := x
+	out := e.comp[:0]
+	for _, c := range e.comp {
+		var err float64
+		q, err = TwoSum(q, c)
+		if err != 0 {
+			out = append(out, err)
+		}
+	}
+	if q != 0 {
+		out = append(out, q)
+	}
+	e.comp = out
+}
+
+// AddAll grows the expansion by every element of xs.
+func (e *Expansion) AddAll(xs []float64) {
+	for _, x := range xs {
+		e.Add(x)
+	}
+}
+
+// AddExpansion adds another expansion exactly (EXPANSION-SUM).
+func (e *Expansion) AddExpansion(f *Expansion) {
+	for _, c := range f.comp {
+		e.Add(c)
+	}
+}
+
+// Compress renormalizes the expansion to its minimal nonoverlapping form
+// (Shewchuk's COMPRESS), preserving the exact value. Afterwards the largest
+// component is a faithful approximation of the total.
+func (e *Expansion) Compress() {
+	n := len(e.comp)
+	if n < 2 {
+		return
+	}
+	// Downward pass: absorb from largest to smallest.
+	g := make([]float64, 0, n)
+	q := e.comp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		sum, err := FastTwoSum(q, e.comp[i])
+		if err != 0 {
+			g = append(g, sum) // sum is the new larger part
+			q = err
+		} else {
+			q = sum
+		}
+	}
+	// g holds larger parts in decreasing order; q is the smallest residue.
+	// Upward pass: rebuild increasing-magnitude, nonoverlapping list.
+	out := make([]float64, 0, len(g)+1)
+	for i := len(g) - 1; i >= 0; i-- {
+		sum, err := FastTwoSum(g[i], q)
+		if err != 0 {
+			out = append(out, err)
+		}
+		q = sum
+	}
+	if q != 0 {
+		out = append(out, q)
+	}
+	e.comp = out
+}
+
+// Float64 returns the expansion's value rounded to one float64: after a
+// compress, summing components smallest-first gives the faithfully rounded
+// total.
+func (e *Expansion) Float64() float64 {
+	c := &Expansion{comp: append([]float64(nil), e.comp...)}
+	c.Compress()
+	s := 0.0
+	for _, v := range c.comp {
+		s += v
+	}
+	return s
+}
+
+// ExpansionSum returns the exact sum of xs via an expansion accumulator,
+// rounded once at the end.
+func ExpansionSum(xs []float64) float64 {
+	e := NewExpansion()
+	e.AddAll(xs)
+	return e.Float64()
+}

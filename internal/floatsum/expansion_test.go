@@ -1,0 +1,136 @@
+package floatsum
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+// exactValue returns the exact rational value of an expansion via the
+// oracle.
+func expansionRatEquals(t *testing.T, e *Expansion, want *exact.Acc) bool {
+	t.Helper()
+	got := exact.New()
+	got.AddAll(e.Components())
+	return got.Rat().Cmp(want.Rat()) == 0
+}
+
+func TestExpansionGrowIsExact(t *testing.T) {
+	r := rng.New(21)
+	e := NewExpansion()
+	oracle := exact.New()
+	for i := 0; i < 2000; i++ {
+		x := r.Exp2Uniform(-300, 300)
+		e.Add(x)
+		oracle.Add(x)
+	}
+	if !expansionRatEquals(t, e, oracle) {
+		t.Error("expansion value diverged from oracle")
+	}
+}
+
+func TestExpansionNonOverlappingAfterCompress(t *testing.T) {
+	r := rng.New(22)
+	e := NewExpansion()
+	for i := 0; i < 500; i++ {
+		e.Add(r.Exp2Uniform(-100, 100))
+	}
+	oracle := exact.New()
+	oracle.AddAll(e.Components())
+	e.Compress()
+	if !expansionRatEquals(t, e, oracle) {
+		t.Fatal("Compress changed the value")
+	}
+	comp := e.Components()
+	// Increasing magnitude and nonoverlapping: each component is smaller
+	// than the ulp of the next.
+	for i := 0; i+1 < len(comp); i++ {
+		if math.Abs(comp[i]) >= math.Abs(comp[i+1]) {
+			t.Fatalf("components not increasing at %d: %g vs %g",
+				i, comp[i], comp[i+1])
+		}
+	}
+}
+
+func TestExpansionFloat64FaithfulRounding(t *testing.T) {
+	r := rng.New(23)
+	for trial := 0; trial < 200; trial++ {
+		xs := rng.ZeroSum(r, 256, 0.001)
+		xs = append(xs, r.Exp2Uniform(-40, -20))
+		e := NewExpansion()
+		e.AddAll(xs)
+		got := e.Float64()
+		want := exact.Sum(xs)
+		if got != want {
+			// Faithful rounding allows 1 ulp; correctly rounded expected
+			// in practice for these sizes.
+			if math.Abs(got-want) > math.Abs(want)*1e-15 {
+				t.Fatalf("trial %d: %g vs %g", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestExpansionCancellation(t *testing.T) {
+	e := NewExpansion()
+	e.Add(1e16)
+	e.Add(1)
+	e.Add(-1e16)
+	if got := e.Float64(); got != 1 {
+		t.Errorf("1e16 + 1 - 1e16 = %g, want 1", got)
+	}
+	// Exact cancellation empties the expansion.
+	f := NewExpansion()
+	f.Add(3.25)
+	f.Add(-3.25)
+	if f.Len() != 0 || f.Float64() != 0 {
+		t.Errorf("exact cancellation left %d components", f.Len())
+	}
+}
+
+func TestExpansionAddExpansion(t *testing.T) {
+	r := rng.New(24)
+	xs := rng.UniformSet(r, 1000, -1, 1)
+	a := NewExpansion()
+	a.AddAll(xs[:500])
+	b := NewExpansion()
+	b.AddAll(xs[500:])
+	a.AddExpansion(b)
+	oracle := exact.New()
+	oracle.AddAll(xs)
+	if !expansionRatEquals(t, a, oracle) {
+		t.Error("AddExpansion diverged from oracle")
+	}
+}
+
+func TestExpansionSizeGrowsWithDynamicRange(t *testing.T) {
+	// The structural weakness the fixed-point methods avoid: components
+	// accumulate with wide-range data.
+	r := rng.New(25)
+	e := NewExpansion()
+	for i := 0; i < 200; i++ {
+		e.Add(r.Exp2Uniform(-300, 300))
+	}
+	if e.Len() < 4 {
+		t.Errorf("expected multi-component expansion, got %d", e.Len())
+	}
+	// Same-scale data stays compact.
+	f := NewExpansion()
+	for i := 0; i < 200; i++ {
+		f.Add(r.Uniform(-1, 1))
+	}
+	if f.Len() > 8 {
+		t.Errorf("same-scale expansion unexpectedly wide: %d", f.Len())
+	}
+}
+
+func TestExpansionSumHelper(t *testing.T) {
+	if got := ExpansionSum([]float64{0.1, 0.2, -0.3}); got != exact.Sum([]float64{0.1, 0.2, -0.3}) {
+		t.Errorf("ExpansionSum = %g", got)
+	}
+	if got := ExpansionSum(nil); got != 0 {
+		t.Errorf("ExpansionSum(nil) = %g", got)
+	}
+}

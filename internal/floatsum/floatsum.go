@@ -1,0 +1,107 @@
+// Package floatsum provides the conventional floating-point summation
+// algorithms the paper compares against (plain double precision) plus the
+// standard error-compensation techniques its related-work section surveys:
+// Kahan and Neumaier compensated summation, pairwise (cascade) summation,
+// and magnitude-sorted summation. All are order-DEPENDENT to varying
+// degrees; they exist here to quantify the rounding error that the
+// order-invariant methods eliminate.
+package floatsum
+
+import (
+	"math"
+	"sort"
+)
+
+// Naive returns the left-to-right floating-point sum of xs: the baseline
+// whose error the paper's Figures 1 and 2 characterize.
+func Naive(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// TwoSum is the Knuth error-free transformation: it returns s = fl(a+b) and
+// the exact rounding error e such that a + b == s + e exactly.
+func TwoSum(a, b float64) (s, e float64) {
+	s = a + b
+	bv := s - a
+	e = (a - (s - bv)) + (b - bv)
+	return s, e
+}
+
+// FastTwoSum is the Dekker error-free transformation, valid when |a| >= |b|:
+// it returns s = fl(a+b) and the exact error e with one fewer operation.
+func FastTwoSum(a, b float64) (s, e float64) {
+	s = a + b
+	e = b - (s - a)
+	return s, e
+}
+
+// Kahan returns the Kahan compensated sum of xs, carrying a single running
+// error term (Kahan 1965, paper ref. [15]).
+func Kahan(xs []float64) float64 {
+	var s, c float64
+	for _, x := range xs {
+		y := x - c
+		t := s + y
+		c = (t - s) - y
+		s = t
+	}
+	return s
+}
+
+// Neumaier returns the improved Kahan-Babuska sum, which remains accurate
+// when individual summands exceed the running sum in magnitude.
+func Neumaier(xs []float64) float64 {
+	var s, c float64
+	for _, x := range xs {
+		t := s + x
+		if math.Abs(s) >= math.Abs(x) {
+			c += (s - t) + x
+		} else {
+			c += (x - t) + s
+		}
+		s = t
+	}
+	return s + c
+}
+
+// Pairwise returns the cascade sum of xs: recursively splitting the input
+// halves the error growth from O(n) to O(log n) (paper §I, "manipulating
+// the summation order"). Blocks below pairwiseCutoff sum naively, as
+// practical implementations do.
+func Pairwise(xs []float64) float64 {
+	const pairwiseCutoff = 64
+	n := len(xs)
+	if n <= pairwiseCutoff {
+		return Naive(xs)
+	}
+	return Pairwise(xs[:n/2]) + Pairwise(xs[n/2:])
+}
+
+// SortedByMagnitude returns the sum of xs taken in increasing order of
+// magnitude, the classical error-reduction ordering. It copies the input;
+// the cost is the O(n log n) sort the paper calls "prohibitive at large
+// scales" for distributed operands.
+func SortedByMagnitude(xs []float64) float64 {
+	ys := make([]float64, len(xs))
+	copy(ys, xs)
+	sort.Slice(ys, func(i, j int) bool {
+		return math.Abs(ys[i]) < math.Abs(ys[j])
+	})
+	return Naive(ys)
+}
+
+// CompensatedPartials accumulates xs with TwoSum into a running sum plus an
+// error accumulator and returns both; summing partial error terms across
+// workers gives a cheap distributed compensated reduction.
+func CompensatedPartials(xs []float64) (sum, err float64) {
+	for _, x := range xs {
+		var e float64
+		sum, e = TwoSum(sum, x)
+		err += e
+	}
+	return sum, err
+}

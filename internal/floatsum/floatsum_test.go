@@ -1,0 +1,165 @@
+package floatsum
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+func TestNaiveBasic(t *testing.T) {
+	if got := Naive([]float64{1, 2, 3}); got != 6 {
+		t.Errorf("Naive = %g", got)
+	}
+	if got := Naive(nil); got != 0 {
+		t.Errorf("Naive(nil) = %g", got)
+	}
+}
+
+type finitePair struct{ A, B float64 }
+
+func (finitePair) Generate(r *rand.Rand, _ int) reflect.Value {
+	g := func() float64 {
+		x := math.Ldexp(1+r.Float64(), -500+r.Intn(1000))
+		if r.Intn(2) == 1 {
+			x = -x
+		}
+		return x
+	}
+	return reflect.ValueOf(finitePair{g(), g()})
+}
+
+// TwoSum is error-free: a + b == s + e exactly (verified with the oracle).
+func TestPropTwoSumErrorFree(t *testing.T) {
+	f := func(p finitePair) bool {
+		s, e := TwoSum(p.A, p.B)
+		if math.IsInf(s, 0) {
+			return true // overflow voids the transform; out of scope
+		}
+		lhs := exact.New()
+		lhs.AddAll([]float64{p.A, p.B})
+		rhs := exact.New()
+		rhs.AddAll([]float64{s, e})
+		return lhs.Rat().Cmp(rhs.Rat()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FastTwoSum matches TwoSum whenever |a| >= |b|.
+func TestPropFastTwoSum(t *testing.T) {
+	f := func(p finitePair) bool {
+		a, b := p.A, p.B
+		if math.Abs(a) < math.Abs(b) {
+			a, b = b, a
+		}
+		s1, e1 := TwoSum(a, b)
+		s2, e2 := FastTwoSum(a, b)
+		return s1 == s2 && e1 == e2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKahanRecoversLostBits(t *testing.T) {
+	// 1 + 1e-16 repeated: naive loses everything, Kahan keeps it.
+	xs := make([]float64, 1001)
+	xs[0] = 1
+	for i := 1; i <= 1000; i++ {
+		xs[i] = 1e-16
+	}
+	want := 1 + 1000*1e-16
+	if got := Kahan(xs); math.Abs(got-want) > 1e-18 {
+		t.Errorf("Kahan = %.20g, want ~%.20g", got, want)
+	}
+	naive := Naive(xs)
+	if math.Abs(naive-want) < math.Abs(Kahan(xs)-want) {
+		t.Skip("naive happened to be accurate on this platform")
+	}
+}
+
+func TestNeumaierBeatsKahanOnLargeSummand(t *testing.T) {
+	// The classic Kahan failure: a summand much larger than the sum.
+	xs := []float64{1, 1e100, 1, -1e100}
+	if got := Neumaier(xs); got != 2 {
+		t.Errorf("Neumaier = %g, want 2", got)
+	}
+	if got := Kahan(xs); got == 2 {
+		t.Log("Kahan also got 2 on this input (platform-dependent)")
+	}
+}
+
+func TestPairwiseMatchesNaiveOnExactData(t *testing.T) {
+	// Integers sum exactly under any scheme.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	want := float64(999 * 1000 / 2)
+	for name, fn := range map[string]func([]float64) float64{
+		"Naive": Naive, "Kahan": Kahan, "Neumaier": Neumaier,
+		"Pairwise": Pairwise, "Sorted": SortedByMagnitude,
+	} {
+		if got := fn(xs); got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+}
+
+// Compensated methods must be at least as accurate as naive summation on
+// the paper's zero-sum workload, and the error ranking naive >= pairwise
+// >= compensated should hold on average.
+func TestAccuracyRanking(t *testing.T) {
+	r := rng.New(31)
+	var naiveErr, pairErr, kahanErr, neumErr float64
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		xs := rng.ZeroSum(r, 4096, 0.001)
+		naiveErr += math.Abs(Naive(xs))
+		pairErr += math.Abs(Pairwise(xs))
+		kahanErr += math.Abs(Kahan(xs))
+		neumErr += math.Abs(Neumaier(xs))
+	}
+	if kahanErr > naiveErr {
+		t.Errorf("Kahan total error %g > naive %g", kahanErr, naiveErr)
+	}
+	if neumErr > naiveErr {
+		t.Errorf("Neumaier total error %g > naive %g", neumErr, naiveErr)
+	}
+	if pairErr > naiveErr {
+		t.Errorf("pairwise total error %g > naive %g", pairErr, naiveErr)
+	}
+}
+
+// CompensatedPartials: sum + err equals the exact sum far more closely than
+// the naive result, and the pair is combinable across splits.
+func TestCompensatedPartials(t *testing.T) {
+	r := rng.New(32)
+	xs := rng.UniformSet(r, 10000, -0.5, 0.5)
+	want := exact.Sum(xs)
+	s, e := CompensatedPartials(xs)
+	if got := s + e; math.Abs(got-want) > 1e-12*math.Abs(want)+1e-18 {
+		t.Errorf("compensated = %.20g, want %.20g", got, want)
+	}
+	// Split in two and combine.
+	s1, e1 := CompensatedPartials(xs[:5000])
+	s2, e2 := CompensatedPartials(xs[5000:])
+	combined := Neumaier([]float64{s1, s2, e1, e2})
+	if math.Abs(combined-want) > 1e-12*math.Abs(want)+1e-18 {
+		t.Errorf("split compensated = %.20g, want %.20g", combined, want)
+	}
+}
+
+func TestSortedByMagnitudeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, -1, 2}
+	_ = SortedByMagnitude(xs)
+	if xs[0] != 3 || xs[1] != -1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}

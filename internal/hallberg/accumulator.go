@@ -1,0 +1,89 @@
+package hallberg
+
+// Accumulator sums float64 values in Hallberg form while tracking the
+// summand budget: once more than Params.MaxSummands values have been added,
+// the no-carry guarantee is void and ErrTooManySummands is latched. This is
+// the runtime embodiment of the method's a-priori-count requirement that
+// the paper contrasts with HP (§II.B).
+type Accumulator struct {
+	sum     *Num
+	scratch *Num
+	count   int64
+	err     error
+}
+
+// NewAccumulator returns a zeroed accumulator with format p.
+func NewAccumulator(p Params) *Accumulator {
+	return &Accumulator{sum: NewNum(p), scratch: NewNum(p)}
+}
+
+// Params returns the accumulator's format.
+func (a *Accumulator) Params() Params { return a.sum.p }
+
+// Count returns how many values have been added since the last Reset.
+func (a *Accumulator) Count() int64 { return a.count }
+
+// Add converts x and adds it limb-wise. Conversion faults and budget
+// exhaustion latch the sticky error (first one wins); conversion faults
+// leave the sum unchanged.
+func (a *Accumulator) Add(x float64) {
+	if err := a.scratch.SetFloat64(x); err != nil {
+		if a.err == nil {
+			a.err = err
+		}
+		return
+	}
+	a.count++
+	if a.count > a.sum.p.MaxSummands() && a.err == nil {
+		a.err = ErrTooManySummands
+	}
+	a.sum.Add(a.scratch)
+}
+
+// AddAll adds every element of xs.
+func (a *Accumulator) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// AddNum adds a partial sum produced by another accumulator, charging its
+// summand count against the budget.
+func (a *Accumulator) AddNum(x *Num, count int64) {
+	if x.p != a.sum.p {
+		if a.err == nil {
+			a.err = ErrParamMismatch
+		}
+		return
+	}
+	a.count += count
+	if a.count > a.sum.p.MaxSummands() && a.err == nil {
+		a.err = ErrTooManySummands
+	}
+	a.sum.Add(x)
+}
+
+// Err returns the sticky error, or nil.
+func (a *Accumulator) Err() error { return a.err }
+
+// Sum returns the accumulated value (owned by a, not normalized).
+func (a *Accumulator) Sum() *Num { return a.sum }
+
+// Float64 returns the running sum converted to float64 (normalizing a
+// copy first).
+func (a *Accumulator) Float64() float64 { return a.sum.Float64() }
+
+// Reset zeroes the sum, count, and sticky error.
+func (a *Accumulator) Reset() {
+	a.sum.SetZero()
+	a.count = 0
+	a.err = nil
+}
+
+// Sum computes the Hallberg sum of xs with format p, returning the rounded
+// float64 result and the first error (range fault or budget exhaustion).
+func Sum(p Params, xs []float64) (float64, error) {
+	a := NewAccumulator(p)
+	a.AddAll(xs)
+	return a.Float64(), a.Err()
+}

@@ -1,0 +1,46 @@
+package hallberg
+
+// Analytic performance model from the paper's §IV.A (equations 3-6),
+// predicting the speedup of the HP method over the Hallberg method as a
+// function of precision and the Hallberg payload width M.
+
+// BlocksHP returns the paper's N_p = ceil((b+1)/64): the HP limb count
+// needed for b precision bits plus the sign bit (eq. 3, left).
+func BlocksHP(precisionBits int) int {
+	return (precisionBits + 1 + 63) / 64
+}
+
+// BlocksHallberg returns the paper's N_b = ceil(b/M): the Hallberg limb
+// count needed for b precision bits at M payload bits per limb (eq. 3,
+// right).
+func BlocksHallberg(precisionBits, m int) int {
+	return (precisionBits + m - 1) / m
+}
+
+// PredictedSpeedup returns S = T_b/T_p = (c_b * N_b) / (c_p * N_p) from
+// eq. 4: the exact ratio of the two methods' block counts weighted by their
+// per-block costs c_b and c_p (empirically calibrated constants).
+func PredictedSpeedup(costRatio float64, precisionBits, m int) float64 {
+	return costRatio * float64(BlocksHallberg(precisionBits, m)) /
+		float64(BlocksHP(precisionBits))
+}
+
+// SpeedupLowerBound returns the paper's eq. 6 bound, valid for
+// precisionBits > 64:
+//
+//	S >= (c_b/c_p) * 32/M
+//
+// derived from eq. 5 by bounding b/(b+65) >= 1/2. Reducing M (to
+// accommodate more summands) therefore raises the guaranteed advantage of
+// the HP method — the formal statement of "HP wins at scale".
+func SpeedupLowerBound(costRatio float64, m int) float64 {
+	return costRatio * 32 / float64(m)
+}
+
+// SpeedupBoundEq5 returns the intermediate eq. 5 bound
+// S >= (c_b/c_p) * (64/M) * (b/(b+65)), which retains the weak dependence
+// of the speedup on the precision b that the paper notes.
+func SpeedupBoundEq5(costRatio float64, precisionBits, m int) float64 {
+	b := float64(precisionBits)
+	return costRatio * (64 / float64(m)) * (b / (b + 65))
+}

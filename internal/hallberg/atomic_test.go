@@ -1,0 +1,109 @@
+package hallberg
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestAtomicMatchesSequential(t *testing.T) {
+	p := New(10, 38)
+	const workers = 8
+	const perWorker = 2000
+	r := rng.New(21)
+	xs := rng.UniformSet(r, workers*perWorker, -0.5, 0.5)
+
+	seq := NewAccumulator(p)
+	seq.AddAll(xs)
+	if seq.Err() != nil {
+		t.Fatal(seq.Err())
+	}
+
+	for _, flavor := range []struct {
+		name string
+		add  func(a *Atomic, x *Num)
+	}{
+		{"fetch-add", func(a *Atomic, x *Num) { a.AddNum(x) }},
+		{"cas", func(a *Atomic, x *Num) { a.AddNumCAS(x) }},
+	} {
+		t.Run(flavor.name, func(t *testing.T) {
+			acc := NewAtomic(p)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(slice []float64) {
+					defer wg.Done()
+					scratch := NewNum(p)
+					for _, x := range slice {
+						if err := scratch.SetFloat64(x); err != nil {
+							t.Error(err)
+							return
+						}
+						flavor.add(acc, scratch)
+					}
+				}(xs[w*perWorker : (w+1)*perWorker])
+			}
+			wg.Wait()
+			got := acc.Snapshot()
+			la, lb := got.Limbs(), seq.Sum().Limbs()
+			for i := range la {
+				if la[i] != lb[i] {
+					t.Fatalf("limb %d: atomic %d != sequential %d", i, la[i], lb[i])
+				}
+			}
+		})
+	}
+}
+
+func TestAtomicZeroSum(t *testing.T) {
+	p := New(6, 40)
+	r := rng.New(22)
+	xs := rng.ZeroSum(r, 8192, 0.001)
+	acc := NewAtomic(p)
+	var wg sync.WaitGroup
+	const workers = 8
+	chunk := len(xs) / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slice []float64) {
+			defer wg.Done()
+			scratch := NewNum(p)
+			for _, x := range slice {
+				if err := acc.AddFloat64(x, scratch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(xs[w*chunk : (w+1)*chunk])
+	}
+	wg.Wait()
+	if got := acc.Snapshot(); !got.IsZero() {
+		t.Errorf("concurrent zero-sum = %s", got.Rat().RatString())
+	}
+}
+
+func TestAtomicResetAndMismatch(t *testing.T) {
+	p := New(4, 30)
+	acc := NewAtomic(p)
+	scratch := NewNum(p)
+	if err := acc.AddFloat64(2.5, scratch); err != nil {
+		t.Fatal(err)
+	}
+	if acc.Snapshot().Float64() != 2.5 {
+		t.Error("add lost")
+	}
+	acc.Reset()
+	if !acc.Snapshot().IsZero() {
+		t.Error("Reset failed")
+	}
+	if acc.Params() != p {
+		t.Error("Params")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mismatched params")
+		}
+	}()
+	acc.AddNum(NewNum(New(2, 20)))
+}

@@ -1,0 +1,345 @@
+// Package hallberg implements the order-invariant real-to-integer
+// conversion sum of Hallberg & Adcroft (Parallel Computing 40, 2014),
+// reference [11] of the reproduced paper and its principal baseline.
+//
+// A real number r is represented by N signed 64-bit limbs a[0..N-1]
+// (limb 0 least significant here) with
+//
+//	r = sum_{i=0..N-1} a_i * 2^(M*(i-F))        (paper eq. 1, F = N/2)
+//
+// where M < 63 is the number of payload bits per limb. The remaining
+// 63 - M bits of each limb are headroom: two numbers are added by summing
+// their limbs independently with NO carry propagation, so up to
+// 2^(63-M) - 1 values can be accumulated before any limb can overflow.
+// The price, relative to the HP method, is threefold (paper §II.B):
+// bookkeeping bits reduce information density, the representation aliases
+// (many limb vectors denote the same real), and the summand count must be
+// known a priori to choose M safely.
+package hallberg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Errors reported by conversions and checked accumulation.
+var (
+	// ErrNotFinite is returned when converting NaN or infinity.
+	ErrNotFinite = errors.New("hallberg: value is NaN or infinite")
+	// ErrOverflow is returned when a value exceeds the representable range.
+	ErrOverflow = errors.New("hallberg: overflow")
+	// ErrUnderflow is returned when a value has bits below the resolution
+	// 2^(-M*F) that would be silently truncated.
+	ErrUnderflow = errors.New("hallberg: underflow")
+	// ErrTooManySummands is returned by the checked accumulator when more
+	// than MaxSummands values are added, voiding the no-carry guarantee.
+	ErrTooManySummands = errors.New("hallberg: summand budget exceeded")
+	// ErrParamMismatch is returned when mixing numbers of different formats.
+	ErrParamMismatch = errors.New("hallberg: mismatched parameters")
+)
+
+// Params selects a Hallberg format: N limbs of M payload bits, F of which
+// are fractional. The original method fixes F = N/2, splitting precision
+// evenly around the binary point.
+type Params struct {
+	N int // total limbs, >= 1
+	M int // payload bits per limb, 1 <= M <= 62
+	F int // fractional limbs, 0 <= F <= N
+}
+
+// New returns the canonical format with F = N/2, as in Hallberg & Adcroft.
+func New(n, m int) Params { return Params{N: n, M: m, F: n / 2} }
+
+// Validate reports whether p is usable.
+func (p Params) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("hallberg: N must be >= 1, got %d", p.N)
+	}
+	if p.M < 1 || p.M > 62 {
+		return fmt.Errorf("hallberg: M must be in [1, 62], got %d", p.M)
+	}
+	if p.F < 0 || p.F > p.N {
+		return fmt.Errorf("hallberg: F must be in [0, N], got F=%d N=%d", p.F, p.N)
+	}
+	return nil
+}
+
+// PrecisionBits returns the total payload precision N*M (the paper's
+// Table 2 "Precision Bits" column).
+func (p Params) PrecisionBits() int { return p.N * p.M }
+
+// MaxCarries returns the number of carries the per-limb headroom absorbs:
+// 2^(63-M) - 1 (paper §II.B).
+func (p Params) MaxCarries() int64 { return (int64(1) << uint(63-p.M)) - 1 }
+
+// MaxSummands returns how many values can be accumulated before a limb
+// could overflow: one more than MaxCarries, matching the paper's Table 2
+// (M=52 -> 2048 summands, M=43 -> 1M, M=37 -> 64M).
+func (p Params) MaxSummands() int64 { return int64(1) << uint(63-p.M) }
+
+// MaxRange returns the magnitude bound 2^(M*(N-F)) of representable values.
+func (p Params) MaxRange() float64 { return math.Ldexp(1, p.M*(p.N-p.F)) }
+
+// Smallest returns the resolution 2^(-M*F).
+func (p Params) Smallest() float64 { return math.Ldexp(1, -p.M*p.F) }
+
+// String returns a compact description such as "Hallberg(N=10,M=38)".
+func (p Params) String() string {
+	return fmt.Sprintf("Hallberg(N=%d,M=%d)", p.N, p.M)
+}
+
+// ParamsFor returns the format with at least precisionBits of payload that
+// safely accommodates maxSummands additions, reproducing the paper's
+// Table 2 selection rule: pick the largest M whose headroom covers the
+// summand count, then the smallest N reaching the precision target.
+func ParamsFor(precisionBits int, maxSummands int64) (Params, error) {
+	if precisionBits < 1 || maxSummands < 1 {
+		return Params{}, fmt.Errorf("hallberg: invalid targets (%d bits, %d summands)",
+			precisionBits, maxSummands)
+	}
+	for m := 62; m >= 1; m-- {
+		if int64(1)<<uint(63-m) >= maxSummands {
+			n := (precisionBits + m - 1) / m
+			if n%2 == 1 {
+				n++ // keep the even split of the original method
+			}
+			p := New(n, m)
+			if err := p.Validate(); err != nil {
+				return Params{}, err
+			}
+			return p, nil
+		}
+	}
+	return Params{}, fmt.Errorf("hallberg: no M accommodates %d summands", maxSummands)
+}
+
+// Num is a Hallberg-format number. Limb 0 is least significant, with weight
+// 2^(M*(0-F)). The zero value is unusable; use NewNum.
+type Num struct {
+	p     Params
+	limbs []int64
+}
+
+// NewNum returns a zero number with parameters p, panicking if p is invalid.
+func NewNum(p Params) *Num {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Num{p: p, limbs: make([]int64, p.N)}
+}
+
+// NumFromLimbs builds a number directly from a limb vector (least
+// significant first), e.g. when deserializing a partial sum received from
+// another process. The limbs are copied.
+func NumFromLimbs(p Params, limbs []int64) (*Num, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(limbs) != p.N {
+		return nil, fmt.Errorf("hallberg: %d limbs for N=%d", len(limbs), p.N)
+	}
+	z := NewNum(p)
+	copy(z.limbs, limbs)
+	return z, nil
+}
+
+// Params returns the number's format.
+func (x *Num) Params() Params { return x.p }
+
+// Limbs returns a copy of the limb vector, least significant first.
+func (x *Num) Limbs() []int64 {
+	out := make([]int64, len(x.limbs))
+	copy(out, x.limbs)
+	return out
+}
+
+// SetZero resets x to zero (the canonical zero: all limbs zero).
+func (x *Num) SetZero() *Num {
+	for i := range x.limbs {
+		x.limbs[i] = 0
+	}
+	return x
+}
+
+// Clone returns an independent copy.
+func (x *Num) Clone() *Num {
+	z := &Num{p: x.p, limbs: make([]int64, len(x.limbs))}
+	copy(z.limbs, x.limbs)
+	return z
+}
+
+// SetFloat64 converts v exactly into x, peeling M bits per limb from the
+// most significant limb downward with 2 floating-point multiplies and 1 add
+// per limb, as in the original method ([11]; the paper's §IV.A op counts
+// describe this loop). Every step is exact: the truncated part of v is
+// representable, so the remainder subtraction incurs no rounding.
+func (x *Num) SetFloat64(v float64) error {
+	x.SetZero()
+	if v == 0 {
+		return nil
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return ErrNotFinite
+	}
+	if math.Abs(v) >= p2(x.p.M*(x.p.N-x.p.F)) {
+		return ErrOverflow
+	}
+	rem := v
+	for i := x.p.N - 1; i >= 0 && rem != 0; i-- {
+		w := p2(x.p.M * (i - x.p.F))                // weight of limb i
+		a := math.Trunc(rem * p2(-x.p.M*(i-x.p.F))) // rem / w, toward zero
+		x.limbs[i] = int64(a)
+		rem -= a * w
+	}
+	if rem != 0 {
+		// Bits below the resolution 2^(-M*F) remain: silently truncating
+		// them would break exactness, so reject (the original method has
+		// no such check; the checked path makes the comparison fair).
+		x.SetZero()
+		return ErrUnderflow
+	}
+	return nil
+}
+
+// p2 returns 2^e as a float64.
+func p2(e int) float64 { return math.Ldexp(1, e) }
+
+// Add adds y into x limb-wise with no carry propagation — the core of the
+// method's speed. The caller must respect the MaxSummands budget; use
+// Accumulator for a checked wrapper.
+func (x *Num) Add(y *Num) {
+	if x.p != y.p {
+		panic(ErrParamMismatch)
+	}
+	for i, l := range y.limbs {
+		x.limbs[i] += l
+	}
+}
+
+// Neg negates x limb-wise.
+func (x *Num) Neg() *Num {
+	for i := range x.limbs {
+		x.limbs[i] = -x.limbs[i]
+	}
+	return x
+}
+
+// Normalize rewrites x into canonical form, resolving the aliasing inherent
+// in the representation: afterwards every limb except the most significant
+// lies in [0, 2^M), and the most significant carries the sign. Two limb
+// vectors denote the same real number iff their normalized forms are
+// identical. Returns x, or an error if the value cannot be normalized
+// because the most significant limb overflows.
+func (x *Num) Normalize() (*Num, error) {
+	var carry int64
+	m := uint(x.p.M)
+	base := int64(1) << m
+	for i := 0; i < x.p.N; i++ {
+		v := x.limbs[i] + carry
+		// Floor division by 2^M.
+		carry = v >> m
+		x.limbs[i] = v - carry<<m
+	}
+	if carry != 0 && carry != -1 {
+		return x, ErrOverflow
+	}
+	if carry == -1 {
+		// Negative value: fold the sign into the most significant limb.
+		x.limbs[x.p.N-1] -= base
+		// Re-canonicalize: sweep the negative sign downward so that all
+		// lower limbs stay in [0, 2^M) and only the top limb is negative.
+		// One pass suffices because only the top limb changed.
+	}
+	return x, nil
+}
+
+// IsZero reports whether x denotes exactly zero. It normalizes a copy, so
+// it is alias-safe.
+func (x *Num) IsZero() bool {
+	c := x.Clone()
+	if _, err := c.Normalize(); err != nil {
+		return false
+	}
+	for _, l := range c.limbs {
+		if l != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether x and y denote the same real number (comparing
+// normalized forms, so aliased representations compare equal).
+func (x *Num) Equal(y *Num) bool {
+	if x.p != y.p {
+		return false
+	}
+	a := x.Clone()
+	b := y.Clone()
+	if _, err := a.Normalize(); err != nil {
+		return false
+	}
+	if _, err := b.Normalize(); err != nil {
+		return false
+	}
+	for i := range a.limbs {
+		if a.limbs[i] != b.limbs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Float64 converts x to float64 by normalizing a copy and accumulating the
+// limbs most-significant first. This mirrors the original method's
+// conversion; the result can differ from correct rounding by double
+// rounding in rare cases (use Rat for exact comparisons).
+func (x *Num) Float64() float64 {
+	c := x.Clone()
+	if _, err := c.Normalize(); err != nil {
+		return math.Inf(sign(x))
+	}
+	v := 0.0
+	for i := c.p.N - 1; i >= 0; i-- {
+		v += float64(c.limbs[i]) * p2(c.p.M*(i-c.p.F))
+	}
+	return v
+}
+
+// sign returns the sign of the most significant nonzero limb.
+func sign(x *Num) int {
+	for i := len(x.limbs) - 1; i >= 0; i-- {
+		if x.limbs[i] != 0 {
+			if x.limbs[i] < 0 {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 1
+}
+
+// Rat returns the exact value of x as a rational number.
+func (x *Num) Rat() *big.Rat {
+	sum := new(big.Rat)
+	term := new(big.Rat)
+	two := big.NewInt(2)
+	for i, l := range x.limbs {
+		if l == 0 {
+			continue
+		}
+		e := x.p.M * (i - x.p.F)
+		term.SetInt64(l)
+		if e >= 0 {
+			scale := new(big.Int).Exp(two, big.NewInt(int64(e)), nil)
+			term.Mul(term, new(big.Rat).SetInt(scale))
+		} else {
+			scale := new(big.Int).Exp(two, big.NewInt(int64(-e)), nil)
+			term.Quo(term, new(big.Rat).SetInt(scale))
+		}
+		sum.Add(sum, term)
+	}
+	return sum
+}

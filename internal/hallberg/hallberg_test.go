@@ -1,0 +1,464 @@
+package hallberg
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		p  Params
+		ok bool
+	}{
+		{New(10, 38), true},
+		{New(2, 62), true},
+		{Params{N: 4, M: 32, F: 0}, true},
+		{Params{N: 4, M: 32, F: 4}, true},
+		{Params{N: 0, M: 38, F: 0}, false},
+		{Params{N: 4, M: 0, F: 2}, false},
+		{Params{N: 4, M: 63, F: 2}, false},
+		{Params{N: 4, M: 32, F: 5}, false},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.p, err, c.ok)
+		}
+	}
+}
+
+// TestTable2 reproduces the paper's Table 2: (N, M) pairs giving ~512-bit
+// precision for increasing summand budgets.
+func TestTable2(t *testing.T) {
+	cases := []struct {
+		maxSummands int64
+		wantN       int
+		wantM       int
+		wantBits    int
+	}{
+		{2048, 10, 52, 520},
+		{1 << 20, 12, 43, 516},
+		{64 << 20, 14, 37, 518},
+	}
+	for _, c := range cases {
+		p, err := ParamsFor(512, c.maxSummands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.N != c.wantN || p.M != c.wantM {
+			t.Errorf("ParamsFor(512, %d) = (N=%d, M=%d), want (N=%d, M=%d)",
+				c.maxSummands, p.N, p.M, c.wantN, c.wantM)
+		}
+		if got := p.PrecisionBits(); got != c.wantBits {
+			t.Errorf("PrecisionBits = %d, want %d", got, c.wantBits)
+		}
+		if p.MaxSummands() < c.maxSummands {
+			t.Errorf("MaxSummands = %d < requested %d", p.MaxSummands(), c.maxSummands)
+		}
+	}
+}
+
+func TestMaxSummandsFormula(t *testing.T) {
+	// Paper §II.B: the carry buffer holds 2^(63-M) - 1 carries, i.e.
+	// 2^(63-M) summands (Table 2).
+	if got := New(10, 52).MaxCarries(); got != 2047 {
+		t.Errorf("M=52 carries: %d, want 2047", got)
+	}
+	if got := New(10, 52).MaxSummands(); got != 2048 {
+		t.Errorf("M=52 summands: %d, want 2048", got)
+	}
+	if got := New(12, 43).MaxSummands(); got != 1<<20 {
+		t.Errorf("M=43 summands: %d, want 2^20", got)
+	}
+}
+
+func TestSetFloat64RoundTrip(t *testing.T) {
+	p := New(10, 38) // the paper's strong-scaling baseline format
+	r := rng.New(1)
+	n := NewNum(p)
+	for i := 0; i < 2000; i++ {
+		x := r.Exp2Uniform(-120, 120)
+		if err := n.SetFloat64(x); err != nil {
+			t.Fatalf("SetFloat64(%g): %v", x, err)
+		}
+		if got := n.Float64(); got != x {
+			t.Fatalf("round trip %g -> %g", x, got)
+		}
+		if n.Rat().Cmp(exactRat(x)) != 0 {
+			t.Fatalf("Rat(%g) inexact", x)
+		}
+	}
+}
+
+func exactRat(x float64) *big.Rat {
+	a := exact.New()
+	a.Add(x)
+	return a.Rat()
+}
+
+func TestSetFloat64Errors(t *testing.T) {
+	p := New(4, 30) // range 2^60, resolution 2^-60
+	n := NewNum(p)
+	if err := n.SetFloat64(math.NaN()); err != ErrNotFinite {
+		t.Errorf("NaN: %v", err)
+	}
+	if err := n.SetFloat64(math.Inf(1)); err != ErrNotFinite {
+		t.Errorf("Inf: %v", err)
+	}
+	if err := n.SetFloat64(math.Ldexp(1, 61)); err != ErrOverflow {
+		t.Errorf("2^61: %v", err)
+	}
+	if err := n.SetFloat64(math.Ldexp(1, -61)); err != ErrUnderflow {
+		t.Errorf("2^-61: %v", err)
+	}
+	if err := n.SetFloat64(math.Ldexp(1, 59)); err != nil {
+		t.Errorf("2^59: %v", err)
+	}
+	n.SetFloat64(math.Ldexp(1, -61))
+	for _, l := range n.Limbs() {
+		if l != 0 {
+			t.Error("failed conversion left residue")
+		}
+	}
+}
+
+func TestAddAndOrderInvariance(t *testing.T) {
+	p := New(10, 38)
+	r := rng.New(2)
+	xs := rng.UniformSet(r, 5000, -0.5, 0.5)
+	a := NewAccumulator(p)
+	a.AddAll(xs)
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+	b := NewAccumulator(p)
+	b.AddAll(rng.Reorder(r, xs))
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	// Limb-wise sums are integer additions: bit-identical across orders.
+	la, lb := a.Sum().Limbs(), b.Sum().Limbs()
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("limb %d differs across orders", i)
+		}
+	}
+	// And the value matches the exact oracle.
+	oracle := exact.New()
+	oracle.AddAll(xs)
+	if a.Sum().Rat().Cmp(oracle.Rat()) != 0 {
+		t.Error("Hallberg sum diverged from oracle")
+	}
+}
+
+func TestZeroSumExactness(t *testing.T) {
+	p := New(6, 40)
+	r := rng.New(3)
+	xs := rng.ZeroSum(r, 1024, 0.001)
+	a := NewAccumulator(p)
+	a.AddAll(xs)
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+	if !a.Sum().IsZero() {
+		t.Errorf("zero-sum set: got %s", a.Sum().Rat().RatString())
+	}
+	if got := a.Float64(); got != 0 {
+		t.Errorf("Float64 = %g, want 0", got)
+	}
+}
+
+// Aliasing (paper §II.B): different limb vectors can denote the same value;
+// Normalize must canonicalize them and Equal must see through the aliasing.
+func TestAliasingAndNormalize(t *testing.T) {
+	p := New(4, 20)
+	// Build 1.0 two ways: directly, and as 0.5 + 0.5 (which leaves a
+	// different pre-normalization limb pattern than the direct encoding
+	// of 1.0 only if intermediate carries differ — force a clearly
+	// aliased pattern instead via 2^20 lower-limb units).
+	direct := NewNum(p)
+	if err := direct.SetFloat64(1); err != nil {
+		t.Fatal(err)
+	}
+	aliased := NewNum(p)
+	// 1.0 = 2^20 * 2^-20... wait: limb F=2 has weight 2^0; limb 1 has
+	// weight 2^-20. Put 2^20 units in limb 1: same value, different limbs.
+	aliased.limbs[1] = 1 << 20
+	if !direct.Equal(aliased) {
+		t.Error("aliased forms not Equal")
+	}
+	la, lb := direct.Limbs(), aliased.Limbs()
+	sameRaw := true
+	for i := range la {
+		if la[i] != lb[i] {
+			sameRaw = false
+		}
+	}
+	if sameRaw {
+		t.Error("test did not construct a genuine alias")
+	}
+	if _, err := aliased.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	lb = aliased.Limbs()
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Errorf("normalized alias differs at limb %d: %d vs %d", i, la[i], lb[i])
+		}
+	}
+}
+
+func TestNormalizeNegative(t *testing.T) {
+	p := New(4, 20)
+	n := NewNum(p)
+	if err := n.SetFloat64(-1.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	limbs := n.Limbs()
+	for i := 0; i < p.N-1; i++ {
+		if limbs[i] < 0 || limbs[i] >= 1<<20 {
+			t.Errorf("limb %d = %d not in [0, 2^20)", i, limbs[i])
+		}
+	}
+	if got := n.Float64(); got != -1.5 {
+		t.Errorf("value after normalize = %g", got)
+	}
+	if n.Rat().Cmp(exactRat(-1.5)) != 0 {
+		t.Error("exact value changed by normalize")
+	}
+}
+
+func TestNegAndCancellation(t *testing.T) {
+	p := New(10, 38)
+	r := rng.New(4)
+	x := r.Uniform(-0.5, 0.5)
+	a := NewNum(p)
+	if err := a.SetFloat64(x); err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone().Neg()
+	a.Add(b)
+	if !a.IsZero() {
+		t.Error("x + (-x) != 0")
+	}
+}
+
+func TestAccumulatorBudget(t *testing.T) {
+	p := New(2, 61) // MaxSummands = 4
+	a := NewAccumulator(p)
+	for i := 0; i < 4; i++ {
+		a.Add(0.5)
+	}
+	if a.Err() != nil {
+		t.Fatalf("within budget: %v", a.Err())
+	}
+	a.Add(0.5)
+	if a.Err() != ErrTooManySummands {
+		t.Errorf("Err = %v, want ErrTooManySummands", a.Err())
+	}
+	if a.Count() != 5 {
+		t.Errorf("Count = %d", a.Count())
+	}
+}
+
+func TestAccumulatorAddNum(t *testing.T) {
+	p := New(10, 38)
+	a := NewAccumulator(p)
+	a.Add(1.5)
+	part := NewAccumulator(p)
+	part.Add(2.5)
+	part.Add(-1.0)
+	a.AddNum(part.Sum(), part.Count())
+	if got := a.Float64(); got != 3 {
+		t.Errorf("combined = %g, want 3", got)
+	}
+	if a.Count() != 3 {
+		t.Errorf("Count = %d, want 3", a.Count())
+	}
+	wrong := NewNum(New(4, 20))
+	a.AddNum(wrong, 1)
+	if a.Err() != ErrParamMismatch {
+		t.Errorf("Err = %v", a.Err())
+	}
+}
+
+// A carry-budget violation really does corrupt the sum: overflow a limb by
+// exceeding MaxSummands with same-signed values at one scale.
+func TestBudgetViolationCorrupts(t *testing.T) {
+	p := New(2, 61) // 1 headroom bit: limbs overflow after ~4 adds
+	v := 0.75       // two payload bits in the fractional limb
+	a := NewAccumulator(p)
+	oracle := exact.New()
+	for i := 0; i < 10; i++ {
+		a.Add(v)
+		oracle.Add(v)
+	}
+	if a.Err() != ErrTooManySummands {
+		t.Fatalf("expected budget error, got %v", a.Err())
+	}
+	if a.Sum().Rat().Cmp(oracle.Rat()) == 0 {
+		t.Skip("limb happened not to overflow; value pattern too benign")
+	}
+	// The corruption is what the error is for: reaching here proves the
+	// detection fired exactly when needed.
+}
+
+func TestFloat64OnOverflowedNormalize(t *testing.T) {
+	p := New(2, 20)
+	n := NewNum(p)
+	n.limbs[1] = 1 << 62 // far beyond canonical range for the top limb
+	if _, err := n.Normalize(); err != ErrOverflow {
+		t.Errorf("Normalize: %v, want ErrOverflow", err)
+	}
+}
+
+func TestSumHelper(t *testing.T) {
+	p := New(10, 38)
+	r := rng.New(5)
+	xs := rng.UniformSet(r, 1000, -0.5, 0.5)
+	got, err := Sum(p, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exact.Sum(xs)
+	// Hallberg's float conversion is not guaranteed correctly rounded;
+	// allow 1 ulp.
+	if math.Abs(got-want) > math.Abs(want)*1e-15 {
+		t.Errorf("Sum = %g, oracle %g", got, want)
+	}
+}
+
+func TestAnalysisModel(t *testing.T) {
+	// Block counts (eq. 3).
+	if got := BlocksHP(511); got != 8 {
+		t.Errorf("BlocksHP(511) = %d, want 8", got)
+	}
+	if got := BlocksHallberg(512, 43); got != 12 {
+		t.Errorf("BlocksHallberg(512,43) = %d, want 12", got)
+	}
+	// eq. 6: lower M raises the guaranteed HP advantage.
+	if SpeedupLowerBound(1, 37) <= SpeedupLowerBound(1, 52) {
+		t.Error("speedup bound must increase as M decreases")
+	}
+	// eq. 5 approaches eq. 6 * 2 as b grows and exceeds eq. 6 for b > 65.
+	if SpeedupBoundEq5(1, 512, 43) <= SpeedupLowerBound(1, 43) {
+		t.Error("eq.5 bound should exceed eq.6 bound at b=512")
+	}
+	// eq. 4 with equal per-block costs is just the block ratio.
+	if got := PredictedSpeedup(1, 512, 43); got != 12.0/9.0 {
+		t.Errorf("PredictedSpeedup = %g, want 12/9", got)
+	}
+}
+
+func TestParamsAccessors(t *testing.T) {
+	p := New(10, 38)
+	if got := p.MaxRange(); got != math.Ldexp(1, 38*5) {
+		t.Errorf("MaxRange = %g", got)
+	}
+	if got := p.Smallest(); got != math.Ldexp(1, -38*5) {
+		t.Errorf("Smallest = %g", got)
+	}
+	if got := p.String(); got != "Hallberg(N=10,M=38)" {
+		t.Errorf("String = %q", got)
+	}
+	n := NewNum(p)
+	if n.Params() != p {
+		t.Error("Num.Params")
+	}
+	acc := NewAccumulator(p)
+	if acc.Params() != p {
+		t.Error("Accumulator.Params")
+	}
+	acc.Add(1.5)
+	acc.Reset()
+	if acc.Count() != 0 || acc.Err() != nil || !acc.Sum().IsZero() {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestParamsForErrors(t *testing.T) {
+	if _, err := ParamsFor(0, 100); err == nil {
+		t.Error("zero precision accepted")
+	}
+	if _, err := ParamsFor(512, 0); err == nil {
+		t.Error("zero summands accepted")
+	}
+	// M=1 still accommodates 2^62 summands; one more is impossible.
+	if _, err := ParamsFor(512, int64(1)<<62+1); err == nil {
+		t.Error("absurd budget accepted")
+	}
+}
+
+func TestNumFromLimbs(t *testing.T) {
+	p := New(4, 20)
+	orig := NewNum(p)
+	if err := orig.SetFloat64(-7.25); err != nil {
+		t.Fatal(err)
+	}
+	n, err := NumFromLimbs(p, orig.Limbs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Equal(orig) {
+		t.Error("NumFromLimbs round trip differs")
+	}
+	if _, err := NumFromLimbs(p, make([]int64, 3)); err == nil {
+		t.Error("wrong limb count accepted")
+	}
+	if _, err := NumFromLimbs(Params{N: 2, M: 99, F: 1}, make([]int64, 2)); err == nil {
+		t.Error("invalid params accepted")
+	}
+	// The limbs were copied, not aliased.
+	limbs := orig.Limbs()
+	limbs[0] = 42
+	n2, _ := NumFromLimbs(p, limbs)
+	limbs[0] = 7777
+	if n2.Limbs()[0] != 42 {
+		t.Error("NumFromLimbs aliased its input")
+	}
+}
+
+func TestNewNumPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid params accepted")
+		}
+	}()
+	NewNum(Params{N: 1, M: 70, F: 0})
+}
+
+func TestAccumulatorAddFaultPaths(t *testing.T) {
+	p := New(4, 30)
+	acc := NewAccumulator(p)
+	acc.Add(math.NaN())
+	if acc.Err() != ErrNotFinite {
+		t.Errorf("NaN: %v", acc.Err())
+	}
+	// First error sticks.
+	acc.Add(math.Ldexp(1, 100))
+	if acc.Err() != ErrNotFinite {
+		t.Errorf("sticky error replaced: %v", acc.Err())
+	}
+}
+
+func TestIsZeroAndEqualOnOverflowedState(t *testing.T) {
+	p := New(2, 20)
+	a := NewNum(p)
+	a.limbs[1] = 1 << 62 // normalization overflows
+	if a.IsZero() {
+		t.Error("overflowed state reported zero")
+	}
+	b := NewNum(p)
+	if a.Equal(b) || b.Equal(a) {
+		t.Error("overflowed state compared equal to zero")
+	}
+	if a.Equal(NewNum(New(4, 20))) {
+		t.Error("different params compared equal")
+	}
+}

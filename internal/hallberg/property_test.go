@@ -1,0 +1,125 @@
+package hallberg
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+)
+
+// inRange wraps a float64 exactly representable in Hallberg(10, 38):
+// range 2^190, resolution 2^-190, so full 53-bit mantissas fit for
+// exponents in [-130, 180).
+type inRange float64
+
+func (inRange) Generate(r *rand.Rand, _ int) reflect.Value {
+	e := -130 + r.Intn(310)
+	x := math.Ldexp(1+r.Float64(), e)
+	if r.Intn(2) == 1 {
+		x = -x
+	}
+	return reflect.ValueOf(inRange(x))
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+func TestPropRoundTrip(t *testing.T) {
+	p := New(10, 38)
+	f := func(v inRange) bool {
+		n := NewNum(p)
+		if err := n.SetFloat64(float64(v)); err != nil {
+			return false
+		}
+		if n.Float64() != float64(v) {
+			return false
+		}
+		o := exact.New()
+		o.Add(float64(v))
+		return n.Rat().Cmp(o.Rat()) == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSumMatchesOracle(t *testing.T) {
+	p := New(10, 38)
+	f := func(vs [16]inRange) bool {
+		acc := NewAccumulator(p)
+		o := exact.New()
+		for _, v := range vs {
+			acc.Add(float64(v))
+			o.Add(float64(v))
+		}
+		return acc.Err() == nil && acc.Sum().Rat().Cmp(o.Rat()) == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropOrderInvariance(t *testing.T) {
+	p := New(10, 38)
+	f := func(vs [12]inRange) bool {
+		a := NewAccumulator(p)
+		b := NewAccumulator(p)
+		for _, v := range vs {
+			a.Add(float64(v))
+		}
+		for i := len(vs) - 1; i >= 0; i-- {
+			b.Add(float64(vs[i]))
+		}
+		la, lb := a.Sum().Limbs(), b.Sum().Limbs()
+		for i := range la {
+			if la[i] != lb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Normalization is idempotent and value-preserving for arbitrary in-budget
+// accumulated states.
+func TestPropNormalizeIdempotent(t *testing.T) {
+	p := New(6, 40)
+	f := func(vs [20]inRange) bool {
+		acc := NewAccumulator(p)
+		for _, v := range vs {
+			// Scale into (6,40) range: resolution 2^-120, range 2^120.
+			x := float64(v)
+			if math.Abs(x) > 0x1p60 || (x != 0 && math.Abs(x) < 0x1p-60) {
+				continue
+			}
+			acc.Add(x)
+		}
+		before := acc.Sum().Rat()
+		c := acc.Sum().Clone()
+		if _, err := c.Normalize(); err != nil {
+			return false
+		}
+		if c.Rat().Cmp(before) != 0 {
+			return false
+		}
+		limbs1 := c.Limbs()
+		if _, err := c.Normalize(); err != nil {
+			return false
+		}
+		limbs2 := c.Limbs()
+		for i := range limbs1 {
+			if limbs1[i] != limbs2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

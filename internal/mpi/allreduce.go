@@ -1,0 +1,115 @@
+package mpi
+
+import "fmt"
+
+// Alternative reduction topologies. The binomial-tree Reduce+Bcast pair in
+// mpi.go is latency-optimal for short messages; recursive doubling halves
+// the round count for Allreduce; reduce-scatter distributes partial
+// ownership. For EXACTLY associative operators (the HP and Hallberg ops)
+// every topology produces bit-identical results — the property the
+// topology ablation test certifies. For float64 ops, topology changes the
+// combine order and hence the bits, which is precisely the paper's
+// motivating problem.
+
+// tagAllreduceRD is the internal tag space for recursive doubling; each
+// round gets a distinct tag so concurrent rounds cannot be confused when a
+// fast rank laps a slow one.
+const tagAllreduceRDBase = -100
+
+// AllreduceRD performs an allreduce with the recursive-doubling algorithm:
+// ceil(log2 P) rounds in which rank r exchanges its running buffer with
+// r XOR 2^k and both combine. For non-power-of-two worlds, the excess ranks
+// fold into the power-of-two core first and receive the result afterwards.
+// Every rank returns the combined buffer.
+func (c *Comm) AllreduceRD(data []byte, op Op) ([]byte, error) {
+	size := c.w.size
+	acc := make([]byte, len(data))
+	copy(acc, data)
+	if size == 1 {
+		return acc, nil
+	}
+	// Largest power of two <= size.
+	pof2 := 1
+	for pof2*2 <= size {
+		pof2 *= 2
+	}
+	rem := size - pof2
+	// Phase 1: ranks >= pof2 send their data into the core.
+	const tagFold = tagAllreduceRDBase - 1
+	const tagUnfold = tagAllreduceRDBase - 2
+	if c.rank >= pof2 {
+		if err := c.send(c.rank-pof2, tagFold, acc); err != nil {
+			return nil, err
+		}
+		// Wait for the final result.
+		return c.recv(c.rank-pof2, tagUnfold)
+	}
+	if c.rank < rem {
+		in, err := c.recv(c.rank+pof2, tagFold)
+		if err != nil {
+			return nil, err
+		}
+		if err := op(acc, in); err != nil {
+			return nil, err
+		}
+	}
+	// Phase 2: recursive doubling among the pof2 core.
+	for k, mask := 0, 1; mask < pof2; k, mask = k+1, mask<<1 {
+		partner := c.rank ^ mask
+		tag := tagAllreduceRDBase - 3 - k
+		if err := c.send(partner, tag, acc); err != nil {
+			return nil, err
+		}
+		in, err := c.recv(partner, tag)
+		if err != nil {
+			return nil, err
+		}
+		// Combine in a rank-independent canonical order (lower rank's data
+		// first) so all ranks end with IDENTICAL bytes even for
+		// non-associative, non-commutative-rounding ops like float64 sum.
+		if c.rank < partner {
+			if err := op(acc, in); err != nil {
+				return nil, err
+			}
+		} else {
+			merged := make([]byte, len(in))
+			copy(merged, in)
+			if err := op(merged, acc); err != nil {
+				return nil, err
+			}
+			acc = merged
+		}
+	}
+	// Phase 3: deliver to the folded ranks.
+	if c.rank < rem {
+		if err := c.send(c.rank+pof2, tagUnfold, acc); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// ReduceScatterBlock reduces equal-size blocks element-wise across ranks
+// and leaves rank r owning combined block r (MPI_Reduce_scatter_block):
+// data must be size*blockLen bytes, laid out as size consecutive blocks.
+// Implemented as a tree reduce at rank 0 followed by a scatter, which is
+// simple and — for exact ops — bit-identical to any other schedule.
+func (c *Comm) ReduceScatterBlock(data []byte, blockLen int, op Op) ([]byte, error) {
+	size := c.w.size
+	if blockLen <= 0 || len(data) != size*blockLen {
+		return nil, fmt.Errorf("mpi: reduce-scatter buffer %d bytes, want %d*%d",
+			len(data), size, blockLen)
+	}
+	combined, err := c.Reduce(0, data, op)
+	if err != nil {
+		return nil, err
+	}
+	var parts [][]byte
+	if c.rank == 0 {
+		parts = make([][]byte, size)
+		for r := 0; r < size; r++ {
+			parts[r] = combined[r*blockLen : (r+1)*blockLen]
+		}
+	}
+	return c.Scatter(0, parts)
+}

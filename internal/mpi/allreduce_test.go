@@ -1,0 +1,116 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestAllreduceRDMatchesTreeForHP(t *testing.T) {
+	p := core.Params384
+	r := rng.New(57)
+	xs := rng.UniformSet(r, 1<<10, -0.5, 0.5)
+	for _, size := range []int{1, 2, 3, 5, 8, 13, 16} {
+		err := Run(size, func(c *Comm) error {
+			lo := c.Rank() * len(xs) / size
+			hi := (c.Rank() + 1) * len(xs) / size
+			acc := core.NewAccumulator(p)
+			acc.AddAll(xs[lo:hi])
+			if acc.Err() != nil {
+				return acc.Err()
+			}
+			local := EncodeHP(acc.Sum())
+
+			tree, err := c.Allreduce(local, OpSumHP(p))
+			if err != nil {
+				return err
+			}
+			rd, err := c.AllreduceRD(local, OpSumHP(p))
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(tree, rd) {
+				return fmt.Errorf("rank %d: topology changed the exact result", c.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+// With the float64 op, recursive doubling must still leave every rank with
+// IDENTICAL bytes (the canonical combine order), even though the value may
+// differ from the tree reduction's.
+func TestAllreduceRDConsistentAcrossRanks(t *testing.T) {
+	for _, size := range []int{2, 3, 6, 8} {
+		var mu sync.Mutex
+		results := map[int][]byte{}
+		err := Run(size, func(c *Comm) error {
+			local := EncodeFloat64s([]float64{0.1 * float64(c.Rank()+1)})
+			out, err := c.AllreduceRD(local, OpSumFloat64)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			results[c.Rank()] = out
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		for rank, buf := range results {
+			if !bytes.Equal(buf, results[0]) {
+				t.Errorf("size %d: rank %d bytes differ from rank 0", size, rank)
+			}
+		}
+	}
+}
+
+func TestReduceScatterBlock(t *testing.T) {
+	const size = 4
+	err := Run(size, func(c *Comm) error {
+		// Each rank contributes blocks [rank+1, rank+1, ...]: combined
+		// block value = sum over ranks = 1+2+3+4 = 10 in every block.
+		local := make([]float64, size)
+		for i := range local {
+			local[i] = float64(c.Rank() + 1)
+		}
+		mine, err := c.ReduceScatterBlock(EncodeFloat64s(local), 8, OpSumFloat64)
+		if err != nil {
+			return err
+		}
+		vals, err := DecodeFloat64s(mine)
+		if err != nil {
+			return err
+		}
+		if len(vals) != 1 || vals[0] != 10 {
+			return fmt.Errorf("rank %d owns %v, want [10]", c.Rank(), vals)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterBlockValidation(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if _, err := c.ReduceScatterBlock(make([]byte, 7), 8, OpSumFloat64); err == nil {
+			return fmt.Errorf("ragged buffer accepted")
+		}
+		if _, err := c.ReduceScatterBlock(make([]byte, 16), 0, OpSumFloat64); err == nil {
+			return fmt.Errorf("zero block accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,397 @@
+// Package mpi is an in-process message-passing substrate standing in for
+// the MPI environment of the paper's Figure 6. A world of P ranks runs as P
+// goroutines; each rank owns a Comm handle providing point-to-point sends
+// and receives (eager, buffered, FIFO-ordered per sender/receiver pair with
+// tag matching) and the collectives the experiment needs: Barrier, Bcast,
+// Reduce, Allreduce, Gather, and Scatter, with binomial-tree reduction and
+// user-defined reduction operators over byte buffers — the analogue of the
+// custom MPI datatype + MPI_Op the paper builds for HP values.
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Op combines two encoded values: inout = combine(inout, in). Ops used with
+// Reduce must be commutative and associative over the encoded domain (the
+// HP and Hallberg ops are; the float64 op is commutative but only
+// approximately associative, which is exactly the paper's problem).
+type Op func(inout, in []byte) error
+
+// message is one in-flight payload.
+type message struct {
+	tag  int
+	data []byte
+}
+
+// mailbox is the unbounded FIFO queue for one (src, dst) pair.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(tag int, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	m.queue = append(m.queue, message{tag: tag, data: cp})
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// take removes and returns the earliest message with the given tag,
+// blocking until one arrives. Messages with other tags stay queued.
+func (m *mailbox) take(tag int) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if msg.tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg.data
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// world is the shared state of one Run invocation (or one Split group).
+type world struct {
+	size  int
+	boxes [][]*mailbox // boxes[dst][src]
+
+	splitMu sync.Mutex
+	split   *splitState
+}
+
+// newWorld allocates the mailbox matrix for size ranks.
+func newWorld(size int) *world {
+	w := &world{size: size, boxes: make([][]*mailbox, size)}
+	for dst := range w.boxes {
+		w.boxes[dst] = make([]*mailbox, size)
+		for src := range w.boxes[dst] {
+			w.boxes[dst][src] = newMailbox()
+		}
+	}
+	return w
+}
+
+// Comm is a rank's communicator handle. A Comm is owned by one goroutine
+// and must not be shared.
+type Comm struct {
+	rank int
+	w    *world
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// Internal tag space: user tags must be >= 0.
+const (
+	tagBarrier = -1 - iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+)
+
+// Run executes fn on every rank of a size-rank world concurrently and
+// returns the joined errors of all ranks (nil if every rank succeeded).
+func Run(size int, fn func(c *Comm) error) error {
+	if size < 1 {
+		return fmt.Errorf("mpi: world size %d", size)
+	}
+	w := newWorld(size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = fn(&Comm{rank: rank, w: w})
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Send delivers data to rank dst with the given user tag (tag >= 0). The
+// send is eager: it buffers a copy and returns immediately, like an
+// MPI_Send of a small message.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if tag < 0 {
+		return fmt.Errorf("mpi: user tag %d must be >= 0", tag)
+	}
+	return c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= c.w.size {
+		return fmt.Errorf("mpi: send to invalid rank %d (size %d)", dst, c.w.size)
+	}
+	c.w.boxes[dst][c.rank].put(tag, data)
+	return nil
+}
+
+// Recv blocks until a message with the given tag arrives from rank src and
+// returns its payload. Messages from the same sender are matched in send
+// order (MPI's non-overtaking guarantee).
+func (c *Comm) Recv(src, tag int) ([]byte, error) {
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: user tag %d must be >= 0", tag)
+	}
+	return c.recv(src, tag)
+}
+
+func (c *Comm) recv(src, tag int) ([]byte, error) {
+	if src < 0 || src >= c.w.size {
+		return nil, fmt.Errorf("mpi: recv from invalid rank %d (size %d)", src, c.w.size)
+	}
+	return c.w.boxes[c.rank][src].take(tag), nil
+}
+
+// Barrier blocks until every rank has entered the barrier, using the
+// dissemination algorithm (ceil(log2 P) rounds).
+func (c *Comm) Barrier() error {
+	size := c.w.size
+	for dist := 1; dist < size; dist <<= 1 {
+		to := (c.rank + dist) % size
+		from := (c.rank - dist%size + size) % size
+		if err := c.send(to, tagBarrier, nil); err != nil {
+			return err
+		}
+		if _, err := c.recv(from, tagBarrier); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's data to every rank along a binomial tree and
+// returns each rank's copy. Non-root ranks pass data = nil.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	size := c.w.size
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("mpi: bcast root %d", root)
+	}
+	vrank := (c.rank - root + size) % size
+	// Receive once from the parent (unless root)...
+	mask := 1
+	for mask < size {
+		if vrank&mask != 0 {
+			parent := (vrank - mask + root) % size
+			var err error
+			data, err = c.recv(parent, tagBcast)
+			if err != nil {
+				return nil, err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	// ...then forward to children below the split point.
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < size {
+			child := (vrank + mask + root) % size
+			if err := c.send(child, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+// Reduce combines every rank's data with op along a binomial tree rooted at
+// root. On root it returns the combined buffer; on other ranks it returns
+// nil. The combine order is fixed by the tree, so results are bit-identical
+// across runs for a fixed world size (and identical for ANY size when op is
+// truly associative, as with HP).
+func (c *Comm) Reduce(root int, data []byte, op Op) ([]byte, error) {
+	size := c.w.size
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("mpi: reduce root %d", root)
+	}
+	vrank := (c.rank - root + size) % size
+	acc := make([]byte, len(data))
+	copy(acc, data)
+	for mask := 1; mask < size; mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := (vrank - mask + root) % size
+			return nil, c.send(parent, tagReduce, acc)
+		}
+		partner := vrank + mask
+		if partner < size {
+			in, err := c.recv((partner+root)%size, tagReduce)
+			if err != nil {
+				return nil, err
+			}
+			if err := op(acc, in); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast: every rank receives the
+// combined buffer.
+func (c *Comm) Allreduce(data []byte, op Op) ([]byte, error) {
+	acc, err := c.Reduce(0, data, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.Bcast(0, acc)
+}
+
+// Gather collects every rank's buffer at root. On root it returns a slice
+// indexed by rank; on other ranks it returns nil.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	size := c.w.size
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("mpi: gather root %d", root)
+	}
+	if c.rank != root {
+		return nil, c.send(root, tagGather, data)
+	}
+	out := make([][]byte, size)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	out[root] = cp
+	for r := 0; r < size; r++ {
+		if r == root {
+			continue
+		}
+		buf, err := c.recv(r, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = buf
+	}
+	return out, nil
+}
+
+// Allgather collects every rank's buffer at every rank: each rank returns
+// a slice indexed by rank. Implemented as Gather to rank 0 followed by a
+// broadcast of the concatenation.
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	all, err := c.Gather(0, data)
+	if err != nil {
+		return nil, err
+	}
+	// Root flattens with a length prefix per part; everyone unpacks.
+	var flat []byte
+	if c.rank == 0 {
+		for _, part := range all {
+			flat = appendUint32(flat, uint32(len(part)))
+			flat = append(flat, part...)
+		}
+	}
+	flat, err = c.Bcast(0, flat)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, c.w.size)
+	off := 0
+	for r := range out {
+		if off+4 > len(flat) {
+			return nil, fmt.Errorf("mpi: allgather decode underrun at rank %d", r)
+		}
+		n := int(uint32(flat[off])<<24 | uint32(flat[off+1])<<16 |
+			uint32(flat[off+2])<<8 | uint32(flat[off+3]))
+		off += 4
+		if off+n > len(flat) {
+			return nil, fmt.Errorf("mpi: allgather decode underrun at rank %d", r)
+		}
+		out[r] = append([]byte(nil), flat[off:off+n]...)
+		off += n
+	}
+	return out, nil
+}
+
+func appendUint32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Scatter distributes parts[r] from root to each rank r and returns this
+// rank's part. Non-root ranks pass parts = nil.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	size := c.w.size
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("mpi: scatter root %d", root)
+	}
+	if c.rank == root {
+		if len(parts) != size {
+			return nil, fmt.Errorf("mpi: scatter with %d parts for %d ranks",
+				len(parts), size)
+		}
+		for r := 0; r < size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.send(r, tagScatter, parts[r]); err != nil {
+				return nil, err
+			}
+		}
+		cp := make([]byte, len(parts[root]))
+		copy(cp, parts[root])
+		return cp, nil
+	}
+	return c.recv(root, tagScatter)
+}
+
+// OpSumFloat64 is the reduction operator for buffers of big-endian float64
+// vectors: element-wise floating-point addition (the conventional
+// MPI_SUM / MPI_DOUBLE pairing whose non-associativity the paper targets).
+func OpSumFloat64(inout, in []byte) error {
+	if len(inout) != len(in) || len(inout)%8 != 0 {
+		return fmt.Errorf("mpi: float64 op on %d/%d bytes", len(inout), len(in))
+	}
+	for i := 0; i < len(inout); i += 8 {
+		a := math.Float64frombits(binary.BigEndian.Uint64(inout[i:]))
+		b := math.Float64frombits(binary.BigEndian.Uint64(in[i:]))
+		binary.BigEndian.PutUint64(inout[i:], math.Float64bits(a+b))
+	}
+	return nil
+}
+
+// EncodeFloat64s packs xs into a big-endian byte buffer for OpSumFloat64.
+func EncodeFloat64s(xs []float64) []byte {
+	buf := make([]byte, 0, 8*len(xs))
+	for _, x := range xs {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return buf
+}
+
+// DecodeFloat64s unpacks a buffer written by EncodeFloat64s.
+func DecodeFloat64s(buf []byte) ([]float64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("mpi: float64 buffer of %d bytes", len(buf))
+	}
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,491 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRunBasics(t *testing.T) {
+	var ran atomic.Int32
+	err := Run(5, func(c *Comm) error {
+		if c.Size() != 5 {
+			t.Errorf("Size = %d", c.Size())
+		}
+		if c.Rank() < 0 || c.Rank() >= 5 {
+			t.Errorf("Rank = %d", c.Rank())
+		}
+		ran.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 5 {
+		t.Errorf("ran %d ranks", ran.Load())
+	}
+	if err := Run(0, func(*Comm) error { return nil }); err == nil {
+		t.Error("size 0 accepted")
+	}
+}
+
+func TestRunCollectsErrorsAndPanics(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := Run(4, func(c *Comm) error {
+		switch c.Rank() {
+		case 1:
+			return sentinel
+		case 2:
+			panic("kaboom")
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error lost: %v", err)
+	}
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("kaboom")) {
+		t.Errorf("panic not captured: %v", err)
+	}
+}
+
+func TestSendRecvRing(t *testing.T) {
+	const size = 8
+	err := Run(size, func(c *Comm) error {
+		next := (c.Rank() + 1) % size
+		prev := (c.Rank() - 1 + size) % size
+		if err := c.Send(next, 7, []byte{byte(c.Rank())}); err != nil {
+			return err
+		}
+		got, err := c.Recv(prev, 7)
+		if err != nil {
+			return err
+		}
+		if len(got) != 1 || got[0] != byte(prev) {
+			return fmt.Errorf("rank %d got %v from %d", c.Rank(), got, prev)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvOrderingPerPair(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 100; i++ {
+				if err := c.Send(1, 3, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 100; i++ {
+			got, err := c.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			if got[0] != byte(i) {
+				return fmt.Errorf("message %d arrived as %d", i, got[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 10, []byte("first-tag10")); err != nil {
+				return err
+			}
+			return c.Send(1, 20, []byte("then-tag20"))
+		}
+		// Receive in the opposite tag order: the tag-20 message must be
+		// matched even though a tag-10 message is queued ahead of it.
+		got20, err := c.Recv(0, 20)
+		if err != nil {
+			return err
+		}
+		got10, err := c.Recv(0, 10)
+		if err != nil {
+			return err
+		}
+		if string(got20) != "then-tag20" || string(got10) != "first-tag10" {
+			return fmt.Errorf("mismatched: %q %q", got20, got10)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvValidation(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if err := c.Send(5, 0, nil); err == nil {
+			return errors.New("invalid dst accepted")
+		}
+		if err := c.Send(0, -3, nil); err == nil {
+			return errors.New("negative tag accepted")
+		}
+		if _, err := c.Recv(9, 0); err == nil {
+			return errors.New("invalid src accepted")
+		}
+		if _, err := c.Recv(0, -1); err == nil {
+			return errors.New("negative recv tag accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte{1, 2, 3}
+			if err := c.Send(1, 0, buf); err != nil {
+				return err
+			}
+			buf[0] = 99 // must not affect the delivered message
+			return nil
+		}
+		got, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if got[0] != 1 {
+			return fmt.Errorf("payload aliased: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 7, 16} {
+		var phase atomic.Int32
+		err := Run(size, func(c *Comm) error {
+			for round := int32(0); round < 20; round++ {
+				phase.Add(1)
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				if got := phase.Load(); got < (round+1)*int32(size) {
+					return fmt.Errorf("rank %d escaped barrier early: %d", c.Rank(), got)
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestBcastFromEveryRoot(t *testing.T) {
+	for _, size := range []int{1, 2, 5, 8, 13} {
+		for root := 0; root < size; root++ {
+			err := Run(size, func(c *Comm) error {
+				var buf []byte
+				if c.Rank() == root {
+					buf = []byte(fmt.Sprintf("payload-from-%d", root))
+				}
+				got, err := c.Bcast(root, buf)
+				if err != nil {
+					return err
+				}
+				want := fmt.Sprintf("payload-from-%d", root)
+				if string(got) != want {
+					return fmt.Errorf("rank %d got %q", c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("size %d root %d: %v", size, root, err)
+			}
+		}
+	}
+}
+
+func TestReduceSumFloat64(t *testing.T) {
+	for _, size := range []int{1, 2, 4, 7, 16} {
+		for root := 0; root < size; root += max(1, size/3) {
+			err := Run(size, func(c *Comm) error {
+				local := []float64{float64(c.Rank()), 1}
+				got, err := c.Reduce(root, EncodeFloat64s(local), OpSumFloat64)
+				if err != nil {
+					return err
+				}
+				if c.Rank() != root {
+					if got != nil {
+						return errors.New("non-root received data")
+					}
+					return nil
+				}
+				vals, err := DecodeFloat64s(got)
+				if err != nil {
+					return err
+				}
+				wantSum := float64(size*(size-1)) / 2
+				if vals[0] != wantSum || vals[1] != float64(size) {
+					return fmt.Errorf("reduce = %v, want [%g %g]", vals, wantSum, float64(size))
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("size %d root %d: %v", size, root, err)
+			}
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	const size = 9
+	err := Run(size, func(c *Comm) error {
+		local := []float64{1}
+		got, err := c.Allreduce(EncodeFloat64s(local), OpSumFloat64)
+		if err != nil {
+			return err
+		}
+		vals, err := DecodeFloat64s(got)
+		if err != nil {
+			return err
+		}
+		if vals[0] != size {
+			return fmt.Errorf("rank %d: allreduce = %g", c.Rank(), vals[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	const size = 6
+	const root = 2
+	err := Run(size, func(c *Comm) error {
+		// Scatter rank-specific payloads from root...
+		var parts [][]byte
+		if c.Rank() == root {
+			parts = make([][]byte, size)
+			for r := range parts {
+				parts[r] = []byte{byte(r * 3)}
+			}
+		}
+		mine, err := c.Scatter(root, parts)
+		if err != nil {
+			return err
+		}
+		if len(mine) != 1 || mine[0] != byte(c.Rank()*3) {
+			return fmt.Errorf("rank %d scattered %v", c.Rank(), mine)
+		}
+		// ...transform and gather back.
+		mine[0]++
+		all, err := c.Gather(root, mine)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != root {
+			if all != nil {
+				return errors.New("non-root gather returned data")
+			}
+			return nil
+		}
+		for r, buf := range all {
+			if len(buf) != 1 || buf[0] != byte(r*3+1) {
+				return fmt.Errorf("gathered[%d] = %v", r, buf)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterValidatesParts(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.Scatter(0, [][]byte{{1}}); err == nil {
+				return errors.New("short parts accepted")
+			}
+			// Unblock rank 1 with a proper scatter.
+			_, err := c.Scatter(0, [][]byte{{1}, {2}})
+			return err
+		}
+		_, err := c.Scatter(0, nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The double-precision tree reduction is deterministic for a fixed world
+// size but generally differs across sizes — the phenomenon motivating the
+// paper. The HP op (ops_test.go) must not differ.
+func TestFloat64ReduceDeterministicPerSize(t *testing.T) {
+	r := rng.New(61)
+	xs := rng.UniformSet(r, 1<<12, -0.5, 0.5)
+	sumWith := func(size int) float64 {
+		var result float64
+		err := Run(size, func(c *Comm) error {
+			lo := c.Rank() * len(xs) / size
+			hi := (c.Rank() + 1) * len(xs) / size
+			local := 0.0
+			for _, x := range xs[lo:hi] {
+				local += x
+			}
+			got, err := c.Reduce(0, EncodeFloat64s([]float64{local}), OpSumFloat64)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				vals, err := DecodeFloat64s(got)
+				if err != nil {
+					return err
+				}
+				result = vals[0]
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result
+	}
+	if sumWith(8) != sumWith(8) {
+		t.Error("tree reduction not deterministic for fixed size")
+	}
+}
+
+func TestDecodeFloat64sRejectsRagged(t *testing.T) {
+	if _, err := DecodeFloat64s(make([]byte, 11)); err == nil {
+		t.Error("ragged buffer accepted")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestIsendIrecv(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte{7, 8, 9}
+			req := c.Isend(1, 5, buf)
+			buf[0] = 99 // reuse immediately: payload was copied
+			_, err := req.Wait()
+			return err
+		}
+		req := c.Irecv(0, 5)
+		// Overlap "computation" with the receive.
+		sum := 0
+		for i := 0; i < 1000; i++ {
+			sum += i
+		}
+		got, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if got[0] != 7 || len(got) != 3 {
+			return fmt.Errorf("Irecv got %v (sum %d)", got, sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvValidation(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if _, err := c.Irecv(5, 0).Wait(); err == nil {
+			return errors.New("invalid src accepted")
+		}
+		if _, err := c.Irecv(0, -1).Wait(); err == nil {
+			return errors.New("invalid tag accepted")
+		}
+		var nilReq *Request
+		if _, err := nilReq.Wait(); err == nil {
+			return errors.New("nil request accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvRingExchange(t *testing.T) {
+	// Every rank simultaneously exchanges with both neighbors: the classic
+	// pattern that deadlocks with naive blocking sends.
+	const size = 8
+	err := Run(size, func(c *Comm) error {
+		next := (c.Rank() + 1) % size
+		prev := (c.Rank() - 1 + size) % size
+		got, err := c.Sendrecv(next, 2, []byte{byte(c.Rank())}, prev, 2)
+		if err != nil {
+			return err
+		}
+		if got[0] != byte(prev) {
+			return fmt.Errorf("rank %d got %d", c.Rank(), got[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, size := range []int{1, 2, 5, 8} {
+		err := Run(size, func(c *Comm) error {
+			// Rank-dependent payload lengths exercise the length prefixes.
+			mine := make([]byte, c.Rank()+1)
+			for i := range mine {
+				mine[i] = byte(c.Rank() * 10)
+			}
+			all, err := c.Allgather(mine)
+			if err != nil {
+				return err
+			}
+			if len(all) != size {
+				return fmt.Errorf("got %d parts", len(all))
+			}
+			for r, part := range all {
+				if len(part) != r+1 {
+					return fmt.Errorf("part %d has length %d", r, len(part))
+				}
+				for _, b := range part {
+					if b != byte(r*10) {
+						return fmt.Errorf("part %d content %v", r, part)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}

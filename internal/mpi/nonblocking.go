@@ -1,0 +1,65 @@
+package mpi
+
+import "fmt"
+
+// Nonblocking point-to-point operations and combined send-receive, rounding
+// out the substrate to the MPI subset a real global-summation code uses
+// (overlapping the local reduction with partial-sum exchange).
+
+// Request represents an in-flight nonblocking operation. Wait must be
+// called exactly once.
+type Request struct {
+	done chan result
+}
+
+type result struct {
+	data []byte
+	err  error
+}
+
+// Wait blocks until the operation completes, returning the received
+// payload for receives (nil for sends).
+func (r *Request) Wait() ([]byte, error) {
+	if r == nil || r.done == nil {
+		return nil, fmt.Errorf("mpi: Wait on nil request")
+	}
+	res := <-r.done
+	return res.data, res.err
+}
+
+// Isend starts a nonblocking send. The payload is copied before Isend
+// returns, so the caller may reuse the buffer immediately (like MPI_Isend
+// followed by a completed MPI_Wait for small eager messages).
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	req := &Request{done: make(chan result, 1)}
+	err := c.Send(dst, tag, data) // eager: buffers and returns
+	req.done <- result{err: err}
+	return req
+}
+
+// Irecv starts a nonblocking receive; Wait returns the payload.
+func (c *Comm) Irecv(src, tag int) *Request {
+	req := &Request{done: make(chan result, 1)}
+	if tag < 0 {
+		req.done <- result{err: fmt.Errorf("mpi: user tag %d must be >= 0", tag)}
+		return req
+	}
+	if src < 0 || src >= c.w.size {
+		req.done <- result{err: fmt.Errorf("mpi: recv from invalid rank %d (size %d)", src, c.w.size)}
+		return req
+	}
+	box := c.w.boxes[c.rank][src]
+	go func() {
+		req.done <- result{data: box.take(tag)}
+	}()
+	return req
+}
+
+// Sendrecv performs a combined send and receive that cannot deadlock even
+// when every rank exchanges with a partner simultaneously (MPI_Sendrecv).
+func (c *Comm) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) ([]byte, error) {
+	if err := c.Send(dst, sendTag, data); err != nil {
+		return nil, err
+	}
+	return c.Recv(src, recvTag)
+}

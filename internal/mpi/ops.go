@@ -1,0 +1,95 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hallberg"
+)
+
+// Custom reduction operators for the high-precision formats — the analogue
+// of the custom MPI datatype and MPI_Op the paper registers to reduce HP
+// values with MPI_Reduce (§IV.B). Values travel as raw limb images; the
+// operators are exactly associative, so the reduced result is bit-identical
+// for every world size and reduction topology.
+
+// OpSumHP returns the reduction operator for raw HP limb buffers (8*N bytes
+// big-endian, as produced by core.HP.AppendRawLimbs) with format p. The
+// returned Op is safe for concurrent use by multiple ranks.
+func OpSumHP(p core.Params) Op {
+	return func(inout, in []byte) error {
+		want := 8 * p.N
+		if len(inout) != want || len(in) != want {
+			return fmt.Errorf("mpi: HP op on %d/%d bytes, want %d",
+				len(inout), len(in), want)
+		}
+		a := core.New(p)
+		b := core.New(p)
+		if err := a.SetRawLimbs(inout); err != nil {
+			return err
+		}
+		if err := b.SetRawLimbs(in); err != nil {
+			return err
+		}
+		if a.Add(b) {
+			return core.ErrOverflow
+		}
+		copy(inout, a.AppendRawLimbs(inout[:0]))
+		return nil
+	}
+}
+
+// EncodeHP packs x's limbs for OpSumHP.
+func EncodeHP(x *core.HP) []byte { return x.AppendRawLimbs(nil) }
+
+// DecodeHP unpacks a buffer written by EncodeHP into a new HP with format p.
+func DecodeHP(p core.Params, buf []byte) (*core.HP, error) {
+	z := core.New(p)
+	if err := z.SetRawLimbs(buf); err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+// OpSumHallberg returns the reduction operator for Hallberg limb buffers
+// (8*N bytes big-endian two's-complement int64s) with format p.
+func OpSumHallberg(p hallberg.Params) Op {
+	return func(inout, in []byte) error {
+		want := 8 * p.N
+		if len(inout) != want || len(in) != want {
+			return fmt.Errorf("mpi: Hallberg op on %d/%d bytes, want %d",
+				len(inout), len(in), want)
+		}
+		for i := 0; i < want; i += 8 {
+			a := int64(binary.BigEndian.Uint64(inout[i:]))
+			b := int64(binary.BigEndian.Uint64(in[i:]))
+			binary.BigEndian.PutUint64(inout[i:], uint64(a+b))
+		}
+		return nil
+	}
+}
+
+// EncodeHallberg packs x's limbs for OpSumHallberg.
+func EncodeHallberg(x *hallberg.Num) []byte {
+	limbs := x.Limbs()
+	buf := make([]byte, 0, 8*len(limbs))
+	for _, l := range limbs {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(l))
+	}
+	return buf
+}
+
+// DecodeHallberg unpacks a buffer written by EncodeHallberg into a Num with
+// format p, returning its float64 value via the package's normalization.
+func DecodeHallberg(p hallberg.Params, buf []byte) (*hallberg.Num, error) {
+	if len(buf) != 8*p.N {
+		return nil, fmt.Errorf("mpi: Hallberg buffer of %d bytes, want %d",
+			len(buf), 8*p.N)
+	}
+	limbs := make([]int64, p.N)
+	for i := range limbs {
+		limbs[i] = int64(binary.BigEndian.Uint64(buf[8*i:]))
+	}
+	return hallberg.NumFromLimbs(p, limbs)
+}

@@ -1,0 +1,162 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/hallberg"
+	"repro/internal/rng"
+)
+
+// distributedHPSum reduces xs over a world of the given size with the HP
+// custom op and returns root's limbs.
+func distributedHPSum(t *testing.T, xs []float64, size int, p core.Params) *core.HP {
+	t.Helper()
+	var result *core.HP
+	err := Run(size, func(c *Comm) error {
+		lo := c.Rank() * len(xs) / size
+		hi := (c.Rank() + 1) * len(xs) / size
+		local := core.NewAccumulator(p)
+		local.AddAll(xs[lo:hi])
+		if local.Err() != nil {
+			return local.Err()
+		}
+		buf, err := c.Reduce(0, EncodeHP(local.Sum()), OpSumHP(p))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			result, err = DecodeHP(p, buf)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return result
+}
+
+// The HP reduction is bit-identical for EVERY world size and equals the
+// exact oracle — the Figure 6 invariance claim.
+func TestHPReduceInvariantAcrossWorldSizes(t *testing.T) {
+	p := core.Params384
+	r := rng.New(71)
+	xs := rng.UniformSet(r, 1<<13, -0.5, 0.5)
+	oracle := exact.New()
+	oracle.AddAll(xs)
+
+	ref := distributedHPSum(t, xs, 1, p)
+	if ref.Rat().Cmp(oracle.Rat()) != 0 {
+		t.Fatal("size-1 HP reduce diverged from oracle")
+	}
+	for _, size := range []int{2, 3, 7, 8, 16, 32} {
+		got := distributedHPSum(t, xs, size, p)
+		if !got.Equal(ref) {
+			t.Errorf("size %d: HP reduce differs from size 1", size)
+		}
+	}
+}
+
+func TestHallbergReduceMatchesOracle(t *testing.T) {
+	p := hallberg.New(10, 38)
+	r := rng.New(72)
+	xs := rng.UniformSet(r, 1<<12, -0.5, 0.5)
+	oracle := exact.New()
+	oracle.AddAll(xs)
+
+	for _, size := range []int{1, 4, 9} {
+		var result *hallberg.Num
+		err := Run(size, func(c *Comm) error {
+			lo := c.Rank() * len(xs) / size
+			hi := (c.Rank() + 1) * len(xs) / size
+			local := hallberg.NewAccumulator(p)
+			local.AddAll(xs[lo:hi])
+			if local.Err() != nil {
+				return local.Err()
+			}
+			buf, err := c.Reduce(0, EncodeHallberg(local.Sum()), OpSumHallberg(p))
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				result, err = DecodeHallberg(p, buf)
+				return err
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if result.Rat().Cmp(oracle.Rat()) != 0 {
+			t.Errorf("size %d: Hallberg reduce diverged from oracle", size)
+		}
+	}
+}
+
+func TestHPAllreduce(t *testing.T) {
+	p := core.Params192
+	const size = 5
+	err := Run(size, func(c *Comm) error {
+		local, err := core.FromFloat64(p, float64(c.Rank())+0.5)
+		if err != nil {
+			return err
+		}
+		buf, err := c.Allreduce(EncodeHP(local), OpSumHP(p))
+		if err != nil {
+			return err
+		}
+		got, err := DecodeHP(p, buf)
+		if err != nil {
+			return err
+		}
+		want := float64(size*(size-1))/2 + 0.5*size
+		if got.Float64() != want {
+			return fmt.Errorf("rank %d: allreduce = %g, want %g",
+				c.Rank(), got.Float64(), want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpValidation(t *testing.T) {
+	op := OpSumHP(core.Params192)
+	if err := op(make([]byte, 8), make([]byte, 24)); err == nil {
+		t.Error("short inout accepted")
+	}
+	if err := op(make([]byte, 24), make([]byte, 8)); err == nil {
+		t.Error("short in accepted")
+	}
+	hop := OpSumHallberg(hallberg.New(4, 20))
+	if err := hop(make([]byte, 8), make([]byte, 32)); err == nil {
+		t.Error("short Hallberg inout accepted")
+	}
+	if err := OpSumFloat64(make([]byte, 8), make([]byte, 16)); err == nil {
+		t.Error("mismatched float64 op accepted")
+	}
+	if err := OpSumFloat64(make([]byte, 9), make([]byte, 9)); err == nil {
+		t.Error("ragged float64 op accepted")
+	}
+	if _, err := DecodeHallberg(hallberg.New(4, 20), make([]byte, 3)); err == nil {
+		t.Error("ragged Hallberg buffer accepted")
+	}
+}
+
+func TestOpSumHPOverflowSurfaces(t *testing.T) {
+	p := core.Params128
+	big, err := core.FromFloat64(p, 0x1p62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := OpSumHP(p)
+	a := EncodeHP(big)
+	b := EncodeHP(big)
+	if err := op(a, b); err != core.ErrOverflow {
+		t.Errorf("overflowing reduce op: %v, want ErrOverflow", err)
+	}
+}

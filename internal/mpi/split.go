@@ -1,0 +1,102 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Communicator splitting (MPI_Comm_split): ranks calling Split with the
+// same color form a new sub-world whose collectives are independent of the
+// parent's; ranks are ordered by key (ties broken by parent rank). A
+// hierarchical reduction — reduce within node groups, then across group
+// leaders — is the standard pattern this enables, and with the HP operator
+// every grouping produces bit-identical results.
+
+// splitState coordinates one collective Split call per world.
+type splitState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	epoch   int
+	entries []splitEntry
+	arrived int
+	result  map[int]*world // parent rank -> sub-world
+	subRank map[int]int    // parent rank -> rank in sub-world
+}
+
+type splitEntry struct {
+	rank  int
+	color int
+	key   int
+}
+
+func (w *world) splitOnce() *splitState {
+	w.splitMu.Lock()
+	defer w.splitMu.Unlock()
+	if w.split == nil {
+		s := &splitState{}
+		s.cond = sync.NewCond(&s.mu)
+		w.split = s
+	}
+	return w.split
+}
+
+// Split partitions the communicator: every rank of the world must call it
+// (it is collective). Ranks passing the same color receive a Comm on a
+// fresh sub-world containing exactly those ranks, ordered by key then by
+// parent rank. A negative color returns nil (the rank opts out), mirroring
+// MPI_UNDEFINED.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	s := c.w.splitOnce()
+	s.mu.Lock()
+	epoch := s.epoch
+	s.entries = append(s.entries, splitEntry{rank: c.rank, color: color, key: key})
+	s.arrived++
+	if s.arrived == c.w.size {
+		// Last arrival builds all sub-worlds.
+		s.buildLocked(c.w.size)
+		s.arrived = 0
+		s.epoch++
+		s.cond.Broadcast()
+	} else {
+		for epoch == s.epoch {
+			s.cond.Wait()
+		}
+	}
+	sub := s.result[c.rank]
+	rank := s.subRank[c.rank]
+	s.mu.Unlock()
+	if sub == nil {
+		return nil, nil
+	}
+	if sub.size < 1 {
+		return nil, fmt.Errorf("mpi: internal split error")
+	}
+	return &Comm{rank: rank, w: sub}, nil
+}
+
+// buildLocked constructs the sub-worlds from the collected entries.
+func (s *splitState) buildLocked(size int) {
+	byColor := map[int][]splitEntry{}
+	for _, e := range s.entries {
+		if e.color >= 0 {
+			byColor[e.color] = append(byColor[e.color], e)
+		}
+	}
+	s.result = make(map[int]*world, size)
+	s.subRank = make(map[int]int, size)
+	for _, group := range byColor {
+		sort.Slice(group, func(i, j int) bool {
+			if group[i].key != group[j].key {
+				return group[i].key < group[j].key
+			}
+			return group[i].rank < group[j].rank
+		})
+		sub := newWorld(len(group))
+		for subRank, e := range group {
+			s.result[e.rank] = sub
+			s.subRank[e.rank] = subRank
+		}
+	}
+	s.entries = nil
+}

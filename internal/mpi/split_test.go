@@ -1,0 +1,184 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+func TestSplitBasic(t *testing.T) {
+	const size = 8
+	err := Run(size, func(c *Comm) error {
+		// Even ranks form one group, odd ranks the other.
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		if sub == nil {
+			return errors.New("unexpected nil sub-communicator")
+		}
+		if sub.Size() != size/2 {
+			return fmt.Errorf("sub size %d", sub.Size())
+		}
+		// Keys were parent ranks: order within the group follows them.
+		if want := c.Rank() / 2; sub.Rank() != want {
+			return fmt.Errorf("rank %d: sub rank %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+		// Sub-collectives are independent per group.
+		buf, err := sub.Allreduce(EncodeFloat64s([]float64{1}), OpSumFloat64)
+		if err != nil {
+			return err
+		}
+		vals, err := DecodeFloat64s(buf)
+		if err != nil {
+			return err
+		}
+		if vals[0] != float64(size/2) {
+			return fmt.Errorf("sub allreduce = %g", vals[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitOptOutAndKeys(t *testing.T) {
+	const size = 6
+	err := Run(size, func(c *Comm) error {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1 // opt out, like MPI_UNDEFINED
+		}
+		// Reverse ordering via keys.
+		sub, err := c.Split(color, -c.Rank())
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 3 {
+			if sub != nil {
+				return errors.New("opted-out rank got a communicator")
+			}
+			return nil
+		}
+		if sub.Size() != size-1 {
+			return fmt.Errorf("sub size %d", sub.Size())
+		}
+		// Highest parent rank becomes rank 0.
+		wantRank := map[int]int{5: 0, 4: 1, 2: 2, 1: 3, 0: 4}[c.Rank()]
+		if sub.Rank() != wantRank {
+			return fmt.Errorf("parent %d: sub rank %d, want %d",
+				c.Rank(), sub.Rank(), wantRank)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Hierarchical HP reduction: reduce within groups, then across group
+// leaders; the result must be bit-identical to the flat reduction — every
+// grouping of an exact reduction commutes.
+func TestSplitHierarchicalReductionInvariant(t *testing.T) {
+	p := core.Params384
+	r := rng.New(55)
+	xs := rng.UniformSet(r, 1<<12, -0.5, 0.5)
+	oracle := exact.New()
+	oracle.AddAll(xs)
+
+	const size = 8
+	const groups = 2
+	var flat, hier *core.HP
+	err := Run(size, func(c *Comm) error {
+		lo := c.Rank() * len(xs) / size
+		hi := (c.Rank() + 1) * len(xs) / size
+		local := core.NewAccumulator(p)
+		local.AddAll(xs[lo:hi])
+		if local.Err() != nil {
+			return local.Err()
+		}
+
+		// Flat reduction.
+		buf, err := c.Reduce(0, EncodeHP(local.Sum()), OpSumHP(p))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			flat, err = DecodeHP(p, buf)
+			if err != nil {
+				return err
+			}
+		}
+
+		// Hierarchical: group reduce, then leader reduce.
+		sub, err := c.Split(c.Rank()%groups, c.Rank())
+		if err != nil {
+			return err
+		}
+		gbuf, err := sub.Reduce(0, EncodeHP(local.Sum()), OpSumHP(p))
+		if err != nil {
+			return err
+		}
+		leaderColor := -1
+		if sub.Rank() == 0 {
+			leaderColor = 0
+		}
+		leaders, err := c.Split(leaderColor, c.Rank())
+		if err != nil {
+			return err
+		}
+		if leaders != nil {
+			lbuf, err := leaders.Reduce(0, gbuf, OpSumHP(p))
+			if err != nil {
+				return err
+			}
+			if leaders.Rank() == 0 {
+				hier, err = DecodeHP(p, lbuf)
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat == nil || hier == nil {
+		t.Fatal("missing results")
+	}
+	if !flat.Equal(hier) {
+		t.Error("hierarchical reduction differs from flat reduction")
+	}
+	if flat.Rat().Cmp(oracle.Rat()) != 0 {
+		t.Error("flat reduction diverged from oracle")
+	}
+}
+
+func TestSplitRepeated(t *testing.T) {
+	// Consecutive splits on the same world must not interfere.
+	const size = 4
+	err := Run(size, func(c *Comm) error {
+		for round := 0; round < 5; round++ {
+			sub, err := c.Split(c.Rank()%2, 0)
+			if err != nil {
+				return err
+			}
+			if sub.Size() != 2 {
+				return fmt.Errorf("round %d: size %d", round, sub.Size())
+			}
+			if err := sub.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package nbody
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	sys := RandomSystem(rng.New(31), 20)
+	var buf bytes.Buffer
+	if err := sys.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != sys.N() {
+		t.Fatalf("N = %d", got.N())
+	}
+	for i := range sys.Pos {
+		if got.Pos[i] != sys.Pos[i] || got.Vel[i] != sys.Vel[i] || got.Mass[i] != sys.Mass[i] {
+			t.Fatalf("particle %d differs", i)
+		}
+	}
+}
+
+// The reproducibility payoff: run 2k steps straight, versus run 1k steps,
+// checkpoint, restore (with a DIFFERENT worker count), run 1k more — the
+// fingerprints must match exactly in HP mode.
+func TestCheckpointRestartBitIdentical(t *testing.T) {
+	const half = 25
+	base := RandomSystem(rng.New(32), 16)
+	cfg := Config{Force: Gravity{G: 1, Softening2: 0.05}, DT: 1e-3, Workers: 2, Mode: HPMode}
+
+	straight, err := New(base.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := straight.Steps(2 * half); err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := New(base.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Steps(half); err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := first.System().WriteCheckpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadCheckpoint(&ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Workers = 5 // different decomposition after restart
+	second, err := New(restored, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Steps(half); err != nil {
+		t.Fatal(err)
+	}
+
+	if straight.Fingerprint() != second.Fingerprint() {
+		t.Error("restart changed the trajectory despite HP accumulation")
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	if _, err := ReadCheckpoint(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCheckpoint(strings.NewReader("XXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated body.
+	sys := RandomSystem(rng.New(33), 4)
+	var buf bytes.Buffer
+	if err := sys.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadCheckpoint(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	// Corrupted version.
+	bad := append([]byte(nil), data...)
+	bad[11] = 99
+	if _, err := ReadCheckpoint(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+}

@@ -1,0 +1,394 @@
+// Package nbody is a small molecular/N-body dynamics engine built around
+// reproducible force accumulation — the application class the paper's
+// introduction motivates ("accumulation of forces or displacements at each
+// time step, each contribution consisting of a small positive or negative
+// floating point value", §II.A).
+//
+// Per-particle forces are sums over all other particles. With float64
+// accumulation the sum depends on the traversal/worker order, and a
+// symplectic integrator amplifies the resulting perturbations step after
+// step until trajectories from different decompositions diverge
+// completely. With HP accumulation the force sums are exact, so the
+// simulation is bit-reproducible for every worker count — the property the
+// Fingerprint method certifies.
+package nbody
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/omp"
+	"repro/internal/rng"
+)
+
+// Vec3 is a 3-component vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Scale returns v * s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Neg returns -v.
+func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
+
+// Norm2 returns |v|^2.
+func (v Vec3) Norm2() float64 { return v.X*v.X + v.Y*v.Y + v.Z*v.Z }
+
+// System holds particle state.
+type System struct {
+	Pos  []Vec3
+	Vel  []Vec3
+	Mass []float64
+}
+
+// N returns the particle count.
+func (s *System) N() int { return len(s.Pos) }
+
+// Clone returns a deep copy.
+func (s *System) Clone() *System {
+	c := &System{
+		Pos:  append([]Vec3(nil), s.Pos...),
+		Vel:  append([]Vec3(nil), s.Vel...),
+		Mass: append([]float64(nil), s.Mass...),
+	}
+	return c
+}
+
+// RandomSystem returns n particles uniformly placed in a [-1,1]^3 box with
+// small random velocities and masses in [0.5, 1.5], deterministically from
+// the source.
+func RandomSystem(r *rng.Source, n int) *System {
+	s := &System{
+		Pos:  make([]Vec3, n),
+		Vel:  make([]Vec3, n),
+		Mass: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		s.Pos[i] = Vec3{r.Uniform(-1, 1), r.Uniform(-1, 1), r.Uniform(-1, 1)}
+		s.Vel[i] = Vec3{r.Uniform(-0.1, 0.1), r.Uniform(-0.1, 0.1), r.Uniform(-0.1, 0.1)}
+		s.Mass[i] = r.Uniform(0.5, 1.5)
+	}
+	return s
+}
+
+// Force computes the pairwise interaction. Pair must be antisymmetric:
+// Pair(s, j, i) == Pair(s, i, j).Neg() exactly (bit-wise), which every
+// force law built from the displacement satisfies automatically.
+type Force interface {
+	// Pair returns the force exerted on particle i by particle j.
+	Pair(s *System, i, j int) Vec3
+	// Potential returns the potential energy of the (i, j) pair.
+	Potential(s *System, i, j int) float64
+	// Name identifies the law in reports.
+	Name() string
+}
+
+// Gravity is softened Newtonian gravity.
+type Gravity struct {
+	G          float64
+	Softening2 float64
+}
+
+// Pair implements Force.
+func (g Gravity) Pair(s *System, i, j int) Vec3 {
+	d := Vec3{s.Pos[j].X - s.Pos[i].X, s.Pos[j].Y - s.Pos[i].Y, s.Pos[j].Z - s.Pos[i].Z}
+	r2 := d.Norm2() + g.Softening2
+	inv := g.G * s.Mass[i] * s.Mass[j] / (r2 * math.Sqrt(r2))
+	return d.Scale(inv)
+}
+
+// Potential implements Force.
+func (g Gravity) Potential(s *System, i, j int) float64 {
+	d := Vec3{s.Pos[j].X - s.Pos[i].X, s.Pos[j].Y - s.Pos[i].Y, s.Pos[j].Z - s.Pos[i].Z}
+	return -g.G * s.Mass[i] * s.Mass[j] / math.Sqrt(d.Norm2()+g.Softening2)
+}
+
+// Name implements Force.
+func (Gravity) Name() string { return "gravity" }
+
+// LennardJones is the 12-6 Lennard-Jones potential used by molecular
+// dynamics codes.
+type LennardJones struct {
+	Epsilon float64
+	Sigma   float64
+}
+
+// Pair implements Force.
+func (lj LennardJones) Pair(s *System, i, j int) Vec3 {
+	d := Vec3{s.Pos[j].X - s.Pos[i].X, s.Pos[j].Y - s.Pos[i].Y, s.Pos[j].Z - s.Pos[i].Z}
+	r2 := d.Norm2()
+	if r2 == 0 {
+		return Vec3{}
+	}
+	s2 := lj.Sigma * lj.Sigma / r2
+	s6 := s2 * s2 * s2
+	// F = 24 eps (2 s^12 - s^6) / r^2 * d  (attractive toward j when s6
+	// dominates).
+	mag := 24 * lj.Epsilon * (2*s6*s6 - s6) / r2
+	return d.Scale(-mag)
+}
+
+// Potential implements Force.
+func (lj LennardJones) Potential(s *System, i, j int) float64 {
+	d := Vec3{s.Pos[j].X - s.Pos[i].X, s.Pos[j].Y - s.Pos[i].Y, s.Pos[j].Z - s.Pos[i].Z}
+	r2 := d.Norm2()
+	if r2 == 0 {
+		return 0
+	}
+	s2 := lj.Sigma * lj.Sigma / r2
+	s6 := s2 * s2 * s2
+	return 4 * lj.Epsilon * (s6*s6 - s6)
+}
+
+// Name implements Force.
+func (LennardJones) Name() string { return "lennard-jones" }
+
+// Mode selects the force-accumulation arithmetic.
+type Mode int
+
+const (
+	// Float64Mode accumulates forces with plain float64 adds: fast, but
+	// the result depends on the worker decomposition.
+	Float64Mode Mode = iota
+	// HPMode accumulates forces into HP fixed-point sums: bit-identical
+	// for every worker count.
+	HPMode
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Float64Mode:
+		return "float64"
+	case HPMode:
+		return "hp"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config selects the integration setup.
+type Config struct {
+	Force   Force
+	DT      float64
+	Workers int
+	Mode    Mode
+	// Params is the HP format for HPMode (Params384 when zero).
+	Params core.Params
+}
+
+// Sim advances a System under a Config with leapfrog (kick-drift)
+// integration.
+type Sim struct {
+	sys  *System
+	cfg  Config
+	step int
+}
+
+// New returns a simulation over sys (which it owns) with cfg. It returns
+// an error for invalid configuration.
+func New(sys *System, cfg Config) (*Sim, error) {
+	if cfg.Force == nil {
+		return nil, fmt.Errorf("nbody: nil force")
+	}
+	if cfg.DT <= 0 {
+		return nil, fmt.Errorf("nbody: DT = %g", cfg.DT)
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Params == (core.Params{}) {
+		cfg.Params = core.Params384
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sim{sys: sys, cfg: cfg}, nil
+}
+
+// System returns the simulation's state (owned by the Sim).
+func (s *Sim) System() *System { return s.sys }
+
+// StepCount returns the number of completed steps.
+func (s *Sim) StepCount() int { return s.step }
+
+// forces computes all per-particle forces with the configured arithmetic
+// and worker decomposition: workers own blocks of SOURCE particles j and
+// accumulate contributions into per-worker partial force arrays, which are
+// merged in worker order (exactly the structure of a domain-decomposed
+// force pass).
+func (s *Sim) forces() ([]Vec3, error) {
+	n := s.sys.N()
+	team := omp.NewTeam(s.cfg.Workers)
+	if s.cfg.Mode == Float64Mode {
+		type partial struct{ f []Vec3 }
+		total := omp.Reduce(team, n,
+			func(int) *partial { return &partial{f: make([]Vec3, n)} },
+			func(p *partial, _, lo, hi int) {
+				for j := lo; j < hi; j++ {
+					for i := 0; i < n; i++ {
+						if i == j {
+							continue
+						}
+						p.f[i] = p.f[i].Add(s.cfg.Force.Pair(s.sys, i, j))
+					}
+				}
+			},
+			func(into, from *partial) {
+				for i := range into.f {
+					into.f[i] = into.f[i].Add(from.f[i])
+				}
+			})
+		return total.f, nil
+	}
+
+	// HPMode: three HP accumulators per particle.
+	type partial struct{ fx, fy, fz []*core.Accumulator }
+	mk := func(int) *partial {
+		p := &partial{
+			fx: make([]*core.Accumulator, n),
+			fy: make([]*core.Accumulator, n),
+			fz: make([]*core.Accumulator, n),
+		}
+		for i := 0; i < n; i++ {
+			p.fx[i] = core.NewAccumulator(s.cfg.Params)
+			p.fy[i] = core.NewAccumulator(s.cfg.Params)
+			p.fz[i] = core.NewAccumulator(s.cfg.Params)
+		}
+		return p
+	}
+	total := omp.Reduce(team, n, mk,
+		func(p *partial, _, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				for i := 0; i < n; i++ {
+					if i == j {
+						continue
+					}
+					f := s.cfg.Force.Pair(s.sys, i, j)
+					p.fx[i].Add(f.X)
+					p.fy[i].Add(f.Y)
+					p.fz[i].Add(f.Z)
+				}
+			}
+		},
+		func(into, from *partial) {
+			for i := 0; i < n; i++ {
+				into.fx[i].Merge(from.fx[i])
+				into.fy[i].Merge(from.fy[i])
+				into.fz[i].Merge(from.fz[i])
+			}
+		})
+	out := make([]Vec3, n)
+	for i := 0; i < n; i++ {
+		for _, acc := range []*core.Accumulator{total.fx[i], total.fy[i], total.fz[i]} {
+			if err := acc.Err(); err != nil {
+				return nil, fmt.Errorf("nbody: force accumulation: %w", err)
+			}
+		}
+		out[i] = Vec3{total.fx[i].Float64(), total.fy[i].Float64(), total.fz[i].Float64()}
+	}
+	return out, nil
+}
+
+// Step advances one leapfrog step.
+func (s *Sim) Step() error {
+	f, err := s.forces()
+	if err != nil {
+		return err
+	}
+	dt := s.cfg.DT
+	for i := range s.sys.Pos {
+		s.sys.Vel[i] = s.sys.Vel[i].Add(f[i].Scale(dt / s.sys.Mass[i]))
+	}
+	for i := range s.sys.Pos {
+		s.sys.Pos[i] = s.sys.Pos[i].Add(s.sys.Vel[i].Scale(dt))
+	}
+	s.step++
+	return nil
+}
+
+// Steps advances n steps.
+func (s *Sim) Steps(n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NetForce returns the HP-exact sum of every pair force component over the
+// whole system. Because pair forces are exactly antisymmetric in float64,
+// the exact sum is exactly zero — a conservation certificate that float64
+// accumulation cannot provide.
+func (s *Sim) NetForce() (*core.HP, *core.HP, *core.HP, error) {
+	n := s.sys.N()
+	fx := core.NewAccumulator(s.cfg.Params)
+	fy := core.NewAccumulator(s.cfg.Params)
+	fz := core.NewAccumulator(s.cfg.Params)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			f := s.cfg.Force.Pair(s.sys, i, j)
+			fx.Add(f.X)
+			fy.Add(f.Y)
+			fz.Add(f.Z)
+		}
+	}
+	for _, acc := range []*core.Accumulator{fx, fy, fz} {
+		if err := acc.Err(); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return fx.Sum(), fy.Sum(), fz.Sum(), nil
+}
+
+// Energy returns the kinetic and potential energy, each accumulated
+// reproducibly (exact sum of the per-particle/per-pair float64 terms).
+func (s *Sim) Energy() (kinetic, potential float64, err error) {
+	n := s.sys.N()
+	ke := core.NewAccumulator(s.cfg.Params)
+	pe := core.NewAccumulator(s.cfg.Params)
+	for i := 0; i < n; i++ {
+		ke.Add(0.5 * s.sys.Mass[i] * s.sys.Vel[i].Norm2())
+		for j := i + 1; j < n; j++ {
+			pe.Add(s.cfg.Force.Potential(s.sys, i, j))
+		}
+	}
+	if err := ke.Err(); err != nil {
+		return 0, 0, err
+	}
+	if err := pe.Err(); err != nil {
+		return 0, 0, err
+	}
+	return ke.Float64(), pe.Float64(), nil
+}
+
+// Fingerprint returns a SHA-256 digest of the exact bit patterns of every
+// position and velocity: two simulations evolved identically iff their
+// fingerprints match.
+func (s *Sim) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	w := func(v float64) {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	for i := range s.sys.Pos {
+		w(s.sys.Pos[i].X)
+		w(s.sys.Pos[i].Y)
+		w(s.sys.Pos[i].Z)
+		w(s.sys.Vel[i].X)
+		w(s.sys.Vel[i].Y)
+		w(s.sys.Vel[i].Z)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

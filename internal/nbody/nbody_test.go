@@ -1,0 +1,220 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func smallGravity() Config {
+	return Config{
+		Force:   Gravity{G: 1, Softening2: 1e-4},
+		DT:      1e-3,
+		Workers: 1,
+		Mode:    HPMode,
+	}
+}
+
+func TestVec3(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	if got := v.Add(Vec3{1, 1, 1}); got != (Vec3{2, 3, 4}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Neg(); got != (Vec3{-1, -2, -3}) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := v.Norm2(); got != 14 {
+		t.Errorf("Norm2 = %g", got)
+	}
+}
+
+func TestRandomSystemDeterministic(t *testing.T) {
+	a := RandomSystem(rng.New(5), 32)
+	b := RandomSystem(rng.New(5), 32)
+	if a.N() != 32 {
+		t.Fatalf("N = %d", a.N())
+	}
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] || a.Mass[i] != b.Mass[i] {
+			t.Fatal("same seed produced different systems")
+		}
+	}
+	c := a.Clone()
+	c.Pos[0].X = 99
+	if a.Pos[0].X == 99 {
+		t.Error("Clone aliases storage")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sys := RandomSystem(rng.New(1), 4)
+	if _, err := New(sys, Config{DT: 1e-3}); err == nil {
+		t.Error("nil force accepted")
+	}
+	if _, err := New(sys, Config{Force: Gravity{G: 1}, DT: 0}); err == nil {
+		t.Error("zero DT accepted")
+	}
+	s, err := New(sys, Config{Force: Gravity{G: 1, Softening2: 1e-4}, DT: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.Workers != 1 || s.cfg.Params != core.Params384 {
+		t.Error("defaults not applied")
+	}
+}
+
+// Pair forces must be exactly antisymmetric bit-for-bit — the property the
+// NetForce certificate relies on.
+func TestPairAntisymmetry(t *testing.T) {
+	sys := RandomSystem(rng.New(7), 16)
+	for _, f := range []Force{
+		Gravity{G: 1, Softening2: 1e-4},
+		LennardJones{Epsilon: 1, Sigma: 0.3},
+	} {
+		for i := 0; i < sys.N(); i++ {
+			for j := 0; j < sys.N(); j++ {
+				if i == j {
+					continue
+				}
+				fij := f.Pair(sys, i, j)
+				fji := f.Pair(sys, j, i)
+				if fij != fji.Neg() {
+					t.Fatalf("%s: Pair(%d,%d)=%v not antisymmetric with %v",
+						f.Name(), i, j, fij, fji)
+				}
+			}
+		}
+	}
+}
+
+// Newton's third law, certified exactly: the HP sum of all pair forces is
+// exactly zero.
+func TestNetForceExactlyZero(t *testing.T) {
+	for _, force := range []Force{
+		Gravity{G: 1, Softening2: 1e-4},
+		LennardJones{Epsilon: 1, Sigma: 0.3},
+	} {
+		sys := RandomSystem(rng.New(8), 24)
+		cfg := smallGravity()
+		cfg.Force = force
+		s, err := New(sys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx, fy, fz, err := s.NetForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fx.IsZero() || !fy.IsZero() || !fz.IsZero() {
+			t.Errorf("%s: net force (%s, %s, %s), want exact 0",
+				force.Name(), fx, fy, fz)
+		}
+	}
+}
+
+// The headline property: HP-mode trajectories are bit-identical for every
+// worker count; float64-mode trajectories generally are not.
+func TestReproducibilityAcrossWorkers(t *testing.T) {
+	const steps = 50
+	base := RandomSystem(rng.New(9), 24)
+
+	run := func(mode Mode, workers int) string {
+		cfg := smallGravity()
+		cfg.Mode = mode
+		cfg.Workers = workers
+		s, err := New(base.Clone(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Steps(steps); err != nil {
+			t.Fatal(err)
+		}
+		if s.StepCount() != steps {
+			t.Fatalf("StepCount = %d", s.StepCount())
+		}
+		return s.Fingerprint()
+	}
+
+	ref := run(HPMode, 1)
+	for _, w := range []int{2, 3, 5, 8} {
+		if got := run(HPMode, w); got != ref {
+			t.Errorf("HP mode: workers=%d fingerprint differs", w)
+		}
+	}
+	// float64 mode: same worker count must still be deterministic.
+	f2a := run(Float64Mode, 2)
+	f2b := run(Float64Mode, 2)
+	if f2a != f2b {
+		t.Error("float64 mode not deterministic for fixed workers")
+	}
+}
+
+func TestEnergyTracking(t *testing.T) {
+	sys := RandomSystem(rng.New(10), 24)
+	cfg := smallGravity()
+	// Strong softening keeps close encounters integrable at this dt, so
+	// the leapfrog energy bound below is meaningful.
+	cfg.Force = Gravity{G: 1, Softening2: 0.05}
+	s, err := New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ke0, pe0, err := s.Energy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ke0 <= 0 {
+		t.Errorf("kinetic energy %g", ke0)
+	}
+	if pe0 >= 0 {
+		t.Errorf("gravitational potential %g should be negative", pe0)
+	}
+	if err := s.Steps(100); err != nil {
+		t.Fatal(err)
+	}
+	ke1, pe1, err := s.Energy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, e1 := ke0+pe0, ke1+pe1
+	// Leapfrog conserves energy to O(dt^2); allow a loose bound.
+	if math.Abs(e1-e0) > 0.05*math.Abs(e0)+0.05 {
+		t.Errorf("energy drifted: %g -> %g", e0, e1)
+	}
+}
+
+func TestLennardJonesSim(t *testing.T) {
+	sys := RandomSystem(rng.New(11), 16)
+	cfg := Config{
+		Force:   LennardJones{Epsilon: 0.1, Sigma: 0.3},
+		DT:      1e-4,
+		Workers: 2,
+		Mode:    HPMode,
+	}
+	s, err := New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Steps(20); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.System().Pos {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsNaN(p.Z) {
+			t.Fatal("NaN position")
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Float64Mode.String() != "float64" || HPMode.String() != "hp" {
+		t.Error("mode names")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode name")
+	}
+}

@@ -1,0 +1,211 @@
+// Package omp is a small OpenMP-style fork-join substrate built on
+// goroutines. It stands in for the paper's OpenMP environment (Figure 5):
+// a Team of a fixed number of threads executes parallel regions, loops are
+// partitioned with static, dynamic, or guided scheduling, and reductions
+// combine per-thread partials in deterministic thread order (as the paper's
+// master thread does).
+package omp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects how loop iterations are assigned to threads, mirroring
+// OpenMP's schedule(static|dynamic|guided) clauses.
+type Schedule int
+
+const (
+	// Static partitions the range into one contiguous block per thread.
+	Static Schedule = iota
+	// Dynamic hands out fixed-size chunks from a shared counter.
+	Dynamic
+	// Guided hands out geometrically shrinking chunks.
+	Guided
+)
+
+// String returns the OpenMP clause name.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Team is a fixed-size group of worker threads. Creating a Team allocates
+// nothing persistent; each parallel region forks fresh goroutines and joins
+// them, like an OpenMP parallel region with a fixed OMP_NUM_THREADS.
+type Team struct {
+	threads int
+}
+
+// NewTeam returns a team of n threads. It panics if n < 1.
+func NewTeam(n int) *Team {
+	if n < 1 {
+		panic(fmt.Sprintf("omp: team size %d", n))
+	}
+	return &Team{threads: n}
+}
+
+// Threads returns the team size.
+func (t *Team) Threads() int { return t.threads }
+
+// Run executes body(tid) on every thread of the team concurrently and
+// waits for all of them — the bare "parallel" construct.
+func (t *Team) Run(body func(tid int)) {
+	var wg sync.WaitGroup
+	wg.Add(t.threads)
+	for tid := 0; tid < t.threads; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			body(tid)
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// For executes body over [0, n) with static scheduling: thread tid receives
+// one contiguous block [lo, hi), with the remainder spread over the leading
+// threads. Threads whose block is empty still run with lo == hi.
+func (t *Team) For(n int, body func(tid, lo, hi int)) {
+	if n < 0 {
+		panic("omp: negative trip count")
+	}
+	t.Run(func(tid int) {
+		lo, hi := StaticBlock(n, t.threads, tid)
+		body(tid, lo, hi)
+	})
+}
+
+// StaticBlock returns the [lo, hi) block of a static partition of n items
+// over p threads for thread tid, balancing remainders across the leading
+// threads.
+func StaticBlock(n, p, tid int) (lo, hi int) {
+	q, r := n/p, n%p
+	lo = tid*q + min(tid, r)
+	hi = lo + q
+	if tid < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// ForSchedule executes body over [0, n) under the given schedule. For
+// Dynamic, chunk is the fixed chunk size; for Guided, chunk is the minimum
+// chunk size; for Static, chunk is ignored. body may be called many times
+// per thread with disjoint [lo, hi) ranges that exactly cover [0, n).
+func (t *Team) ForSchedule(n, chunk int, sched Schedule, body func(tid, lo, hi int)) {
+	if n < 0 {
+		panic("omp: negative trip count")
+	}
+	if sched == Static {
+		t.For(n, body)
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	t.Run(func(tid int) {
+		for {
+			var take int
+			switch sched {
+			case Dynamic:
+				take = chunk
+			case Guided:
+				remaining := int64(n) - next.Load()
+				take = int(remaining) / t.threads
+				if take < chunk {
+					take = chunk
+				}
+			}
+			lo := int(next.Add(int64(take))) - take
+			if lo >= n {
+				return
+			}
+			hi := lo + take
+			if hi > n {
+				hi = n
+			}
+			body(tid, lo, hi)
+		}
+	})
+}
+
+// Barrier is a reusable (cyclic) synchronization barrier for n parties,
+// equivalent to OpenMP's "#pragma omp barrier" inside a parallel region.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+	broken  bool
+}
+
+// NewBarrier returns a barrier for n parties. It panics if n < 1.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic(fmt.Sprintf("omp: barrier size %d", n))
+	}
+	b := &Barrier{parties: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n parties have called Wait, then releases them and
+// resets for the next phase. After Abandon, Wait returns immediately.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		return
+	}
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for phase == b.phase && !b.broken {
+		b.cond.Wait()
+	}
+}
+
+// Abandon permanently breaks the barrier: every current and future Wait
+// returns immediately. Call it when a party dies (e.g. panics) so the
+// surviving parties cannot deadlock waiting for it.
+func (b *Barrier) Abandon() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Reduce runs a parallel reduction over [0, n): each thread builds a local
+// accumulator with newLocal, folds its statically assigned block with body,
+// and the master combines the locals in ascending thread order — the
+// deterministic combine structure used by all of the paper's strong-scaling
+// experiments. The combined value for thread 0's local is returned.
+func Reduce[L any](t *Team, n int, newLocal func(tid int) L,
+	body func(local L, tid, lo, hi int), combine func(into, from L)) L {
+	locals := make([]L, t.threads)
+	t.Run(func(tid int) {
+		locals[tid] = newLocal(tid)
+		lo, hi := StaticBlock(n, t.threads, tid)
+		body(locals[tid], tid, lo, hi)
+	})
+	for i := 1; i < t.threads; i++ {
+		combine(locals[0], locals[i])
+	}
+	return locals[0]
+}

@@ -1,0 +1,246 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestStaticBlockCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 100, 1023} {
+		for _, p := range []int{1, 2, 3, 8, 16} {
+			covered := make([]int, n)
+			prevHi := 0
+			for tid := 0; tid < p; tid++ {
+				lo, hi := StaticBlock(n, p, tid)
+				if lo != prevHi {
+					t.Fatalf("n=%d p=%d tid=%d: gap (lo=%d, prevHi=%d)", n, p, tid, lo, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d p=%d tid=%d: hi < lo", n, p, tid)
+				}
+				for i := lo; i < hi; i++ {
+					covered[i]++
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d p=%d: coverage ends at %d", n, p, prevHi)
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("n=%d p=%d: index %d covered %d times", n, p, i, c)
+				}
+			}
+			// Balance: block sizes differ by at most one.
+			minSz, maxSz := n, 0
+			for tid := 0; tid < p; tid++ {
+				lo, hi := StaticBlock(n, p, tid)
+				if sz := hi - lo; sz < minSz {
+					minSz = sz
+				} else if sz > maxSz {
+					maxSz = sz
+				}
+			}
+			if p <= n && maxSz-minSz > 1 {
+				t.Fatalf("n=%d p=%d: imbalance %d..%d", n, p, minSz, maxSz)
+			}
+		}
+	}
+}
+
+func TestRunRunsEveryThreadConcurrently(t *testing.T) {
+	const p = 8
+	team := NewTeam(p)
+	seen := make([]atomic.Int32, p)
+	b := NewBarrier(p) // would deadlock unless all p run concurrently
+	team.Run(func(tid int) {
+		seen[tid].Add(1)
+		b.Wait()
+	})
+	for tid := range seen {
+		if seen[tid].Load() != 1 {
+			t.Errorf("tid %d ran %d times", tid, seen[tid].Load())
+		}
+	}
+}
+
+func TestForSchedulesCoverAllIterations(t *testing.T) {
+	for _, sched := range []Schedule{Static, Dynamic, Guided} {
+		for _, n := range []int{0, 1, 100, 1000, 1024} {
+			for _, p := range []int{1, 3, 8} {
+				team := NewTeam(p)
+				counts := make([]atomic.Int32, n)
+				team.ForSchedule(n, 7, sched, func(tid, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						counts[i].Add(1)
+					}
+				})
+				for i := range counts {
+					if counts[i].Load() != 1 {
+						t.Fatalf("%v n=%d p=%d: index %d visited %d times",
+							sched, n, p, i, counts[i].Load())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicSharesWork(t *testing.T) {
+	// With a stalling thread, dynamic scheduling must let other threads
+	// take the remaining chunks; static would assign a fixed block.
+	const p = 4
+	team := NewTeam(p)
+	var firstChunk sync.Once
+	stall := make(chan struct{})
+	var processedByOthers atomic.Int64
+	team.ForSchedule(1000, 10, Dynamic, func(tid, lo, hi int) {
+		isFirst := false
+		firstChunk.Do(func() { isFirst = true })
+		if isFirst {
+			<-stall // hold one thread until everyone else finishes
+			return
+		}
+		processedByOthers.Add(int64(hi - lo))
+		if processedByOthers.Load() == 990 {
+			close(stall)
+		}
+	})
+	if processedByOthers.Load() != 990 {
+		t.Errorf("other threads processed %d iterations, want 990",
+			processedByOthers.Load())
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	const p = 6
+	const phases = 50
+	team := NewTeam(p)
+	b := NewBarrier(p)
+	var counter atomic.Int64
+	team.Run(func(tid int) {
+		for ph := 0; ph < phases; ph++ {
+			counter.Add(1)
+			b.Wait()
+			// After the barrier, every thread must observe all p
+			// increments of this phase.
+			if got := counter.Load(); got < int64((ph+1)*p) {
+				t.Errorf("phase %d: counter %d < %d", ph, got, (ph+1)*p)
+			}
+			b.Wait()
+		}
+	})
+	if counter.Load() != phases*p {
+		t.Errorf("total = %d", counter.Load())
+	}
+}
+
+func TestReduceIntSum(t *testing.T) {
+	team := NewTeam(5)
+	total := Reduce(team, 1000,
+		func(tid int) *int64 { v := int64(0); return &v },
+		func(local *int64, tid, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				*local += int64(i)
+			}
+		},
+		func(into, from *int64) { *into += *from })
+	if *total != 499500 {
+		t.Errorf("sum = %d, want 499500", *total)
+	}
+}
+
+// The HP reduction through the team must be bit-identical to sequential
+// accumulation for every thread count — the Figure 5 invariance claim.
+func TestReduceHPOrderInvariantAcrossThreadCounts(t *testing.T) {
+	r := rng.New(41)
+	xs := rng.UniformSet(r, 20000, -0.5, 0.5)
+	seq := core.NewAccumulator(core.Params384)
+	seq.AddAll(xs)
+
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		team := NewTeam(p)
+		got := Reduce(team, len(xs),
+			func(tid int) *core.Accumulator { return core.NewAccumulator(core.Params384) },
+			func(local *core.Accumulator, tid, lo, hi int) {
+				local.AddAll(xs[lo:hi])
+			},
+			func(into, from *core.Accumulator) { into.AddHP(from.Sum()) })
+		if got.Err() != nil {
+			t.Fatal(got.Err())
+		}
+		if !got.Sum().Equal(seq.Sum()) {
+			t.Errorf("p=%d: HP reduction differs from sequential", p)
+		}
+	}
+}
+
+func TestReduceDoubleIsDeterministicPerThreadCount(t *testing.T) {
+	r := rng.New(42)
+	xs := rng.UniformSet(r, 20000, -0.5, 0.5)
+	sumWith := func(p int) float64 {
+		team := NewTeam(p)
+		return *Reduce(team, len(xs),
+			func(tid int) *float64 { v := 0.0; return &v },
+			func(local *float64, tid, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					*local += xs[i]
+				}
+			},
+			func(into, from *float64) { *into += *from })
+	}
+	// Same thread count twice: identical (deterministic combine order).
+	if sumWith(4) != sumWith(4) {
+		t.Error("double reduction not deterministic for fixed p")
+	}
+	// Different thread counts generally differ — that is the paper's
+	// motivating problem. (Not asserted: equality is unlikely but legal.)
+	if sumWith(1) != sumWith(1) {
+		t.Error("sequential sum not deterministic")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"NewTeam(0)":    func() { NewTeam(0) },
+		"NewBarrier(0)": func() { NewBarrier(0) },
+		"For(-1)":       func() { NewTeam(1).For(-1, func(int, int, int) {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" ||
+		Guided.String() != "guided" {
+		t.Error("schedule names")
+	}
+	if Schedule(9).String() != "Schedule(9)" {
+		t.Error("unknown schedule name")
+	}
+}
+
+func TestBarrierAbandon(t *testing.T) {
+	b := NewBarrier(3)
+	done := make(chan struct{})
+	go func() {
+		b.Wait() // only 1 of 3 parties: would block forever
+		close(done)
+	}()
+	b.Abandon()
+	<-done // must return promptly after Abandon
+	// Subsequent waits return immediately.
+	b.Wait()
+	b.Wait()
+}

@@ -1,0 +1,98 @@
+// Package phi simulates the Intel Xeon Phi heterogeneous offload
+// programming model used in the paper's Figure 8 experiment: input data is
+// transferred from the host to the coprocessor, a device-side parallel
+// region with up to 240 hardware threads computes partial sums, and the
+// results are transferred back. The transfer is modeled as a real memory
+// copy plus a configurable latency + bandwidth cost, reproducing the
+// paper's observation that at high thread counts "the runtimes for all
+// three summation methods are dominated by the data transfer times between
+// the host CPU and device".
+package phi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/omp"
+)
+
+// Device models one Xeon Phi coprocessor.
+type Device struct {
+	// Name is a free-form label used in reports.
+	Name string
+	// MaxThreads caps the device-side parallel region (240 for the 5110P).
+	MaxThreads int
+	// TransferLatency is charged once per offload direction.
+	TransferLatency time.Duration
+	// TransferBytesPerSec models PCIe bandwidth; zero disables the modeled
+	// cost (the real memcpy still happens).
+	TransferBytesPerSec float64
+}
+
+// Phi5110P returns a device configured like the paper's B1PRQ-5110P: 240
+// hardware threads behind a PCIe-generation transfer cost (~6 GB/s with
+// tens of microseconds of launch latency).
+func Phi5110P() *Device {
+	return &Device{
+		Name:                "Xeon Phi 5110P (simulated)",
+		MaxThreads:          240,
+		TransferLatency:     50 * time.Microsecond,
+		TransferBytesPerSec: 6e9,
+	}
+}
+
+// Buffer is device-resident memory holding float64 elements.
+type Buffer struct {
+	data []float64
+}
+
+// Len returns the element count.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Data exposes the device-side storage to kernels. Host code should not
+// retain the slice across offload boundaries.
+func (b *Buffer) Data() []float64 { return b.data }
+
+// transferCost blocks for the modeled wire time of moving n bytes.
+func (d *Device) transferCost(bytes int) {
+	cost := d.TransferLatency
+	if d.TransferBytesPerSec > 0 {
+		cost += time.Duration(float64(bytes) / d.TransferBytesPerSec * float64(time.Second))
+	}
+	if cost > 0 {
+		time.Sleep(cost)
+	}
+}
+
+// OffloadIn copies xs to a fresh device buffer, charging the transfer cost
+// (a real copy plus the modeled wire time).
+func (d *Device) OffloadIn(xs []float64) *Buffer {
+	buf := &Buffer{data: make([]float64, len(xs))}
+	copy(buf.data, xs)
+	d.transferCost(8 * len(xs))
+	return buf
+}
+
+// OffloadOut copies device results back to the host, charging the transfer
+// cost.
+func (d *Device) OffloadOut(b *Buffer) []float64 {
+	out := make([]float64, len(b.data))
+	copy(out, b.data)
+	d.transferCost(8 * len(b.data))
+	return out
+}
+
+// Run executes body as a device-side parallel region over [0, n) with the
+// requested thread count, clamped to the device's MaxThreads (mirroring
+// OMP_NUM_THREADS on the coprocessor). It returns the thread count actually
+// used.
+func (d *Device) Run(threads, n int, body func(tid, lo, hi int)) (int, error) {
+	if threads < 1 {
+		return 0, fmt.Errorf("phi: thread count %d", threads)
+	}
+	if d.MaxThreads > 0 && threads > d.MaxThreads {
+		threads = d.MaxThreads
+	}
+	omp.NewTeam(threads).For(n, body)
+	return threads, nil
+}

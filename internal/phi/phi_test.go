@@ -1,0 +1,132 @@
+package phi
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// fastDevice returns a device with no modeled wire time, for tests.
+func fastDevice(maxThreads int) *Device {
+	return &Device{Name: "test", MaxThreads: maxThreads}
+}
+
+func TestOffloadRoundTrip(t *testing.T) {
+	d := fastDevice(4)
+	xs := []float64{1, 2, 3, 4.5}
+	buf := d.OffloadIn(xs)
+	if buf.Len() != 4 {
+		t.Fatalf("Len = %d", buf.Len())
+	}
+	xs[0] = 99 // host mutation must not reach the device copy
+	out := d.OffloadOut(buf)
+	if out[0] != 1 || out[3] != 4.5 {
+		t.Errorf("round trip = %v", out)
+	}
+	buf.Data()[1] = 42 // device mutation must not reach the host copy
+	if out[1] != 2 {
+		t.Error("OffloadOut aliased device memory")
+	}
+}
+
+func TestRunClampsToMaxThreads(t *testing.T) {
+	d := fastDevice(8)
+	used, err := d.Run(500, 100, func(tid, lo, hi int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 8 {
+		t.Errorf("used %d threads, want clamp to 8", used)
+	}
+	used, err = d.Run(3, 100, func(tid, lo, hi int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 3 {
+		t.Errorf("used %d threads, want 3", used)
+	}
+	if _, err := d.Run(0, 10, nil); err == nil {
+		t.Error("zero threads accepted")
+	}
+}
+
+func TestRunCoversRange(t *testing.T) {
+	d := fastDevice(240)
+	const n = 1000
+	counts := make([]atomic.Int32, n)
+	if _, err := d.Run(17, n, func(tid, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			counts[i].Add(1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestTransferCostIsCharged(t *testing.T) {
+	d := &Device{MaxThreads: 4, TransferLatency: 20 * time.Millisecond}
+	start := time.Now()
+	d.OffloadIn(make([]float64, 8))
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("latency not charged: %v", elapsed)
+	}
+	d2 := &Device{MaxThreads: 4, TransferBytesPerSec: 1e6} // 1 MB/s
+	start = time.Now()
+	d2.OffloadIn(make([]float64, 12500)) // 100 KB -> ~100 ms
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("bandwidth not charged: %v", elapsed)
+	}
+}
+
+func TestPhi5110PPreset(t *testing.T) {
+	d := Phi5110P()
+	if d.MaxThreads != 240 {
+		t.Errorf("MaxThreads = %d", d.MaxThreads)
+	}
+	if d.TransferBytesPerSec <= 0 || d.TransferLatency <= 0 {
+		t.Error("preset transfer model missing")
+	}
+}
+
+// The Figure 8 structure: offload the array, reduce on-device into
+// per-thread HP partials, combine on the host; the result must be
+// bit-identical to sequential summation for any thread count.
+func TestOffloadHPReduction(t *testing.T) {
+	p := core.Params384
+	r := rng.New(88)
+	xs := rng.UniformSet(r, 20000, -0.5, 0.5)
+	seq := core.NewAccumulator(p)
+	seq.AddAll(xs)
+
+	d := fastDevice(240)
+	for _, threads := range []int{1, 7, 64, 240} {
+		buf := d.OffloadIn(xs)
+		partials := make([]*core.Accumulator, threads)
+		used, err := d.Run(threads, buf.Len(), func(tid, lo, hi int) {
+			acc := core.NewAccumulator(p)
+			acc.AddAll(buf.Data()[lo:hi])
+			partials[tid] = acc
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := core.NewAccumulator(p)
+		for tid := 0; tid < used; tid++ {
+			if partials[tid].Err() != nil {
+				t.Fatal(partials[tid].Err())
+			}
+			final.AddHP(partials[tid].Sum())
+		}
+		if !final.Sum().Equal(seq.Sum()) {
+			t.Errorf("threads=%d: offload sum differs from sequential", threads)
+		}
+	}
+}

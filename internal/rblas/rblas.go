@@ -1,0 +1,178 @@
+// Package rblas provides reproducible BLAS-1-style vector reductions built
+// on the HP accumulator: sums, absolute sums, dot products, Euclidean
+// norms, means, and variances whose results are bit-identical regardless
+// of evaluation order or worker count. It plays the role ReproBLAS plays
+// over the Demmel-Nguyen binned format, here over the paper's fixed-point
+// representation, and is the layer a numerical application would adopt.
+//
+// All reductions are internally EXACT: sums accumulate every bit, products
+// go through Kulisch-style integer significand multiplication
+// (core.AddProductExact), and only the final conversion to float64 rounds
+// (correctly, to nearest-even). Nrm2's square root introduces one further
+// deterministic rounding. Multi-worker execution partitions the input and
+// merges per-worker partial accumulators; because the merge is exact
+// integer addition the worker count cannot change any result bit.
+package rblas
+
+import (
+	"errors"
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/omp"
+)
+
+// Config selects the accumulator format and the parallelism of the
+// reductions.
+type Config struct {
+	// Params is the HP format; it must cover the dynamic range of the data
+	// (and of squared data, for Dot/Nrm2/Variance).
+	Params core.Params
+	// Workers is the goroutine count; 0 or 1 means sequential. Results are
+	// bit-identical for every value.
+	Workers int
+}
+
+// Default returns a configuration suitable for data with magnitudes
+// roughly in [1e-50, 1e50]: HP(N=8, k=4) sequential.
+func Default() Config { return Config{Params: core.Params512, Workers: 1} }
+
+func (c Config) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+// reduce runs body over worker blocks and merges the per-worker
+// accumulators in worker order.
+func (c Config) reduce(n int, body func(acc *core.Accumulator, lo, hi int)) (*core.Accumulator, error) {
+	team := omp.NewTeam(c.workers())
+	total := omp.Reduce(team, n,
+		func(int) *core.Accumulator { return core.NewAccumulator(c.Params) },
+		func(acc *core.Accumulator, _, lo, hi int) { body(acc, lo, hi) },
+		func(into, from *core.Accumulator) { into.Merge(from) })
+	if err := total.Err(); err != nil {
+		return nil, err
+	}
+	return total, nil
+}
+
+// Sum returns the reproducible sum of xs.
+func Sum(c Config, xs []float64) (float64, error) {
+	acc, err := c.reduce(len(xs), func(acc *core.Accumulator, lo, hi int) {
+		acc.AddAll(xs[lo:hi])
+	})
+	if err != nil {
+		return 0, err
+	}
+	return acc.Float64(), nil
+}
+
+// ASum returns the reproducible sum of |x_i| (BLAS dasum).
+func ASum(c Config, xs []float64) (float64, error) {
+	acc, err := c.reduce(len(xs), func(acc *core.Accumulator, lo, hi int) {
+		for _, x := range xs[lo:hi] {
+			if x < 0 {
+				x = -x
+			}
+			acc.Add(x)
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return acc.Float64(), nil
+}
+
+// Dot returns the reproducible dot product of xs and ys (BLAS ddot): every
+// product is exact, so the result is the correctly rounded true value.
+func Dot(c Config, xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("rblas: dot length mismatch")
+	}
+	acc, err := c.reduce(len(xs), func(acc *core.Accumulator, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc.AddProductExact(xs[i], ys[i])
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return acc.Float64(), nil
+}
+
+// sumSquares returns the exact sum of squares as an HP accumulator.
+func sumSquares(c Config, xs []float64) (*core.Accumulator, error) {
+	return c.reduce(len(xs), func(acc *core.Accumulator, lo, hi int) {
+		for _, x := range xs[lo:hi] {
+			acc.AddProductExact(x, x)
+		}
+	})
+}
+
+// Nrm2 returns the reproducible Euclidean norm sqrt(sum x_i^2) (BLAS
+// dnrm2). The sum of squares is exact; the square root is evaluated in
+// 256-bit arithmetic and rounded once to float64, so the result is
+// deterministic on every platform and within 1 ulp of the true norm.
+func Nrm2(c Config, xs []float64) (float64, error) {
+	acc, err := sumSquares(c, xs)
+	if err != nil {
+		return 0, err
+	}
+	f := new(big.Float).SetPrec(256).SetRat(acc.Sum().Rat())
+	f.Sqrt(f)
+	v, _ := f.Float64()
+	return v, nil
+}
+
+// Mean returns the reproducible arithmetic mean: the exact sum divided by
+// n in 256-bit arithmetic, rounded once. It returns an error for empty
+// input.
+func Mean(c Config, xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("rblas: mean of empty vector")
+	}
+	acc, err := c.reduce(len(xs), func(acc *core.Accumulator, lo, hi int) {
+		acc.AddAll(xs[lo:hi])
+	})
+	if err != nil {
+		return 0, err
+	}
+	r := acc.Sum().Rat()
+	r.Quo(r, new(big.Rat).SetInt64(int64(len(xs))))
+	f := new(big.Float).SetPrec(256).SetRat(r)
+	v, _ := f.Float64()
+	return v, nil
+}
+
+// Variance returns the reproducible unbiased sample variance: both the sum
+// and the sum of squares are exact, and the final
+// (sum2 - sum^2/n) / (n-1) is evaluated in rational arithmetic before one
+// rounding — so catastrophic cancellation in the textbook formula cannot
+// occur. It returns an error for fewer than two values.
+func Variance(c Config, xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, errors.New("rblas: variance needs >= 2 values")
+	}
+	sumAcc, err := c.reduce(len(xs), func(acc *core.Accumulator, lo, hi int) {
+		acc.AddAll(xs[lo:hi])
+	})
+	if err != nil {
+		return 0, err
+	}
+	sqAcc, err := sumSquares(c, xs)
+	if err != nil {
+		return 0, err
+	}
+	n := new(big.Rat).SetInt64(int64(len(xs)))
+	sum := sumAcc.Sum().Rat()
+	sum2 := sqAcc.Sum().Rat()
+	mean2 := new(big.Rat).Mul(sum, sum)
+	mean2.Quo(mean2, n)
+	v := new(big.Rat).Sub(sum2, mean2)
+	v.Quo(v, new(big.Rat).SetInt64(int64(len(xs)-1)))
+	f := new(big.Float).SetPrec(256).SetRat(v)
+	out, _ := f.Float64()
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package rblas
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+func data(n int, seed uint64) []float64 {
+	return rng.UniformSet(rng.New(seed), n, -1, 1)
+}
+
+func TestSumMatchesOracle(t *testing.T) {
+	xs := data(5000, 1)
+	got, err := Sum(Default(), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := exact.Sum(xs); got != want {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+}
+
+func TestASum(t *testing.T) {
+	xs := data(3000, 2)
+	got, err := ASum(Default(), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := make([]float64, len(xs))
+	for i, x := range xs {
+		abs[i] = math.Abs(x)
+	}
+	if want := exact.Sum(abs); got != want {
+		t.Errorf("ASum = %g, want %g", got, want)
+	}
+	if zero, err := ASum(Default(), nil); err != nil || zero != 0 {
+		t.Errorf("ASum(nil) = %g, %v", zero, err)
+	}
+}
+
+func TestDotExact(t *testing.T) {
+	xs := data(2000, 3)
+	ys := data(2000, 4)
+	got, err := Dot(Default(), xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Rat)
+	for i := range xs {
+		px := new(big.Rat).SetFloat64(xs[i])
+		py := new(big.Rat).SetFloat64(ys[i])
+		want.Add(want, px.Mul(px, py))
+	}
+	f := new(big.Float).SetPrec(256).SetRat(want)
+	wantF, _ := f.Float64()
+	if got != wantF {
+		t.Errorf("Dot = %.20g, want %.20g", got, wantF)
+	}
+	if _, err := Dot(Default(), xs, ys[:3]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestDotIllConditioned(t *testing.T) {
+	got, err := Dot(Default(), []float64{1e15, -1e15, 1}, []float64{1e15, 1e15, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("Dot = %g, want 0.5", got)
+	}
+}
+
+func TestNrm2(t *testing.T) {
+	// 3-4-5 triangle, scaled.
+	got, err := Nrm2(Default(), []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("Nrm2(3,4) = %g", got)
+	}
+	// Large cancellation-free vector vs naive computation: within 1 ulp.
+	xs := data(4000, 5)
+	got, err = Nrm2(Default(), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := 0.0
+	for _, x := range xs {
+		naive += x * x
+	}
+	if math.Abs(got-math.Sqrt(naive)) > 1e-12*got {
+		t.Errorf("Nrm2 = %g vs naive %g", got, math.Sqrt(naive))
+	}
+	// The naive path overflows on large inputs; the exact path does not
+	// as long as the format covers x^2.
+	large := []float64{1e35, 1e35} // squares reach 1e70, within Params512
+	cfg := Config{Params: core.Params512, Workers: 1}
+	got, err = Nrm2(cfg, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e35 * math.Sqrt2
+	if math.Abs(got-want) > 1e-12*want {
+		t.Errorf("Nrm2(1e35,1e35) = %g, want %g", got, want)
+	}
+}
+
+func TestMeanAndVariance(t *testing.T) {
+	got, err := Mean(Default(), []float64{1, 2, 3, 4})
+	if err != nil || got != 2.5 {
+		t.Errorf("Mean = %g, %v", got, err)
+	}
+	v, err := Variance(Default(), []float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 32.0 / 7.0; math.Abs(v-want) > 1e-15 {
+		t.Errorf("Variance = %g, want %g", v, want)
+	}
+	if _, err := Mean(Default(), nil); err == nil {
+		t.Error("empty mean accepted")
+	}
+	if _, err := Variance(Default(), []float64{1}); err == nil {
+		t.Error("single-value variance accepted")
+	}
+}
+
+// The textbook variance formula catastrophically cancels in float64 when
+// the mean dwarfs the spread; the exact-rational evaluation must not.
+func TestVarianceNoCatastrophicCancellation(t *testing.T) {
+	base := 1e9
+	xs := []float64{base, base + 1, base + 2}
+	v, err := Variance(Default(), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("Variance = %.17g, want exactly 1", v)
+	}
+}
+
+// Every reduction must be bit-identical for every worker count.
+func TestWorkerInvariance(t *testing.T) {
+	xs := data(30000, 6)
+	ys := data(30000, 7)
+	type fn struct {
+		name string
+		eval func(c Config) (float64, error)
+	}
+	fns := []fn{
+		{"Sum", func(c Config) (float64, error) { return Sum(c, xs) }},
+		{"ASum", func(c Config) (float64, error) { return ASum(c, xs) }},
+		{"Dot", func(c Config) (float64, error) { return Dot(c, xs, ys) }},
+		{"Nrm2", func(c Config) (float64, error) { return Nrm2(c, xs) }},
+		{"Mean", func(c Config) (float64, error) { return Mean(c, xs) }},
+		{"Variance", func(c Config) (float64, error) { return Variance(c, xs) }},
+	}
+	for _, f := range fns {
+		ref, err := f.eval(Config{Params: core.Params512, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		for _, w := range []int{2, 3, 7, 16} {
+			got, err := f.eval(Config{Params: core.Params512, Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", f.name, w, err)
+			}
+			if got != ref {
+				t.Errorf("%s: workers=%d result %.20g != sequential %.20g",
+					f.name, w, got, ref)
+			}
+		}
+	}
+}
+
+func TestRangeErrorsPropagate(t *testing.T) {
+	cfg := Config{Params: core.Params128, Workers: 2}
+	if _, err := Sum(cfg, []float64{1e300}); err == nil {
+		t.Error("overflow not surfaced")
+	}
+	if _, err := Dot(cfg, []float64{1e60}, []float64{1e60}); err == nil {
+		t.Error("dot overflow not surfaced")
+	}
+}

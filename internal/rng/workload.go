@@ -1,0 +1,103 @@
+package rng
+
+import "math"
+
+// Workload generators reproducing the input distributions of the paper's
+// experiments. Every generator is deterministic given its Source so that an
+// experiment can be re-run bit-identically.
+
+// ZeroSum returns a set of n semi-random values whose exact sum is zero
+// (paper §II.A): n/2 values uniform in [0, maxMag] followed by their
+// negations, shuffled into a random order. n must be even and positive.
+//
+// The paper uses maxMag = 0.001 to mimic the per-step force contributions of
+// N-body codes.
+func ZeroSum(r *Source, n int, maxMag float64) []float64 {
+	if n <= 0 || n%2 != 0 {
+		panic("rng: ZeroSum requires positive even n")
+	}
+	xs := make([]float64, n)
+	for i := 0; i < n/2; i++ {
+		v := r.Uniform(0, maxMag)
+		xs[i] = v
+		xs[n/2+i] = -v
+	}
+	r.Shuffle(xs)
+	return xs
+}
+
+// UniformSet returns n values uniform in [lo, hi), the paper §IV.B workload
+// ([-0.5, 0.5] for the strong-scaling experiments).
+func UniformSet(r *Source, n int, lo, hi float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Uniform(lo, hi)
+	}
+	return xs
+}
+
+// WideRange returns n values with magnitudes spanning [2^minExp, 2^maxExp)
+// and random signs, the paper §IV.A workload for Figure 4 (values in
+// [-2^191, 2^191] with the smallest magnitude ±2^-223).
+func WideRange(r *Source, n, minExp, maxExp int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Exp2Uniform(minExp, maxExp)
+	}
+	return xs
+}
+
+// Reorder returns a freshly shuffled copy of xs, leaving xs untouched. It is
+// the primitive behind the random-summation-order trials of Figures 1 and 2.
+func Reorder(r *Source, xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	r.Shuffle(out)
+	return out
+}
+
+// QuantizeBelow clears every mantissa bit of x with weight below 2^resExp,
+// returning the truncated value. The Figure 4 workload quantizes its
+// wide-range values to the accumulators' common resolution so that each
+// value is exactly representable in both the HP and Hallberg formats (the
+// paper's fixed-point conversions would otherwise silently truncate).
+func QuantizeBelow(x float64, resExp int) float64 {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return x
+	}
+	frac, e := math.Frexp(x) // x = frac * 2^e, |frac| in [0.5, 1)
+	neg := frac < 0
+	if neg {
+		frac = -frac
+	}
+	m := uint64(frac * (1 << 53)) // magnitude mantissa: mask bits, not two's complement
+	low := e - 53                 // weight exponent of the mantissa's LSB
+	drop := resExp - low
+	if drop > 0 {
+		if drop > 53 {
+			return 0
+		}
+		m &^= uint64(1)<<uint(drop) - 1
+	}
+	v := math.Ldexp(float64(m), low)
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+// WideRangeQuantized is WideRange with every value quantized to resolution
+// 2^resExp (see QuantizeBelow). Zero results from quantization are redrawn.
+func WideRangeQuantized(r *Source, n, minExp, maxExp, resExp int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		for {
+			v := QuantizeBelow(r.Exp2Uniform(minExp, maxExp), resExp)
+			if v != 0 {
+				xs[i] = v
+				break
+			}
+		}
+	}
+	return xs
+}

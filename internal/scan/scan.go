@@ -1,0 +1,98 @@
+// Package scan provides reproducible parallel prefix sums. A prefix sum's
+// intermediate values are exactly the partial sums a reduction would form,
+// so naive parallel scans inherit floating-point non-associativity twice
+// over: both the block offsets and the in-block accumulations depend on
+// the decomposition. Here every partial sum is carried exactly in HP
+// fixed-point and rounded once per output element, so prefix[i] is the
+// correctly rounded true prefix — bit-identical for every worker count.
+//
+// The algorithm is the standard two-phase blocked scan: phase 1 reduces
+// each worker's block to an exact block total; the (cheap, sequential)
+// offset pass accumulates exclusive block offsets; phase 2 re-walks each
+// block from its exact offset emitting rounded prefixes.
+package scan
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/omp"
+)
+
+// Inclusive computes the reproducible inclusive prefix sums of xs:
+// out[i] = round(x_0 + ... + x_i), with the sum carried exactly. It
+// returns the first conversion/overflow error encountered.
+func Inclusive(p core.Params, xs []float64, workers int) ([]float64, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("scan: worker count %d", workers)
+	}
+	n := len(xs)
+	out := make([]float64, n)
+	if n == 0 {
+		return out, nil
+	}
+	team := omp.NewTeam(workers)
+
+	// Phase 1: exact block totals.
+	totals := make([]*core.Accumulator, workers)
+	team.Run(func(tid int) {
+		lo, hi := omp.StaticBlock(n, workers, tid)
+		acc := core.NewAccumulator(p)
+		acc.AddAll(xs[lo:hi])
+		totals[tid] = acc
+	})
+	for _, acc := range totals {
+		if err := acc.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Exclusive offsets: offsets[t] = exact sum of blocks < t.
+	offsets := make([]*core.HP, workers)
+	running := core.NewAccumulator(p)
+	for t := 0; t < workers; t++ {
+		offsets[t] = running.Sum().Clone()
+		running.AddHP(totals[t].Sum())
+	}
+	if err := running.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: emit rounded prefixes from each exact offset.
+	errs := make([]error, workers)
+	team.Run(func(tid int) {
+		lo, hi := omp.StaticBlock(n, workers, tid)
+		acc := core.NewAccumulator(p)
+		acc.AddHP(offsets[tid])
+		for i := lo; i < hi; i++ {
+			acc.Add(xs[i])
+			out[i] = acc.Float64()
+		}
+		errs[tid] = acc.Err()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Exclusive computes reproducible exclusive prefix sums:
+// out[0] = 0, out[i] = round(x_0 + ... + x_(i-1)).
+func Exclusive(p core.Params, xs []float64, workers int) ([]float64, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("scan: worker count %d", workers)
+	}
+	n := len(xs)
+	out := make([]float64, n)
+	if n == 0 {
+		return out, nil
+	}
+	inc, err := Inclusive(p, xs[:n-1], workers)
+	if err != nil {
+		return nil, err
+	}
+	copy(out[1:], inc)
+	return out, nil
+}

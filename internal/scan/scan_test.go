@@ -1,0 +1,109 @@
+package scan
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+func TestInclusiveMatchesOracle(t *testing.T) {
+	r := rng.New(41)
+	xs := rng.UniformSet(r, 2000, -0.5, 0.5)
+	got, err := Inclusive(core.Params384, xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	for i, x := range xs {
+		oracle.Add(x)
+		if got[i] != oracle.Float64() {
+			t.Fatalf("prefix %d: %.20g, want %.20g", i, got[i], oracle.Float64())
+		}
+	}
+}
+
+func TestInclusiveWorkerInvariance(t *testing.T) {
+	r := rng.New(42)
+	xs := rng.UniformSet(r, 5000, -0.5, 0.5)
+	ref, err := Inclusive(core.Params384, xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 7, 16, 64} {
+		got, err := Inclusive(core.Params384, xs, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: prefix %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestExclusive(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	got, err := Exclusive(core.Params384, xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 3, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Exclusive[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if out, err := Inclusive(core.Params384, nil, 3); err != nil || len(out) != 0 {
+		t.Error("empty inclusive")
+	}
+	if out, err := Exclusive(core.Params384, nil, 3); err != nil || len(out) != 0 {
+		t.Error("empty exclusive")
+	}
+	out, err := Inclusive(core.Params384, []float64{2.5}, 8) // workers > n
+	if err != nil || len(out) != 1 || out[0] != 2.5 {
+		t.Errorf("single element: %v %v", out, err)
+	}
+	if _, err := Inclusive(core.Params384, []float64{1}, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := Exclusive(core.Params384, []float64{1}, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestRangeErrorSurfaces(t *testing.T) {
+	if _, err := Inclusive(core.Params128, []float64{1e300}, 2); err == nil {
+		t.Error("overflow not surfaced")
+	}
+	// Accumulated overflow across blocks.
+	xs := []float64{0x1p62, 0x1p62, 0x1p62}
+	if _, err := Inclusive(core.Params128, xs, 3); err == nil {
+		t.Error("offset overflow not surfaced")
+	}
+}
+
+// The cancellation case naive scans get wrong: a running sum that returns
+// to a tiny value after huge intermediates.
+func TestScanThroughCancellation(t *testing.T) {
+	xs := []float64{1e15, 1, -1e15, 0.5}
+	got, err := Inclusive(core.Params384, xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.New()
+	for i, x := range xs {
+		oracle.Add(x)
+		if got[i] != oracle.Float64() {
+			t.Fatalf("prefix %d = %.20g, want %.20g", i, got[i], oracle.Float64())
+		}
+	}
+	if got[3] != 1.5 {
+		t.Errorf("final prefix = %g, want 1.5", got[3])
+	}
+}

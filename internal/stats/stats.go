@@ -1,0 +1,242 @@
+// Package stats provides the statistics used by the paper's experiments:
+// running mean/standard deviation (for the Figure 1 error curves),
+// histograms (Figure 2), least-squares linear fits (to verify the linear
+// error growth claim of §II.A), parallel efficiency (Figures 5-8), and ULP
+// distance for accuracy comparisons.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates a stream of observations with Welford's algorithm,
+// giving numerically stable mean and variance without storing the samples.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// AddAll incorporates every element of xs.
+func (r *Running) AddAll(xs []float64) {
+	for _, x := range xs {
+		r.Add(x)
+	}
+}
+
+// Merge folds another accumulator's observations into r using Chan et
+// al.'s parallel variance combination, so per-worker statistics can be
+// reduced without a second pass over the data.
+func (r *Running) Merge(o *Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *o
+		return
+	}
+	n1, n2 := float64(r.n), float64(o.n)
+	delta := o.mean - r.mean
+	total := n1 + n2
+	r.mean += delta * n2 / total
+	r.m2 += o.m2 + delta*delta*n1*n2/total
+	r.n += o.n
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+}
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean (0 for an empty set).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation (0 for an empty set).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation (0 for an empty set).
+func (r *Running) Max() float64 { return r.max }
+
+// Histogram bins observations into equal-width buckets over [Lo, Hi);
+// values outside the range land in the saturating edge buckets, so no
+// observation is dropped.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	under  int64
+	over   int64
+}
+
+// NewHistogram returns a histogram with bins equal-width buckets over
+// [lo, hi). It panics if bins < 1 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%g,%g) x%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+}
+
+// Add bins one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.under++
+		h.Counts[0]++
+	case x >= h.Hi:
+		h.over++
+		h.Counts[len(h.Counts)-1]++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard the floating-point edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Outliers returns how many observations fell below Lo and at/above Hi.
+func (h *Histogram) Outliers() (under, over int64) { return h.under, h.over }
+
+// Total returns the number of binned observations.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// LinearFit returns the least-squares line y = a + b*x through the points,
+// plus the coefficient of determination r2. It panics if the slices differ
+// in length or hold fewer than two points.
+func LinearFit(xs, ys []float64) (a, b, r2 float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: LinearFit needs >= 2 equal-length points")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: LinearFit with degenerate x values")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		return a, b, 1
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return a, b, r2
+}
+
+// Efficiency returns the strong-scaling efficiency t1 / (p * tp), the
+// quantity plotted on the right-hand panels of Figures 5-8.
+func Efficiency(t1, tp float64, p int) float64 {
+	if tp <= 0 || p < 1 {
+		return 0
+	}
+	return t1 / (float64(p) * tp)
+}
+
+// Speedup returns t1 / tp.
+func Speedup(t1, tp float64) float64 {
+	if tp <= 0 {
+		return 0
+	}
+	return t1 / tp
+}
+
+// ULPDistance returns the number of representable float64 values between a
+// and b (0 if equal, 1 if adjacent). It returns MaxInt64-ish saturation for
+// NaN or differing signs at large magnitude; intended for near-equal
+// comparisons in accuracy tables.
+func ULPDistance(a, b float64) int64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.MaxInt64
+	}
+	ia := orderedBits(a)
+	ib := orderedBits(b)
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// orderedBits maps a float64 onto a monotone integer scale.
+func orderedBits(f float64) int64 {
+	b := int64(math.Float64bits(f))
+	if b < 0 {
+		b = math.MinInt64 - b
+	}
+	return b
+}
+
+// Median returns the median of xs (copying, not mutating). It panics on an
+// empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty slice")
+	}
+	ys := make([]float64, len(xs))
+	copy(ys, xs)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.StdDev() != 0 {
+		t.Error("zero value not neutral")
+	}
+	r.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if got := r.Mean(); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	// Sample variance of this classic set is 32/7.
+	if got, want := r.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", got, want)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g", r.Min(), r.Max())
+	}
+}
+
+func TestRunningSingle(t *testing.T) {
+	var r Running
+	r.Add(3.5)
+	if r.Mean() != 3.5 || r.Variance() != 0 || r.Min() != 3.5 || r.Max() != 3.5 {
+		t.Error("single-observation stats wrong")
+	}
+}
+
+// Welford must match the naive two-pass formula.
+func TestPropWelfordMatchesTwoPass(t *testing.T) {
+	f := func(raw [16]float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var r Running
+		r.AddAll(xs)
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(xs)-1)
+		scale := math.Max(1, math.Abs(variance))
+		return math.Abs(r.Mean()-mean) <= 1e-9*math.Max(1, math.Abs(mean)) &&
+			math.Abs(r.Variance()-variance) <= 1e-9*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(-1, 1, 4)
+	for _, v := range []float64{-0.9, -0.1, 0.1, 0.9, 0.99} {
+		h.Add(v)
+	}
+	want := []int64{1, 1, 1, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bin %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// Edge saturation.
+	h.Add(-5)
+	h.Add(5)
+	under, over := h.Outliers()
+	if under != 1 || over != 1 {
+		t.Errorf("outliers = %d/%d", under, over)
+	}
+	if h.Counts[0] != 2 || h.Counts[3] != 3 {
+		t.Error("edge buckets did not saturate")
+	}
+	// Exactly Hi lands in the over bucket (half-open range).
+	h2 := NewHistogram(0, 1, 2)
+	h2.Add(1)
+	if _, over := h2.Outliers(); over != 1 {
+		t.Error("x == Hi should count as over")
+	}
+	if got := h2.BinCenter(0); got != 0.25 {
+		t.Errorf("BinCenter(0) = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram accepted")
+		}
+	}()
+	NewHistogram(1, 0, 4)
+}
+
+func TestLinearFit(t *testing.T) {
+	// Perfect line y = 2 + 3x.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{2, 5, 8, 11, 14}
+	a, b, r2 := LinearFit(xs, ys)
+	if math.Abs(a-2) > 1e-12 || math.Abs(b-3) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Errorf("fit = (%g, %g, %g), want (2, 3, 1)", a, b, r2)
+	}
+	// Noisy line still has r2 near 1.
+	ys2 := []float64{2.1, 4.9, 8.05, 11.1, 13.9}
+	_, b2, r22 := LinearFit(xs, ys2)
+	if b2 < 2.5 || b2 > 3.5 || r22 < 0.99 {
+		t.Errorf("noisy fit = (%g, %g)", b2, r22)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("degenerate fit accepted")
+		}
+	}()
+	LinearFit([]float64{1, 1}, []float64{2, 3})
+}
+
+func TestEfficiencyAndSpeedup(t *testing.T) {
+	if got := Efficiency(8, 1, 8); got != 1 {
+		t.Errorf("perfect efficiency = %g", got)
+	}
+	if got := Efficiency(8, 2, 8); got != 0.5 {
+		t.Errorf("half efficiency = %g", got)
+	}
+	if got := Efficiency(1, 0, 4); got != 0 {
+		t.Error("zero time must not divide")
+	}
+	if got := Speedup(10, 2); got != 5 {
+		t.Errorf("Speedup = %g", got)
+	}
+}
+
+func TestULPDistance(t *testing.T) {
+	if got := ULPDistance(1, 1); got != 0 {
+		t.Errorf("equal: %d", got)
+	}
+	if got := ULPDistance(1, math.Nextafter(1, 2)); got != 1 {
+		t.Errorf("adjacent: %d", got)
+	}
+	if got := ULPDistance(1, math.Nextafter(1, 0)); got != 1 {
+		t.Errorf("adjacent down: %d", got)
+	}
+	if got := ULPDistance(0, math.Copysign(0, -1)); got != 0 {
+		t.Errorf("+0 vs -0: %d", got)
+	}
+	if got := ULPDistance(math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64); got != 2 {
+		t.Errorf("straddling zero: %d", got)
+	}
+	if got := ULPDistance(math.NaN(), 1); got != math.MaxInt64 {
+		t.Error("NaN must saturate")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %g", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %g", got)
+	}
+	xs := []float64{5, 1}
+	Median(xs)
+	if xs[0] != 5 {
+		t.Error("Median mutated input")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty median accepted")
+		}
+	}()
+	Median(nil)
+}
+
+func TestRunningMerge(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var whole Running
+	whole.AddAll(xs)
+
+	for _, split := range []int{1, 3, 4, 7} {
+		var a, b Running
+		a.AddAll(xs[:split])
+		b.AddAll(xs[split:])
+		a.Merge(&b)
+		if a.N() != whole.N() {
+			t.Fatalf("split %d: N = %d", split, a.N())
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+			t.Errorf("split %d: mean %g vs %g", split, a.Mean(), whole.Mean())
+		}
+		if math.Abs(a.Variance()-whole.Variance()) > 1e-12 {
+			t.Errorf("split %d: var %g vs %g", split, a.Variance(), whole.Variance())
+		}
+		if a.Min() != whole.Min() || a.Max() != whole.Max() {
+			t.Errorf("split %d: min/max", split)
+		}
+	}
+	// Merging into/out of empty accumulators.
+	var empty, full Running
+	full.AddAll(xs)
+	snapshot := full
+	full.Merge(&empty)
+	if full != snapshot {
+		t.Error("merging empty changed stats")
+	}
+	empty.Merge(&full)
+	if empty.N() != full.N() || empty.Mean() != full.Mean() {
+		t.Error("merge into empty failed")
+	}
+}

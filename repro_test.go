@@ -1,0 +1,210 @@
+package repro
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+func TestSumMatchesOracle(t *testing.T) {
+	r := rng.New(101)
+	xs := rng.UniformSet(r, 10000, -0.5, 0.5)
+	got, err := Sum(Params384, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := exact.Sum(xs); got != want {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+}
+
+func TestParallelSumInvariantAcrossWorkers(t *testing.T) {
+	r := rng.New(102)
+	xs := rng.UniformSet(r, 30000, -0.5, 0.5)
+	ref, err := SumHP(Params384, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 5, 8, 16} {
+		hp, err := ParallelSumHP(Params384, xs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !hp.Equal(ref) {
+			t.Errorf("workers=%d: parallel sum differs from sequential", workers)
+		}
+	}
+	if _, err := ParallelSum(Params384, xs, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestParallelSumPropagatesRangeError(t *testing.T) {
+	xs := []float64{1, 1e300, 2}
+	if _, err := ParallelSum(Params128, xs, 4); err != ErrOverflow {
+		t.Errorf("err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestAccumulatorFacade(t *testing.T) {
+	acc := NewAccumulator(Params192)
+	acc.Add(0.1)
+	acc.Add(0.2)
+	acc.Add(-0.3)
+	if err := acc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 0.1 + 0.2 + (-0.3) in binary is NOT zero exactly; the HP sum must
+	// equal the exact sum of the three binary values.
+	want := exact.Sum([]float64{0.1, 0.2, -0.3})
+	if got := acc.Float64(); got != want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestAtomicFacade(t *testing.T) {
+	acc := NewAtomic(Params384)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scratch := NewHP(Params384)
+			for i := 0; i < 1000; i++ {
+				if err := acc.AddFloat64(0.5, scratch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := acc.Snapshot().Float64(); got != 4000 {
+		t.Errorf("atomic sum = %g, want 4000", got)
+	}
+}
+
+func TestAdaptiveSumFullRange(t *testing.T) {
+	xs := []float64{math.MaxFloat64, -math.MaxFloat64, 1e-300, 2.5}
+	got, err := AdaptiveSum(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := exact.Sum(xs); got != want {
+		t.Errorf("AdaptiveSum = %g, want %g", got, want)
+	}
+	if _, err := AdaptiveSum([]float64{math.NaN()}); err != ErrNotFinite {
+		t.Errorf("NaN: %v", err)
+	}
+}
+
+func TestFromFloat64Facade(t *testing.T) {
+	hp, err := FromFloat64(Params192, -1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Float64() != -1.25 {
+		t.Error("facade round trip")
+	}
+	if _, err := FromFloat64(Params128, 1e300); err != ErrOverflow {
+		t.Errorf("overflow: %v", err)
+	}
+	if _, err := FromFloat64(Params128, 1e-30); err != ErrUnderflow {
+		t.Errorf("underflow: %v", err)
+	}
+}
+
+// The headline demonstration: a permuted sum differs under float64 but is
+// bit-identical under HP.
+func TestOrderInvarianceDemonstration(t *testing.T) {
+	r := rng.New(103)
+	xs := rng.ZeroSum(r, 4096, 0.001)
+	ys := rng.Reorder(r, xs)
+
+	hpX, err := SumHP(Params192, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpY, err := SumHP(Params192, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hpX.Equal(hpY) {
+		t.Error("HP sums differ across permutations")
+	}
+	if hpX.Float64() != 0 {
+		t.Errorf("HP zero-sum = %g", hpX.Float64())
+	}
+}
+
+func TestBLASFacade(t *testing.T) {
+	r := rng.New(104)
+	xs := rng.UniformSet(r, 5000, -1, 1)
+	ys := rng.UniformSet(r, 5000, -1, 1)
+
+	asum, err := ASum(Params512, xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asum <= 0 {
+		t.Error("ASum not positive")
+	}
+	nrm, err := Nrm2(Params512, []float64{3, 4}, 2)
+	if err != nil || nrm != 5 {
+		t.Errorf("Nrm2 = %g, %v", nrm, err)
+	}
+	mean, err := Mean(Params512, []float64{1, 2, 3, 4}, 3)
+	if err != nil || mean != 2.5 {
+		t.Errorf("Mean = %g, %v", mean, err)
+	}
+	v, err := Variance(Params512, []float64{1e9, 1e9 + 1, 1e9 + 2}, 2)
+	if err != nil || v != 1 {
+		t.Errorf("Variance = %g, %v", v, err)
+	}
+	d1, err := DotParallel(Params512, xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := DotParallel(Params512, xs, ys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d8 {
+		t.Error("DotParallel not worker-invariant")
+	}
+	seq, err := Dot(Params512, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != seq {
+		t.Error("DotParallel != Dot")
+	}
+}
+
+func TestPrefixSumFacade(t *testing.T) {
+	r := rng.New(105)
+	xs := rng.UniformSet(r, 3000, -0.5, 0.5)
+	a, err := PrefixSum(Params384, xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PrefixSum(Params384, xs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prefix %d differs across worker counts", i)
+		}
+	}
+	ex, err := PrefixSumExclusive(Params384, []float64{1, 2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex[0] != 0 || ex[1] != 1 || ex[2] != 3 {
+		t.Errorf("exclusive = %v", ex)
+	}
+}
