@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -34,8 +35,19 @@ func main() {
 		seed       = flag.Uint64("seed", 2016, "workload RNG seed")
 		maxThreads = flag.Int("maxthreads", 0, "cap thread/rank sweeps (0 = paper maxima)")
 		csvDir     = flag.String("csv", "", "directory for CSV output (empty = none)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (enables telemetry)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stop, err := telemetry.StartFromFlags(*metricsAddr, *cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer stop()
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -71,6 +83,7 @@ func main() {
 		}
 		if err := experiments.RunAndReport(name, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			stop() // os.Exit skips defers; flush profiles first
 			os.Exit(1)
 		}
 	}

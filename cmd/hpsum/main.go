@@ -21,22 +21,33 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/floatsum"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		nFlag    = flag.Int("n", 6, "HP total limbs N")
-		kFlag    = flag.Int("k", 3, "HP fractional limbs k")
-		adaptive = flag.Bool("adaptive", false, "use the adaptive accumulator (any finite range)")
-		compare  = flag.Bool("compare", false, "also print the naive float64 sum and difference")
-		exactOut = flag.Bool("exact", false, "print the exact sum as a rational number")
+		nFlag       = flag.Int("n", 6, "HP total limbs N")
+		kFlag       = flag.Int("k", 3, "HP fractional limbs k")
+		adaptive    = flag.Bool("adaptive", false, "use the adaptive accumulator (any finite range)")
+		compare     = flag.Bool("compare", false, "also print the naive float64 sum and difference")
+		exactOut    = flag.Bool("exact", false, "print the exact sum as a rational number")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (enables telemetry)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if err := run(*nFlag, *kFlag, *adaptive, *compare, *exactOut, flag.Args(), os.Stdout); err != nil {
+	stop, err := telemetry.StartFromFlags(*metricsAddr, *cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "hpsum: %v\n", err)
 		os.Exit(1)
 	}
+	if err := run(*nFlag, *kFlag, *adaptive, *compare, *exactOut, flag.Args(), os.Stdout); err != nil {
+		stop()
+		fmt.Fprintf(os.Stderr, "hpsum: %v\n", err)
+		os.Exit(1)
+	}
+	stop()
 }
 
 func run(n, k int, adaptive, compare, exactOut bool, files []string, out io.Writer) error {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/nbody"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -29,12 +30,23 @@ func main() {
 		force   = flag.String("force", "gravity", "force law: gravity | lj")
 		seed    = flag.Uint64("seed", 2016, "initial-condition seed")
 		verify  = flag.Bool("verify", false, "run with several worker counts and compare fingerprints")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (enables telemetry)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*n, *steps, *dt, *workers, *modeStr, *force, *seed, *verify, os.Stdout); err != nil {
+	stop, err := telemetry.StartFromFlags(*metricsAddr, *cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "nbodysim: %v\n", err)
 		os.Exit(1)
 	}
+	if err := run(*n, *steps, *dt, *workers, *modeStr, *force, *seed, *verify, os.Stdout); err != nil {
+		stop()
+		fmt.Fprintf(os.Stderr, "nbodysim: %v\n", err)
+		os.Exit(1)
+	}
+	stop()
 }
 
 func run(n, steps int, dt float64, workers int, modeStr, forceStr string,

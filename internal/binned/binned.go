@@ -26,6 +26,17 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+
+	"repro/internal/telemetry"
+)
+
+// Telemetry for cross-method comparison against the HP and Hallberg
+// accumulators at /metrics.
+var (
+	mAdds = telemetry.NewCounter("binned_adds_total",
+		"Values deposited into binned accumulators (Acc.Add calls).")
+	mBudget = telemetry.NewCounter("binned_budget_exceeded_total",
+		"Additions past the 2^(52-W) summand budget, voiding the exactness guarantee.")
 )
 
 // Errors reported by the accumulator.
@@ -136,8 +147,12 @@ func (a *Acc) Add(x float64) {
 		return
 	}
 	a.count++
-	if a.count > a.MaxSummands() && a.err == nil {
-		a.err = ErrTooManySummands
+	mAdds.Inc()
+	if a.count > a.MaxSummands() {
+		mBudget.Inc()
+		if a.err == nil {
+			a.err = ErrTooManySummands
+		}
 	}
 	if x == 0 {
 		return

@@ -27,13 +27,17 @@ func (a *Accumulator) Params() Params { return a.sum.p }
 // for conversion faults; addition overflow wraps, as integer hardware would.
 func (a *Accumulator) Add(x float64) {
 	if err := a.scratch.SetFloat64(x); err != nil {
+		countRangeErr(err)
 		if a.err == nil {
 			a.err = err
 		}
 		return
 	}
-	if a.sum.Add(a.scratch) && a.err == nil {
-		a.err = ErrOverflow
+	if a.sum.Add(a.scratch) {
+		mOverflow.Inc()
+		if a.err == nil {
+			a.err = ErrOverflow
+		}
 	}
 }
 
@@ -52,8 +56,11 @@ func (a *Accumulator) AddHP(x *HP) {
 		}
 		return
 	}
-	if a.sum.Add(x) && a.err == nil {
-		a.err = ErrOverflow
+	if a.sum.Add(x) {
+		mOverflow.Inc()
+		if a.err == nil {
+			a.err = ErrOverflow
+		}
 	}
 }
 

@@ -52,6 +52,8 @@ func (a *Adaptive) widen(moreWhole, moreFrac int) {
 	// The trailing moreFrac limbs stay zero: the value is unchanged.
 	a.sum = next
 	a.scratch = New(p)
+	mAdaptiveWidenings.Inc()
+	mAdaptiveLimbs.Set(int64(p.N))
 }
 
 // need returns how many extra whole/frac limbs are required to represent x

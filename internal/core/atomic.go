@@ -3,6 +3,8 @@ package core
 import (
 	"math/bits"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Atomic is an HP accumulator that many goroutines may add to concurrently,
@@ -43,8 +45,11 @@ func (a *Atomic) AddHP(x *HP) {
 	if x.p != a.p {
 		panic(ErrParamMismatch)
 	}
-	var carry uint64
+	var carry, depth uint64
 	for i := a.p.N - 1; i >= 0; i-- {
+		if carry != 0 {
+			depth++ // local bookkeeping only; free next to the LOCK XADD below
+		}
 		delta := x.limbs[i] + carry
 		carry = 0
 		if delta < x.limbs[i] { // delta wrapped: x.limbs[i] was all ones and carry was 1
@@ -58,6 +63,10 @@ func (a *Atomic) AddHP(x *HP) {
 			carry++
 		}
 	}
+	if telemetry.Enabled() {
+		mAddHP.Inc()
+		mCarryDepth.Observe(float64(depth))
+	}
 }
 
 // AddHPCAS is AddHP implemented with a compare-and-swap loop per limb, the
@@ -66,8 +75,11 @@ func (a *Atomic) AddHPCAS(x *HP) {
 	if x.p != a.p {
 		panic(ErrParamMismatch)
 	}
-	var carry uint64
+	var carry, depth, retries uint64
 	for i := a.p.N - 1; i >= 0; i-- {
+		if carry != 0 {
+			depth++
+		}
 		delta := x.limbs[i] + carry
 		carry = 0
 		if delta < x.limbs[i] {
@@ -83,7 +95,13 @@ func (a *Atomic) AddHPCAS(x *HP) {
 				carry += co
 				break
 			}
+			retries++ // lost the race to a concurrent adder on this limb
 		}
+	}
+	if telemetry.Enabled() {
+		mAddHPCAS.Inc()
+		mCASRetries.Add(retries)
+		mCarryDepth.Observe(float64(depth))
 	}
 }
 
@@ -93,6 +111,7 @@ func (a *Atomic) AddHPCAS(x *HP) {
 // state, as the paper prescribes.
 func (a *Atomic) AddFloat64(x float64, scratch *HP) error {
 	if err := scratch.SetFloat64(x); err != nil {
+		countRangeErr(err)
 		return err
 	}
 	a.AddHP(scratch)

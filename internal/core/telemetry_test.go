@@ -1,0 +1,159 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// contendCAS hammers one atomic accumulator with AddHPCAS from several
+// goroutines and returns the CAS-retry counter delta it produced.
+func contendCAS(t *testing.T, goroutines, adds int) uint64 {
+	t.Helper()
+	acc := NewAtomic(Params384)
+	// A value whose conversion populates multiple limbs, so every add
+	// CASes several shared words and collisions are likely.
+	before := mCASRetries.Value()
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			x := New(Params384)
+			if err := x.SetFloat64(1.0 + 0x1p-40); err != nil {
+				panic(err)
+			}
+			for i := 0; i < adds; i++ {
+				acc.AddHPCAS(x)
+			}
+		}()
+	}
+	wg.Wait()
+	return mCASRetries.Value() - before
+}
+
+// TestCASRetriesVisibleUnderContention asserts the satellite requirement:
+// the CAS loop's silent retries must surface in core_cas_retries_total
+// when parallel adders collide. Without the counter, contention on the
+// paper's CAS construction is invisible.
+func TestCASRetriesVisibleUnderContention(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs real parallelism for CAS collisions")
+	}
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+
+	// Retries are probabilistic; with 8 goroutines CASing the same limbs
+	// tens of thousands of times a collision is overwhelmingly likely, but
+	// give the scheduler a few rounds before declaring failure.
+	for round := 0; round < 10; round++ {
+		if retries := contendCAS(t, 8, 20000); retries > 0 {
+			t.Logf("observed %d CAS retries", retries)
+			return
+		}
+	}
+	t.Fatal("no CAS retries recorded under parallel load; counter not wired into AddHPCAS?")
+}
+
+// TestCASRetryCounterDisabled checks the gate: with telemetry off the
+// counter must not move even under heavy contention.
+func TestCASRetryCounterDisabled(t *testing.T) {
+	prev := telemetry.SetEnabled(false)
+	defer telemetry.SetEnabled(prev)
+	if retries := contendCAS(t, 8, 5000); retries != 0 {
+		t.Fatalf("disabled telemetry recorded %d CAS retries", retries)
+	}
+}
+
+// parallelAtomicSum sums xs into a fresh atomic accumulator with the given
+// number of goroutines, using AddHP for even workers and AddHPCAS for odd
+// ones (both flavors must behave identically under instrumentation).
+func parallelAtomicSum(t *testing.T, xs []float64, workers int) *HP {
+	t.Helper()
+	acc := NewAtomic(Params384)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			scratch := New(Params384)
+			lo := w * len(xs) / workers
+			hi := (w + 1) * len(xs) / workers
+			for _, x := range xs[lo:hi] {
+				if err := scratch.SetFloat64(x); err != nil {
+					panic(err)
+				}
+				if w%2 == 0 {
+					acc.AddHP(scratch)
+				} else {
+					acc.AddHPCAS(scratch)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return acc.Snapshot()
+}
+
+// TestOrderInvarianceWithTelemetry is the regression test for the
+// instrumentation itself: a parallel sum with telemetry enabled must be
+// bit-identical to the same sum with telemetry disabled and to the
+// sequential reference. Counters and histograms live entirely outside
+// accumulator state, so any divergence here means the instrumentation
+// perturbed the arithmetic.
+func TestOrderInvarianceWithTelemetry(t *testing.T) {
+	// Deterministic mixed-sign, mixed-magnitude workload (splitmix-style
+	// mixing; no shared test fixtures needed).
+	xs := make([]float64, 4096)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range xs {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		mant := float64(z>>11) / (1 << 53) // in [0,1)
+		exp := int(z%80) - 40              // magnitudes 2^-40 .. 2^39
+		x := (mant + 0.5) * pow2(exp)
+		if z&1 == 1 {
+			x = -x
+		}
+		xs[i] = x
+	}
+
+	prevOn := telemetry.SetEnabled(false)
+	defer telemetry.SetEnabled(prevOn)
+
+	serial := NewAccumulator(Params384)
+	serial.AddAll(xs)
+	if err := serial.Err(); err != nil {
+		t.Fatal(err)
+	}
+	off := parallelAtomicSum(t, xs, 8)
+
+	telemetry.SetEnabled(true)
+	on := parallelAtomicSum(t, xs, 8)
+	telemetry.SetEnabled(false)
+
+	if !off.Equal(serial.Sum()) {
+		t.Errorf("parallel sum (telemetry off) differs from sequential:\n  got  %s\n  want %s",
+			off, serial.Sum())
+	}
+	if !on.Equal(off) {
+		t.Errorf("telemetry instrumentation perturbed the sum:\n  on  %s\n  off %s", on, off)
+	}
+}
+
+// pow2 returns 2^e exactly for small |e|.
+func pow2(e int) float64 {
+	x := 1.0
+	for ; e > 0; e-- {
+		x *= 2
+	}
+	for ; e < 0; e++ {
+		x /= 2
+	}
+	return x
+}

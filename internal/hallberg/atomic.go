@@ -1,6 +1,21 @@
 package hallberg
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Telemetry mirroring the HP atomic adder's counters, so the two methods'
+// contention behavior (paper Figure 7) can be compared live at /metrics.
+var (
+	mAddNum = telemetry.NewCounter("hallberg_addnum_total",
+		"Atomic fetch-add Hallberg additions (Atomic.AddNum calls).")
+	mAddNumCAS = telemetry.NewCounter("hallberg_addnum_cas_total",
+		"Atomic CAS-loop Hallberg additions (Atomic.AddNumCAS calls).")
+	mCASRetries = telemetry.NewCounter("hallberg_cas_retries_total",
+		"Failed compare-and-swap attempts inside Atomic.AddNumCAS.")
+)
 
 // Atomic is a Hallberg accumulator safe for concurrent addition. Because
 // the method performs no carry propagation, each limb is an independent
@@ -34,6 +49,7 @@ func (a *Atomic) AddNum(x *Num) {
 			a.limbs[i].Add(l)
 		}
 	}
+	mAddNum.Inc()
 }
 
 // AddNumCAS atomically adds x limb-wise using compare-and-swap loops, the
@@ -42,6 +58,7 @@ func (a *Atomic) AddNumCAS(x *Num) {
 	if x.p != a.p {
 		panic(ErrParamMismatch)
 	}
+	var retries uint64
 	for i, l := range x.limbs {
 		if l == 0 {
 			continue
@@ -51,7 +68,12 @@ func (a *Atomic) AddNumCAS(x *Num) {
 			if a.limbs[i].CompareAndSwap(old, old+l) {
 				break
 			}
+			retries++
 		}
+	}
+	if telemetry.Enabled() {
+		mAddNumCAS.Inc()
+		mCASRetries.Add(retries)
 	}
 }
 

@@ -22,10 +22,12 @@ const tagAllreduceRDBase = -100
 // fold into the power-of-two core first and receive the result afterwards.
 // Every rank returns the combined buffer.
 func (c *Comm) AllreduceRD(data []byte, op Op) ([]byte, error) {
+	done := timeAllreduce()
 	size := c.w.size
 	acc := make([]byte, len(data))
 	copy(acc, data)
 	if size == 1 {
+		done()
 		return acc, nil
 	}
 	// Largest power of two <= size.
@@ -42,7 +44,11 @@ func (c *Comm) AllreduceRD(data []byte, op Op) ([]byte, error) {
 			return nil, err
 		}
 		// Wait for the final result.
-		return c.recv(c.rank-pof2, tagUnfold)
+		out, err := c.recv(c.rank-pof2, tagUnfold)
+		if err == nil {
+			done()
+		}
+		return out, err
 	}
 	if c.rank < rem {
 		in, err := c.recv(c.rank+pof2, tagFold)
@@ -86,6 +92,7 @@ func (c *Comm) AllreduceRD(data []byte, op Op) ([]byte, error) {
 			return nil, err
 		}
 	}
+	done()
 	return acc, nil
 }
 

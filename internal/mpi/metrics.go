@@ -1,0 +1,19 @@
+package mpi
+
+import "repro/internal/telemetry"
+
+// Telemetry for the simulated message-passing substrate. Counters are
+// incremented per point-to-point delivery (including the internal
+// messages collectives exchange), so traffic shape under different
+// reduction topologies is directly visible at /metrics.
+var (
+	mMessages = telemetry.NewCounter("mpi_messages_total",
+		"Point-to-point messages delivered (user sends plus collective-internal traffic).")
+	mBytes = telemetry.NewCounter("mpi_bytes_total",
+		"Payload bytes delivered across all point-to-point messages.")
+	mAllreduce = telemetry.NewCounter("mpi_allreduce_total",
+		"Allreduce operations completed (binomial-tree and recursive-doubling), counted once per participating rank.")
+	mAllreduceLatency = telemetry.NewHistogram("mpi_allreduce_seconds",
+		"Per-rank wall time of allreduce operations.",
+		telemetry.DurationBuckets())
+)

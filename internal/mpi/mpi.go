@@ -14,6 +14,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Op combines two encoded values: inout = combine(inout, in). Ops used with
@@ -149,6 +152,8 @@ func (c *Comm) send(dst, tag int, data []byte) error {
 		return fmt.Errorf("mpi: send to invalid rank %d (size %d)", dst, c.w.size)
 	}
 	c.w.boxes[dst][c.rank].put(tag, data)
+	mMessages.Inc()
+	mBytes.Add(uint64(len(data)))
 	return nil
 }
 
@@ -257,11 +262,29 @@ func (c *Comm) Reduce(root int, data []byte, op Op) ([]byte, error) {
 // Allreduce is Reduce to rank 0 followed by Bcast: every rank receives the
 // combined buffer.
 func (c *Comm) Allreduce(data []byte, op Op) ([]byte, error) {
+	done := timeAllreduce()
 	acc, err := c.Reduce(0, data, op)
 	if err != nil {
 		return nil, err
 	}
-	return c.Bcast(0, acc)
+	out, err := c.Bcast(0, acc)
+	if err == nil {
+		done()
+	}
+	return out, err
+}
+
+// timeAllreduce starts timing one rank's allreduce and returns the
+// completion hook; when telemetry is off it is a no-op and reads no clock.
+func timeAllreduce() func() {
+	if !telemetry.Enabled() {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		mAllreduce.Inc()
+		mAllreduceLatency.ObserveDuration(time.Since(start).Seconds())
+	}
 }
 
 // Gather collects every rank's buffer at root. On root it returns a slice

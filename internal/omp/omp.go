@@ -10,6 +10,22 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Telemetry for the fork-join substrate. Chunk counters are sharded, so
+// concurrent workers recording dispatches do not contend; the reduction
+// histogram times whole Reduce calls (fork, per-thread fold, combine).
+var (
+	mRegions = telemetry.NewCounter("omp_parallel_regions_total",
+		"Parallel regions executed (Team.Run calls, including those forked by For/Reduce).")
+	mChunks = telemetry.NewCounter("omp_chunks_total",
+		"Loop chunks dispatched to workers across all schedules (one per body invocation).")
+	mReduceLatency = telemetry.NewHistogram("omp_reduce_seconds",
+		"Wall time of Reduce calls: fork, per-thread fold, and deterministic combine.",
+		telemetry.DurationBuckets())
 )
 
 // Schedule selects how loop iterations are assigned to threads, mirroring
@@ -60,6 +76,7 @@ func (t *Team) Threads() int { return t.threads }
 // Run executes body(tid) on every thread of the team concurrently and
 // waits for all of them — the bare "parallel" construct.
 func (t *Team) Run(body func(tid int)) {
+	mRegions.Inc()
 	var wg sync.WaitGroup
 	wg.Add(t.threads)
 	for tid := 0; tid < t.threads; tid++ {
@@ -80,6 +97,7 @@ func (t *Team) For(n int, body func(tid, lo, hi int)) {
 	}
 	t.Run(func(tid int) {
 		lo, hi := StaticBlock(n, t.threads, tid)
+		mChunks.Inc()
 		body(tid, lo, hi)
 	})
 }
@@ -134,6 +152,7 @@ func (t *Team) ForSchedule(n, chunk int, sched Schedule, body func(tid, lo, hi i
 			if hi > n {
 				hi = n
 			}
+			mChunks.Inc()
 			body(tid, lo, hi)
 		}
 	})
@@ -198,14 +217,22 @@ func (b *Barrier) Abandon() {
 // experiments. The combined value for thread 0's local is returned.
 func Reduce[L any](t *Team, n int, newLocal func(tid int) L,
 	body func(local L, tid, lo, hi int), combine func(into, from L)) L {
+	var start time.Time
+	if telemetry.Enabled() {
+		start = time.Now() // clock reads only when recording is on
+	}
 	locals := make([]L, t.threads)
 	t.Run(func(tid int) {
 		locals[tid] = newLocal(tid)
 		lo, hi := StaticBlock(n, t.threads, tid)
+		mChunks.Inc()
 		body(locals[tid], tid, lo, hi)
 	})
 	for i := 1; i < t.threads; i++ {
 		combine(locals[0], locals[i])
+	}
+	if !start.IsZero() {
+		mReduceLatency.ObserveDuration(time.Since(start).Seconds())
 	}
 	return locals[0]
 }

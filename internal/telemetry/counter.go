@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// numShards is the shard count for Counters: the smallest power of two
+// covering GOMAXPROCS at process start, capped so a counter stays a few
+// cache lines. Power-of-two lets shardIndex mask instead of mod.
+var numShards = func() int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n <<= 1
+	}
+	return n
+}()
+
+// shard is one cache line of counter state. The padding keeps adjacent
+// shards on distinct 64-byte lines so concurrent adders do not false-share.
+type shard struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// shardIndex picks a shard for the calling goroutine. Go exposes no
+// goroutine-local storage, so we hash the address of a stack variable:
+// every goroutine has its own stack, so distinct goroutines land on
+// well-spread indexes, and the cost is two ALU ops. The index only
+// affects contention, never correctness — Value sums all shards.
+func shardIndex() int {
+	var b byte
+	p := uintptr(unsafe.Pointer(&b))
+	return int((p >> 10) & uintptr(numShards-1))
+}
+
+// Counter is a monotonically increasing sharded counter. Add is lock-free:
+// one atomic fetch-add on the caller's shard, preceded by the global
+// enabled check. The zero value is unusable; create with NewCounter.
+type Counter struct {
+	name   string
+	help   string
+	shards []shard
+}
+
+// NewCounter registers (or returns the existing) counter with the given
+// name in the default registry.
+func NewCounter(name, help string) *Counter {
+	return Default().NewCounter(name, help)
+}
+
+// NewCounter registers (or returns the existing) counter in r.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	checkName(name)
+	c := &Counter{name: name, help: help, shards: make([]shard, numShards)}
+	return r.register(c).(*Counter)
+}
+
+// Name returns the metric name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Help returns the metric description.
+func (c *Counter) Help() string {
+	if c == nil {
+		return ""
+	}
+	return c.help
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta to the counter. It is a no-op when c is nil, recording is
+// disabled, or delta is zero.
+func (c *Counter) Add(delta uint64) {
+	if c == nil || delta == 0 || !enabled.Load() {
+		return
+	}
+	c.shards[shardIndex()].n.Add(delta)
+}
+
+// Value returns the current total across all shards. The multi-shard read
+// is not a single atomic snapshot; like the accumulators' Snapshot it is
+// exact once writers have quiesced, and monotone-approximate otherwise.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].n.Load()
+	}
+	return total
+}
+
+// Reset zeroes the counter; for tests. Must not race with Add if an exact
+// zero is required.
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		c.shards[i].n.Store(0)
+	}
+}
+
+func (c *Counter) writeProm(buf []byte) []byte {
+	buf = appendPromHeader(buf, c.name, c.help, "counter")
+	buf = append(buf, c.name...)
+	buf = append(buf, ' ')
+	buf = appendUint(buf, c.Value())
+	return append(buf, '\n')
+}
+
+func (c *Counter) jsonValue() any { return c.Value() }
+
+// Gauge is a value that can go up and down (queue depths, current widths,
+// worker counts). It is a single atomic cell — gauges are set from slow
+// paths, so sharding would only blur the read.
+type Gauge struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// NewGauge registers (or returns the existing) gauge with the given name
+// in the default registry.
+func NewGauge(name, help string) *Gauge {
+	return Default().NewGauge(name, help)
+}
+
+// NewGauge registers (or returns the existing) gauge in r.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	checkName(name)
+	g := &Gauge{name: name, help: help}
+	return r.register(g).(*Gauge)
+}
+
+// Name returns the metric name.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Help returns the metric description.
+func (g *Gauge) Help() string {
+	if g == nil {
+		return ""
+	}
+	return g.help
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) writeProm(buf []byte) []byte {
+	buf = appendPromHeader(buf, g.name, g.help, "gauge")
+	buf = append(buf, g.name...)
+	buf = append(buf, ' ')
+	buf = appendInt(buf, g.Value())
+	return append(buf, '\n')
+}
+
+func (g *Gauge) jsonValue() any { return g.Value() }

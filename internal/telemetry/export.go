@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ---- text formatting helpers ----
+
+func appendUint(buf []byte, v uint64) []byte { return strconv.AppendUint(buf, v, 10) }
+func appendInt(buf []byte, v int64) []byte   { return strconv.AppendInt(buf, v, 10) }
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// appendPromHeader appends the # HELP / # TYPE preamble for a metric.
+func appendPromHeader(buf []byte, name, help, kind string) []byte {
+	if help != "" {
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, name...)
+		buf = append(buf, ' ')
+		buf = append(buf, escapeHelp(help)...)
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, "# TYPE "...)
+	buf = append(buf, name...)
+	buf = append(buf, ' ')
+	buf = append(buf, kind...)
+	return append(buf, '\n')
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus writes every registered metric in Prometheus text
+// exposition format (version 0.0.4), metrics sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var buf []byte
+	r.each(func(m Metric) { buf = m.writeProm(buf) })
+	_, err := w.Write(buf)
+	return err
+}
+
+// WriteJSON writes a JSON object mapping metric name to value: numbers
+// for counters and gauges, {le, counts, sum, count} for histograms.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := make(map[string]any)
+	r.each(func(m Metric) { snap[m.Name()] = m.jsonValue() })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// metricsHandler serves r in Prometheus text format, or JSON when the
+// request asks for it (?format=json or an Accept: application/json
+// header).
+func (r *Registry) metricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Handler returns the exporter mux for the default registry: /metrics
+// (Prometheus text, or JSON via ?format=json), /debug/vars (expvar), and
+// the /debug/pprof/ endpoints. It is exported so tests can drive the
+// exporter with net/http/httptest without opening a socket.
+func Handler() http.Handler { return handlerFor(defaultRegistry) }
+
+func handlerFor(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.metricsHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintf(w, "telemetry exporter\n\n/metrics\n/metrics?format=json\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+func init() {
+	// Mirror the registry into expvar so /debug/vars carries the same
+	// snapshot alongside the stock cmdline/memstats vars.
+	expvar.Publish("telemetry", expvar.Func(func() any {
+		snap := make(map[string]any)
+		defaultRegistry.each(func(m Metric) { snap[m.Name()] = m.jsonValue() })
+		return snap
+	}))
+}
+
+// Server is a running telemetry exporter.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the exporter, waiting briefly for in-flight requests.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// Serve enables metric recording and starts the exporter on addr
+// (e.g. "localhost:9090" or ":0" for an ephemeral port), returning the
+// running server. The exporter serves the default registry.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	SetEnabled(true)
+	srv := &http.Server{Handler: Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}

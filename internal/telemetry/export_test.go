@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsRoundTrip drives the exporter through httptest: register
+// metrics, record, scrape /metrics, and check the Prometheus text format
+// line by line.
+func TestMetricsRoundTrip(t *testing.T) {
+	c := NewCounter("test_http_requests_total", "round-trip counter")
+	g := NewGauge("test_http_inflight", "round-trip gauge")
+	h := NewHistogram("test_http_seconds", "round-trip histogram", []float64{0.1, 1})
+	c.Reset()
+	h.Reset()
+	withEnabled(t, func() {
+		c.Add(3)
+		g.Set(2)
+		h.Observe(0.05)
+		h.Observe(5)
+	})
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# HELP test_http_requests_total round-trip counter",
+		"# TYPE test_http_requests_total counter",
+		"test_http_requests_total 3",
+		"# TYPE test_http_inflight gauge",
+		"test_http_inflight 2",
+		`test_http_seconds_bucket{le="0.1"} 1`,
+		`test_http_seconds_bucket{le="+Inf"} 2`,
+		"test_http_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, out)
+		}
+	}
+
+	// The instrumented hot-path metrics registered by the core package
+	// imports are absent here (separate test binary), but every line must
+	// still parse shape-wise: non-comment lines are "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestMetricsJSON(t *testing.T) {
+	c := NewCounter("test_json_total", "json counter")
+	c.Reset()
+	withEnabled(t, func() { c.Add(7) })
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	for _, url := range []string{
+		srv.URL + "/metrics?format=json",
+		srv.URL + "/metrics", // via Accept header below
+	} {
+		req, _ := http.NewRequest("GET", url, nil)
+		req.Header.Set("Accept", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		if got, ok := snap["test_json_total"].(float64); !ok || got != 7 {
+			t.Errorf("GET %s: test_json_total = %v, want 7", url, snap["test_json_total"])
+		}
+	}
+}
+
+func TestDebugVarsAndPprof(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	// /debug/vars is the expvar endpoint: valid JSON carrying both the
+	// stock vars and the mirrored telemetry snapshot.
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&vars)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/vars: %v", err)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars missing memstats")
+	}
+	if _, ok := vars["telemetry"]; !ok {
+		t.Error("/debug/vars missing the mirrored telemetry snapshot")
+	}
+
+	// /debug/pprof/ must serve the index and the heap profile.
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %s", path, resp.Status)
+		}
+	}
+}
+
+// TestServe exercises the real socket path: Serve on an ephemeral port
+// must enable recording and serve /metrics until closed.
+func TestServe(t *testing.T) {
+	prev := Enabled()
+	defer SetEnabled(prev)
+	SetEnabled(false)
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !Enabled() {
+		t.Error("Serve did not enable recording")
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Errorf("GET /metrics over TCP: %s, %d bytes", resp.Status, len(body))
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}

@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets. Observe is lock-free:
+// one binary search over the (immutable) upper bounds, one atomic
+// increment on the bucket, and one CAS loop folding the observation into
+// the running sum. Buckets are chosen at construction and never change,
+// so the read side needs no locking either.
+type Histogram struct {
+	name    string
+	help    string
+	upper   []float64       // ascending upper bounds; the +Inf bucket is implicit
+	counts  []atomic.Uint64 // len(upper)+1: counts[i] observes v <= upper[i]
+	sumBits atomic.Uint64   // math.Float64bits of the sum of observations
+}
+
+// NewHistogram registers (or returns the existing) histogram with the
+// given name in the default registry. buckets are the ascending upper
+// bounds; a final +Inf bucket is always added implicitly. It panics if
+// buckets is empty, unsorted, or contains NaN/Inf.
+func NewHistogram(name, help string, buckets []float64) *Histogram {
+	return Default().NewHistogram(name, help, buckets)
+}
+
+// NewHistogram registers (or returns the existing) histogram in r.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	checkName(name)
+	if len(buckets) == 0 {
+		panic("telemetry: histogram needs at least one bucket")
+	}
+	upper := make([]float64, len(buckets))
+	copy(upper, buckets)
+	for i, b := range upper {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("telemetry: histogram bucket bound must be finite")
+		}
+		if i > 0 && b <= upper[i-1] {
+			panic("telemetry: histogram buckets must be strictly ascending")
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		upper:  upper,
+		counts: make([]atomic.Uint64, len(upper)+1),
+	}
+	return r.register(h).(*Histogram)
+}
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns n bounds start, start*factor, ...
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// DurationBuckets is a general-purpose latency bucket set, in seconds,
+// spanning 1µs to ~8s.
+func DurationBuckets() []float64 {
+	return ExponentialBuckets(1e-6, 2, 24)
+}
+
+// Name returns the metric name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Help returns the metric description.
+func (h *Histogram) Help() string {
+	if h == nil {
+		return ""
+	}
+	return h.help
+}
+
+// Observe records v. Values on a bucket's upper bound count into that
+// bucket (le semantics); values above every bound go to the +Inf bucket.
+// NaN observations are dropped. No-op when h is nil or recording is off.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !enabled.Load() || math.IsNaN(v) {
+		return
+	}
+	// First bucket whose bound is >= v, i.e. the smallest le-bucket
+	// containing v; len(upper) means the implicit +Inf bucket.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a latency given in seconds (alias of Observe,
+// for call-site clarity).
+func (h *Histogram) ObserveDuration(seconds float64) { h.Observe(seconds) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Buckets returns the upper bounds and the per-bucket (non-cumulative)
+// counts; the final count is the +Inf bucket.
+func (h *Histogram) Buckets() (upper []float64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	upper = make([]float64, len(h.upper))
+	copy(upper, h.upper)
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return upper, counts
+}
+
+// Reset zeroes all buckets and the sum; for tests.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sumBits.Store(0)
+}
+
+func (h *Histogram) writeProm(buf []byte) []byte {
+	buf = appendPromHeader(buf, h.name, h.help, "histogram")
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.upper) {
+			le = formatFloat(h.upper[i])
+		}
+		buf = append(buf, h.name...)
+		buf = append(buf, `_bucket{le="`...)
+		buf = append(buf, le...)
+		buf = append(buf, `"} `...)
+		buf = appendUint(buf, cum)
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, h.name...)
+	buf = append(buf, "_sum "...)
+	buf = append(buf, formatFloat(h.Sum())...)
+	buf = append(buf, '\n')
+	buf = append(buf, h.name...)
+	buf = append(buf, "_count "...)
+	buf = appendUint(buf, cum)
+	return append(buf, '\n')
+}
+
+func (h *Histogram) jsonValue() any {
+	upper, counts := h.Buckets()
+	les := make([]string, len(counts))
+	for i := range counts {
+		if i < len(upper) {
+			les[i] = formatFloat(upper[i])
+		} else {
+			les[i] = "+Inf"
+		}
+	}
+	return map[string]any{
+		"le":     les,
+		"counts": counts,
+		"sum":    h.Sum(),
+		"count":  h.Count(),
+	}
+}
+
+// String summarizes the histogram for diagnostics.
+func (h *Histogram) String() string {
+	if h == nil {
+		return "<nil histogram>"
+	}
+	return fmt.Sprintf("%s{count=%d sum=%g}", h.name, h.Count(), h.Sum())
+}

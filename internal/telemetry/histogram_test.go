@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le (less-or-equal) bucket
+// semantics at the exact edges: a value equal to a bound lands in that
+// bound's bucket, a value just above moves to the next, values above
+// every bound land in +Inf, and negatives land in the first bucket whose
+// bound covers them.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_bounds", "boundary test", []float64{0, 1, 10})
+	withEnabled(t, func() {
+		for _, v := range []float64{
+			-5,                          // below every bound: le="0" bucket
+			0,                           // exactly on the first bound: le="0"
+			math.SmallestNonzeroFloat64, // just above 0: le="1"
+			1,                           // exactly on a middle bound: le="1"
+			math.Nextafter(1, 2),        // just above: le="10"
+			10,                          // exactly on the last bound: le="10"
+			10.5, math.Inf(1),           // above all bounds: +Inf bucket
+			math.NaN(), // dropped entirely
+		} {
+			h.Observe(v)
+		}
+	})
+	_, counts := h.Buckets()
+	want := []uint64{2, 2, 2, 2} // le=0, le=1, le=10, +Inf
+	if len(counts) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(counts), len(want))
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if got := h.Count(); got != 8 {
+		t.Errorf("Count() = %d, want 8 (NaN must be dropped)", got)
+	}
+}
+
+func TestHistogramSumAndConcurrency(t *testing.T) {
+	const goroutines, observes = 8, 2000
+	r := NewRegistry()
+	h := r.NewHistogram("test_sum", "sum test", []float64{0.5})
+	withEnabled(t, func() {
+		var wg sync.WaitGroup
+		wg.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func() {
+				defer wg.Done()
+				for i := 0; i < observes; i++ {
+					h.Observe(0.25)
+				}
+			}()
+		}
+		wg.Wait()
+	})
+	if got, want := h.Count(), uint64(goroutines*observes); got != want {
+		t.Fatalf("histogram lost observations: got %d, want %d", got, want)
+	}
+	// 0.25 is a power of two, so the CAS-folded sum is exact.
+	if got, want := h.Sum(), 0.25*float64(goroutines*observes); got != want {
+		t.Errorf("Sum() = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_expo", "exposition test", []float64{1, 2})
+	withEnabled(t, func() {
+		h.Observe(0.5)
+		h.Observe(1.5)
+		h.Observe(99)
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_expo histogram",
+		`test_expo_bucket{le="1"} 1`,
+		`test_expo_bucket{le="2"} 2`, // cumulative
+		`test_expo_bucket{le="+Inf"} 3`,
+		"test_expo_sum 101",
+		"test_expo_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramConstructionPanics(t *testing.T) {
+	r := NewRegistry()
+	for name, buckets := range map[string][]float64{
+		"test_empty":    {},
+		"test_unsorted": {2, 1},
+		"test_dup":      {1, 1},
+		"test_nan":      {math.NaN()},
+		"test_inf":      {1, math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%s, %v) did not panic", name, buckets)
+				}
+			}()
+			r.NewHistogram(name, "bad buckets", buckets)
+		}()
+	}
+}

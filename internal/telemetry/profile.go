@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a CPU profile written to path and returns the
+// function that stops it and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile garbage-collects (so the profile reflects live data)
+// and writes a heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	return f.Close()
+}
+
+// StartFromFlags wires the conventional command-line observability flags:
+// when metricsAddr is nonempty it enables recording and starts the
+// exporter there; when cpuProfile is nonempty it starts a CPU profile;
+// when memProfile is nonempty a heap profile is written at stop time.
+// The returned stop function (never nil) flushes the profiles and shuts
+// the exporter down; callers should defer it immediately:
+//
+//	stop, err := telemetry.StartFromFlags(*metricsAddr, *cpuprofile, *memprofile)
+//	if err != nil { ... }
+//	defer stop()
+func StartFromFlags(metricsAddr, cpuProfile, memProfile string) (stop func(), err error) {
+	var srv *Server
+	var stopCPU func() error
+	cleanup := func() {
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			}
+		}
+		if memProfile != "" {
+			if err := WriteHeapProfile(memProfile); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+			}
+		}
+		if srv != nil {
+			_ = srv.Close()
+		}
+	}
+	if metricsAddr != "" {
+		srv, err = Serve(metricsAddr)
+		if err != nil {
+			return func() {}, err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.Addr())
+	}
+	if cpuProfile != "" {
+		stopCPU, err = StartCPUProfile(cpuProfile)
+		if err != nil {
+			cleanup()
+			return func() {}, err
+		}
+	}
+	return cleanup, nil
+}

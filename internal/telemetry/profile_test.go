@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartFromFlags runs the full flag wiring: exporter on an ephemeral
+// port plus CPU and heap profiles, then checks both profile files are
+// non-empty after stop.
+func TestStartFromFlags(t *testing.T) {
+	prev := Enabled()
+	defer SetEnabled(prev)
+
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := StartFromFlags("127.0.0.1:0", cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to say.
+	x := 1.0
+	for i := 0; i < 1_000_000; i++ {
+		x = x*1.0000001 + 1e-9
+	}
+	_ = x
+	stop()
+
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile %s: %v", path, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestStartFromFlagsNoop(t *testing.T) {
+	stop, err := StartFromFlags("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must be safe with nothing started
+}
+
+func TestStartFromFlagsBadAddr(t *testing.T) {
+	stop, err := StartFromFlags("256.256.256.256:http", "", "")
+	if err == nil {
+		stop()
+		t.Fatal("expected error for unlistenable address")
+	}
+	stop()
+}

@@ -1,0 +1,141 @@
+// Package telemetry is a zero-dependency (stdlib-only) metrics and
+// profiling layer for the summation hot paths. It provides sharded,
+// cache-line-padded atomic Counters and Gauges, fixed-bucket Histograms
+// with a lock-free observe path, a process-wide Registry with named
+// lookup, and an opt-in HTTP exporter (Serve) speaking Prometheus text
+// format and JSON, with expvar and net/http/pprof mounted alongside.
+//
+// Recording is globally gated: until SetEnabled(true) — which Serve and
+// StartFromFlags call for you — every Inc/Add/Observe is an atomic load
+// and a predicted branch, so uninstrumented runs pay almost nothing and
+// the accumulated sums stay bit-identical with telemetry on or off (the
+// instrumentation never touches accumulator state, only its own shards).
+//
+// All metric methods are nil-safe: calling them on a nil metric is a
+// no-op, so packages may hold optional metric fields without guards.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the process-wide recording gate. The zero value (disabled)
+// makes every hot-path record call an atomic load plus branch.
+var enabled atomic.Bool
+
+// Enabled reports whether metric recording is on.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled turns metric recording on or off and returns the previous
+// state (convenient for tests: defer SetEnabled(SetEnabled(true))).
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Metric is the common interface of Counter, Gauge, and Histogram.
+type Metric interface {
+	// Name returns the registered metric name.
+	Name() string
+	// Help returns the one-line description.
+	Help() string
+	// writeProm appends the Prometheus text exposition of the metric.
+	writeProm(buf []byte) []byte
+	// jsonValue returns the value for the JSON exporter.
+	jsonValue() any
+}
+
+// Registry holds named metrics. The zero value is not usable; use
+// NewRegistry or the package-level Default registry.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]Metric
+	order   []string // registration order, for stable exposition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]Metric)}
+}
+
+// defaultRegistry is the process-wide registry used by the package-level
+// constructors and by Serve.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// register adds m under its name, panicking on a name collision with a
+// different metric kind and returning the existing metric when one of the
+// same kind is already registered (so repeated package init in tests is
+// harmless).
+func (r *Registry) register(m Metric) Metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.metrics[m.Name()]; ok {
+		if fmt.Sprintf("%T", old) != fmt.Sprintf("%T", m) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as a different kind", m.Name()))
+		}
+		return old
+	}
+	r.metrics[m.Name()] = m
+	r.order = append(r.order, m.Name())
+	return m
+}
+
+// Get returns the metric registered under name, or nil.
+func (r *Registry) Get(name string) Metric {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.metrics[name]
+}
+
+// Names returns all registered metric names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// each calls fn for every metric in sorted-name order (the order
+// Prometheus clients conventionally expose).
+func (r *Registry) each(fn func(m Metric)) {
+	r.mu.RLock()
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		if m := r.Get(name); m != nil {
+			fn(m)
+		}
+	}
+}
+
+// validName reports whether name is a valid Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func checkName(name string) {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// withEnabled runs the test body with recording forced on, restoring the
+// previous state afterwards.
+func withEnabled(t *testing.T, body func()) {
+	t.Helper()
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	body()
+}
+
+// TestCounterConcurrentExact is the concurrent-correctness test: N
+// goroutines each performing M increments must sum exactly, under -race,
+// regardless of how the shards interleave.
+func TestCounterConcurrentExact(t *testing.T) {
+	const goroutines, increments = 16, 10000
+	r := NewRegistry()
+	c := r.NewCounter("test_concurrent_total", "concurrency test")
+	withEnabled(t, func() {
+		var wg sync.WaitGroup
+		wg.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func() {
+				defer wg.Done()
+				for i := 0; i < increments; i++ {
+					c.Inc()
+				}
+			}()
+		}
+		wg.Wait()
+	})
+	if got, want := c.Value(), uint64(goroutines*increments); got != want {
+		t.Fatalf("counter lost updates: got %d, want %d", got, want)
+	}
+}
+
+func TestCounterDisabledAndNil(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_disabled_total", "gating test")
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 0 {
+		t.Errorf("disabled counter recorded %d increments", got)
+	}
+	// Nil metrics must be inert, not panic: packages may hold optional
+	// metric fields with no guards.
+	var nc *Counter
+	nc.Inc()
+	nc.Add(7)
+	if nc.Value() != 0 || nc.Name() != "" {
+		t.Error("nil counter not inert")
+	}
+	var ng *Gauge
+	ng.Set(3)
+	ng.Dec()
+	if ng.Value() != 0 {
+		t.Error("nil gauge not inert")
+	}
+	var nh *Histogram
+	nh.Observe(1)
+	if nh.Count() != 0 {
+		t.Error("nil histogram not inert")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("test_gauge", "gauge test")
+	withEnabled(t, func() {
+		g.Set(10)
+		g.Add(5)
+		g.Dec()
+		if got := g.Value(); got != 14 {
+			t.Errorf("gauge = %d, want 14", got)
+		}
+		g.Add(-20)
+		if got := g.Value(); got != -6 {
+			t.Errorf("gauge = %d, want -6", got)
+		}
+	})
+}
+
+func TestRegistryLookupAndReregister(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.NewCounter("test_dup_total", "first")
+	c2 := r.NewCounter("test_dup_total", "second registration returns the first")
+	if c1 != c2 {
+		t.Error("re-registering the same name returned a distinct counter")
+	}
+	if got := r.Get("test_dup_total"); got != Metric(c1) {
+		t.Errorf("Get returned %v", got)
+	}
+	if got := r.Get("test_missing"); got != nil {
+		t.Errorf("Get(missing) = %v, want nil", got)
+	}
+	names := r.Names()
+	if len(names) != 1 || names[0] != "test_dup_total" {
+		t.Errorf("Names() = %v", names)
+	}
+	// Re-registering under a different kind must panic loudly rather than
+	// silently aliasing two metrics.
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-kind re-registration did not panic")
+		}
+	}()
+	r.NewGauge("test_dup_total", "wrong kind")
+}
+
+func TestValidName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"core_addhp_total": true,
+		"a:b_c9":           true,
+		"_leading":         true,
+		"":                 false,
+		"9leading":         false,
+		"has-dash":         false,
+		"has space":        false,
+		"unicodé":          false,
+	} {
+		if got := validName(name); got != want {
+			t.Errorf("validName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSetEnabledReturnsPrevious(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	if !SetEnabled(true) {
+		t.Error("SetEnabled did not report the previous enabled state")
+	}
+	if !Enabled() {
+		t.Error("Enabled() false after SetEnabled(true)")
+	}
+}
+
+// TestShardIndexInRange exercises the stack-address shard hash from many
+// goroutines; every index must stay in range (distribution is best-effort).
+func TestShardIndexInRange(t *testing.T) {
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if i := shardIndex(); i < 0 || i >= numShards {
+				errs <- fmt.Errorf("shard index %d out of [0,%d)", i, numShards)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
