@@ -5,9 +5,20 @@
 //	hpsum < values.txt
 //	hpsum -n 8 -k 4 values.txt
 //	hpsum -adaptive -compare values.txt
+//	hpsum -ranks 4 values.txt
+//	hpsum -ranks 4 -fault-plan 'seed=42;drop:p=0.1;crash:rank=1,after=20' values.txt
 //
 // With -compare it also prints the naive left-to-right float64 sum and the
 // difference, showing the rounding error the HP method removed.
+//
+// With -ranks P > 1 the sum runs on the in-process MPI substrate: the
+// values are sharded across P ranks, each rank accumulates its shard with
+// periodic checkpoints of its partial sum, and the shards are combined with
+// a fault-tolerant allreduce. -fault-plan injects deterministic faults
+// (message drop, delay, duplication, corruption, rank crashes) into that
+// run; because HP addition is exactly associative and lost ranks are
+// recovered from checkpoints by deterministic replay, the printed sum is
+// bit-identical to the serial one no matter which faults fire.
 package main
 
 import (
@@ -18,11 +29,28 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/floatsum"
+	"repro/internal/mpi"
 	"repro/internal/telemetry"
 )
+
+// config carries every run option; the zero value plus params is a plain
+// serial sum.
+type config struct {
+	params   core.Params
+	adaptive bool // adaptive accumulator (any finite range); serial only
+	compare  bool // also print the naive float64 sum and difference
+	exactOut bool // print the exact sum as a rational
+
+	ranks              int           // world size; <= 1 means serial
+	faultPlan          string        // faults.ParsePlan syntax; distributed only
+	checkpointInterval int           // values per partial-sum checkpoint
+	stallTimeout       time.Duration // stall watchdog; 0 disables
+}
 
 func main() {
 	var (
@@ -31,6 +59,10 @@ func main() {
 		adaptive    = flag.Bool("adaptive", false, "use the adaptive accumulator (any finite range)")
 		compare     = flag.Bool("compare", false, "also print the naive float64 sum and difference")
 		exactOut    = flag.Bool("exact", false, "print the exact sum as a rational number")
+		ranks       = flag.Int("ranks", 1, "distribute the sum over this many in-process MPI ranks")
+		faultPlan   = flag.String("fault-plan", "", "deterministic fault plan for the distributed run, e.g. 'seed=42;drop:p=0.1;crash:rank=1,after=20'")
+		ckptEvery   = flag.Int("checkpoint-interval", 4096, "values accumulated between partial-sum checkpoints (distributed mode)")
+		stall       = flag.Duration("stall-timeout", 0, "abort the distributed run if any receive blocks this long (0 disables the watchdog)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (enables telemetry)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -42,7 +74,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hpsum: %v\n", err)
 		os.Exit(1)
 	}
-	if err := run(*nFlag, *kFlag, *adaptive, *compare, *exactOut, flag.Args(), os.Stdout); err != nil {
+	cfg := config{
+		params:             core.Params{N: *nFlag, K: *kFlag},
+		adaptive:           *adaptive,
+		compare:            *compare,
+		exactOut:           *exactOut,
+		ranks:              *ranks,
+		faultPlan:          *faultPlan,
+		checkpointInterval: *ckptEvery,
+		stallTimeout:       *stall,
+	}
+	if err := run(cfg, flag.Args(), os.Stdout); err != nil {
 		stop()
 		fmt.Fprintf(os.Stderr, "hpsum: %v\n", err)
 		os.Exit(1)
@@ -50,7 +92,8 @@ func main() {
 	stop()
 }
 
-func run(n, k int, adaptive, compare, exactOut bool, files []string, out io.Writer) error {
+// readValues parses every value from the files (or stdin when none).
+func readValues(files []string) ([]float64, error) {
 	var readers []io.Reader
 	if len(files) == 0 {
 		readers = append(readers, os.Stdin)
@@ -58,34 +101,13 @@ func run(n, k int, adaptive, compare, exactOut bool, files []string, out io.Writ
 		for _, f := range files {
 			fh, err := os.Open(f)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			defer fh.Close()
 			readers = append(readers, fh)
 		}
 	}
-
-	params := core.Params{N: n, K: k}
-	if err := params.Validate(); err != nil {
-		return err
-	}
-	var addExact func(x float64) error
-	var result func() (*core.HP, float64)
-	if adaptive {
-		acc := core.NewAdaptive(core.Params128)
-		addExact = acc.Add
-		result = func() (*core.HP, float64) { return acc.Sum(), acc.Float64() }
-	} else {
-		acc := core.NewAccumulator(params)
-		addExact = func(x float64) error {
-			acc.Add(x)
-			return acc.Err()
-		}
-		result = func() (*core.HP, float64) { return acc.Sum(), acc.Float64() }
-	}
-
 	var values []float64
-	count := 0
 	for _, r := range readers {
 		sc := bufio.NewScanner(r)
 		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
@@ -97,29 +119,210 @@ func run(n, k int, adaptive, compare, exactOut bool, files []string, out io.Writ
 			for _, field := range strings.Fields(line) {
 				x, err := strconv.ParseFloat(field, 64)
 				if err != nil {
-					return fmt.Errorf("parse %q: %w", field, err)
+					return nil, fmt.Errorf("parse %q: %w", field, err)
 				}
-				if err := addExact(x); err != nil {
-					return fmt.Errorf("value %g: %w", x, err)
-				}
-				count++
-				if compare {
-					values = append(values, x)
-				}
+				values = append(values, x)
 			}
 		}
 		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return values, nil
+}
+
+func run(cfg config, files []string, out io.Writer) error {
+	if err := cfg.params.Validate(); err != nil {
+		return err
+	}
+	if cfg.ranks > 1 {
+		if cfg.adaptive {
+			return fmt.Errorf("-adaptive is serial-only; drop it or use -ranks 1")
+		}
+		return runDistributed(cfg, files, out)
+	}
+	if cfg.faultPlan != "" {
+		return fmt.Errorf("-fault-plan needs a distributed run (-ranks > 1)")
+	}
+	return runSerial(cfg, files, out)
+}
+
+func runSerial(cfg config, files []string, out io.Writer) error {
+	var addExact func(x float64) error
+	var result func() (*core.HP, float64)
+	if cfg.adaptive {
+		acc := core.NewAdaptive(core.Params128)
+		addExact = acc.Add
+		result = func() (*core.HP, float64) { return acc.Sum(), acc.Float64() }
+	} else {
+		acc := core.NewAccumulator(cfg.params)
+		addExact = func(x float64) error {
+			acc.Add(x)
+			return acc.Err()
+		}
+		result = func() (*core.HP, float64) { return acc.Sum(), acc.Float64() }
+	}
+
+	values, err := readValues(files)
+	if err != nil {
+		return err
+	}
+	for _, x := range values {
+		if err := addExact(x); err != nil {
+			return fmt.Errorf("value %g: %w", x, err)
+		}
+	}
+	hp, sum := result()
+	return report(cfg, out, len(values), hp, sum, values)
+}
+
+// hbTag is the user tag of the heartbeat each rank sends its neighbor after
+// every checkpointed chunk. Heartbeats carry no data and are never awaited;
+// they exist so a distributed accumulation has steady outgoing traffic —
+// which is what gives crash fault rules ('crash:rank=R,after=N') send
+// events to trigger on in the middle of a rank's work, and what a stalled
+// neighbor's watchdog would notice going quiet.
+const hbTag = 1
+
+// runDistributed shards the values across cfg.ranks in-process MPI ranks,
+// accumulates with periodic SumCheckpoint snapshots, and combines shard
+// sums with a fault-tolerant allreduce. Ranks lost to injected crashes are
+// recovered by deterministically replaying their shard from the last
+// checkpoint, so the output is bit-identical to the serial sum.
+func runDistributed(cfg config, files []string, out io.Writer) error {
+	values, err := readValues(files)
+	if err != nil {
+		return err
+	}
+	var inject *faults.Injector
+	if cfg.faultPlan != "" {
+		inject, err = faults.Parse(cfg.faultPlan)
+		if err != nil {
 			return err
 		}
 	}
+	interval := cfg.checkpointInterval
+	if interval <= 0 {
+		interval = 4096
+	}
+	p := cfg.params
+	op := mpi.OpSumHP(p)
+	store := mpi.NewCheckpointStore()
+	size := cfg.ranks
 
-	hp, sum := result()
+	shard := func(rank int) (int, int) {
+		return rank * len(values) / size, (rank + 1) * len(values) / size
+	}
+	// replay reconstructs rank's full shard sum from a checkpoint (nil
+	// envelope = from scratch). Exactness of HP addition makes this replay
+	// produce the same bytes the lost rank would have.
+	replay := func(rank int, envelope []byte, ok bool) ([]byte, error) {
+		lo, hi := shard(rank)
+		acc := core.NewAccumulator(p)
+		start := lo
+		if ok {
+			var ck core.SumCheckpoint
+			if err := ck.UnmarshalBinary(envelope); err != nil {
+				return nil, fmt.Errorf("rank %d checkpoint: %w", rank, err)
+			}
+			if ck.Sum.Params() != p {
+				return nil, fmt.Errorf("rank %d checkpoint has params %v, want %v",
+					rank, ck.Sum.Params(), p)
+			}
+			if ck.Step > uint64(hi-lo) {
+				return nil, fmt.Errorf("rank %d checkpoint step %d exceeds shard size %d",
+					rank, ck.Step, hi-lo)
+			}
+			acc.AddHP(ck.Sum)
+			start = lo + int(ck.Step)
+		}
+		acc.AddAll(values[start:hi])
+		if err := acc.Err(); err != nil {
+			return nil, err
+		}
+		return mpi.EncodeHP(acc.Sum()), nil
+	}
+
+	results := make([][]byte, size)
+	worldErr := mpi.RunWith(size, mpi.RunOpts{Inject: inject, StallTimeout: cfg.stallTimeout},
+		func(c *mpi.Comm) error {
+			rank := c.Rank()
+			lo, hi := shard(rank)
+			acc := core.NewAccumulator(p)
+			checkpoint := func(step int) error {
+				enc, err := (&core.SumCheckpoint{Step: uint64(step), Sum: acc.Sum()}).MarshalBinary()
+				if err != nil {
+					return err
+				}
+				store.Put(rank, enc)
+				return nil
+			}
+			if err := checkpoint(0); err != nil {
+				return err
+			}
+			for off := 0; off < hi-lo; off += interval {
+				end := off + interval
+				if end > hi-lo {
+					end = hi - lo
+				}
+				acc.AddAll(values[lo+off : lo+end])
+				if err := acc.Err(); err != nil {
+					return fmt.Errorf("rank %d: %w", rank, err)
+				}
+				if err := checkpoint(end); err != nil {
+					return err
+				}
+				// Heartbeat to the neighbor; see hbTag. A crash rule may
+				// fire inside this send, killing the rank mid-shard.
+				if err := c.Send((rank+1)%size, hbTag, nil); err != nil {
+					return err
+				}
+			}
+			got, err := c.AllreduceFT(mpi.EncodeHP(acc.Sum()), op, mpi.FTOpts{
+				Store:            store,
+				Timeout:          5 * time.Second,
+				NoSelfCheckpoint: true, // the periodic envelopes above are richer
+				Recover:          replay,
+			})
+			if err != nil {
+				return fmt.Errorf("rank %d: %w", rank, err)
+			}
+			results[rank] = got
+			return nil
+		})
+	// Injected rank crashes are survivable by design; anything else is not.
+	if worldErr != nil && !faults.OnlyCrashes(worldErr) {
+		return worldErr
+	}
+	var combined []byte
+	for _, r := range results {
+		if r != nil {
+			combined = r
+			break
+		}
+	}
+	if combined == nil {
+		return fmt.Errorf("no rank survived to report the sum (world error: %v)", worldErr)
+	}
+	hp, err := mpi.DecodeHP(p, combined)
+	if err != nil {
+		return err
+	}
+	if inject != nil {
+		fmt.Fprintf(out, "faults injected: %s\n", inject.Summary())
+	}
+	return report(cfg, out, len(values), hp, hp.Float64(), values)
+}
+
+// report prints the result lines; the "count:" and "hp sum:" lines are
+// byte-identical between serial and distributed runs.
+func report(cfg config, out io.Writer, count int, hp *core.HP, sum float64, values []float64) error {
 	fmt.Fprintf(out, "count: %d\n", count)
 	fmt.Fprintf(out, "hp sum: %.17g\n", sum)
-	if exactOut {
+	if cfg.exactOut {
 		fmt.Fprintf(out, "exact: %s\n", hp.Rat().RatString())
 	}
-	if compare {
+	if cfg.compare {
 		naive := floatsum.Naive(values)
 		fmt.Fprintf(out, "naive float64 sum: %.17g\n", naive)
 		fmt.Fprintf(out, "difference (hp - naive): %.17g\n", sum-naive)

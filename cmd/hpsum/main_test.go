@@ -1,10 +1,15 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
 )
 
 func writeTemp(t *testing.T, content string) string {
@@ -16,10 +21,15 @@ func writeTemp(t *testing.T, content string) string {
 	return path
 }
 
+// serialCfg is the default flag set: -n 6 -k 3, everything else off.
+func serialCfg() config {
+	return config{params: core.Params{N: 6, K: 3}, ranks: 1}
+}
+
 func TestRunBasicSum(t *testing.T) {
 	path := writeTemp(t, "1.5\n2.25\n# comment\n\n-0.75\n")
 	var out strings.Builder
-	if err := run(6, 3, false, false, false, []string{path}, &out); err != nil {
+	if err := run(serialCfg(), []string{path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -34,7 +44,7 @@ func TestRunBasicSum(t *testing.T) {
 func TestRunMultipleValuesPerLine(t *testing.T) {
 	path := writeTemp(t, "1 2 3\n4 5\n")
 	var out strings.Builder
-	if err := run(6, 3, false, false, false, []string{path}, &out); err != nil {
+	if err := run(serialCfg(), []string{path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "count: 5") ||
@@ -46,7 +56,10 @@ func TestRunMultipleValuesPerLine(t *testing.T) {
 func TestRunCompareAndExact(t *testing.T) {
 	path := writeTemp(t, "0.1\n0.2\n-0.3\n")
 	var out strings.Builder
-	if err := run(6, 3, false, true, true, []string{path}, &out); err != nil {
+	cfg := serialCfg()
+	cfg.compare = true
+	cfg.exactOut = true
+	if err := run(cfg, []string{path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -60,7 +73,8 @@ func TestRunCompareAndExact(t *testing.T) {
 func TestRunAdaptiveWideRange(t *testing.T) {
 	path := writeTemp(t, "1e300\n-1e300\n2.5\n1e-300\n")
 	var out strings.Builder
-	if err := run(2, 1, true, false, false, []string{path}, &out); err != nil {
+	cfg := config{params: core.Params{N: 2, K: 1}, adaptive: true, ranks: 1}
+	if err := run(cfg, []string{path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "hp sum: 2.5") {
@@ -72,21 +86,153 @@ func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	// Parse error.
 	bad := writeTemp(t, "not-a-number\n")
-	if err := run(6, 3, false, false, false, []string{bad}, &out); err == nil {
+	if err := run(serialCfg(), []string{bad}, &out); err == nil {
 		t.Error("parse error not surfaced")
 	}
 	// Range error without adaptive.
 	big := writeTemp(t, "1e300\n")
-	if err := run(2, 1, false, false, false, []string{big}, &out); err == nil {
+	if err := run(config{params: core.Params{N: 2, K: 1}, ranks: 1}, []string{big}, &out); err == nil {
 		t.Error("overflow not surfaced")
 	}
 	// Invalid params.
 	small := writeTemp(t, "1\n")
-	if err := run(2, 5, false, false, false, []string{small}, &out); err == nil {
+	if err := run(config{params: core.Params{N: 2, K: 5}, ranks: 1}, []string{small}, &out); err == nil {
 		t.Error("invalid params accepted")
 	}
 	// Missing file.
-	if err := run(6, 3, false, false, false, []string{"/nonexistent/file"}, &out); err == nil {
+	if err := run(serialCfg(), []string{"/nonexistent/file"}, &out); err == nil {
 		t.Error("missing file accepted")
+	}
+	// Adaptive mode cannot distribute.
+	one := writeTemp(t, "1\n")
+	cfg := serialCfg()
+	cfg.adaptive = true
+	cfg.ranks = 4
+	if err := run(cfg, []string{one}, &out); err == nil ||
+		!strings.Contains(err.Error(), "serial-only") {
+		t.Errorf("adaptive+ranks error = %v", err)
+	}
+	// Fault plan without ranks.
+	cfg = serialCfg()
+	cfg.faultPlan = "seed=1;drop:p=0.5"
+	if err := run(cfg, []string{one}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-ranks") {
+		t.Errorf("fault plan without ranks error = %v", err)
+	}
+	// Malformed fault plan.
+	cfg = serialCfg()
+	cfg.ranks = 2
+	cfg.faultPlan = "drop:p=banana"
+	if err := run(cfg, []string{one}, &out); err == nil {
+		t.Error("malformed fault plan accepted")
+	}
+}
+
+// chaosInput builds an adversarial input file (mixed magnitudes and signs)
+// and returns its path plus the serial reference output.
+func chaosInput(t *testing.T, n int) (string, string) {
+	t.Helper()
+	r := rng.New(424242)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		// Magnitudes spread over ~12 orders so naive summation would lose
+		// bits; HP must not.
+		x := (r.Float64()*2 - 1) * float64(uint64(1)<<r.Intn(40))
+		fmt.Fprintf(&sb, "%.17g\n", x/4096)
+	}
+	path := writeTemp(t, sb.String())
+	var serial strings.Builder
+	if err := run(serialCfg(), []string{path}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	return path, serial.String()
+}
+
+// sumLines extracts the "count:" and "hp sum:" lines, which must be
+// byte-identical between serial and every distributed/chaos run.
+func sumLines(t *testing.T, output string) string {
+	t.Helper()
+	var keep []string
+	for _, line := range strings.Split(output, "\n") {
+		if strings.HasPrefix(line, "count:") || strings.HasPrefix(line, "hp sum:") {
+			keep = append(keep, line)
+		}
+	}
+	if len(keep) != 2 {
+		t.Fatalf("output missing sum lines: %q", output)
+	}
+	return strings.Join(keep, "\n")
+}
+
+func TestRunDistributedMatchesSerial(t *testing.T) {
+	path, serial := chaosInput(t, 1000)
+	cfg := serialCfg()
+	cfg.ranks = 4
+	cfg.checkpointInterval = 64
+	var out strings.Builder
+	if err := run(cfg, []string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sumLines(t, out.String()), sumLines(t, serial); got != want {
+		t.Errorf("distributed sum diverged:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRunDistributedUnderMessageFaultsMatchesSerial(t *testing.T) {
+	path, serial := chaosInput(t, 600)
+	for _, plan := range []string{
+		"seed=21;drop:p=0.2",
+		"seed=22;dup:p=0.3",
+		"seed=23;corrupt:p=0.2",
+		"seed=24;drop:p=0.1;delay:p=0.2,d=200us;dup:p=0.1;corrupt:p=0.1",
+	} {
+		t.Run(plan, func(t *testing.T) {
+			cfg := serialCfg()
+			cfg.ranks = 4
+			cfg.checkpointInterval = 50
+			cfg.faultPlan = plan
+			cfg.stallTimeout = 30 * time.Second
+			var out strings.Builder
+			if err := run(cfg, []string{path}, &out); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := sumLines(t, out.String()), sumLines(t, serial); got != want {
+				t.Errorf("sum diverged under %q:\n%s\nwant:\n%s", plan, got, want)
+			}
+			if !strings.Contains(out.String(), "faults injected:") {
+				t.Errorf("missing fault summary in %q", out.String())
+			}
+		})
+	}
+}
+
+func TestRunDistributedRecoversCrashedRank(t *testing.T) {
+	path, serial := chaosInput(t, 800)
+	// Small checkpoint interval → each rank's 200-value shard makes several
+	// heartbeat sends, so the crash fires mid-accumulation and the recovery
+	// replays from a partial checkpoint rather than from scratch.
+	for _, plan := range []string{
+		"seed=31;crash:rank=1,after=3",
+		"seed=32;crash:rank=0,after=2", // leader crash
+		"seed=33;crash:rank=2,after=0;drop:p=0.1",
+	} {
+		t.Run(plan, func(t *testing.T) {
+			cfg := serialCfg()
+			cfg.ranks = 4
+			cfg.checkpointInterval = 40
+			cfg.faultPlan = plan
+			cfg.stallTimeout = 30 * time.Second
+			var out strings.Builder
+			if err := run(cfg, []string{path}, &out); err != nil {
+				t.Fatal(err)
+			}
+			got := out.String()
+			if g, want := sumLines(t, got), sumLines(t, serial); g != want {
+				t.Errorf("sum diverged under %q:\n%s\nwant:\n%s", plan, g, want)
+			}
+			if !strings.Contains(got, "crash=1") {
+				t.Errorf("crash did not fire: %q", got)
+			}
+		})
 	}
 }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/rng"
+)
+
+func TestSumCheckpointRoundTrip(t *testing.T) {
+	h, err := FromFloat64(Params384, -123.0625)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &SumCheckpoint{Step: 77, Sum: h}
+	enc, err := ck.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SumCheckpoint
+	if err := got.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 77 {
+		t.Errorf("Step = %d", got.Step)
+	}
+	if !got.Sum.Equal(h) || got.Sum.Params() != h.Params() {
+		t.Error("restored sum differs")
+	}
+}
+
+func TestSumCheckpointNilSum(t *testing.T) {
+	if _, err := (&SumCheckpoint{Step: 1}).MarshalBinary(); err == nil {
+		t.Error("nil sum accepted")
+	}
+}
+
+func TestSumCheckpointRejectsDamage(t *testing.T) {
+	h, err := FromFloat64(Params192, 42.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := (&SumCheckpoint{Step: 9, Sum: h}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncations", func(t *testing.T) {
+		for cut := 1; cut <= len(enc); cut++ {
+			var ck SumCheckpoint
+			if err := ck.UnmarshalBinary(enc[:len(enc)-cut]); err == nil {
+				t.Fatalf("accepted with %d bytes cut", cut)
+			}
+		}
+	})
+	t.Run("single bit flips", func(t *testing.T) {
+		for i := range enc {
+			for bit := 0; bit < 8; bit++ {
+				bad := append([]byte(nil), enc...)
+				bad[i] ^= 1 << bit
+				var ck SumCheckpoint
+				if err := ck.UnmarshalBinary(bad); err == nil {
+					t.Fatalf("accepted with byte %d bit %d flipped", i, bit)
+				} else if !strings.Contains(err.Error(), "core:") {
+					t.Fatalf("unhelpful error: %v", err)
+				}
+			}
+		}
+	})
+	t.Run("injector corruption", func(t *testing.T) {
+		r := rng.New(99)
+		for i := 0; i < 200; i++ {
+			bad := faults.CorruptBytes(r, append([]byte(nil), enc...))
+			var ck SumCheckpoint
+			if err := ck.UnmarshalBinary(bad); err == nil {
+				t.Fatalf("accepted injector-corrupted encoding %x", bad)
+			}
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		var ck SumCheckpoint
+		if err := ck.UnmarshalBinary(nil); err == nil {
+			t.Error("empty input accepted")
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/rng"
+)
+
+// Fuzz targets for the decoding paths a fault-injected run exercises: a
+// corrupted frame that slips past transport checksums lands in
+// UnmarshalBinary, SetRawLimbs, or UnmarshalText. The seed corpora are
+// produced by the fault injector's own corruption mode (faults.CorruptBytes)
+// applied to valid encodings, so the fuzzer starts exactly where chaos runs
+// end up. The invariant everywhere: reject or decode to self-consistent
+// state — never panic, never huge allocations.
+
+// corruptedSeeds returns valid, lightly corrupted, and heavily corrupted
+// variants of enc, mirroring the injector's 1-3 bit flips.
+func corruptedSeeds(enc []byte) [][]byte {
+	out := [][]byte{enc}
+	r := rng.New(0xC0FFEE)
+	for i := 0; i < 8; i++ {
+		out = append(out, faults.CorruptBytes(r, append([]byte(nil), enc...)))
+	}
+	// A heavier mauling than the injector produces, for good measure.
+	heavy := append([]byte(nil), enc...)
+	for i := 0; i < 8; i++ {
+		faults.CorruptBytes(r, heavy)
+	}
+	return append(out, heavy)
+}
+
+func validEncodings(f *testing.F) [][]byte {
+	f.Helper()
+	var encs [][]byte
+	for _, p := range []Params{Params128, Params192, Params384, Params512} {
+		for _, v := range []float64{0, 1, -12.375, 1e15, -0.001} {
+			h, err := FromFloat64(p, v)
+			if err != nil {
+				f.Fatal(err)
+			}
+			enc, err := h.MarshalBinary()
+			if err != nil {
+				f.Fatal(err)
+			}
+			encs = append(encs, enc)
+		}
+	}
+	return encs
+}
+
+// FuzzUnmarshalBinaryCorrupted: bit-flipped envelopes are either rejected
+// or decode to an HP that re-encodes to the same bytes.
+func FuzzUnmarshalBinaryCorrupted(f *testing.F) {
+	for _, enc := range validEncodings(f) {
+		for _, seed := range corruptedSeeds(enc) {
+			f.Add(seed)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h HP
+		if err := h.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-encoding differs: %x vs %x", out, data)
+		}
+		// The decoded value must be usable: adding zero must not disturb it.
+		z := New(h.Params())
+		if h.Add(z) {
+			t.Fatal("adding zero overflowed")
+		}
+		if again, _ := h.MarshalBinary(); !bytes.Equal(again, data) {
+			t.Fatalf("state damaged by use: %x vs %x", again, data)
+		}
+	})
+}
+
+// FuzzSetRawLimbs: the raw limb path accepts exactly 8*N bytes and installs
+// them verbatim; anything else is rejected with the receiver untouched.
+func FuzzSetRawLimbs(f *testing.F) {
+	for _, enc := range validEncodings(f) {
+		for _, seed := range corruptedSeeds(enc[5:]) { // strip envelope header
+			f.Add(seed)
+		}
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, 7))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := New(Params384)
+		before := h.AppendRawLimbs(nil)
+		if err := h.SetRawLimbs(data); err != nil {
+			if !bytes.Equal(h.AppendRawLimbs(nil), before) {
+				t.Fatal("receiver mutated by rejected input")
+			}
+			if len(data) == 8*Params384.N {
+				t.Fatal("correct-length input rejected")
+			}
+			return
+		}
+		if len(data) != 8*Params384.N {
+			t.Fatalf("wrong length %d accepted", len(data))
+		}
+		if !bytes.Equal(h.AppendRawLimbs(nil), data) {
+			t.Fatal("limb image not installed verbatim")
+		}
+	})
+}
+
+// FuzzUnmarshalText: arbitrary (and corrupted) certificate strings either
+// fail cleanly or round-trip byte-identically.
+func FuzzUnmarshalText(f *testing.F) {
+	for _, enc := range validEncodings(f) {
+		var h HP
+		if err := h.UnmarshalBinary(enc); err != nil {
+			f.Fatal(err)
+		}
+		txt, err := h.MarshalText()
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, seed := range corruptedSeeds(txt) {
+			f.Add(string(seed))
+		}
+	}
+	f.Add("hp:2,1:0000000000000000.0000000000000000")
+	f.Add("hp:9999999,1:00")
+	f.Add("hp:2,1:")
+	f.Add("not a certificate")
+	f.Fuzz(func(t *testing.T, s string) {
+		var h HP
+		if err := h.UnmarshalText([]byte(s)); err != nil {
+			return
+		}
+		out, err := h.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != s {
+			t.Fatalf("re-encoding differs: %q vs %q", out, s)
+		}
+	})
+}

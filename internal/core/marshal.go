@@ -103,12 +103,12 @@ func (x *HP) UnmarshalText(text []byte) error {
 		return fmt.Errorf("core: malformed HP params in %q", s)
 	}
 	n, err := strconv.Atoi(nk[0])
-	if err != nil {
-		return fmt.Errorf("core: bad N in %q: %v", s, err)
+	if err != nil || strconv.Itoa(n) != nk[0] {
+		return fmt.Errorf("core: bad N %q in %q", nk[0], s)
 	}
 	k, err := strconv.Atoi(nk[1])
-	if err != nil {
-		return fmt.Errorf("core: bad k in %q: %v", s, err)
+	if err != nil || strconv.Itoa(k) != nk[1] {
+		return fmt.Errorf("core: bad k %q in %q", nk[1], s)
 	}
 	p := Params{N: n, K: k}
 	if err := p.Validate(); err != nil {
@@ -122,6 +122,13 @@ func (x *HP) UnmarshalText(text []byte) error {
 	for i, h := range hexLimbs {
 		if len(h) != 16 {
 			return fmt.Errorf("core: limb %d has %d hex digits, want 16", i, len(h))
+		}
+		// Strict lowercase hex only: a certificate is compared byte-for-byte,
+		// so every accepted text must re-encode to itself.
+		for _, c := range []byte(h) {
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				return fmt.Errorf("core: limb %d in %q is not lowercase hex", i, s)
+			}
 		}
 		v, err := strconv.ParseUint(h, 16, 64)
 		if err != nil {

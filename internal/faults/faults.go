@@ -1,0 +1,533 @@
+// Package faults is a deterministic fault-injection framework for the
+// message-passing substrate in internal/mpi. A Plan is a seeded list of
+// rules — drop, delay, duplicate, corrupt, and rank-crash — each targeting
+// an edge pattern (src, dst, tag); an Injector evaluates the plan against
+// every frame a rank sends. Decisions are drawn from per-edge xoshiro
+// streams derived from the plan seed, so for a fixed sequence of frames on
+// an edge the injected faults are identical on every run and platform —
+// chaos runs are reproducible from a seed, which is what lets a test assert
+// that the recovered sum is byte-identical to the fault-free one.
+//
+// The package deliberately knows nothing about mpi types (mpi imports
+// faults, not the reverse): the contract is OnSend(src, dst, tag, frame),
+// returning the frames to deliver (zero when dropped, two when duplicated,
+// corrupted copies when corruption fires), an optional delivery delay, and
+// whether the sending rank must crash now.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Class enumerates the injectable fault classes.
+type Class int
+
+const (
+	// Drop discards the frame: the receiver never sees it.
+	Drop Class = iota
+	// Delay defers delivery by the rule's duration, breaking the
+	// substrate's per-edge FIFO ordering.
+	Delay
+	// Duplicate delivers the frame twice.
+	Duplicate
+	// Corrupt flips 1-3 bits of the delivered copy, leaving the sender's
+	// buffer untouched.
+	Corrupt
+	// Crash kills the sending rank at its After-th outgoing frame.
+	Crash
+)
+
+var classNames = map[Class]string{
+	Drop: "drop", Delay: "delay", Duplicate: "dup", Corrupt: "corrupt", Crash: "crash",
+}
+
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// AnyRank matches every rank (or tag) in a Rule pattern.
+const AnyRank = -1
+
+// Rule is one fault clause of a Plan.
+type Rule struct {
+	Class Class
+	// Prob is the per-frame firing probability in (0, 1] for Drop, Delay,
+	// Duplicate, and Corrupt rules. Crash rules ignore it.
+	Prob float64
+	// Src, Dst restrict the rule to frames on matching edges; AnyRank
+	// matches all. Crash rules use Rank instead.
+	Src, Dst int
+	// HasTag restricts the rule to frames with exactly tag Tag (internal
+	// collective tags are negative and matchable).
+	HasTag bool
+	Tag    int
+	// Delay is the delivery deferral for Delay rules.
+	Delay time.Duration
+	// Rank and After configure Crash rules: rank Rank panics on its
+	// (After+1)-th outgoing frame, counted across all edges (acks and
+	// retransmissions included).
+	Rank  int
+	After int
+	// Limit caps how many times the rule fires across the whole run;
+	// 0 means unlimited. Firings are counted in global arrival order.
+	Limit int
+}
+
+func (r Rule) matches(src, dst, tag int) bool {
+	if r.Src != AnyRank && r.Src != src {
+		return false
+	}
+	if r.Dst != AnyRank && r.Dst != dst {
+		return false
+	}
+	if r.HasTag && r.Tag != tag {
+		return false
+	}
+	return true
+}
+
+// String renders the rule in the ParsePlan clause syntax.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Class.String())
+	sep := byte(':')
+	field := func(k, v string) {
+		b.WriteByte(sep)
+		sep = ','
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(v)
+	}
+	if r.Class == Crash {
+		field("rank", strconv.Itoa(r.Rank))
+		field("after", strconv.Itoa(r.After))
+	} else {
+		field("p", strconv.FormatFloat(r.Prob, 'g', -1, 64))
+		if r.Src != AnyRank {
+			field("src", strconv.Itoa(r.Src))
+		}
+		if r.Dst != AnyRank {
+			field("dst", strconv.Itoa(r.Dst))
+		}
+		if r.HasTag {
+			field("tag", strconv.Itoa(r.Tag))
+		}
+		if r.Class == Delay {
+			field("d", r.Delay.String())
+		}
+	}
+	if r.Limit > 0 {
+		field("limit", strconv.Itoa(r.Limit))
+	}
+	return b.String()
+}
+
+// Plan is a seeded set of fault rules, the parsed form of a -fault-plan
+// flag value.
+type Plan struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// String renders the plan in ParsePlan syntax; ParsePlan(p.String()) is
+// equivalent to p.
+func (p *Plan) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	for _, r := range p.Rules {
+		parts = append(parts, r.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParsePlan parses the -fault-plan syntax: semicolon-separated clauses,
+// optionally starting with seed=N, each remaining clause
+// class:key=val[,key=val...] with class one of drop, delay, dup, corrupt,
+// crash. Examples:
+//
+//	seed=42;drop:p=0.1
+//	delay:p=0.5,d=2ms,src=0,dst=1
+//	corrupt:p=0.3,tag=7;crash:rank=3,after=10
+//	drop:src=2,dst=0,limit=1          (p defaults to 1: a targeted, certain fault)
+func ParsePlan(s string) (*Plan, error) {
+	p := &Plan{Seed: 1}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(clause, "seed="); ok {
+			seed, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed in %q: %v", clause, err)
+			}
+			p.Seed = seed
+			continue
+		}
+		name, params, _ := strings.Cut(clause, ":")
+		rule := Rule{Prob: 1, Src: AnyRank, Dst: AnyRank, Rank: AnyRank}
+		switch strings.TrimSpace(name) {
+		case "drop":
+			rule.Class = Drop
+		case "delay":
+			rule.Class = Delay
+			rule.Delay = time.Millisecond
+		case "dup", "duplicate":
+			rule.Class = Duplicate
+		case "corrupt":
+			rule.Class = Corrupt
+		case "crash":
+			rule.Class = Crash
+		default:
+			return nil, fmt.Errorf("faults: unknown fault class %q (want drop, delay, dup, corrupt, or crash)", name)
+		}
+		if params != "" {
+			for _, kv := range strings.Split(params, ",") {
+				k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("faults: malformed parameter %q in %q", kv, clause)
+				}
+				if err := setRuleParam(&rule, strings.TrimSpace(k), strings.TrimSpace(v)); err != nil {
+					return nil, fmt.Errorf("faults: %v in %q", err, clause)
+				}
+			}
+		}
+		if err := validateRule(rule); err != nil {
+			return nil, fmt.Errorf("faults: %v in %q", err, clause)
+		}
+		p.Rules = append(p.Rules, rule)
+	}
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("faults: plan %q has no fault clauses", s)
+	}
+	return p, nil
+}
+
+func setRuleParam(r *Rule, k, v string) error {
+	atoi := func() (int, error) {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s %q", k, v)
+		}
+		return n, nil
+	}
+	switch k {
+	case "p":
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("bad probability %q", v)
+		}
+		r.Prob = f
+	case "src":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		r.Src = n
+	case "dst":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		r.Dst = n
+	case "tag":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		r.HasTag, r.Tag = true, n
+	case "d", "delay":
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("bad duration %q", v)
+		}
+		r.Delay = d
+	case "rank":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		r.Rank = n
+	case "after":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		r.After = n
+	case "limit":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		r.Limit = n
+	default:
+		return fmt.Errorf("unknown parameter %q", k)
+	}
+	return nil
+}
+
+func validateRule(r Rule) error {
+	if r.Class == Crash {
+		if r.Rank < 0 {
+			return fmt.Errorf("crash rule needs rank=N (N >= 0)")
+		}
+		if r.After < 0 {
+			return fmt.Errorf("crash after=%d must be >= 0", r.After)
+		}
+		return nil
+	}
+	if r.Prob <= 0 || r.Prob > 1 {
+		return fmt.Errorf("probability %g outside (0, 1]", r.Prob)
+	}
+	if r.Class == Delay && r.Delay <= 0 {
+		return fmt.Errorf("delay %v must be positive", r.Delay)
+	}
+	return nil
+}
+
+// Decision is the injector's verdict on one outgoing frame.
+type Decision struct {
+	// Crash: the sending rank must terminate immediately; Frames is empty.
+	Crash bool
+	// Delay defers delivery of Frames by this duration (0 = immediate).
+	Delay time.Duration
+	// Frames are the byte buffers to enqueue at the receiver: empty when
+	// the frame was dropped, two entries when duplicated. Each entry is
+	// either the original slice or a fresh copy — never an alias of
+	// another entry.
+	Frames [][]byte
+}
+
+// Injector applies a Plan to a stream of frames. It is safe for concurrent
+// use by the ranks of one world; decisions on each (src, dst) edge are
+// drawn from that edge's own deterministic stream.
+type Injector struct {
+	plan *Plan
+
+	mu    sync.Mutex
+	edges map[[2]int]*rng.Source
+	fired []uint64 // per-rule firing counts
+	sends []uint64 // per-src outgoing frame counts, grown on demand
+}
+
+// New returns an injector for plan. A nil plan yields a pass-through
+// injector (every frame delivered unmodified).
+func New(plan *Plan) *Injector {
+	inj := &Injector{plan: plan, edges: make(map[[2]int]*rng.Source)}
+	if plan != nil {
+		inj.fired = make([]uint64, len(plan.Rules))
+	}
+	return inj
+}
+
+// Parse is ParsePlan followed by New.
+func Parse(s string) (*Injector, error) {
+	plan, err := ParsePlan(s)
+	if err != nil {
+		return nil, err
+	}
+	return New(plan), nil
+}
+
+// Plan returns the injector's plan (nil for a pass-through injector).
+func (in *Injector) Plan() *Plan {
+	if in == nil {
+		return nil
+	}
+	return in.plan
+}
+
+// edgeStream returns the decision stream for edge (src, dst), creating it
+// deterministically from the plan seed on first use.
+func (in *Injector) edgeStream(src, dst int) *rng.Source {
+	key := [2]int{src, dst}
+	st := in.edges[key]
+	if st == nil {
+		// Mix the edge into the seed; rng.New scrambles via splitmix64.
+		st = rng.New(in.plan.Seed ^ (uint64(src+1)<<32 | uint64(dst+1)))
+		in.edges[key] = st
+	}
+	return st
+}
+
+func (in *Injector) underLimit(i int) bool {
+	limit := in.plan.Rules[i].Limit
+	return limit == 0 || in.fired[i] < uint64(limit)
+}
+
+// OnSend decides the fate of one outgoing frame. The returned Decision's
+// Frames either reference frame itself (pass-through) or fresh copies; the
+// caller must treat every returned buffer as owned by the receiver.
+func (in *Injector) OnSend(src, dst, tag int, frame []byte) Decision {
+	if in == nil || in.plan == nil {
+		return Decision{Frames: [][]byte{frame}}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for len(in.sends) <= src {
+		in.sends = append(in.sends, 0)
+	}
+	in.sends[src]++
+	// Crash rules trigger on the sender's cumulative frame count, before
+	// any per-edge draws, so a crash point is independent of edge traffic.
+	for i, r := range in.plan.Rules {
+		if r.Class == Crash && r.Rank == src && in.sends[src] > uint64(r.After) && in.underLimit(i) {
+			in.fired[i]++
+			mCrashes.Inc()
+			return Decision{Crash: true}
+		}
+	}
+	st := in.edgeStream(src, dst)
+	var d Decision
+	var dropped, duplicated, corrupted bool
+	for i, r := range in.plan.Rules {
+		if r.Class == Crash || !r.matches(src, dst, tag) || !in.underLimit(i) {
+			continue
+		}
+		// One draw per candidate rule per frame keeps the edge stream
+		// aligned regardless of which rules fire.
+		if st.Float64() >= r.Prob {
+			continue
+		}
+		in.fired[i]++
+		switch r.Class {
+		case Drop:
+			dropped = true
+			mDrops.Inc()
+		case Delay:
+			d.Delay = r.Delay
+			mDelays.Inc()
+		case Duplicate:
+			duplicated = true
+			mDuplicates.Inc()
+		case Corrupt:
+			corrupted = true
+			mCorruptions.Inc()
+		}
+	}
+	if dropped {
+		return d // no frames: the message vanishes (delay moot)
+	}
+	out := frame
+	if corrupted {
+		out = CorruptBytes(st, append([]byte(nil), frame...))
+	}
+	d.Frames = [][]byte{out}
+	if duplicated {
+		d.Frames = append(d.Frames, append([]byte(nil), out...))
+	}
+	return d
+}
+
+// CorruptBytes flips 1-3 bits of buf in place at positions drawn from r,
+// returning buf. It is exported so tests and fuzz seed corpora can produce
+// the same corruptions the injector's corrupt mode does.
+func CorruptBytes(r *rng.Source, buf []byte) []byte {
+	if len(buf) == 0 {
+		return buf
+	}
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		pos := r.Intn(len(buf))
+		buf[pos] ^= 1 << (r.Uint64() % 8)
+	}
+	return buf
+}
+
+// Fired returns the number of times rule i has fired.
+func (in *Injector) Fired(i int) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[i]
+}
+
+// TotalFired returns the total firing count across all rules.
+func (in *Injector) TotalFired() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var total uint64
+	for _, n := range in.fired {
+		total += n
+	}
+	return total
+}
+
+// Summary returns "class=count" pairs for every rule that fired, sorted,
+// for chaos-run reports.
+func (in *Injector) Summary() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	counts := map[string]uint64{}
+	for i, r := range in.plan.Rules {
+		if in.fired[i] > 0 {
+			counts[r.Class.String()] += in.fired[i]
+		}
+	}
+	if len(counts) == 0 {
+		return "none"
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, counts[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// CrashError is the error recorded for a rank killed by a Crash rule. The
+// mpi substrate converts the injected panic into this error; surviving
+// ranks are expected to recover, so a run whose only errors are
+// CrashErrors still produced a valid (recovered) result.
+type CrashError struct {
+	Rank int
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("faults: rank %d crashed (injected)", e.Rank)
+}
+
+// OnlyCrashes reports whether err consists solely of injected rank crashes
+// — the condition under which a chaos run's result is trustworthy despite
+// a non-nil world error. It unwraps joined and wrapped errors.
+func OnlyCrashes(err error) bool {
+	if err == nil {
+		return false
+	}
+	return onlyCrashes(err)
+}
+
+func onlyCrashes(err error) bool {
+	if _, ok := err.(*CrashError); ok {
+		return true
+	}
+	switch u := err.(type) {
+	case interface{ Unwrap() []error }:
+		errs := u.Unwrap()
+		if len(errs) == 0 {
+			return false
+		}
+		for _, e := range errs {
+			if !onlyCrashes(e) {
+				return false
+			}
+		}
+		return true
+	case interface{ Unwrap() error }:
+		inner := u.Unwrap()
+		return inner != nil && onlyCrashes(inner)
+	}
+	return false
+}

@@ -1,0 +1,273 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func mustPlan(t *testing.T, s string) *Plan {
+	t.Helper()
+	p, err := ParsePlan(s)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", s, err)
+	}
+	return p
+}
+
+func TestParsePlan(t *testing.T) {
+	p := mustPlan(t, "seed=42;drop:p=0.1;delay:p=0.5,d=2ms,src=0,dst=1;dup:p=0.2;corrupt:p=0.3,tag=7;crash:rank=3,after=10")
+	if p.Seed != 42 {
+		t.Errorf("seed = %d", p.Seed)
+	}
+	if len(p.Rules) != 5 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	d := p.Rules[1]
+	if d.Class != Delay || d.Delay != 2*time.Millisecond || d.Src != 0 || d.Dst != 1 {
+		t.Errorf("delay rule = %+v", d)
+	}
+	c := p.Rules[3]
+	if c.Class != Corrupt || !c.HasTag || c.Tag != 7 {
+		t.Errorf("corrupt rule = %+v", c)
+	}
+	cr := p.Rules[4]
+	if cr.Class != Crash || cr.Rank != 3 || cr.After != 10 {
+		t.Errorf("crash rule = %+v", cr)
+	}
+	// Probability defaults to 1 for targeted deterministic faults.
+	one := mustPlan(t, "drop:src=2,dst=0,limit=1")
+	if r := one.Rules[0]; r.Prob != 1 || r.Limit != 1 {
+		t.Errorf("default rule = %+v", r)
+	}
+}
+
+func TestParsePlanStringRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"seed=42;drop:p=0.1",
+		"seed=7;delay:p=0.5,src=0,dst=1,d=2ms;crash:rank=3,after=10",
+		"seed=1;dup:p=0.25,tag=-3;corrupt:p=1,limit=2",
+	} {
+		p := mustPlan(t, s)
+		q := mustPlan(t, p.String())
+		if p.String() != q.String() {
+			t.Errorf("round trip changed %q -> %q", p.String(), q.String())
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, s := range []string{
+		"",                      // no clauses
+		"seed=42",               // seed only
+		"explode:p=0.5",         // unknown class
+		"drop:p=0",              // p out of range
+		"drop:p=1.5",            // p out of range
+		"drop:p=x",              // bad float
+		"drop:frequency=1",      // unknown key
+		"drop:p",                // malformed kv
+		"delay:p=0.5,d=-1ms",    // non-positive delay
+		"delay:p=0.5,d=fast",    // bad duration
+		"crash:after=2",         // crash without rank
+		"crash:rank=-2",         // negative rank
+		"crash:rank=1,after=-1", // negative after
+		"seed=nope;drop:p=0.5",  // bad seed
+	} {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", s)
+		}
+	}
+}
+
+// callSeq replays a fixed send sequence through an injector and returns a
+// fingerprint of every decision.
+func callSeq(in *Injector) string {
+	var buf bytes.Buffer
+	frame := []byte("payload-payload-payload")
+	for i := 0; i < 200; i++ {
+		src, dst := i%3, (i+1)%3
+		d := in.OnSend(src, dst, 5, append([]byte(nil), frame...))
+		fmt.Fprintf(&buf, "%d:%v:%v:%d", i, d.Crash, d.Delay, len(d.Frames))
+		for _, f := range d.Frames {
+			fmt.Fprintf(&buf, ":%x", f)
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	const plan = "seed=99;drop:p=0.2;delay:p=0.1,d=1ms;dup:p=0.2;corrupt:p=0.2"
+	a, err := Parse(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Parse(plan)
+	if callSeq(a) != callSeq(b) {
+		t.Error("identical plans and call sequences produced different decisions")
+	}
+	c, _ := Parse("seed=100;drop:p=0.2;delay:p=0.1,d=1ms;dup:p=0.2;corrupt:p=0.2")
+	if callSeq(a) == callSeq(c) {
+		t.Error("different seeds produced identical decisions")
+	}
+}
+
+func TestInjectorDropDupDelayCorrupt(t *testing.T) {
+	frame := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	drop := New(mustPlan(t, "drop:p=1"))
+	if d := drop.OnSend(0, 1, 0, frame); len(d.Frames) != 0 {
+		t.Errorf("drop delivered %d frames", len(d.Frames))
+	}
+	dup := New(mustPlan(t, "dup:p=1"))
+	if d := dup.OnSend(0, 1, 0, frame); len(d.Frames) != 2 {
+		t.Errorf("dup delivered %d frames", len(d.Frames))
+	} else if !bytes.Equal(d.Frames[0], d.Frames[1]) {
+		t.Error("duplicate differs from original")
+	} else if &d.Frames[0][0] == &d.Frames[1][0] {
+		t.Error("duplicate aliases original")
+	}
+	del := New(mustPlan(t, "delay:p=1,d=3ms"))
+	if d := del.OnSend(0, 1, 0, frame); d.Delay != 3*time.Millisecond || len(d.Frames) != 1 {
+		t.Errorf("delay decision = %+v", d)
+	}
+	orig := append([]byte(nil), frame...)
+	cor := New(mustPlan(t, "corrupt:p=1"))
+	d := cor.OnSend(0, 1, 0, frame)
+	if len(d.Frames) != 1 || bytes.Equal(d.Frames[0], orig) {
+		t.Error("corruption did not change the delivered frame")
+	}
+	if !bytes.Equal(frame, orig) {
+		t.Error("corruption mutated the sender's buffer")
+	}
+}
+
+func TestInjectorEdgeTargeting(t *testing.T) {
+	in := New(mustPlan(t, "drop:p=1,src=1,dst=2"))
+	if d := in.OnSend(0, 2, 0, []byte{1}); len(d.Frames) != 1 {
+		t.Error("rule fired on non-matching src")
+	}
+	if d := in.OnSend(1, 0, 0, []byte{1}); len(d.Frames) != 1 {
+		t.Error("rule fired on non-matching dst")
+	}
+	if d := in.OnSend(1, 2, 0, []byte{1}); len(d.Frames) != 0 {
+		t.Error("rule did not fire on matching edge")
+	}
+	tagged := New(mustPlan(t, "drop:p=1,tag=7"))
+	if d := tagged.OnSend(0, 1, 6, []byte{1}); len(d.Frames) != 1 {
+		t.Error("tag rule fired on wrong tag")
+	}
+	if d := tagged.OnSend(0, 1, 7, []byte{1}); len(d.Frames) != 0 {
+		t.Error("tag rule did not fire on its tag")
+	}
+}
+
+func TestInjectorLimit(t *testing.T) {
+	in := New(mustPlan(t, "drop:p=1,limit=2"))
+	dropped := 0
+	for i := 0; i < 10; i++ {
+		if d := in.OnSend(0, 1, 0, []byte{1}); len(d.Frames) == 0 {
+			dropped++
+		}
+	}
+	if dropped != 2 {
+		t.Errorf("limit=2 rule dropped %d frames", dropped)
+	}
+	if in.Fired(0) != 2 || in.TotalFired() != 2 {
+		t.Errorf("fired counts = %d/%d", in.Fired(0), in.TotalFired())
+	}
+}
+
+func TestInjectorCrashAfter(t *testing.T) {
+	in := New(mustPlan(t, "crash:rank=1,after=2"))
+	for i := 0; i < 5; i++ {
+		if d := in.OnSend(0, 1, 0, []byte{1}); d.Crash {
+			t.Fatal("crash fired for wrong rank")
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if d := in.OnSend(1, 0, 0, []byte{1}); d.Crash {
+			t.Fatalf("crashed on send %d, want after 2", i+1)
+		}
+	}
+	if d := in.OnSend(1, 0, 0, []byte{1}); !d.Crash {
+		t.Fatal("did not crash on the third send")
+	}
+	if in.Summary() != "crash=1" {
+		t.Errorf("summary = %q", in.Summary())
+	}
+}
+
+func TestNilInjectorPassThrough(t *testing.T) {
+	var in *Injector
+	frame := []byte{9, 9}
+	d := in.OnSend(0, 1, 0, frame)
+	if len(d.Frames) != 1 || &d.Frames[0][0] != &frame[0] || d.Crash || d.Delay != 0 {
+		t.Errorf("nil injector decision = %+v", d)
+	}
+}
+
+func TestCorruptBytes(t *testing.T) {
+	r := rng.New(5)
+	orig := bytes.Repeat([]byte{0xAA}, 64)
+	got := CorruptBytes(r, append([]byte(nil), orig...))
+	if bytes.Equal(got, orig) {
+		t.Error("CorruptBytes changed nothing")
+	}
+	// Deterministic for a fixed stream.
+	again := CorruptBytes(rng.New(5), append([]byte(nil), orig...))
+	if !bytes.Equal(got, again) {
+		t.Error("CorruptBytes not deterministic")
+	}
+	if out := CorruptBytes(r, nil); out != nil {
+		t.Error("empty buffer grew")
+	}
+}
+
+func TestOnlyCrashes(t *testing.T) {
+	crash := &CrashError{Rank: 2}
+	if !OnlyCrashes(crash) {
+		t.Error("single crash rejected")
+	}
+	if !OnlyCrashes(errors.Join(crash, &CrashError{Rank: 0})) {
+		t.Error("joined crashes rejected")
+	}
+	if !OnlyCrashes(fmt.Errorf("wrapped: %w", crash)) {
+		t.Error("wrapped crash rejected")
+	}
+	if OnlyCrashes(nil) {
+		t.Error("nil accepted")
+	}
+	if OnlyCrashes(errors.New("boom")) {
+		t.Error("plain error accepted")
+	}
+	if OnlyCrashes(errors.Join(crash, errors.New("boom"))) {
+		t.Error("mixed join accepted")
+	}
+}
+
+// FuzzParsePlan: arbitrary strings either parse into a plan whose String
+// form re-parses equivalently, or fail cleanly — never panic.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("seed=42;drop:p=0.1")
+	f.Add("delay:p=0.5,d=2ms,src=0,dst=1;crash:rank=3,after=10")
+	f.Add("dup:p=1;corrupt:p=0.3,tag=7,limit=9")
+	f.Add(";;;")
+	f.Add("drop:p=1e309")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		q, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", p.String(), err)
+		}
+		if p.String() != q.String() {
+			t.Fatalf("canonical form unstable: %q -> %q", p.String(), q.String())
+		}
+	})
+}

@@ -1,0 +1,19 @@
+package faults
+
+import "repro/internal/telemetry"
+
+// Every injected fault is counted, so a chaos run's /metrics snapshot
+// records exactly how much adversity the substrate absorbed alongside the
+// mpi_* detection/recovery counters.
+var (
+	mDrops = telemetry.NewCounter("faults_dropped_total",
+		"Frames discarded by the fault injector's drop rules.")
+	mDelays = telemetry.NewCounter("faults_delayed_total",
+		"Frames whose delivery the fault injector deferred.")
+	mDuplicates = telemetry.NewCounter("faults_duplicated_total",
+		"Frames the fault injector delivered twice.")
+	mCorruptions = telemetry.NewCounter("faults_corrupted_total",
+		"Frames the fault injector bit-flipped before delivery.")
+	mCrashes = telemetry.NewCounter("faults_crashes_total",
+		"Rank crashes triggered by the fault injector.")
+)

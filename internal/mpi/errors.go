@@ -1,0 +1,79 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Typed failure modes of the hardened substrate. All of them name the
+// edge or rank involved, so a failed chaos run reads as a diagnosis, not a
+// hang: which rank was waiting on whom, with which tag, and why it gave up.
+
+// TimeoutError reports a deadline expiring on a reliable operation. Src is
+// the rank the data flows from, Dst the rank it flows to (so for a failed
+// SendTimeout, Src is the caller; for a RecvTimeout, Dst is).
+type TimeoutError struct {
+	Src, Dst, Tag int
+	Op            string // "send", "recv", or "ack"
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("mpi: %s timeout on edge %d->%d (tag %d)", e.Op, e.Src, e.Dst, e.Tag)
+}
+
+// Timeout marks the error as a timeout in the net.Error idiom.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// PeerCrashedError reports a receive that can never complete: the sending
+// rank crashed and left no matching message behind.
+type PeerCrashedError struct {
+	Rank int // the crashed peer
+	Dst  int // the rank that was receiving
+	Tag  int
+}
+
+func (e *PeerCrashedError) Error() string {
+	return fmt.Sprintf("mpi: rank %d waiting on crashed rank %d (tag %d)", e.Dst, e.Rank, e.Tag)
+}
+
+// AbortError reports a world torn down by Comm.Abort.
+type AbortError struct {
+	Rank  int // the rank that called Abort
+	Cause error
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("mpi: world aborted by rank %d: %v", e.Rank, e.Cause)
+}
+
+func (e *AbortError) Unwrap() error { return e.Cause }
+
+// BlockedEdge identifies one receive that was blocked when the stall
+// watchdog fired.
+type BlockedEdge struct {
+	Src, Dst, Tag int
+	Since         time.Time
+}
+
+func (b BlockedEdge) String() string {
+	return fmt.Sprintf("rank %d <- rank %d (tag %d)", b.Dst, b.Src, b.Tag)
+}
+
+// StallError is the actionable form of a silent deadlock: the watchdog
+// found at least one receive blocked longer than the stall timeout and
+// aborted the world, naming every blocked (src, dst, tag) edge so the wait
+// cycle is visible in the error message itself.
+type StallError struct {
+	After time.Duration
+	Edges []BlockedEdge
+}
+
+func (e *StallError) Error() string {
+	parts := make([]string, len(e.Edges))
+	for i, b := range e.Edges {
+		parts[i] = b.String()
+	}
+	return fmt.Sprintf("mpi: stall watchdog fired after %v; blocked receives: %s",
+		e.After, strings.Join(parts, ", "))
+}

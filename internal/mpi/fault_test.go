@@ -1,0 +1,261 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/rng"
+)
+
+// The acceptance property of the fault-tolerant substrate: for every fault
+// class the injector produces — drop, delay, duplicate, corrupt, rank crash
+// — an AllreduceFT of HP values on P >= 4 ranks returns, on every surviving
+// rank, a sum byte-identical to the fault-free (and serial) one, with zero
+// leaked goroutines afterwards. Exact associativity of the HP operator is
+// what upgrades "recovered" to "bit-identical".
+
+const chaosRanks = 5
+
+var chaosParams = core.Params384
+
+// chaosContribution builds rank r's deterministic HP contribution: the HP
+// sum of a rank-seeded uniform value set.
+func chaosContribution(t *testing.T, r int) []byte {
+	t.Helper()
+	xs := rng.UniformSet(rng.New(uint64(1000+r)), 512, -1, 1)
+	hp, err := core.SumHP(chaosParams, xs)
+	if err != nil {
+		t.Fatalf("contribution %d: %v", r, err)
+	}
+	return EncodeHP(hp)
+}
+
+// chaosGolden computes the reference sum serially, outside the substrate.
+func chaosGolden(t *testing.T) []byte {
+	t.Helper()
+	op := OpSumHP(chaosParams)
+	acc := append([]byte(nil), chaosContribution(t, 0)...)
+	for r := 1; r < chaosRanks; r++ {
+		if err := op(acc, chaosContribution(t, r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return acc
+}
+
+// runChaosAllreduce performs one AllreduceFT under the given fault plan
+// ("" = fault-free) and returns each rank's result (nil for ranks that
+// crashed) plus the world error.
+func runChaosAllreduce(t *testing.T, plan string) ([][]byte, error) {
+	t.Helper()
+	var inj *faults.Injector
+	if plan != "" {
+		var err error
+		inj, err = faults.Parse(plan)
+		if err != nil {
+			t.Fatalf("plan %q: %v", plan, err)
+		}
+	}
+	store := NewCheckpointStore()
+	op := OpSumHP(chaosParams)
+	outs := make([][]byte, chaosRanks)
+	werr := RunWith(chaosRanks, RunOpts{Inject: inj, StallTimeout: 30 * time.Second}, func(c *Comm) error {
+		data := chaosContribution(t, c.Rank())
+		out, err := c.AllreduceFT(data, op, FTOpts{Store: store, Timeout: 3 * time.Second})
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", c.Rank(), err)
+		}
+		outs[c.Rank()] = out
+		return nil
+	})
+	return outs, werr
+}
+
+func TestAllreduceFTBitIdenticalUnderEveryFaultClass(t *testing.T) {
+	golden := chaosGolden(t)
+	cases := []struct {
+		name    string
+		plan    string
+		crashed []int // ranks the plan kills; their outs entry must be nil
+	}{
+		{name: "fault-free", plan: ""},
+		{name: "drop", plan: "seed=7;drop:p=0.25"},
+		{name: "delay", plan: "seed=3;delay:p=0.5,d=1ms"},
+		{name: "duplicate", plan: "seed=5;dup:p=0.5"},
+		{name: "corrupt", plan: "seed=9;corrupt:p=0.25"},
+		{name: "crash-follower", plan: "seed=11;crash:rank=2,after=0", crashed: []int{2}},
+		{name: "crash-leader", plan: "seed=12;crash:rank=0,after=0", crashed: []int{0}},
+		{name: "all-classes",
+			plan:    "seed=13;drop:p=0.1;delay:p=0.2,d=500us;dup:p=0.15;corrupt:p=0.1;crash:rank=3,after=1",
+			crashed: []int{3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			outs, werr := runChaosAllreduce(t, tc.plan)
+			if len(tc.crashed) == 0 {
+				if werr != nil {
+					t.Fatalf("world error: %v", werr)
+				}
+			} else {
+				if werr == nil {
+					t.Fatalf("crash plan produced no world error")
+				}
+				if !faults.OnlyCrashes(werr) {
+					t.Fatalf("world error beyond injected crashes: %v", werr)
+				}
+			}
+			isCrashed := make(map[int]bool, len(tc.crashed))
+			for _, r := range tc.crashed {
+				isCrashed[r] = true
+				var ce *faults.CrashError
+				if !errors.As(werr, &ce) {
+					t.Errorf("world error does not carry CrashError: %v", werr)
+				}
+			}
+			for r, out := range outs {
+				if isCrashed[r] {
+					if out != nil {
+						t.Errorf("crashed rank %d reported a result", r)
+					}
+					continue
+				}
+				if out == nil {
+					t.Errorf("surviving rank %d has no result", r)
+					continue
+				}
+				if !bytes.Equal(out, golden) {
+					t.Errorf("rank %d sum differs from fault-free golden:\n got %x\nwant %x", r, out, golden)
+				}
+			}
+			assertNoLeakedGoroutines(t)
+		})
+	}
+}
+
+// A repeated chaos run must stay bit-identical call after call: tags are
+// unique per invocation, so residue from an abandoned attempt in round i
+// cannot contaminate round i+1.
+func TestAllreduceFTRepeatedRoundsStayIdentical(t *testing.T) {
+	golden := chaosGolden(t)
+	inj, err := faults.Parse("seed=21;drop:p=0.15;dup:p=0.15;corrupt:p=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewCheckpointStore()
+	op := OpSumHP(chaosParams)
+	const rounds = 4
+	werr := RunWith(chaosRanks, RunOpts{Inject: inj}, func(c *Comm) error {
+		data := chaosContribution(t, c.Rank())
+		for round := 0; round < rounds; round++ {
+			out, err := c.AllreduceFT(data, op, FTOpts{Store: store, Timeout: 3 * time.Second})
+			if err != nil {
+				return fmt.Errorf("rank %d round %d: %w", c.Rank(), round, err)
+			}
+			if !bytes.Equal(out, golden) {
+				return fmt.Errorf("rank %d round %d: sum drifted", c.Rank(), round)
+			}
+		}
+		return nil
+	})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if inj.TotalFired() == 0 {
+		t.Error("fault plan never fired; test exercised nothing")
+	}
+	assertNoLeakedGoroutines(t)
+}
+
+// Recovery must work from a caller-maintained checkpoint too: the crashed
+// rank never reaches AllreduceFT, so only the periodic checkpoint (plus a
+// deterministic replay Recover) can supply its contribution — the cmd/hpsum
+// recovery path in miniature.
+func TestAllreduceFTRecoversFromExternalCheckpoint(t *testing.T) {
+	golden := chaosGolden(t)
+	inj, err := faults.Parse("seed=17;crash:rank=1,after=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewCheckpointStore()
+	op := OpSumHP(chaosParams)
+	outs := make([][]byte, chaosRanks)
+	werr := RunWith(chaosRanks, RunOpts{Inject: inj}, func(c *Comm) error {
+		data := chaosContribution(t, c.Rank())
+		// Every rank checkpoints its contribution before communicating, as a
+		// periodic checkpointer would; rank 1 then dies on its first send.
+		store.Put(c.Rank(), data)
+		if c.Rank() == 1 {
+			_ = c.Send(0, 99, []byte("heartbeat")) // panics via the crash rule
+			return fmt.Errorf("rank 1 survived its crash rule")
+		}
+		out, err := c.AllreduceFT(data, op, FTOpts{
+			Store:            store,
+			Timeout:          2 * time.Second,
+			NoSelfCheckpoint: true,
+			Recover: func(rank int, ckpt []byte, ok bool) ([]byte, error) {
+				if !ok {
+					return nil, fmt.Errorf("no checkpoint for rank %d", rank)
+				}
+				return ckpt, nil
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", c.Rank(), err)
+		}
+		outs[c.Rank()] = out
+		return nil
+	})
+	if !faults.OnlyCrashes(werr) {
+		t.Fatalf("world error beyond the injected crash: %v", werr)
+	}
+	for r, out := range outs {
+		if r == 1 {
+			continue
+		}
+		if !bytes.Equal(out, golden) {
+			t.Errorf("rank %d recovered sum differs from golden", r)
+		}
+	}
+	assertNoLeakedGoroutines(t)
+}
+
+func TestAllreduceFTRequiresStore(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		_, err := c.AllreduceFT([]byte{0}, OpSumFloat64, FTOpts{})
+		if err == nil {
+			return errors.New("missing store accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointStore(t *testing.T) {
+	s := NewCheckpointStore()
+	if _, ok := s.Get(0); ok {
+		t.Error("empty store returned a checkpoint")
+	}
+	buf := []byte{1, 2, 3}
+	s.Put(3, buf)
+	buf[0] = 99 // Put must have copied
+	got, ok := s.Get(3)
+	if !ok || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Get = %v, %v", got, ok)
+	}
+	got[1] = 99 // Get must return a copy
+	again, _ := s.Get(3)
+	if !bytes.Equal(again, []byte{1, 2, 3}) {
+		t.Error("Get aliases stored bytes")
+	}
+	s.Put(1, nil)
+	if ranks := s.Ranks(); len(ranks) != 2 || ranks[0] != 1 || ranks[1] != 3 {
+		t.Errorf("Ranks = %v", ranks)
+	}
+}

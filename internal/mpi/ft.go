@@ -1,0 +1,235 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fault-tolerant allreduce with checkpointed recovery.
+//
+// AllreduceFT tolerates every fault class the injector produces: drops,
+// delays, duplicates, and corruptions are absorbed by the reliable layer's
+// retransmission, and rank crashes are absorbed by shrinking to the
+// surviving ranks and recovering the lost rank's contribution from its
+// last checkpoint in a CheckpointStore. Because the HP reduction operator
+// is exactly associative and a rank's checkpoint equals (or deterministically
+// replays to) its exact contribution, the recovered global sum is
+// BIT-IDENTICAL to the fault-free one — the paper's order-invariance
+// guarantee extended from "any summation order" to "any failure pattern
+// with recoverable checkpoints". The same property makes the protocol
+// idempotent: if a leader dies mid-broadcast and a new leader recomputes
+// the result from checkpoints, ranks that already received the old result
+// hold exactly the same bytes.
+//
+// The protocol is a leader-based star, chosen over a tree because
+// fault-time control flow stays legible: for attempt a = 0, 1, ... the
+// leader is rank a (skipping known-crashed ranks). The leader collects
+// every live rank's contribution with RecvTimeout, substitutes the
+// checkpointed contribution for ranks that crashed or timed out, combines
+// in ascending rank order, and reliably sends the result to all live
+// ranks. A follower that cannot reach the leader (crash or timeout)
+// advances to the next attempt; tags are unique per (call, attempt), so
+// late traffic from an abandoned attempt can never be confused with the
+// current one.
+
+// CheckpointStore holds each rank's most recent checkpoint, standing in
+// for storage that survives rank crashes (a burst buffer or parallel file
+// system in a real deployment). It is safe for concurrent use.
+type CheckpointStore struct {
+	mu sync.Mutex
+	m  map[int][]byte
+}
+
+// NewCheckpointStore returns an empty store.
+func NewCheckpointStore() *CheckpointStore {
+	return &CheckpointStore{m: make(map[int][]byte)}
+}
+
+// Put records rank's latest checkpoint (a copy of data), replacing any
+// previous one.
+func (s *CheckpointStore) Put(rank int, data []byte) {
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	s.m[rank] = cp
+	s.mu.Unlock()
+	mCheckpoints.Inc()
+}
+
+// Get returns a copy of rank's latest checkpoint.
+func (s *CheckpointStore) Get(rank int) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[rank]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// Ranks returns the ranks with a stored checkpoint, ascending.
+func (s *CheckpointStore) Ranks() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.m))
+	for r := range s.m {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FTOpts configures AllreduceFT.
+type FTOpts struct {
+	// Store is the checkpoint store recoveries read from (required).
+	Store *CheckpointStore
+	// Timeout bounds each peer exchange (contribution receive, result
+	// send/receive). Default 2s. The watchdog's StallTimeout, if armed,
+	// should comfortably exceed it.
+	Timeout time.Duration
+	// Recover converts rank's last checkpoint into its full contribution
+	// in the operator's domain; checkpoint is nil and ok false when the
+	// store has nothing for the rank. nil Recover uses the checkpoint
+	// bytes as-is (they must then be op-domain buffers, as the automatic
+	// self-checkpoint guarantees). Callers with richer checkpoints — for
+	// example a partial sum plus an input cursor — supply a Recover that
+	// deterministically replays the lost tail (see cmd/hpsum).
+	Recover func(rank int, checkpoint []byte, ok bool) ([]byte, error)
+	// NoSelfCheckpoint skips the automatic Store.Put of this rank's
+	// contribution at entry. Set it when the caller already maintains
+	// periodic checkpoints in the store.
+	NoSelfCheckpoint bool
+}
+
+// tagFTBase anchors the internal tag space of AllreduceFT; each (call,
+// attempt) pair consumes two tags below it.
+const tagFTBase = -1 << 20
+
+// AllreduceFT combines every rank's data with op and returns the combined
+// buffer on all surviving ranks, tolerating message loss, delay,
+// duplication, corruption, and rank crashes. Recovery substitutes a
+// crashed (or unresponsive) rank's checkpoint — see FTOpts — so with an
+// exactly associative op (HP, Hallberg) the result is bit-identical to the
+// fault-free run. It is collective: every live rank must call it, the same
+// number of times, with the same op and opts.
+func (c *Comm) AllreduceFT(data []byte, op Op, opts FTOpts) ([]byte, error) {
+	if opts.Store == nil {
+		return nil, fmt.Errorf("mpi: AllreduceFT requires a CheckpointStore")
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	done := timeAllreduce()
+	c.ftRound++
+	if !opts.NoSelfCheckpoint {
+		opts.Store.Put(c.rank, data)
+	}
+	size := c.w.size
+	for attempt := 0; attempt < size; attempt++ {
+		leader := attempt
+		tagContrib := tagFTBase - 2*(c.ftRound*size+attempt)
+		tagResult := tagContrib - 1
+		if c.w.isCrashed(leader) && c.rank != leader {
+			continue
+		}
+		var out []byte
+		var err error
+		if c.rank == leader {
+			out, err = c.ftLead(data, op, opts, tagContrib, tagResult, timeout)
+		} else {
+			out, err = c.ftFollow(data, leader, tagContrib, tagResult, timeout)
+		}
+		if err == nil {
+			done()
+			return out, nil
+		}
+		var te *TimeoutError
+		var pc *PeerCrashedError
+		if errors.As(err, &te) || errors.As(err, &pc) {
+			continue // leader unreachable: next attempt, next leader
+		}
+		return nil, err
+	}
+	return nil, fmt.Errorf("mpi: AllreduceFT: rank %d found no reachable leader in %d attempts",
+		c.rank, size)
+}
+
+// ftLead runs the leader side: collect, recover, combine, distribute.
+func (c *Comm) ftLead(data []byte, op Op, opts FTOpts, tagContrib, tagResult int, timeout time.Duration) ([]byte, error) {
+	size := c.w.size
+	var acc []byte
+	for r := 0; r < size; r++ {
+		contrib, err := c.ftContribution(r, data, opts, tagContrib, timeout)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = append([]byte(nil), contrib...)
+			continue
+		}
+		if err := op(acc, contrib); err != nil {
+			return nil, err
+		}
+	}
+	for r := 0; r < size; r++ {
+		if r == c.rank || c.w.isCrashed(r) {
+			continue
+		}
+		// Best effort: a rank that died or moved on will recover the
+		// identical result from the next leader's recomputation.
+		_ = c.sendReliable(r, tagResult, acc, timeout)
+	}
+	return acc, nil
+}
+
+// ftContribution obtains rank r's contribution: live receipt when
+// possible, checkpoint recovery when r is crashed, unresponsive, or was
+// corrupted past the reliable layer's patience.
+func (c *Comm) ftContribution(r int, own []byte, opts FTOpts, tagContrib int, timeout time.Duration) ([]byte, error) {
+	if r == c.rank {
+		return own, nil
+	}
+	if !c.w.isCrashed(r) {
+		contrib, err := c.recvReliable(r, tagContrib, timeout)
+		if err == nil {
+			return contrib, nil
+		}
+		var te *TimeoutError
+		var pc *PeerCrashedError
+		if !errors.As(err, &te) && !errors.As(err, &pc) {
+			return nil, err
+		}
+	}
+	ckpt, ok := opts.Store.Get(r)
+	recover := opts.Recover
+	if recover == nil {
+		recover = func(rank int, checkpoint []byte, ok bool) ([]byte, error) {
+			if !ok {
+				return nil, fmt.Errorf("mpi: no checkpoint for rank %d", rank)
+			}
+			return checkpoint, nil
+		}
+	}
+	contrib, err := recover(r, ckpt, ok)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rank %d lost and unrecoverable: %w", r, err)
+	}
+	mRecoveries.Inc()
+	return contrib, nil
+}
+
+// ftFollow runs the follower side: offer the contribution, await the
+// result. A send failure alone is not fatal — the leader will fall back to
+// this rank's checkpoint, which holds the same contribution.
+func (c *Comm) ftFollow(data []byte, leader, tagContrib, tagResult int, timeout time.Duration) ([]byte, error) {
+	if err := c.sendReliable(leader, tagContrib, data, timeout); err != nil {
+		var te *TimeoutError
+		if !errors.As(err, &te) {
+			return nil, err
+		}
+	}
+	return c.recvReliable(leader, tagResult, timeout)
+}

@@ -1,0 +1,50 @@
+package mpi
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mpiGoroutines returns the stacks of goroutines currently executing
+// substrate code — blocked receives, watchdogs, delayed deliveries — but
+// not the test goroutines themselves. A healthy teardown leaves none.
+func mpiGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var leaked []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if !strings.Contains(g, "repro/internal/mpi.") {
+			continue
+		}
+		// Test goroutines (and their subtests) run under testing.tRunner and
+		// legitimately hold mpi test frames; only goroutines the substrate
+		// itself spawned count as leaks.
+		if strings.Contains(g, "testing.tRunner") || strings.Contains(g, "testing.runFuzzing") {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// assertNoLeakedGoroutines fails the test if substrate goroutines survive
+// past a world's teardown. Exiting goroutines need a moment to leave the
+// scheduler, so it polls briefly before declaring a leak.
+func assertNoLeakedGoroutines(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var leaked []string
+	for {
+		leaked = mpiGoroutines()
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("%d substrate goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+}

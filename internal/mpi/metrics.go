@@ -5,15 +5,42 @@ import "repro/internal/telemetry"
 // Telemetry for the simulated message-passing substrate. Counters are
 // incremented per point-to-point delivery (including the internal
 // messages collectives exchange), so traffic shape under different
-// reduction topologies is directly visible at /metrics.
+// reduction topologies is directly visible at /metrics. The robustness
+// counters (corruption detections, duplicate suppressions, retransmits,
+// timeouts, stalls, aborts, recoveries) pair with the faults_* injection
+// counters to show how much adversity a chaos run absorbed and how it was
+// repaired.
 var (
 	mMessages = telemetry.NewCounter("mpi_messages_total",
-		"Point-to-point messages delivered (user sends plus collective-internal traffic).")
+		"Point-to-point frames sent (user sends plus collective-internal traffic, acks and retransmits included).")
 	mBytes = telemetry.NewCounter("mpi_bytes_total",
-		"Payload bytes delivered across all point-to-point messages.")
+		"Frame bytes sent across all point-to-point messages (14-byte frame header included).")
 	mAllreduce = telemetry.NewCounter("mpi_allreduce_total",
-		"Allreduce operations completed (binomial-tree and recursive-doubling), counted once per participating rank.")
+		"Allreduce operations completed (binomial-tree, recursive-doubling, and fault-tolerant), counted once per participating rank.")
 	mAllreduceLatency = telemetry.NewHistogram("mpi_allreduce_seconds",
 		"Per-rank wall time of allreduce operations.",
 		telemetry.DurationBuckets())
+
+	mCorruptDetected = telemetry.NewCounter("mpi_corrupt_frames_total",
+		"Frames discarded on receive because their checksum did not verify.")
+	mDupSuppressed = telemetry.NewCounter("mpi_duplicate_frames_total",
+		"Frames discarded on receive as duplicates of an already-delivered sequence number.")
+	mRetransmits = telemetry.NewCounter("mpi_retransmits_total",
+		"Reliable-send retransmissions after a missing acknowledgement.")
+	mAcks = telemetry.NewCounter("mpi_acks_total",
+		"Acknowledgement frames sent for ack-wanted messages.")
+	mSendTimeouts = telemetry.NewCounter("mpi_send_timeouts_total",
+		"SendTimeout calls that exhausted their deadline without an ack.")
+	mRecvTimeouts = telemetry.NewCounter("mpi_recv_timeouts_total",
+		"RecvTimeout calls that exhausted their deadline without a valid message.")
+	mStalls = telemetry.NewCounter("mpi_stalls_total",
+		"Stall-watchdog firings (worlds aborted after a receive blocked past the stall timeout).")
+	mAborts = telemetry.NewCounter("mpi_aborts_total",
+		"Worlds torn down by Comm.Abort, a rank panic, or the stall watchdog.")
+	mCrashesObserved = telemetry.NewCounter("mpi_rank_crashes_total",
+		"Rank crashes observed by the substrate (injected crash faults).")
+	mCheckpoints = telemetry.NewCounter("mpi_ft_checkpoints_total",
+		"Partial-sum checkpoints written to a CheckpointStore.")
+	mRecoveries = telemetry.NewCounter("mpi_ft_recoveries_total",
+		"Contributions recovered from checkpoints during AllreduceFT (crashed or unresponsive ranks).")
 )

@@ -1,0 +1,152 @@
+package mpi
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/telemetry"
+)
+
+// scrapeMetrics GETs /metrics off the telemetry handler and returns the
+// counter values by name.
+func scrapeMetrics(t *testing.T) map[string]uint64 {
+	t.Helper()
+	srv := httptest.NewServer(telemetry.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make(map[string]uint64)
+	for _, m := range regexp.MustCompile(`(?m)^([a-z_]+) (\d+)$`).FindAllStringSubmatch(string(body), -1) {
+		v, err := strconv.ParseUint(m[2], 10, 64)
+		if err != nil {
+			t.Fatalf("metric %s: %v", m[1], err)
+		}
+		vals[m[1]] = v
+	}
+	return vals
+}
+
+// A chaos run must leave its tracks in /metrics: fault firings, protocol
+// retransmissions, duplicate suppression, crash observations, and the FT
+// recovery of the crashed rank's contribution all have counters, and an
+// operator watching the scrape during a chaos drill sees them move.
+func TestMetricsExportAfterChaosRun(t *testing.T) {
+	defer telemetry.SetEnabled(telemetry.SetEnabled(true))
+	before := scrapeMetrics(t)
+
+	inj, err := faults.Parse("seed=77;drop:p=0.3,limit=20;dup:p=0.3,limit=20;corrupt:p=0.2,limit=10;crash:rank=2,after=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewCheckpointStore()
+	contrib := make([][]byte, chaosRanks)
+	for r := 0; r < chaosRanks; r++ {
+		contrib[r] = chaosContribution(t, r)
+	}
+	werr := RunWith(chaosRanks, RunOpts{Inject: inj, StallTimeout: 30 * time.Second},
+		func(c *Comm) error {
+			_, err := c.AllreduceFT(contrib[c.Rank()], OpSumHP(chaosParams), FTOpts{
+				Store:   store,
+				Timeout: 3 * time.Second,
+			})
+			return err
+		})
+	if werr != nil && !faults.OnlyCrashes(werr) {
+		t.Fatalf("world error beyond crashes: %v", werr)
+	}
+
+	// The chaos run's corruptions can land on late retransmits nobody is
+	// still listening for, so corruption *detection* is not guaranteed
+	// there. This exchange is: with p=1 the first (and only eligible) frame
+	// is corrupted, the receiver must detect it, and the retransmit must
+	// carry the message through.
+	inj2, err := faults.Parse("seed=4;corrupt:p=1,limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr = RunWith(2, RunOpts{Inject: inj2}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.SendTimeout(0, 3, []byte("payload"), 2*time.Second)
+		}
+		_, err := c.RecvTimeout(1, 3, 2*time.Second)
+		return err
+	})
+	if werr != nil {
+		t.Fatalf("corrupt exchange: %v", werr)
+	}
+
+	after := scrapeMetrics(t)
+	grew := func(name string) uint64 { return after[name] - before[name] }
+	for _, name := range []string{
+		// The injector's own account of what it did to the transport...
+		"faults_dropped_total",
+		"faults_duplicated_total",
+		"faults_corrupted_total",
+		"faults_crashes_total",
+		// ...and the substrate's account of surviving it.
+		"mpi_retransmits_total",
+		"mpi_corrupt_frames_total",
+		"mpi_duplicate_frames_total",
+		"mpi_rank_crashes_total",
+		"mpi_ft_recoveries_total",
+		"mpi_ft_checkpoints_total",
+		"mpi_messages_total",
+		"mpi_acks_total",
+	} {
+		if _, present := after[name]; !present {
+			t.Errorf("counter %s missing from /metrics", name)
+		} else if grew(name) == 0 {
+			t.Errorf("counter %s did not move during the chaos run", name)
+		}
+	}
+	t.Logf("chaos snapshot: drops=%d dups=%d corrupt=%d crashes=%d retransmits=%d recoveries=%d",
+		grew("faults_dropped_total"), grew("faults_duplicated_total"),
+		grew("faults_corrupted_total"), grew("faults_crashes_total"),
+		grew("mpi_retransmits_total"), grew("mpi_ft_recoveries_total"))
+	assertNoLeakedGoroutines(t)
+}
+
+// Counters are free when telemetry is off: a run with telemetry disabled
+// must not move any counter.
+func TestMetricsGatedOnEnable(t *testing.T) {
+	defer telemetry.SetEnabled(telemetry.SetEnabled(false))
+	before := scrapeMetrics(t)
+	werr := Run(3, func(c *Comm) error {
+		got, err := c.Allreduce([]byte{byte(c.Rank())}, func(inout, in []byte) error {
+			inout[0] += in[0]
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if got[0] != 3 {
+			return fmt.Errorf("sum = %d", got[0])
+		}
+		return nil
+	})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	after := scrapeMetrics(t)
+	for name, v := range after {
+		if v != before[name] {
+			t.Errorf("counter %s moved (%d -> %d) with telemetry disabled", name, before[name], v)
+		}
+	}
+}

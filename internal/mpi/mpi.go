@@ -6,6 +6,17 @@
 // Reduce, Allreduce, Gather, and Scatter, with binomial-tree reduction and
 // user-defined reduction operators over byte buffers — the analogue of the
 // custom MPI datatype + MPI_Op the paper builds for HP values.
+//
+// The substrate is hardened against an adversarial network (see
+// internal/faults): every message travels in a checksummed,
+// sequence-numbered frame (frame.go) giving corruption detection and
+// duplicate suppression on all receive paths; SendTimeout/RecvTimeout
+// (reliable.go) add deadlines, acks, and bounded exponential-backoff
+// retransmission; a stall watchdog (RunOpts.StallTimeout) converts silent
+// deadlocks into errors naming the blocked (src, dst, tag) edges;
+// Comm.Abort tears the world down so no rank is left hanging; and
+// AllreduceFT (ft.go) survives rank crashes by recovering the lost rank's
+// contribution from a checkpoint store.
 package mpi
 
 import (
@@ -14,8 +25,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/telemetry"
 )
 
@@ -25,54 +38,173 @@ import (
 // approximately associative, which is exactly the paper's problem).
 type Op func(inout, in []byte) error
 
-// message is one in-flight payload.
+// message is one in-flight frame.
 type message struct {
-	tag  int
-	data []byte
+	tag   int
+	frame []byte
 }
+
+// dedupWindow bounds the per-mailbox set of remembered sequence numbers.
+// Because a sender retransmits a reliable message before issuing the next
+// one, duplicates arrive close to their originals; a window this large only
+// lets a duplicate slip through after 64k intervening messages on the edge.
+const dedupWindow = 1 << 16
 
 // mailbox is the unbounded FIFO queue for one (src, dst) pair.
 type mailbox struct {
+	w        *world
+	src, dst int
+
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []message
+
+	// Delivered frame seqs for duplicate suppression, pruned FIFO.
+	seen      map[uint64]struct{}
+	seenOrder []uint64
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(w *world, dst, src int) *mailbox {
+	m := &mailbox{w: w, src: src, dst: dst, seen: make(map[uint64]struct{})}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
-func (m *mailbox) put(tag int, data []byte) {
-	cp := make([]byte, len(data))
-	copy(cp, data)
+func (m *mailbox) put(tag int, frame []byte) {
 	m.mu.Lock()
-	m.queue = append(m.queue, message{tag: tag, data: cp})
-	m.cond.Signal()
+	m.queue = append(m.queue, message{tag: tag, frame: frame})
+	m.cond.Broadcast()
 	m.mu.Unlock()
 }
 
-// take removes and returns the earliest message with the given tag,
-// blocking until one arrives. Messages with other tags stay queued.
-func (m *mailbox) take(tag int) []byte {
+// wake nudges every goroutine blocked in take so it can re-check the
+// world's abort/crash state.
+func (m *mailbox) wake() {
+	m.mu.Lock()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// take removes and returns the earliest frame with the given tag, blocking
+// until one arrives, the deadline passes (zero deadline = wait forever),
+// the world aborts, or the sending rank is known to have crashed with no
+// matching frame left.
+//
+// Every pass also sweeps the queue for stale retransmits — verified
+// ack-wanted frames whose seq was already delivered, parked under a tag
+// nobody is receiving anymore because the consumer moved on. Their seqs are
+// returned in stale (possibly alongside a nil frame and nil error) so the
+// caller can re-ack them; without this, one lost ack would pin the sender
+// in its retransmission loop until its full deadline expired.
+func (m *mailbox) take(tag int, deadline time.Time) (frame []byte, stale []uint64, err error) {
+	w := m.w
+	if w.watching() {
+		key := blockKey{src: m.src, dst: m.dst, tag: tag}
+		w.noteBlocked(key)
+		defer w.noteUnblocked(key)
+	}
+	if !deadline.IsZero() {
+		if d := time.Until(deadline); d > 0 {
+			timer := time.AfterFunc(d, m.wake)
+			defer timer.Stop()
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
+		if err := w.abortErr(); err != nil {
+			return nil, nil, err
+		}
+		stale = m.sweepStaleLocked()
 		for i, msg := range m.queue {
 			if msg.tag == tag {
 				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return msg.data
+				return msg.frame, stale, nil
 			}
+		}
+		if len(stale) > 0 {
+			return nil, stale, nil // let the caller ack, then come back
+		}
+		if w.isCrashed(m.src) {
+			return nil, nil, &PeerCrashedError{Rank: m.src, Dst: m.dst, Tag: tag}
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, nil, &TimeoutError{Src: m.src, Dst: m.dst, Tag: tag, Op: "recv"}
 		}
 		m.cond.Wait()
 	}
+}
+
+// sweepStaleLocked removes queued frames that are checksum-valid, ack-wanted
+// retransmits of already-delivered seqs and returns those seqs. Requires
+// m.mu. Frames whose seq has not been delivered yet stay queued whatever
+// their tag: they belong to a receive that has not happened.
+func (m *mailbox) sweepStaleLocked() []uint64 {
+	var stale []uint64
+	kept := m.queue[:0]
+	for _, msg := range m.queue {
+		if seq, flags, _, err := decodeFrame(msg.frame); err == nil && flags&flagAckWanted != 0 {
+			if _, delivered := m.seen[seq]; delivered {
+				stale = append(stale, seq)
+				mDupSuppressed.Inc()
+				continue
+			}
+		}
+		kept = append(kept, msg)
+	}
+	m.queue = kept
+	return stale
+}
+
+// delivered reports whether seq has already been taken by the receiver.
+// The reliable sender consults it between retransmissions: when the ack for
+// the final message of an exchange is lost, no future receive on the edge
+// exists to re-ack the retransmits, and the receiver-side delivery record is
+// the only witness that the exchange in fact completed. (A real MPI would
+// get the equivalent from its transport's completion semantics; in-process,
+// the mailbox IS the transport.)
+func (m *mailbox) delivered(seq uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.seen[seq]
+	return ok
+}
+
+// firstDelivery records seq as delivered and reports whether this is the
+// first time it has been seen on this edge.
+func (m *mailbox) firstDelivery(seq uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.seen[seq]; dup {
+		return false
+	}
+	m.seen[seq] = struct{}{}
+	m.seenOrder = append(m.seenOrder, seq)
+	if len(m.seenOrder) > dedupWindow {
+		delete(m.seen, m.seenOrder[0])
+		m.seenOrder = m.seenOrder[1:]
+	}
+	return true
 }
 
 // world is the shared state of one Run invocation (or one Split group).
 type world struct {
 	size  int
 	boxes [][]*mailbox // boxes[dst][src]
+	seqs  [][]atomic.Uint64
+
+	inject  *faults.Injector
+	delayWG sync.WaitGroup // in-flight fault-delayed deliveries
+
+	aborted  atomic.Bool
+	abortMu  sync.Mutex
+	abortWhy error
+
+	crashed []atomic.Bool
+
+	watch     atomic.Bool
+	blockedMu sync.Mutex
+	blocked   map[blockKey]time.Time
 
 	splitMu sync.Mutex
 	split   *splitState
@@ -80,21 +212,91 @@ type world struct {
 
 // newWorld allocates the mailbox matrix for size ranks.
 func newWorld(size int) *world {
-	w := &world{size: size, boxes: make([][]*mailbox, size)}
+	w := &world{
+		size:    size,
+		boxes:   make([][]*mailbox, size),
+		seqs:    make([][]atomic.Uint64, size),
+		crashed: make([]atomic.Bool, size),
+		blocked: make(map[blockKey]time.Time),
+	}
 	for dst := range w.boxes {
 		w.boxes[dst] = make([]*mailbox, size)
+		w.seqs[dst] = make([]atomic.Uint64, size)
 		for src := range w.boxes[dst] {
-			w.boxes[dst][src] = newMailbox()
+			w.boxes[dst][src] = newMailbox(w, dst, src)
 		}
 	}
 	return w
 }
 
+// errWorldClosed is the teardown cause RunWith uses to release straggler
+// receives (an Irecv nobody matched) once every rank has returned. It is
+// bookkeeping, not a failure, so it does not count as an abort.
+var errWorldClosed = errors.New("mpi: world closed")
+
+// abort poisons the world: blocked and future operations on every rank
+// fail with err. Only the first cause is retained.
+func (w *world) abort(err error) {
+	w.abortMu.Lock()
+	first := w.abortWhy == nil
+	if first {
+		w.abortWhy = err
+		w.aborted.Store(true)
+		if !errors.Is(err, errWorldClosed) {
+			mAborts.Inc()
+		}
+	}
+	w.abortMu.Unlock()
+	if !first {
+		return
+	}
+	for _, row := range w.boxes {
+		for _, m := range row {
+			m.wake()
+		}
+	}
+	w.splitMu.Lock()
+	if s := w.split; s != nil {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	w.splitMu.Unlock()
+}
+
+// abortErr returns the abort cause, or nil while the world is healthy.
+func (w *world) abortErr() error {
+	if !w.aborted.Load() {
+		return nil
+	}
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.abortWhy
+}
+
+// noteCrashed marks rank dead and wakes every receive blocked on it, so
+// peers observe a PeerCrashedError instead of hanging.
+func (w *world) noteCrashed(rank int) {
+	if w.crashed[rank].Swap(true) {
+		return
+	}
+	mCrashesObserved.Inc()
+	for dst := range w.boxes {
+		w.boxes[dst][rank].wake()
+	}
+}
+
+func (w *world) isCrashed(rank int) bool {
+	return rank >= 0 && rank < w.size && w.crashed[rank].Load()
+}
+
 // Comm is a rank's communicator handle. A Comm is owned by one goroutine
-// and must not be shared.
+// and must not be shared (Irecv's completion goroutine is the one sanctioned
+// exception).
 type Comm struct {
-	rank int
-	w    *world
+	rank    int
+	w       *world
+	ftRound int // AllreduceFT invocation counter, for collision-free tags
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -102,6 +304,18 @@ func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the world size.
 func (c *Comm) Size() int { return c.w.size }
+
+// Crashed reports whether rank is known to have crashed (via an injected
+// fault) in this world.
+func (c *Comm) Crashed(rank int) bool { return c.w.isCrashed(rank) }
+
+// Abort tears down the world: every rank's pending and future operations
+// fail with an *AbortError naming this rank and wrapping cause. It is the
+// escape hatch a rank uses when it cannot continue, so its peers fail fast
+// instead of deadlocking.
+func (c *Comm) Abort(cause error) {
+	c.w.abort(&AbortError{Rank: c.rank, Cause: cause})
+}
 
 // Internal tag space: user tags must be >= 0.
 const (
@@ -112,13 +326,41 @@ const (
 	tagScatter
 )
 
+// crashPanic is the panic value an injected rank crash unwinds with.
+type crashPanic struct{ rank int }
+
+// RunOpts configures a world's robustness features.
+type RunOpts struct {
+	// Inject applies a fault plan to every frame sent in the world (nil =
+	// fault-free). Sub-worlds created by Split run fault-free.
+	Inject *faults.Injector
+	// StallTimeout arms the stall watchdog: if any receive stays blocked
+	// longer than this, the world aborts with a *StallError naming every
+	// blocked (src, dst, tag) edge. Zero disables the watchdog. Set it
+	// well above any SendTimeout/RecvTimeout deadlines in use.
+	StallTimeout time.Duration
+}
+
 // Run executes fn on every rank of a size-rank world concurrently and
 // returns the joined errors of all ranks (nil if every rank succeeded).
 func Run(size int, fn func(c *Comm) error) error {
+	return RunWith(size, RunOpts{}, fn)
+}
+
+// RunWith is Run with fault injection and watchdog options. A rank that
+// panics aborts the world (peers fail fast rather than deadlock); a rank
+// killed by an injected crash fault records a *faults.CrashError without
+// aborting, leaving its peers to recover (see AllreduceFT).
+func RunWith(size int, opts RunOpts, fn func(c *Comm) error) error {
 	if size < 1 {
 		return fmt.Errorf("mpi: world size %d", size)
 	}
 	w := newWorld(size)
+	w.inject = opts.Inject
+	stopWatchdog := func() {}
+	if opts.StallTimeout > 0 {
+		stopWatchdog = w.startWatchdog(opts.StallTimeout)
+	}
 	errs := make([]error, size)
 	var wg sync.WaitGroup
 	wg.Add(size)
@@ -127,13 +369,25 @@ func Run(size int, fn func(c *Comm) error) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					if cp, ok := p.(crashPanic); ok {
+						errs[rank] = &faults.CrashError{Rank: cp.rank}
+						return
+					}
+					err := fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					errs[rank] = err
+					w.abort(fmt.Errorf("mpi: world aborted: %w", err))
 				}
 			}()
 			errs[rank] = fn(&Comm{rank: rank, w: w})
 		}(r)
 	}
 	wg.Wait()
+	stopWatchdog()
+	// Release any receive still parked in the mailboxes — an Irecv whose
+	// sender never materialized, for example — so no substrate goroutine
+	// outlives the world.
+	w.abort(errWorldClosed)
+	w.delayWG.Wait()
 	return errors.Join(errs...)
 }
 
@@ -148,18 +402,62 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 }
 
 func (c *Comm) send(dst, tag int, data []byte) error {
-	if dst < 0 || dst >= c.w.size {
-		return fmt.Errorf("mpi: send to invalid rank %d (size %d)", dst, c.w.size)
+	_, frame, err := c.packFrame(dst, data, 0)
+	if err != nil {
+		return err
 	}
-	c.w.boxes[dst][c.rank].put(tag, data)
+	return c.deliver(dst, tag, frame)
+}
+
+// packFrame assigns the next sequence number on the (rank, dst) edge and
+// encodes data into a frame. Reliable sends keep the frame so
+// retransmissions reuse the same seq (letting the receiver deduplicate).
+func (c *Comm) packFrame(dst int, data []byte, flags byte) (uint64, []byte, error) {
+	if dst < 0 || dst >= c.w.size {
+		return 0, nil, fmt.Errorf("mpi: send to invalid rank %d (size %d)", dst, c.w.size)
+	}
+	seq := c.w.seqs[c.rank][dst].Add(1)
+	return seq, encodeFrame(seq, flags, data), nil
+}
+
+// deliver pushes one framed message toward dst, applying the world's fault
+// plan. The frame's ownership passes to the receiver; retransmissions must
+// pass a fresh copy.
+func (c *Comm) deliver(dst, tag int, frame []byte) error {
+	w := c.w
+	if err := w.abortErr(); err != nil {
+		return err
+	}
+	box := w.boxes[dst][c.rank]
 	mMessages.Inc()
-	mBytes.Add(uint64(len(data)))
+	mBytes.Add(uint64(len(frame)))
+	if inj := w.inject; inj != nil {
+		d := inj.OnSend(c.rank, dst, tag, frame)
+		if d.Crash {
+			w.noteCrashed(c.rank)
+			panic(crashPanic{rank: c.rank})
+		}
+		for _, f := range d.Frames {
+			if d.Delay > 0 {
+				w.delayWG.Add(1)
+				f := f
+				time.AfterFunc(d.Delay, func() {
+					defer w.delayWG.Done()
+					box.put(tag, f)
+				})
+			} else {
+				box.put(tag, f)
+			}
+		}
+		return nil
+	}
+	box.put(tag, frame)
 	return nil
 }
 
 // Recv blocks until a message with the given tag arrives from rank src and
 // returns its payload. Messages from the same sender are matched in send
-// order (MPI's non-overtaking guarantee).
+// order (MPI's non-overtaking guarantee; fault-injected delays may reorder).
 func (c *Comm) Recv(src, tag int) ([]byte, error) {
 	if tag < 0 {
 		return nil, fmt.Errorf("mpi: user tag %d must be >= 0", tag)
@@ -168,10 +466,47 @@ func (c *Comm) Recv(src, tag int) ([]byte, error) {
 }
 
 func (c *Comm) recv(src, tag int) ([]byte, error) {
+	return c.recvFrame(src, tag, time.Time{})
+}
+
+// recvFrame is the single receive path: it takes frames from the (src,
+// rank) mailbox until a valid, first-time frame with the tag arrives.
+// Corrupt frames (checksum mismatch) are counted and discarded; duplicate
+// seqs are counted and suppressed; frames requesting acknowledgement are
+// acked — duplicates included, since a duplicate usually means the
+// sender's previous ack was lost.
+func (c *Comm) recvFrame(src, tag int, deadline time.Time) ([]byte, error) {
 	if src < 0 || src >= c.w.size {
 		return nil, fmt.Errorf("mpi: recv from invalid rank %d (size %d)", src, c.w.size)
 	}
-	return c.w.boxes[c.rank][src].take(tag), nil
+	box := c.w.boxes[c.rank][src]
+	for {
+		raw, stale, err := box.take(tag, deadline)
+		// Re-ack swept retransmits first: their sender is spinning on them.
+		for _, s := range stale {
+			c.sendAck(src, s)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if raw == nil {
+			continue
+		}
+		seq, flags, payload, derr := decodeFrame(raw)
+		if derr != nil {
+			mCorruptDetected.Inc()
+			continue
+		}
+		fresh := box.firstDelivery(seq)
+		if flags&flagAckWanted != 0 {
+			c.sendAck(src, seq)
+		}
+		if !fresh {
+			mDupSuppressed.Inc()
+			continue
+		}
+		return payload, nil
+	}
 }
 
 // Barrier blocks until every rank has entered the barrier, using the

@@ -1,6 +1,9 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Nonblocking point-to-point operations and combined send-receive, rounding
 // out the substrate to the MPI subset a real global-summation code uses
@@ -37,7 +40,9 @@ func (c *Comm) Isend(dst, tag int, data []byte) *Request {
 	return req
 }
 
-// Irecv starts a nonblocking receive; Wait returns the payload.
+// Irecv starts a nonblocking receive; Wait returns the payload. The
+// completion goroutine exits on world abort or a crashed sender, so an
+// unmatched Irecv cannot outlive its world's teardown.
 func (c *Comm) Irecv(src, tag int) *Request {
 	req := &Request{done: make(chan result, 1)}
 	if tag < 0 {
@@ -48,9 +53,9 @@ func (c *Comm) Irecv(src, tag int) *Request {
 		req.done <- result{err: fmt.Errorf("mpi: recv from invalid rank %d (size %d)", src, c.w.size)}
 		return req
 	}
-	box := c.w.boxes[c.rank][src]
 	go func() {
-		req.done <- result{data: box.take(tag)}
+		data, err := c.recvFrame(src, tag, time.Time{})
+		req.done <- result{data: data, err: err}
 	}()
 	return req
 }

@@ -1,0 +1,143 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Reliable point-to-point layer: deadline-bounded send and receive with
+// positive acknowledgement, duplicate-safe retransmission, and exponential
+// backoff. Together with the frame checksums this turns the lossy,
+// corrupting, reordering channel the fault injector simulates back into a
+// reliable one — or fails with a TimeoutError naming the edge, never a
+// silent hang.
+//
+// Protocol: SendTimeout encodes data once (fixing the frame's sequence
+// number), delivers it with the ack-wanted flag, and waits for an ack
+// carrying that seq on the internal ack tag. If no ack arrives within the
+// current retransmission timeout, the SAME frame is re-delivered (same seq,
+// so the receiver suppresses the duplicate) and the timeout doubles, up to
+// rtoMax, until the caller's deadline expires. Every receive path
+// (Recv, RecvTimeout, Irecv) acks ack-wanted frames — duplicates included,
+// because a duplicate's arrival usually means the previous ack was lost.
+
+// tagAck is the internal tag carrying acknowledgement frames; the payload
+// is the 8-byte big-endian seq of the data frame being acked. Seqs are
+// unique per edge, so one ack tag serves all concurrent logical streams.
+const tagAck = -50
+
+// Retransmission timing: start aggressive (the in-process channel is
+// fast), back off exponentially to avoid flooding a genuinely slow peer.
+const (
+	rtoInitial = 2 * time.Millisecond
+	rtoMax     = 50 * time.Millisecond
+)
+
+// SendTimeout delivers data to rank dst with at-least-once retransmission
+// and duplicate suppression at the receiver, returning nil once the
+// receiver acknowledges it, or a *TimeoutError if no ack arrives within
+// timeout. The receiving rank must consume the message through any receive
+// path (Recv, RecvTimeout, or Irecv); acks are automatic.
+func (c *Comm) SendTimeout(dst, tag int, data []byte, timeout time.Duration) error {
+	if tag < 0 {
+		return fmt.Errorf("mpi: user tag %d must be >= 0", tag)
+	}
+	return c.sendReliable(dst, tag, data, timeout)
+}
+
+func (c *Comm) sendReliable(dst, tag int, data []byte, timeout time.Duration) error {
+	if timeout <= 0 {
+		return fmt.Errorf("mpi: non-positive timeout %v", timeout)
+	}
+	deadline := time.Now().Add(timeout)
+	seq, frame, err := c.packFrame(dst, data, flagAckWanted)
+	if err != nil {
+		return err
+	}
+	rto := rtoInitial
+	for attempt := 0; ; attempt++ {
+		f := frame
+		if attempt > 0 {
+			// The queued copy of the previous attempt may still be owned
+			// by the receiver; never alias delivered buffers.
+			f = append([]byte(nil), frame...)
+			mRetransmits.Inc()
+		}
+		if err := c.deliver(dst, tag, f); err != nil {
+			return err
+		}
+		ackBy := time.Now().Add(rto)
+		if ackBy.After(deadline) {
+			ackBy = deadline
+		}
+		err := c.awaitAck(dst, seq, ackBy)
+		if err == nil {
+			return nil
+		}
+		var te *TimeoutError
+		if !errors.As(err, &te) {
+			return err // abort, peer crash: retrying cannot help
+		}
+		if c.w.boxes[dst][c.rank].delivered(seq) {
+			return nil // taken at the far end; only the ack was lost
+		}
+		if !time.Now().Before(deadline) {
+			mSendTimeouts.Inc()
+			return &TimeoutError{Src: c.rank, Dst: dst, Tag: tag, Op: "send"}
+		}
+		if rto *= 2; rto > rtoMax {
+			rto = rtoMax
+		}
+	}
+}
+
+// awaitAck consumes ack frames from dst until one carries want or the
+// deadline passes. Acks for other seqs are stale duplicates from earlier
+// exchanges on this edge and are discarded.
+func (c *Comm) awaitAck(dst int, want uint64, deadline time.Time) error {
+	for {
+		payload, err := c.recvFrame(dst, tagAck, deadline)
+		if err != nil {
+			return err
+		}
+		if len(payload) == 8 && binary.BigEndian.Uint64(payload) == want {
+			return nil
+		}
+	}
+}
+
+// sendAck answers an ack-wanted frame. Best effort: a lost ack is repaired
+// by the sender's retransmission.
+func (c *Comm) sendAck(src int, seq uint64) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], seq)
+	mAcks.Inc()
+	_ = c.send(src, tagAck, buf[:])
+}
+
+// RecvTimeout is Recv with a deadline: it returns a *TimeoutError if no
+// valid message with the tag arrives from src within timeout, and a
+// *PeerCrashedError as soon as src is known dead with nothing left queued.
+func (c *Comm) RecvTimeout(src, tag int, timeout time.Duration) ([]byte, error) {
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: user tag %d must be >= 0", tag)
+	}
+	return c.recvReliable(src, tag, timeout)
+}
+
+func (c *Comm) recvReliable(src, tag int, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		return nil, fmt.Errorf("mpi: non-positive timeout %v", timeout)
+	}
+	payload, err := c.recvFrame(src, tag, time.Now().Add(timeout))
+	if err != nil {
+		var te *TimeoutError
+		if errors.As(err, &te) {
+			mRecvTimeouts.Inc()
+		}
+		return nil, err
+	}
+	return payload, nil
+}

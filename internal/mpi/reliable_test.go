@@ -1,0 +1,309 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func TestSendRecvTimeoutHappyPath(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.SendTimeout(1, 4, []byte("reliable"), time.Second)
+		}
+		got, err := c.RecvTimeout(0, 4, time.Second)
+		if err != nil {
+			return err
+		}
+		if string(got) != "reliable" {
+			return fmt.Errorf("got %q", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNoLeakedGoroutines(t)
+}
+
+func TestRecvTimeoutNamesTheEdge(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		_, err := c.RecvTimeout(1, 9, 30*time.Millisecond)
+		var te *TimeoutError
+		if !errors.As(err, &te) {
+			return fmt.Errorf("got %v, want TimeoutError", err)
+		}
+		if te.Src != 1 || te.Dst != 0 || te.Tag != 9 || te.Op != "recv" || !te.Timeout() {
+			return fmt.Errorf("edge misnamed: %+v", te)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendTimeoutWithoutReceiver(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil // never receives, never acks
+		}
+		start := time.Now()
+		err := c.SendTimeout(1, 2, []byte("unheard"), 60*time.Millisecond)
+		var te *TimeoutError
+		if !errors.As(err, &te) {
+			return fmt.Errorf("got %v, want TimeoutError", err)
+		}
+		if te.Src != 0 || te.Dst != 1 || te.Tag != 2 || te.Op != "send" {
+			return fmt.Errorf("edge misnamed: %+v", te)
+		}
+		if time.Since(start) < 60*time.Millisecond {
+			return errors.New("gave up before the deadline")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNoLeakedGoroutines(t)
+}
+
+func TestReliableValidation(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if err := c.SendTimeout(0, -1, nil, time.Second); err == nil {
+			return errors.New("negative tag accepted")
+		}
+		if err := c.SendTimeout(0, 1, nil, 0); err == nil {
+			return errors.New("zero timeout accepted")
+		}
+		if _, err := c.RecvTimeout(0, -1, time.Second); err == nil {
+			return errors.New("negative recv tag accepted")
+		}
+		if _, err := c.RecvTimeout(0, 1, -time.Second); err == nil {
+			return errors.New("negative timeout accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// One dropped frame: the reliable layer retransmits and the payload still
+// arrives exactly once.
+func TestSendTimeoutSurvivesDrop(t *testing.T) {
+	inj, err := faults.Parse("seed=2;drop:p=1,limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := RunWith(2, RunOpts{Inject: inj}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.SendTimeout(1, 6, []byte("persistent"), time.Second)
+		}
+		got, err := c.RecvTimeout(0, 6, time.Second)
+		if err != nil {
+			return err
+		}
+		if string(got) != "persistent" {
+			return fmt.Errorf("got %q", got)
+		}
+		return nil
+	})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if inj.TotalFired() != 1 {
+		t.Errorf("drop rule fired %d times", inj.TotalFired())
+	}
+	assertNoLeakedGoroutines(t)
+}
+
+// One corrupted frame: the receiver's checksum rejects it, the sender's
+// retransmission repairs it, and the payload arrives intact.
+func TestSendTimeoutSurvivesCorruption(t *testing.T) {
+	inj, err := faults.Parse("seed=4;corrupt:p=1,limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x5A}, 128)
+	werr := RunWith(2, RunOpts{Inject: inj}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.SendTimeout(1, 6, payload, time.Second)
+		}
+		got, err := c.RecvTimeout(0, 6, time.Second)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, payload) {
+			return fmt.Errorf("payload damaged: %x", got)
+		}
+		return nil
+	})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if inj.TotalFired() != 1 {
+		t.Errorf("corrupt rule fired %d times", inj.TotalFired())
+	}
+}
+
+// A duplicated frame must be delivered exactly once: the second copy is
+// suppressed by its sequence number, so a follow-up receive times out
+// instead of seeing the payload twice.
+func TestDuplicateDeliveredExactlyOnce(t *testing.T) {
+	inj, err := faults.Parse("seed=6;dup:p=1,limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := RunWith(2, RunOpts{Inject: inj}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.SendTimeout(1, 8, []byte("once"), time.Second)
+		}
+		got, err := c.RecvTimeout(0, 8, time.Second)
+		if err != nil {
+			return err
+		}
+		if string(got) != "once" {
+			return fmt.Errorf("got %q", got)
+		}
+		if extra, err := c.RecvTimeout(0, 8, 50*time.Millisecond); err == nil {
+			return fmt.Errorf("duplicate leaked through: %q", extra)
+		}
+		return nil
+	})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+}
+
+func TestStallWatchdogNamesBlockedEdges(t *testing.T) {
+	// Classic circular wait: both ranks receive first. The watchdog must
+	// convert the deadlock into a StallError naming both blocked edges.
+	err := RunWith(2, RunOpts{StallTimeout: 80 * time.Millisecond}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			_, err := c.Recv(1, 9)
+			return err
+		}
+		_, err := c.Recv(0, 8)
+		return err
+	})
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want StallError", err)
+	}
+	if len(se.Edges) != 2 {
+		t.Fatalf("named %d edges, want 2: %v", len(se.Edges), se.Edges)
+	}
+	if e := se.Edges[0]; e.Src != 1 || e.Dst != 0 || e.Tag != 9 {
+		t.Errorf("edge 0 = %+v", e)
+	}
+	if e := se.Edges[1]; e.Src != 0 || e.Dst != 1 || e.Tag != 8 {
+		t.Errorf("edge 1 = %+v", e)
+	}
+	for _, want := range []string{"rank 0 <- rank 1 (tag 9)", "rank 1 <- rank 0 (tag 8)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+	assertNoLeakedGoroutines(t)
+}
+
+func TestCommAbortReleasesPeers(t *testing.T) {
+	sentinel := errors.New("input file vanished")
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 2 {
+			c.Abort(sentinel)
+			return sentinel
+		}
+		_, err := c.Recv(2, 1) // would block forever without the abort
+		return err
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("abort cause lost: %v", err)
+	}
+	var ae *AbortError
+	if !errors.As(err, &ae) || ae.Rank != 2 {
+		t.Fatalf("got %v, want AbortError from rank 2", err)
+	}
+	assertNoLeakedGoroutines(t)
+}
+
+// A rank that panics must abort the world so blocked peers fail fast
+// instead of stranding their goroutines — the "kaboom" leak this layer was
+// hardened against.
+func TestPanickingRankDoesNotStrandPeers(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 2 {
+			panic("kaboom")
+		}
+		_, err := c.Recv(2, 1) // never sent; released by the abort
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not captured: %v", err)
+	}
+	assertNoLeakedGoroutines(t)
+}
+
+// A receive on a crashed rank fails fast with PeerCrashedError rather than
+// waiting out its deadline, and the crash surfaces as faults.CrashError.
+func TestPeerCrashFailsFast(t *testing.T) {
+	inj, err := faults.Parse("seed=1;crash:rank=1,after=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := RunWith(2, RunOpts{Inject: inj}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			_ = c.Send(0, 5, []byte("last words")) // crash rule fires here
+			return errors.New("rank 1 survived its crash rule")
+		}
+		start := time.Now()
+		_, err := c.Recv(1, 5)
+		var pc *PeerCrashedError
+		if !errors.As(err, &pc) {
+			return fmt.Errorf("got %v, want PeerCrashedError", err)
+		}
+		if pc.Rank != 1 || pc.Dst != 0 || pc.Tag != 5 {
+			return fmt.Errorf("crash misattributed: %+v", pc)
+		}
+		if !c.Crashed(1) {
+			return errors.New("Crashed(1) = false")
+		}
+		if time.Since(start) > 2*time.Second {
+			return errors.New("receive did not fail fast")
+		}
+		return nil
+	})
+	var ce *faults.CrashError
+	if !errors.As(werr, &ce) || ce.Rank != 1 {
+		t.Fatalf("world error = %v, want CrashError for rank 1", werr)
+	}
+	assertNoLeakedGoroutines(t)
+}
+
+// An Irecv nobody ever matches must not leak its goroutine: world teardown
+// releases it and Wait reports the closed world.
+func TestUnmatchedIrecvReleasedAtTeardown(t *testing.T) {
+	var req *Request
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req = c.Irecv(1, 3)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, werr := req.Wait(); werr == nil {
+		t.Error("unmatched Irecv completed successfully")
+	}
+	assertNoLeakedGoroutines(t)
+}

@@ -60,6 +60,10 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 		s.cond.Broadcast()
 	} else {
 		for epoch == s.epoch {
+			if err := c.w.abortErr(); err != nil {
+				s.mu.Unlock()
+				return nil, err
+			}
 			s.cond.Wait()
 		}
 	}

@@ -1,0 +1,89 @@
+package mpi
+
+import (
+	"sort"
+	"time"
+)
+
+// Stall watchdog: a per-world monitor that turns silent deadlocks into
+// errors. Every blocking take registers its (src, dst, tag) edge; the
+// watchdog periodically scans the registry and, when any receive has been
+// blocked past the stall timeout, aborts the world with a *StallError
+// listing every blocked edge — so a circular wait shows up as the cycle
+// itself rather than a test timeout with no stack to blame.
+
+type blockKey struct{ src, dst, tag int }
+
+func (w *world) watching() bool { return w.watch.Load() }
+
+func (w *world) noteBlocked(key blockKey) {
+	w.blockedMu.Lock()
+	w.blocked[key] = time.Now()
+	w.blockedMu.Unlock()
+}
+
+func (w *world) noteUnblocked(key blockKey) {
+	w.blockedMu.Lock()
+	delete(w.blocked, key)
+	w.blockedMu.Unlock()
+}
+
+// stalledEdges returns the edges blocked for longer than stall, and every
+// currently blocked edge when at least one has stalled (the full picture
+// is what makes the error actionable), sorted for deterministic messages.
+func (w *world) stalledEdges(stall time.Duration) []BlockedEdge {
+	now := time.Now()
+	w.blockedMu.Lock()
+	defer w.blockedMu.Unlock()
+	tripped := false
+	for _, since := range w.blocked {
+		if now.Sub(since) > stall {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		return nil
+	}
+	edges := make([]BlockedEdge, 0, len(w.blocked))
+	for key, since := range w.blocked {
+		edges = append(edges, BlockedEdge{Src: key.src, Dst: key.dst, Tag: key.tag, Since: since})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Dst != edges[j].Dst {
+			return edges[i].Dst < edges[j].Dst
+		}
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
+		}
+		return edges[i].Tag < edges[j].Tag
+	})
+	return edges
+}
+
+// startWatchdog arms the stall monitor and returns its stop function.
+func (w *world) startWatchdog(stall time.Duration) (stop func()) {
+	w.watch.Store(true)
+	interval := stall / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if edges := w.stalledEdges(stall); len(edges) > 0 {
+					mStalls.Inc()
+					w.abort(&StallError{After: stall, Edges: edges})
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -16,6 +16,15 @@ import (
 const checkpointMagic = "NBCK"
 const checkpointVersion = 1
 
+// maxCheckpointParticles bounds the particle count a checkpoint header may
+// claim: far above any simulation this repo runs, far below anything that
+// could be used to exhaust memory through a corrupted header.
+const maxCheckpointParticles = 1 << 24
+
+// checkpointChunk is the initial slice capacity granted to a checkpoint
+// read; growth beyond it is driven by data actually read, not by the header.
+const checkpointChunk = 4096
+
 // WriteCheckpoint serializes the system to w.
 func (s *System) WriteCheckpoint(w io.Writer) error {
 	if _, err := io.WriteString(w, checkpointMagic); err != nil {
@@ -55,41 +64,44 @@ func ReadCheckpoint(r io.Reader) (*System, error) {
 	}
 	var version, n uint64
 	if err := binary.Read(r, binary.BigEndian, &version); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("nbody: checkpoint version field: %w", err)
 	}
 	if version != checkpointVersion {
-		return nil, fmt.Errorf("nbody: unsupported checkpoint version %d", version)
+		return nil, fmt.Errorf("nbody: unsupported checkpoint version %d (want %d)",
+			version, checkpointVersion)
 	}
 	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("nbody: checkpoint particle count field: %w", err)
 	}
-	if n > 1<<30 {
-		return nil, fmt.Errorf("nbody: implausible particle count %d", n)
+	if n > maxCheckpointParticles {
+		return nil, fmt.Errorf("nbody: implausible particle count %d (max %d)",
+			n, maxCheckpointParticles)
+	}
+	// Grow incrementally instead of trusting the header's count: a corrupt
+	// or hostile header then costs at most one chunk of allocation beyond
+	// the data actually present in the file.
+	preallocate := int(n)
+	if preallocate > checkpointChunk {
+		preallocate = checkpointChunk
 	}
 	s := &System{
-		Pos:  make([]Vec3, n),
-		Vel:  make([]Vec3, n),
-		Mass: make([]float64, n),
+		Pos:  make([]Vec3, 0, preallocate),
+		Vel:  make([]Vec3, 0, preallocate),
+		Mass: make([]float64, 0, preallocate),
 	}
-	readF := func() (float64, error) {
-		var bits uint64
-		if err := binary.Read(r, binary.BigEndian, &bits); err != nil {
-			return 0, err
+	var rec [7 * 8]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return nil, fmt.Errorf("nbody: truncated checkpoint at particle %d of %d: %w",
+				i, n, err)
 		}
-		return math.Float64frombits(bits), nil
-	}
-	for i := 0; i < int(n); i++ {
-		vals := [7]float64{}
+		var vals [7]float64
 		for j := range vals {
-			v, err := readF()
-			if err != nil {
-				return nil, fmt.Errorf("nbody: truncated checkpoint at particle %d: %w", i, err)
-			}
-			vals[j] = v
+			vals[j] = math.Float64frombits(binary.BigEndian.Uint64(rec[8*j:]))
 		}
-		s.Pos[i] = Vec3{vals[0], vals[1], vals[2]}
-		s.Vel[i] = Vec3{vals[3], vals[4], vals[5]}
-		s.Mass[i] = vals[6]
+		s.Pos = append(s.Pos, Vec3{vals[0], vals[1], vals[2]})
+		s.Vel = append(s.Vel, Vec3{vals[3], vals[4], vals[5]})
+		s.Mass = append(s.Mass, vals[6])
 	}
 	return s, nil
 }

@@ -2,6 +2,7 @@ package nbody
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -75,26 +76,71 @@ func TestCheckpointRestartBitIdentical(t *testing.T) {
 }
 
 func TestCheckpointErrors(t *testing.T) {
-	if _, err := ReadCheckpoint(strings.NewReader("")); err == nil {
-		t.Error("empty input accepted")
-	}
-	if _, err := ReadCheckpoint(strings.NewReader("XXXX")); err == nil {
-		t.Error("bad magic accepted")
-	}
-	// Truncated body.
 	sys := RandomSystem(rng.New(33), 4)
 	var buf bytes.Buffer
 	if err := sys.WriteCheckpoint(&buf); err != nil {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
-	if _, err := ReadCheckpoint(bytes.NewReader(data[:len(data)-5])); err == nil {
-		t.Error("truncated checkpoint accepted")
+	mutate := func(off int, b byte) []byte {
+		bad := append([]byte(nil), data...)
+		bad[off] = b
+		return bad
 	}
-	// Corrupted version.
-	bad := append([]byte(nil), data...)
-	bad[11] = 99
-	if _, err := ReadCheckpoint(bytes.NewReader(bad)); err == nil {
-		t.Error("bad version accepted")
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr string
+	}{
+		{"empty", nil, "checkpoint header"},
+		{"short magic", []byte("NB"), "checkpoint header"},
+		{"bad magic", []byte("XXXX" + string(data[4:])), "bad checkpoint magic"},
+		{"truncated version", data[:6], "version field"},
+		{"bad version", mutate(11, 99), "unsupported checkpoint version 99"},
+		{"truncated count", data[:14], "particle count field"},
+		// Header claims 2^56 particles; the read must fail on plausibility
+		// without attempting a matching allocation.
+		{"absurd count", mutate(13, 1), "implausible particle count"},
+		// Header claims 5 particles but the body holds 4.
+		{"body shorter than count", mutate(19, 5), "truncated checkpoint at particle 4 of 5"},
+		{"truncated mid-particle", data[:len(data)-5], "truncated checkpoint at particle 3"},
+		{"truncated first particle", data[:21], "truncated checkpoint at particle 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCheckpoint(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// A header that exaggerates the particle count must not translate into a
+// proportional allocation: the reader grows with the data it actually gets.
+func TestCheckpointHeaderCannotForceHugeAllocation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RandomSystem(rng.New(34), 1).WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Claim the maximum plausible count with a one-particle body.
+	for i := 0; i < 8; i++ {
+		data[12+i] = 0
+	}
+	data[12+4] = 1 // n = 1<<24 = maxCheckpointParticles
+	var m1, m2 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	if _, err := ReadCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Fatal("oversized count with short body accepted")
+	}
+	runtime.ReadMemStats(&m2)
+	// 1<<24 particles would need ~900 MB up front; the incremental reader
+	// must spend no more than a small chunk on this one-particle body.
+	if grew := m2.TotalAlloc - m1.TotalAlloc; grew > 8<<20 {
+		t.Fatalf("lying header forced %d bytes of allocation", grew)
 	}
 }
