@@ -1,0 +1,254 @@
+// Command benchsum is the reproducible summation benchmark runner behind
+// BENCH_sum.json. It times one pass over a fixed pseudorandom workload
+// through each HP summation path — the pre-PR Listing 1+2 loop, the fused
+// sparse kernel, the omp reduction, the atomic XADD and CAS accumulators,
+// and the two-phase scan — and writes a schema-tagged JSON report with
+// throughput, speedup over the legacy baseline, and heap-allocation rates.
+//
+//	benchsum -count 1048576 -trials 5 -out BENCH_sum.json
+//	benchsum -validate BENCH_sum.json
+//
+// Every path sums the same values, so the exact workloads' checksums must
+// agree bit-for-bit; the runner fails if they do not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/omp"
+	"repro/internal/rng"
+	"repro/internal/scan"
+)
+
+type config struct {
+	params  core.Params
+	count   int
+	trials  int
+	workers int
+	seed    uint64
+}
+
+func main() {
+	var (
+		hpn      = flag.Int("n", 6, "HP total limbs N")
+		hpk      = flag.Int("k", 3, "HP fractional limbs k")
+		count    = flag.Int("count", 1<<20, "summands per trial")
+		trials   = flag.Int("trials", 5, "timed repetitions (median reported)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "threads for the parallel workloads")
+		seed     = flag.Uint64("seed", 20160523, "workload PRNG seed")
+		out      = flag.String("out", "BENCH_sum.json", "report output path")
+		validate = flag.String("validate", "", "validate an existing report and exit")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		r, err := bench.ReadReport(*validate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsum: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: schema %s ok, %d workloads, count=%d\n",
+			*validate, r.Schema, len(r.Workloads), r.Count)
+		return
+	}
+
+	cfg := config{
+		params:  core.Params{N: *hpn, K: *hpk},
+		count:   *count,
+		trials:  *trials,
+		workers: *workers,
+		seed:    *seed,
+	}
+	report, err := run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsum: %v\n", err)
+		os.Exit(1)
+	}
+	if err := report.WriteJSON(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsum: %v\n", err)
+		os.Exit(1)
+	}
+	printTable(report)
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// workload is one measured code path: fn sums xs once and returns the
+// rounded result.
+type workload struct {
+	name    string
+	workers int
+	exact   bool // checksum must match the other exact paths bit-for-bit
+	fn      func(xs []float64) (float64, error)
+}
+
+// baselineName is the pre-fused-kernel reference path every speedup is
+// relative to: the paper's Listing 1 conversion into a scratch HP followed
+// by the Listing 2 full-width add, per element.
+const baselineName = "serial-legacy"
+
+func workloads(cfg config) []workload {
+	p := cfg.params
+	return []workload{
+		{baselineName, 1, true, func(xs []float64) (float64, error) {
+			sum := core.New(p)
+			scratch := core.New(p)
+			for _, x := range xs {
+				if err := scratch.SetFloat64Listing1(x); err != nil {
+					return 0, err
+				}
+				if sum.AddListing2(scratch) {
+					return 0, fmt.Errorf("overflow")
+				}
+			}
+			return sum.Float64(), nil
+		}},
+		{"serial-fused", 1, true, func(xs []float64) (float64, error) {
+			acc := core.NewAccumulator(p)
+			acc.AddAll(xs)
+			return acc.Float64(), acc.Err()
+		}},
+		{"omp-reduce", cfg.workers, true, func(xs []float64) (float64, error) {
+			team := omp.NewTeam(cfg.workers)
+			total := omp.Reduce(team, len(xs),
+				func(tid int) *core.Accumulator { return core.NewAccumulator(p) },
+				func(local *core.Accumulator, tid, lo, hi int) {
+					local.AddAll(xs[lo:hi])
+				},
+				func(into, from *core.Accumulator) { into.Merge(from) })
+			return total.Float64(), total.Err()
+		}},
+		{"atomic-xadd", cfg.workers, true, func(xs []float64) (float64, error) {
+			dst := core.NewAtomic(p)
+			errs := make([]error, cfg.workers)
+			omp.NewTeam(cfg.workers).For(len(xs), func(tid, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if err := dst.AddFloat64(xs[i]); err != nil {
+						errs[tid] = err
+						return
+					}
+				}
+			})
+			for _, err := range errs {
+				if err != nil {
+					return 0, err
+				}
+			}
+			return dst.Snapshot().Float64(), nil
+		}},
+		{"atomic-cas", cfg.workers, true, func(xs []float64) (float64, error) {
+			dst := core.NewAtomic(p)
+			errs := make([]error, cfg.workers)
+			omp.NewTeam(cfg.workers).For(len(xs), func(tid, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if err := dst.AddFloat64CAS(xs[i]); err != nil {
+						errs[tid] = err
+						return
+					}
+				}
+			})
+			for _, err := range errs {
+				if err != nil {
+					return 0, err
+				}
+			}
+			return dst.Snapshot().Float64(), nil
+		}},
+		// The scan emits n rounded prefixes, not one sum; its checksum is
+		// the final prefix, which equals the reduction result exactly.
+		{"scan-inclusive", cfg.workers, true, func(xs []float64) (float64, error) {
+			out, err := scan.Inclusive(p, xs, cfg.workers)
+			if err != nil {
+				return 0, err
+			}
+			return out[len(out)-1], nil
+		}},
+	}
+}
+
+func run(cfg config) (*bench.Report, error) {
+	if err := cfg.params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.count < 1 || cfg.trials < 1 || cfg.workers < 1 {
+		return nil, fmt.Errorf("count=%d trials=%d workers=%d", cfg.count, cfg.trials, cfg.workers)
+	}
+	xs := rng.UniformSet(rng.New(cfg.seed), cfg.count, -0.5, 0.5)
+
+	report := &bench.Report{
+		Schema:    bench.SumReportSchema,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		HPLimbs:   cfg.params.N,
+		HPFrac:    cfg.params.K,
+		Count:     cfg.count,
+		Trials:    cfg.trials,
+		Baseline:  baselineName,
+	}
+
+	var wantSum float64
+	haveWant := false
+	for _, w := range workloads(cfg) {
+		// Warm-up run doubles as the correctness and allocation probe.
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		sum, err := w.fn(xs)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.name, err)
+		}
+		if w.exact {
+			if !haveWant {
+				wantSum, haveWant = sum, true
+			} else if math.Float64bits(sum) != math.Float64bits(wantSum) {
+				return nil, fmt.Errorf("%s: checksum %x, want %x (paths not bit-identical)",
+					w.name, math.Float64bits(sum), math.Float64bits(wantSum))
+			}
+		}
+
+		var failed error
+		d := bench.MeasureMedian(cfg.trials, func() {
+			if _, err := w.fn(xs); err != nil && failed == nil {
+				failed = err
+			}
+		})
+		if failed != nil {
+			return nil, fmt.Errorf("%s: %w", w.name, failed)
+		}
+		report.Workloads = append(report.Workloads, bench.Workload{
+			Name:            w.name,
+			Workers:         w.workers,
+			SecondsPerTrial: d.Seconds(),
+			AddsPerSec:      float64(cfg.count) / d.Seconds(),
+			MallocsPerOp:    float64(after.Mallocs-before.Mallocs) / float64(cfg.count),
+			Checksum:        sum,
+		})
+	}
+	if err := report.FillSpeedups(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+func printTable(r *bench.Report) {
+	t := bench.Table{
+		Title: fmt.Sprintf("benchsum: N=%d k=%d, %s summands, median of %d trials",
+			r.HPLimbs, r.HPFrac, bench.N(r.Count), r.Trials),
+		Headers: []string{"workload", "workers", "s/trial", "adds/sec", "speedup", "mallocs/op"},
+	}
+	for _, w := range r.Workloads {
+		t.AddRow(w.Name, fmt.Sprintf("%d", w.Workers), bench.F(w.SecondsPerTrial),
+			bench.F(w.AddsPerSec), bench.F(w.Speedup), bench.F(w.MallocsPerOp))
+	}
+	t.Fprint(os.Stdout)
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func smallConfig() config {
+	return config{
+		params:  core.Params384,
+		count:   4096,
+		trials:  2,
+		workers: 3,
+		seed:    1,
+	}
+}
+
+// TestRunProducesValidReport exercises the whole runner at a CI-friendly
+// size: every workload must execute, validate, and agree on the checksum.
+func TestRunProducesValidReport(t *testing.T) {
+	r, err := run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"serial-legacy", "serial-fused", "omp-reduce",
+		"atomic-xadd", "atomic-cas", "scan-inclusive",
+	} {
+		if r.Lookup(name) == nil {
+			t.Errorf("workload %q missing from report", name)
+		}
+	}
+	want := r.Lookup(baselineName).Checksum
+	for _, w := range r.Workloads {
+		if math.Float64bits(w.Checksum) != math.Float64bits(want) {
+			t.Errorf("%s checksum %g, want %g", w.Name, w.Checksum, want)
+		}
+	}
+	if base := r.Lookup(baselineName); base.Speedup != 1 {
+		t.Errorf("baseline speedup %g", base.Speedup)
+	}
+}
+
+// TestReportRoundTrip writes and re-reads the JSON artifact, which also
+// covers the CI schema check end to end.
+func TestReportRoundTrip(t *testing.T) {
+	r, err := run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_sum.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bench.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != r.Count || len(got.Workloads) != len(r.Workloads) {
+		t.Errorf("round trip lost data: count %d/%d, workloads %d/%d",
+			got.Count, r.Count, len(got.Workloads), len(r.Workloads))
+	}
+}
+
+// TestValidateRejectsBrokenReports pins the validator's failure modes so a
+// CI schema bump or field rename cannot pass silently.
+func TestValidateRejectsBrokenReports(t *testing.T) {
+	fresh := func() *bench.Report {
+		r, err := run(smallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cases := map[string]func(*bench.Report){
+		"wrong schema":     func(r *bench.Report) { r.Schema = "repro/bench-sum/v0" },
+		"no workloads":     func(r *bench.Report) { r.Workloads = nil },
+		"missing baseline": func(r *bench.Report) { r.Baseline = "nope" },
+		"dup workload":     func(r *bench.Report) { r.Workloads = append(r.Workloads, r.Workloads[0]) },
+		"zero throughput":  func(r *bench.Report) { r.Workloads[0].AddsPerSec = 0 },
+		"bad format":       func(r *bench.Report) { r.HPFrac = r.HPLimbs },
+	}
+	for name, breakIt := range cases {
+		r := fresh()
+		breakIt(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken report", name)
+		}
+	}
+}

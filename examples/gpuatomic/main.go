@@ -66,14 +66,12 @@ func main() {
 			hPartials[i] = repro.NewAtomic(params)
 		}
 		if err := device.Launch(cfg, func(tc cuda.ThreadCtx) {
-			scratch := repro.NewHP(params)
 			total := tc.Cfg.Threads()
 			dst := hPartials[tc.Global%partialCount]
 			for i := tc.Global; i < nValues; i += total {
-				if err := scratch.SetFloat64(xs[i]); err != nil {
+				if err := dst.AddFloat64CAS(xs[i]); err != nil {
 					panic(err)
 				}
-				dst.AddHPCAS(scratch)
 			}
 		}); err != nil {
 			log.Fatal(err)

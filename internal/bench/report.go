@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SumReportSchema identifies the BENCH_sum.json layout. Bump the suffix on
+// any incompatible field change so CI's schema check fails loudly instead
+// of silently comparing mismatched reports.
+const SumReportSchema = "repro/bench-sum/v1"
+
+// Workload is one measured configuration in a summation benchmark report.
+type Workload struct {
+	// Name identifies the code path, e.g. "serial-fused" or "atomic-cas".
+	Name string `json:"name"`
+	// Workers is the thread/worker count used (1 for serial paths).
+	Workers int `json:"workers"`
+	// SecondsPerTrial is the median wall time of one full pass over the
+	// input.
+	SecondsPerTrial float64 `json:"seconds_per_trial"`
+	// AddsPerSec is Count/SecondsPerTrial — the headline throughput.
+	AddsPerSec float64 `json:"adds_per_sec"`
+	// Speedup is AddsPerSec relative to the report's Baseline workload.
+	Speedup float64 `json:"speedup"`
+	// MallocsPerOp is heap allocations per input element during one trial
+	// (mallocs, not bytes), measured from runtime.MemStats deltas. The
+	// steady-state hot paths are required to hold this at ~0.
+	MallocsPerOp float64 `json:"mallocs_per_op"`
+	// Checksum is the rounded float64 result of the workload's sum (the
+	// last prefix for scans). All exact paths must agree bit-for-bit; it
+	// also keeps the compiler from eliding the measured work.
+	Checksum float64 `json:"checksum"`
+}
+
+// Report is the machine-readable summation benchmark artifact
+// (BENCH_sum.json). It is self-describing enough for CI to validate and
+// for later sessions to compare runs across commits.
+type Report struct {
+	Schema    string `json:"schema"`
+	CreatedAt string `json:"created_at,omitempty"` // RFC 3339; informational
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	// HPLimbs/HPFrac are the HP format (paper N and k) every workload used.
+	HPLimbs int `json:"hp_limbs"`
+	HPFrac  int `json:"hp_frac_limbs"`
+	// Count is the number of summands per trial; Trials the number of
+	// timed repetitions (median reported).
+	Count  int `json:"count"`
+	Trials int `json:"trials"`
+	// Baseline names the workload whose AddsPerSec defines Speedup == 1.
+	Baseline  string     `json:"baseline"`
+	Workloads []Workload `json:"workloads"`
+}
+
+// Lookup returns the named workload, or nil.
+func (r *Report) Lookup(name string) *Workload {
+	for i := range r.Workloads {
+		if r.Workloads[i].Name == name {
+			return &r.Workloads[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks the report's structural invariants: the schema tag, the
+// format and run parameters, per-workload sanity (positive throughput,
+// workers >= 1, unique names), and that the baseline workload exists with
+// speedup 1 (within rounding).
+func (r *Report) Validate() error {
+	if r.Schema != SumReportSchema {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, SumReportSchema)
+	}
+	if r.HPLimbs < 2 || r.HPFrac < 1 || r.HPFrac >= r.HPLimbs {
+		return fmt.Errorf("bench: implausible HP format N=%d k=%d", r.HPLimbs, r.HPFrac)
+	}
+	if r.Count < 1 || r.Trials < 1 {
+		return fmt.Errorf("bench: count=%d trials=%d", r.Count, r.Trials)
+	}
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("bench: no workloads")
+	}
+	seen := make(map[string]bool, len(r.Workloads))
+	for _, w := range r.Workloads {
+		if w.Name == "" {
+			return fmt.Errorf("bench: unnamed workload")
+		}
+		if seen[w.Name] {
+			return fmt.Errorf("bench: duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Workers < 1 {
+			return fmt.Errorf("bench: workload %q: workers=%d", w.Name, w.Workers)
+		}
+		if !(w.SecondsPerTrial > 0) || !(w.AddsPerSec > 0) {
+			return fmt.Errorf("bench: workload %q: non-positive timing", w.Name)
+		}
+		if !(w.Speedup > 0) {
+			return fmt.Errorf("bench: workload %q: speedup %g", w.Name, w.Speedup)
+		}
+		if w.MallocsPerOp < 0 {
+			return fmt.Errorf("bench: workload %q: mallocs_per_op %g", w.Name, w.MallocsPerOp)
+		}
+	}
+	base := r.Lookup(r.Baseline)
+	if base == nil {
+		return fmt.Errorf("bench: baseline workload %q missing", r.Baseline)
+	}
+	if base.Speedup < 0.999 || base.Speedup > 1.001 {
+		return fmt.Errorf("bench: baseline speedup %g != 1", base.Speedup)
+	}
+	return nil
+}
+
+// FillSpeedups sets each workload's Speedup from the baseline's
+// AddsPerSec. It must be called after all workloads are appended.
+func (r *Report) FillSpeedups() error {
+	base := r.Lookup(r.Baseline)
+	if base == nil {
+		return fmt.Errorf("bench: baseline workload %q missing", r.Baseline)
+	}
+	for i := range r.Workloads {
+		r.Workloads[i].Speedup = r.Workloads[i].AddsPerSec / base.AddsPerSec
+	}
+	return nil
+}
+
+// WriteJSON validates the report and writes it as indented JSON, sorted by
+// workload name for diff-stable artifacts.
+func (r *Report) WriteJSON(path string) error {
+	sort.Slice(r.Workloads, func(i, j int) bool {
+		return r.Workloads[i].Name < r.Workloads[j].Name
+	})
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport parses and validates a BENCH_sum.json file.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -10,30 +10,46 @@ package core
 // CAS-based shared accumulator of paper §III.B.2.
 type Accumulator struct {
 	sum     *HP
-	scratch *HP
+	scratch *HP      // product conversion scratch (AddProductExact)
+	mag     []uint64 // magnitude scratch for Float64, reused across calls
 	err     error
+	wrapOK  bool // signed-overflow wraps are expected, not errors
 }
 
 // NewAccumulator returns a zeroed accumulator with the given parameters.
 func NewAccumulator(p Params) *Accumulator {
-	return &Accumulator{sum: New(p), scratch: New(p)}
+	return &Accumulator{sum: New(p), scratch: New(p), mag: make([]uint64, p.N)}
+}
+
+// AllowWrap marks signed-overflow wraps as expected rather than errors:
+// Add and AddHP let the two's-complement value wrap silently (conversion
+// range faults still set the sticky error). Because multi-limb addition is
+// exact mod 2^(64N), a wrapped intermediate that is later brought back in
+// range by values of the opposite sign loses nothing; parallel drivers
+// whose block partials may legitimately wrap (see scan) use this mode so
+// the error outcome cannot depend on the decomposition. It returns a.
+func (a *Accumulator) AllowWrap() *Accumulator {
+	a.wrapOK = true
+	return a
 }
 
 // Params returns the accumulator's HP parameters.
 func (a *Accumulator) Params() Params { return a.sum.p }
 
-// Add converts x and adds it to the running sum. Conversion or addition
+// Add converts x and adds it to the running sum via the fused sparse
+// kernel ((*HP).AddFloat64): only the limbs selected by x's exponent are
+// touched, plus however far the carry propagates. Conversion or addition
 // faults set the sticky error (first one wins) and leave the sum unchanged
 // for conversion faults; addition overflow wraps, as integer hardware would.
 func (a *Accumulator) Add(x float64) {
-	if err := a.scratch.SetFloat64(x); err != nil {
-		countRangeErr(err)
+	overflow, err := a.sum.AddFloat64(x)
+	if err != nil {
 		if a.err == nil {
 			a.err = err
 		}
 		return
 	}
-	if a.sum.Add(a.scratch) {
+	if overflow && !a.wrapOK {
 		mOverflow.Inc()
 		if a.err == nil {
 			a.err = ErrOverflow
@@ -56,7 +72,7 @@ func (a *Accumulator) AddHP(x *HP) {
 		}
 		return
 	}
-	if a.sum.Add(x) {
+	if a.sum.Add(x) && !a.wrapOK {
 		mOverflow.Inc()
 		if a.err == nil {
 			a.err = ErrOverflow
@@ -80,8 +96,14 @@ func (a *Accumulator) Err() error { return a.err }
 // Sum returns the accumulated HP value (not a copy; it remains owned by a).
 func (a *Accumulator) Sum() *HP { return a.sum }
 
-// Float64 returns the running sum rounded to float64.
-func (a *Accumulator) Float64() float64 { return a.sum.Float64() }
+// Float64 returns the running sum rounded to float64. Unlike HP.Float64 it
+// reuses the accumulator's magnitude scratch buffer, so per-element
+// rounding loops (scan phase 2 calls this once per output element) do not
+// allocate.
+func (a *Accumulator) Float64() float64 {
+	neg := a.sum.magnitude(a.mag)
+	return magToFloat64(a.mag, a.sum.p.K, neg)
+}
 
 // Reset zeroes the sum and clears the sticky error.
 func (a *Accumulator) Reset() {

@@ -18,8 +18,7 @@ import (
 // of widenings they trigger: order invariance is preserved even though
 // intermediate formats may differ between runs.
 type Adaptive struct {
-	sum     *HP
-	scratch *HP
+	sum *HP
 	// slack limbs added beyond the minimum on each growth, to amortize
 	// repeated widenings over monotone workloads.
 	slack int
@@ -28,7 +27,7 @@ type Adaptive struct {
 // NewAdaptive returns an adaptive accumulator starting at p, growing by at
 // least one extra limb of slack per widening.
 func NewAdaptive(p Params) *Adaptive {
-	return &Adaptive{sum: New(p), scratch: New(p), slack: 1}
+	return &Adaptive{sum: New(p), slack: 1}
 }
 
 // Params returns the current (possibly widened) format.
@@ -51,7 +50,6 @@ func (a *Adaptive) widen(moreWhole, moreFrac int) {
 	copy(next.limbs[moreWhole:], old.limbs)
 	// The trailing moreFrac limbs stay zero: the value is unchanged.
 	a.sum = next
-	a.scratch = New(p)
 	mAdaptiveWidenings.Inc()
 	mAdaptiveLimbs.Set(int64(p.N))
 }
@@ -97,18 +95,26 @@ func (a *Adaptive) Add(x float64) error {
 		a.widen(mw, mf)
 	}
 	// Conversion cannot fail now; addition may still overflow the whole
-	// part through accumulation, in which case we widen and retry.
-	if err := a.scratch.SetFloat64(x); err != nil {
+	// part through accumulation, in which case we widen and retry. The
+	// steady-state path is a single fused sparse add with no allocation:
+	// rather than cloning the running sum to cover the rare overflow, the
+	// wrapped add is rolled back by its exact inverse (two's-complement
+	// addition is a group, so subtracting x restores the pre-add limbs
+	// bit-for-bit, wrap included).
+	overflow, err := a.sum.AddFloat64(x)
+	if err != nil {
 		return err
 	}
-	before := a.sum.Clone()
-	if a.sum.Add(a.scratch) {
-		a.sum = before
-		a.widen(1+a.slack, 0)
-		if err := a.scratch.SetFloat64(x); err != nil {
+	if overflow {
+		if _, err := a.sum.SubFloat64(x); err != nil {
 			return err
 		}
-		if a.sum.Add(a.scratch) {
+		a.widen(1+a.slack, 0)
+		overflow, err = a.sum.AddFloat64(x)
+		if err != nil {
+			return err
+		}
+		if overflow {
 			// Cannot happen: one extra limb absorbs any single addition.
 			return ErrOverflow
 		}

@@ -105,16 +105,55 @@ func (a *Atomic) AddHPCAS(x *HP) {
 	}
 }
 
-// AddFloat64 converts x into scratch (which must have matching parameters
-// and be owned exclusively by the calling goroutine) and atomically adds it.
-// The conversion is thread-local; only the N limb additions touch shared
-// state, as the paper prescribes.
-func (a *Atomic) AddFloat64(x float64, scratch *HP) error {
-	if err := scratch.SetFloat64(x); err != nil {
-		countRangeErr(err)
+// AddFloat64 atomically adds the float64 x via the fused sparse kernel:
+// the value decomposes thread-locally into a stack-resident two-limb
+// window (no scratch *HP required), and only the limbs the exponent
+// selects — plus actual carries — are touched with fetch-adds. The final
+// state is identical to converting into an HP scratch and calling AddHP,
+// for every interleaving.
+func (a *Atomic) AddFloat64(x float64) error {
+	if x == 0 {
+		return nil
+	}
+	d, err := decomposeFloat64(a.p, x)
+	if err != nil {
 		return err
 	}
-	a.AddHP(scratch)
+	var depth uint64
+	if d.neg {
+		depth = atomicSubSparse(a.limbs, d)
+	} else {
+		depth = atomicAddSparse(a.limbs, d)
+	}
+	if telemetry.Enabled() {
+		mAddHP.Inc()
+		mCarryDepth.Observe(float64(depth))
+	}
+	return nil
+}
+
+// AddFloat64CAS is AddFloat64 implemented with compare-and-swap loops per
+// touched limb, matching AddHPCAS (the primitive the paper assumes on
+// CUDA).
+func (a *Atomic) AddFloat64CAS(x float64) error {
+	if x == 0 {
+		return nil
+	}
+	d, err := decomposeFloat64(a.p, x)
+	if err != nil {
+		return err
+	}
+	var depth, retries uint64
+	if d.neg {
+		depth, retries = atomicSubSparseCAS(a.limbs, d)
+	} else {
+		depth, retries = atomicAddSparseCAS(a.limbs, d)
+	}
+	if telemetry.Enabled() {
+		mAddHPCAS.Inc()
+		mCASRetries.Add(retries)
+		mCarryDepth.Observe(float64(depth))
+	}
 	return nil
 }
 

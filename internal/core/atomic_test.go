@@ -80,9 +80,8 @@ func TestAtomicCarryStress(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scratch := New(p)
 			for i := 0; i < perWorker; i++ {
-				if err := acc.AddFloat64(v, scratch); err != nil {
+				if err := acc.AddFloat64(v); err != nil {
 					t.Error(err)
 					return
 				}
@@ -109,9 +108,8 @@ func TestAtomicZeroSumConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(slice []float64) {
 			defer wg.Done()
-			scratch := New(p)
 			for _, x := range slice {
-				if err := acc.AddFloat64(x, scratch); err != nil {
+				if err := acc.AddFloat64(x); err != nil {
 					t.Error(err)
 					return
 				}
@@ -130,8 +128,7 @@ func TestAtomicResetAndParams(t *testing.T) {
 	if acc.Params() != p {
 		t.Errorf("Params = %v", acc.Params())
 	}
-	scratch := New(p)
-	if err := acc.AddFloat64(1.5, scratch); err != nil {
+	if err := acc.AddFloat64(1.5); err != nil {
 		t.Fatal(err)
 	}
 	if acc.Snapshot().Float64() != 1.5 {
@@ -156,8 +153,7 @@ func TestAtomicParamMismatchPanics(t *testing.T) {
 
 func TestAtomicRangeErrorPropagates(t *testing.T) {
 	acc := NewAtomic(Params128)
-	scratch := New(Params128)
-	if err := acc.AddFloat64(1e300, scratch); err != ErrOverflow {
+	if err := acc.AddFloat64(1e300); err != ErrOverflow {
 		t.Errorf("err = %v, want ErrOverflow", err)
 	}
 	if !acc.Snapshot().IsZero() {

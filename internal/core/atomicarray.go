@@ -100,13 +100,42 @@ func (a *AtomicArray) AddHPCAS(i int, x *HP) {
 	}
 }
 
-// AddFloat64 converts x into scratch (caller-owned) and atomically adds it
-// to accumulator i.
-func (a *AtomicArray) AddFloat64(i int, x float64, scratch *HP) error {
-	if err := scratch.SetFloat64(x); err != nil {
+// AddFloat64 atomically adds the float64 x to accumulator i via the fused
+// sparse kernel: the value decomposes into a stack-resident two-limb
+// window, so no caller-owned scratch HP is needed.
+func (a *AtomicArray) AddFloat64(i int, x float64) error {
+	if x == 0 {
+		return nil
+	}
+	d, err := decomposeFloat64(a.p, x)
+	if err != nil {
 		return err
 	}
-	a.AddHP(i, scratch)
+	s := a.slot(i)
+	if d.neg {
+		atomicSubSparse(s, d)
+	} else {
+		atomicAddSparse(s, d)
+	}
+	return nil
+}
+
+// AddFloat64CAS is AddFloat64 with compare-and-swap loops, matching
+// AddHPCAS.
+func (a *AtomicArray) AddFloat64CAS(i int, x float64) error {
+	if x == 0 {
+		return nil
+	}
+	d, err := decomposeFloat64(a.p, x)
+	if err != nil {
+		return err
+	}
+	s := a.slot(i)
+	if d.neg {
+		atomicSubSparseCAS(s, d)
+	} else {
+		atomicAddSparseCAS(s, d)
+	}
 	return nil
 }
 

@@ -20,11 +20,10 @@ func TestAtomicArrayLayout(t *testing.T) {
 		t.Errorf("stride = %d", a.stride)
 	}
 	// Adjacent slots do not overlap.
-	scratch := New(Params384)
-	if err := a.AddFloat64(0, 1.5, scratch); err != nil {
+	if err := a.AddFloat64(0, 1.5); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.AddFloat64(1, 2.5, scratch); err != nil {
+	if err := a.AddFloat64(1, 2.5); err != nil {
 		t.Fatal(err)
 	}
 	if a.Snapshot(0).Float64() != 1.5 || a.Snapshot(1).Float64() != 2.5 {

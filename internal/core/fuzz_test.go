@@ -112,6 +112,48 @@ func FuzzProductPaths(f *testing.F) {
 	})
 }
 
+// FuzzFusedAddDifferential: the fused sparse AddFloat64 must be
+// bit-identical to the paper's published path — the Listing 1 conversion
+// loop followed by the Listing 2 comparison-based full-width add —
+// starting from an arbitrary accumulator state: same acceptance, same
+// limbs, same signed-overflow verdict, and an untouched receiver on
+// rejection.
+func FuzzFusedAddDifferential(f *testing.F) {
+	f.Add(uint64(0), 0.5)
+	f.Add(uint64(1), -0.1)
+	f.Add(uint64(0xfff), 1e15)
+	f.Add(^uint64(0), -math.Ldexp(1, 62))
+	f.Add(uint64(42), math.Ldexp(1, -64))
+	f.Add(uint64(7), math.MaxFloat64)
+	f.Add(uint64(7), math.Inf(1))
+	f.Fuzz(func(t *testing.T, seed uint64, x float64) {
+		p := Params384
+		fused := mixedLimbs(p, seed)
+		oracle := fused.Clone()
+		before := fused.Clone()
+		scratch := New(p)
+		errO := scratch.SetFloat64Listing1(x)
+		ovF, errF := fused.AddFloat64(x)
+		if (errF == nil) != (errO == nil) {
+			t.Fatalf("acceptance differs for %g: fused %v, listing1 %v", x, errF, errO)
+		}
+		if errF != nil {
+			if !fused.Equal(before) {
+				t.Fatalf("rejected AddFloat64(%g) modified the receiver", x)
+			}
+			return
+		}
+		ovO := oracle.AddListing2(scratch)
+		if ovF != ovO {
+			t.Fatalf("overflow verdict differs for %g: fused %v, listing2 %v", x, ovF, ovO)
+		}
+		if !fused.Equal(oracle) {
+			t.Fatalf("limbs differ after adding %g:\nfused   %016x\nlisting %016x",
+				x, fused.Limbs(), oracle.Limbs())
+		}
+	})
+}
+
 // FuzzMarshalRoundTrip: any accepted encoding decodes to identical state,
 // and arbitrary byte mutations never crash the decoder.
 func FuzzMarshalRoundTrip(f *testing.F) {

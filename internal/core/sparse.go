@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// This file implements the fused sparse convert-add kernel. A single
+// float64 has a 53-bit significand, so under the paper's eq. 2 layout it
+// lands in at most two adjacent limbs of an HP number; SetFloat64 followed
+// by Add nevertheless zeroes and re-walks all N limbs. The kernel below
+// decomposes the float64 bit pattern directly into a two-limb window
+// (limbDelta), adds that window in place with bits.Add64/Sub64, and
+// propagates the carry or borrow upward only while it is nonzero. Negative
+// values are handled by a symmetric sparse subtract of the magnitude, so no
+// full-width two's-complement scratch value is ever materialized.
+//
+// Equivalence to the full-width path (proved by golden vectors, property
+// tests, and FuzzFusedAddDifferential): outside the window the full-width
+// addend limbs are zero for positive values, so the full carry chain below
+// the window is the identity and above it transmits exactly the carry the
+// window produced until it dies; for negative values the full-width add of
+// the two's complement 2^(64N) - M equals the full-width subtract of the
+// magnitude M (mod 2^(64N)), whose borrow chain outside the window is
+// likewise the identity once the borrow is absorbed. The signed-overflow
+// verdict (paper §III.B.1 sign rule) depends only on the operand signs and
+// the result sign, all of which are preserved.
+
+// limbDelta is the sparse decomposition of a nonzero float64 into an HP
+// limb window: lo is added into limbs[idx] and hi into limbs[idx-1].
+// Normalization guarantees lo != 0 and that hi != 0 implies idx >= 1.
+// The struct is small enough to live entirely in registers / on the stack.
+type limbDelta struct {
+	idx int    // big-endian index of the lower-order affected limb
+	lo  uint64 // delta for limbs[idx]; never zero
+	hi  uint64 // delta for limbs[idx-1]; zero when the value fits one limb
+	neg bool   // true when the decomposed value was negative
+}
+
+// decomposeFloat64 splits v into its sparse limb window for format p. It
+// performs exactly the range checks of SetFloat64: ErrNotFinite for
+// NaN/Inf, ErrOverflow if |v| >= 2^(64(N-K)-1), ErrUnderflow if v has
+// significant bits below 2^(-64K). v must be nonzero.
+func decomposeFloat64(p Params, v float64) (limbDelta, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return limbDelta{}, ErrNotFinite
+	}
+	// Range-check failures below are counted here (not in callers) so every
+	// fused path — Accumulator, Adaptive, Atomic, AtomicArray — records
+	// overflow/underflow conversions exactly once.
+	frac, exp := math.Frexp(v)
+	neg := false
+	if frac < 0 {
+		neg = true
+		frac = -frac
+	}
+	m := uint64(frac * (1 << 53)) // 53-bit integer significand, in [2^52, 2^53)
+	s := exp - 53 + 64*p.K        // scaled integer A = m * 2^s
+	if s < 0 {
+		sh := uint(-s)
+		if sh >= 64 || m&((uint64(1)<<sh)-1) != 0 {
+			mUnderflow.Inc()
+			return limbDelta{}, ErrUnderflow
+		}
+		m >>= sh
+		s = 0
+	}
+	if bits.Len64(m)+s > 64*p.N-1 {
+		mOverflow.Inc()
+		return limbDelta{}, ErrOverflow
+	}
+	d := limbDelta{idx: p.N - 1 - s/64, neg: neg}
+	off := uint(s % 64)
+	d.lo = m << off
+	if off != 0 {
+		d.hi = m >> (64 - off)
+	}
+	if d.lo == 0 {
+		// All significand bits shifted into the high limb: renormalize so
+		// lo is the (single) nonzero limb of the window.
+		d.idx--
+		d.lo, d.hi = d.hi, 0
+	}
+	return d, nil
+}
+
+// AddFloat64 adds v to x in place using the fused sparse kernel. It is
+// bit-identical to SetFloat64 into a scratch value followed by Add,
+// including the range-check behavior (x is untouched when err != nil) and
+// the signed-overflow verdict (on overflow x holds the wrapped value). It
+// touches only the limbs the value's exponent selects plus however far the
+// carry or borrow actually propagates.
+func (x *HP) AddFloat64(v float64) (overflow bool, err error) {
+	if v == 0 {
+		return false, nil
+	}
+	d, err := decomposeFloat64(x.p, v)
+	if err != nil {
+		return false, err
+	}
+	signX := x.limbs[0] >> 63
+	if d.neg {
+		x.subSparse(d)
+		// Adding a negative value: overflow iff x was negative and the
+		// result is non-negative (Add's sign rule with signY = 1).
+		return signX == 1 && x.limbs[0]>>63 == 0, nil
+	}
+	x.addSparse(d)
+	return signX == 0 && x.limbs[0]>>63 == 1, nil
+}
+
+// SubFloat64 subtracts v from x in place (x -= v) via the sparse kernel.
+// Float64 negation is exact, so this is AddFloat64 of -v.
+func (x *HP) SubFloat64(v float64) (overflow bool, err error) {
+	return x.AddFloat64(-v)
+}
+
+// addSparse adds the (positive-magnitude) window into x's limbs,
+// propagating the carry upward only while nonzero. A carry out of the most
+// significant limb wraps, exactly as the full-width chain would.
+func (x *HP) addSparse(d limbDelta) {
+	var c uint64
+	x.limbs[d.idx], c = bits.Add64(x.limbs[d.idx], d.lo, 0)
+	if d.idx == 0 {
+		return
+	}
+	x.limbs[d.idx-1], c = bits.Add64(x.limbs[d.idx-1], d.hi, c)
+	for i := d.idx - 2; i >= 0 && c != 0; i-- {
+		x.limbs[i], c = bits.Add64(x.limbs[i], 0, c)
+	}
+}
+
+// subSparse subtracts the window magnitude from x's limbs, propagating the
+// borrow upward only while nonzero.
+func (x *HP) subSparse(d limbDelta) {
+	var b uint64
+	x.limbs[d.idx], b = bits.Sub64(x.limbs[d.idx], d.lo, 0)
+	if d.idx == 0 {
+		return
+	}
+	x.limbs[d.idx-1], b = bits.Sub64(x.limbs[d.idx-1], d.hi, b)
+	for i := d.idx - 2; i >= 0 && b != 0; i-- {
+		x.limbs[i], b = bits.Sub64(x.limbs[i], 0, b)
+	}
+}
+
+// atomicAddSparse adds the window into a big-endian bank of atomic limbs
+// with one fetch-add per touched limb, handing carries up thread-locally
+// exactly as Atomic.AddHP does (limb-wise fetch-adds commute and each
+// adder injects exactly the carries its own addend produced, so the final
+// state equals the sequential sum regardless of interleaving). It returns
+// the number of limbs beyond the window that received a carry.
+func atomicAddSparse(limbs []atomic.Uint64, d limbDelta) (depth uint64) {
+	var carry uint64
+	next := limbs[d.idx].Add(d.lo)
+	if next < d.lo {
+		carry = 1
+	}
+	if d.idx == 0 {
+		return 0
+	}
+	delta := d.hi + carry
+	carry = 0
+	if delta < d.hi { // d.hi was all ones and carry was 1: delta wrapped to 0
+		carry = 1
+	}
+	if delta != 0 {
+		next = limbs[d.idx-1].Add(delta)
+		if next < delta {
+			carry++
+		}
+	}
+	for i := d.idx - 2; i >= 0 && carry != 0; i-- {
+		depth++
+		if next = limbs[i].Add(1); next != 0 {
+			carry = 0
+		}
+	}
+	return depth
+}
+
+// atomicSubSparse subtracts the window magnitude from the atomic bank.
+// Subtraction is the fetch-add of the two's complement 2^(64N) - M: limbs
+// below the window contribute 0 (the complement's +1 has already carried
+// through them), the window contributes ^lo + 1 and ^hi, and every limb
+// above contributes all-ones — which combines with a carry-in of 1 to a
+// delta of 0, so the walk stops at the first limb that absorbs the borrow.
+func atomicSubSparse(limbs []atomic.Uint64, d limbDelta) (depth uint64) {
+	carry := uint64(1) // the complement's +1, carried up through the zeros
+	for i := d.idx; i >= 0; i-- {
+		var v uint64
+		switch i {
+		case d.idx:
+			v = ^d.lo
+		case d.idx - 1:
+			v = ^d.hi
+		default:
+			if carry == 1 {
+				return depth // all higher deltas are ^0 + 1 = 0: done
+			}
+			v = ^uint64(0)
+			depth++
+		}
+		delta := v + carry
+		carry = 0
+		if delta < v {
+			carry = 1
+		}
+		if delta == 0 {
+			continue
+		}
+		next := limbs[i].Add(delta)
+		if next < delta {
+			carry++
+		}
+	}
+	return depth
+}
+
+// atomicAddSparseCAS is atomicAddSparse with compare-and-swap loops, the
+// primitive the paper assumes on CUDA. It additionally returns the number
+// of lost races.
+func atomicAddSparseCAS(limbs []atomic.Uint64, d limbDelta) (depth, retries uint64) {
+	casAdd := func(i int, delta uint64) (carryOut uint64) {
+		for {
+			old := limbs[i].Load()
+			next, co := bits.Add64(old, delta, 0)
+			if limbs[i].CompareAndSwap(old, next) {
+				return co
+			}
+			retries++
+		}
+	}
+	carry := casAdd(d.idx, d.lo)
+	if d.idx == 0 {
+		return 0, retries
+	}
+	delta := d.hi + carry
+	carry = 0
+	if delta < d.hi {
+		carry = 1
+	}
+	if delta != 0 {
+		carry += casAdd(d.idx-1, delta)
+	}
+	for i := d.idx - 2; i >= 0 && carry != 0; i-- {
+		depth++
+		carry = casAdd(i, 1)
+	}
+	return depth, retries
+}
+
+// atomicSubSparseCAS is atomicSubSparse with compare-and-swap loops.
+func atomicSubSparseCAS(limbs []atomic.Uint64, d limbDelta) (depth, retries uint64) {
+	carry := uint64(1)
+	for i := d.idx; i >= 0; i-- {
+		var v uint64
+		switch i {
+		case d.idx:
+			v = ^d.lo
+		case d.idx - 1:
+			v = ^d.hi
+		default:
+			if carry == 1 {
+				return depth, retries
+			}
+			v = ^uint64(0)
+			depth++
+		}
+		delta := v + carry
+		carry = 0
+		if delta < v {
+			carry = 1
+		}
+		if delta == 0 {
+			continue
+		}
+		for {
+			old := limbs[i].Load()
+			next, co := bits.Add64(old, delta, 0)
+			if limbs[i].CompareAndSwap(old, next) {
+				carry += co
+				break
+			}
+			retries++
+		}
+	}
+	return depth, retries
+}

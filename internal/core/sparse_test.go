@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// legacyAdd is the pre-fused reference path: convert into a scratch HP
+// (full zeroing + full-width negate for negatives), then run the complete
+// N-limb carry chain. The fused kernel must be indistinguishable from it.
+func legacyAdd(sum, scratch *HP, x float64) (overflow bool, err error) {
+	if err := scratch.SetFloat64(x); err != nil {
+		return false, err
+	}
+	return sum.Add(scratch), nil
+}
+
+// mixedLimbs fills an HP with deterministic splitmix-derived limbs so
+// fused-vs-legacy comparisons start from arbitrary states (positive,
+// negative, all-ones runs) rather than only from zero.
+func mixedLimbs(p Params, seed uint64) *HP {
+	z := New(p)
+	state := seed
+	for i := range z.limbs {
+		state += 0x9E3779B97F4A7C15
+		v := state
+		v ^= v >> 30
+		v *= 0xBF58476D1CE4E5B9
+		v ^= v >> 27
+		z.limbs[i] = v
+	}
+	return z
+}
+
+// TestGoldenSparseKernel pins the fused kernel's limbs on handcrafted
+// states that exercise every structural case: single-limb windows,
+// split-limb windows, full-length carry and borrow chains, the lo==0
+// renormalization, sign crossings, and wrap-on-overflow.
+func TestGoldenSparseKernel(t *testing.T) {
+	cases := []struct {
+		name  string
+		limbs []uint64 // starting limbs for HP(N=3,k=1), nil = zero
+		x     float64
+		want  string
+		ov    bool
+	}{
+		{
+			// 1.0 has s=12 and m=2^52, so m<<12 wraps the low limb to zero:
+			// the lo==0 renormalization path.
+			name: "one into empty (lo==0 renormalization)",
+			x:    1,
+			want: "[0000000000000000 0000000000000001 0000000000000000]",
+		},
+		{
+			name: "split window across frac boundary",
+			x:    1.5,
+			want: "[0000000000000000 0000000000000001 8000000000000000]",
+		},
+		{
+			name:  "carry chain across every limb",
+			limbs: []uint64{0x7ffffffffffffffe, ^uint64(0), ^uint64(0)},
+			x:     math.Ldexp(1, -64), // one ulp of the least limb
+			want:  "[7fffffffffffffff 0000000000000000 0000000000000000]",
+		},
+		{
+			name:  "borrow chain across every limb",
+			limbs: []uint64{1, 0, 0},
+			x:     -math.Ldexp(1, -64),
+			want:  "[0000000000000000 ffffffffffffffff ffffffffffffffff]",
+		},
+		{
+			name: "window at top of whole limb",
+			x:    math.Ldexp(1, 63),
+			want: "[0000000000000000 8000000000000000 0000000000000000]",
+		},
+		{
+			name:  "negative crossing zero",
+			limbs: []uint64{0, 0, 0x8000000000000000}, // +2^-1
+			x:     -0.75,
+			want:  "[ffffffffffffffff ffffffffffffffff c000000000000000]",
+		},
+		{
+			name:  "positive overflow wraps",
+			limbs: []uint64{0x7fffffffffffffff, ^uint64(0), ^uint64(0)},
+			x:     math.Ldexp(1, -64),
+			want:  "[8000000000000000 0000000000000000 0000000000000000]",
+			ov:    true,
+		},
+		{
+			name:  "negative overflow wraps",
+			limbs: []uint64{0x8000000000000000, 0, 0}, // most negative value
+			x:     -math.Ldexp(1, -64),
+			want:  "[7fffffffffffffff ffffffffffffffff ffffffffffffffff]",
+			ov:    true,
+		},
+	}
+	p := Params{N: 3, K: 1}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			z := New(p)
+			copy(z.limbs, tc.limbs)
+			ov, err := z.AddFloat64(tc.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fmt.Sprintf("%016x", z.Limbs()); got != tc.want {
+				t.Errorf("limbs drifted:\n got %s\nwant %s", got, tc.want)
+			}
+			if ov != tc.ov {
+				t.Errorf("overflow = %v, want %v", ov, tc.ov)
+			}
+		})
+	}
+}
+
+// TestGoldenFusedUniformSum re-derives the pinned golden uniform workload
+// through the raw fused kernel (no Accumulator), proving the kernel alone
+// reproduces the repository's reproducibility certificate.
+func TestGoldenFusedUniformSum(t *testing.T) {
+	xs := rng.UniformSet(rng.New(2016), 100000, -0.5, 0.5)
+	z := New(Params384)
+	for _, x := range xs {
+		if ov, err := z.AddFloat64(x); err != nil || ov {
+			t.Fatalf("AddFloat64(%g): overflow=%v err=%v", x, ov, err)
+		}
+	}
+	got := fmt.Sprintf("%016x", z.Limbs())
+	const want = "[0000000000000000 0000000000000000 0000000000000097 d2fb6ee2a75a8000 0000000000000000 0000000000000000]"
+	if got != want {
+		t.Errorf("fused golden uniform sum drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestPropFusedMatchesLegacy: from arbitrary limb states and in-range
+// values, the fused kernel is bit-identical to SetFloat64+Add — limbs,
+// overflow verdict, and acceptance — across all canonical formats.
+func TestPropFusedMatchesLegacy(t *testing.T) {
+	for _, p := range []Params{Params128, Params192, Params384, Params512} {
+		p := p
+		f := func(seed uint64, v inRange512) bool {
+			x := float64(v)
+			fused := mixedLimbs(p, seed)
+			legacy := fused.Clone()
+			scratch := New(p)
+			ovF, errF := fused.AddFloat64(x)
+			ovL, errL := legacyAdd(legacy, scratch, x)
+			if (errF == nil) != (errL == nil) {
+				return false
+			}
+			if errF != nil {
+				// Rejected input must leave the fused receiver untouched.
+				return fused.Equal(legacy)
+			}
+			return ovF == ovL && fused.Equal(legacy)
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%v: %v", p, err)
+		}
+	}
+}
+
+// denseFloat is a quick.Generator emitting values whose exponents
+// concentrate near the limb boundaries of HP(N=3,k=1), where the sparse
+// window placement (idx, off, lo==0 renormalization) has its edge cases.
+type denseFloat float64
+
+func (denseFloat) Generate(r *rand.Rand, _ int) reflect.Value {
+	e := -80 + r.Intn(230) // spans below underflow to above overflow of (3,1)
+	x := math.Ldexp(1+r.Float64(), e)
+	if r.Intn(2) == 1 {
+		x = -x
+	}
+	return reflect.ValueOf(denseFloat(x))
+}
+
+// TestPropFusedMatchesLegacySmallFormat drives the tight HP(3,1) format
+// where carries regularly reach the sign limb and rejections are common.
+func TestPropFusedMatchesLegacySmallFormat(t *testing.T) {
+	p := Params{N: 3, K: 1}
+	f := func(seed uint64, v denseFloat) bool {
+		x := float64(v)
+		fused := mixedLimbs(p, seed)
+		legacy := fused.Clone()
+		scratch := New(p)
+		ovF, errF := fused.AddFloat64(x)
+		ovL, errL := legacyAdd(legacy, scratch, x)
+		if errF != errL {
+			return false
+		}
+		if errF != nil {
+			return fused.Equal(legacy)
+		}
+		return ovF == ovL && fused.Equal(legacy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropFusedOrderInvariance: summing any permutation through the raw
+// fused kernel yields bit-identical limbs (paper property 1 on the new
+// hot path).
+func TestPropFusedOrderInvariance(t *testing.T) {
+	f := func(s smallSet, seed uint64) bool {
+		xs := []float64(s)
+		a := New(Params512)
+		for _, x := range xs {
+			if _, err := a.AddFloat64(x); err != nil {
+				return false
+			}
+		}
+		b := New(Params512)
+		for _, x := range rng.Reorder(rng.New(seed), xs) {
+			if _, err := b.AddFloat64(x); err != nil {
+				return false
+			}
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropAtomicFusedMatchesSequential: the sparse atomic adders (XADD and
+// CAS, positive and negative paths) agree with the sequential fused sum.
+func TestPropAtomicFusedMatchesSequential(t *testing.T) {
+	f := func(s smallSet) bool {
+		xs := []float64(s)
+		seq := New(Params512)
+		xadd := NewAtomic(Params512)
+		cas := NewAtomic(Params512)
+		for _, x := range xs {
+			if _, err := seq.AddFloat64(x); err != nil {
+				return false
+			}
+			if err := xadd.AddFloat64(x); err != nil {
+				return false
+			}
+			if err := cas.AddFloat64CAS(x); err != nil {
+				return false
+			}
+		}
+		return xadd.Snapshot().Equal(seq) && cas.Snapshot().Equal(seq)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFusedRejectionUntouched: conversion faults must leave the target
+// exactly as it was (the sticky-error contract Accumulator relies on).
+func TestFusedRejectionUntouched(t *testing.T) {
+	z := mixedLimbs(Params128, 42)
+	before := z.Clone()
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e300, math.Ldexp(1, -100)} {
+		if _, err := z.AddFloat64(x); err == nil {
+			t.Errorf("AddFloat64(%g) accepted by %v", x, Params128)
+		}
+		if !z.Equal(before) {
+			t.Fatalf("AddFloat64(%g) modified the receiver on rejection", x)
+		}
+	}
+}
+
+// TestAccumulatorAddZeroAlloc pins the hot path's allocation budget: the
+// fused Accumulator.Add and Float64 must not allocate in steady state.
+func TestAccumulatorAddZeroAlloc(t *testing.T) {
+	acc := NewAccumulator(Params384)
+	xs := rng.UniformSet(rng.New(5), 256, -0.5, 0.5)
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		acc.Add(xs[i%len(xs)])
+		i++
+	}); avg != 0 {
+		t.Errorf("Accumulator.Add allocates %.1f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		_ = acc.Float64()
+	}); avg != 0 {
+		t.Errorf("Accumulator.Float64 allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestAdaptiveAddZeroAlloc pins the adaptive steady state: once the format
+// fits the workload, Add must not allocate — the overflow rollback is a
+// sparse subtract, not a clone of the running sum.
+func TestAdaptiveAddZeroAlloc(t *testing.T) {
+	a := NewAdaptive(Params384)
+	xs := rng.UniformSet(rng.New(6), 256, -1000, 1000)
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		if err := a.Add(xs[i%len(xs)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); avg != 0 {
+		t.Errorf("Adaptive.Add allocates %.1f/op in steady state, want 0", avg)
+	}
+	if a.Params() != Params384 {
+		t.Fatalf("workload unexpectedly widened the format to %v", a.Params())
+	}
+}
+
+// TestAdaptiveRollbackExact forces the accumulation-overflow path and
+// verifies the Sub-based rollback: the widened sum must equal the oracle,
+// i.e. nothing was lost rolling back the wrapped add.
+func TestAdaptiveRollbackExact(t *testing.T) {
+	p := Params{N: 2, K: 1} // whole part: one signed limb, max 2^63
+	a := NewAdaptive(p)
+	start := a.Params()
+	big := math.Ldexp(1, 62) // half the whole-part range: two adds overflow
+	vals := []float64{big, big, 0.5, big, -big, 1.25}
+	for _, v := range vals {
+		if err := a.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Params() == start {
+		t.Fatal("workload did not trigger the accumulation-overflow widening")
+	}
+	// Rebuild the same sum directly in the widened format, where no add
+	// overflows: the rollback must have preserved every bit.
+	wide := New(a.Params())
+	for _, v := range vals {
+		if ov, err := wide.AddFloat64(v); err != nil || ov {
+			t.Fatalf("oracle add %g: overflow=%v err=%v", v, ov, err)
+		}
+	}
+	if !a.Sum().Equal(wide) {
+		t.Errorf("rollback lost state: sum %s, want %s", a.Sum(), wide)
+	}
+}

@@ -135,10 +135,9 @@ func TestFigure7KernelStructure(t *testing.T) {
 		}
 		cfg := Config{Blocks: threads / 256, ThreadsPerBlock: 256}
 		err := d.Launch(cfg, func(tc ThreadCtx) {
-			scratch := core.New(p)
 			total := tc.Cfg.Threads()
 			for i := tc.Global; i < len(xs); i += total {
-				if err := partials[tc.Global%256].AddFloat64(xs[i], scratch); err != nil {
+				if err := partials[tc.Global%256].AddFloat64(xs[i]); err != nil {
 					panic(err)
 				}
 			}

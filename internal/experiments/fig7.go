@@ -76,14 +76,14 @@ func runFig7(cfg Config) (*Result, error) {
 			partials[i] = core.NewAtomic(hpScaling)
 		}
 		err := launch(threads, func(tc cuda.ThreadCtx) {
-			scratch := core.New(hpScaling)
+			// Fused sparse convert-add: the conversion stays thread-local
+			// in registers and only the exponent-selected limbs are CASed.
 			total := tc.Cfg.Threads()
 			dst := partials[tc.Global%partialCount]
 			for i := tc.Global; i < n; i += total {
-				if err := scratch.SetFloat64(xs[i]); err != nil {
+				if err := dst.AddFloat64CAS(xs[i]); err != nil {
 					panic(err)
 				}
-				dst.AddHPCAS(scratch)
 			}
 		})
 		if err != nil {

@@ -22,7 +22,7 @@ var (
 	mRegions = telemetry.NewCounter("omp_parallel_regions_total",
 		"Parallel regions executed (Team.Run calls, including those forked by For/Reduce).")
 	mChunks = telemetry.NewCounter("omp_chunks_total",
-		"Loop chunks dispatched to workers across all schedules (one per body invocation).")
+		"Loop chunks dispatched to workers across all schedules (one per non-empty body invocation; empty static blocks are not chunks).")
 	mReduceLatency = telemetry.NewHistogram("omp_reduce_seconds",
 		"Wall time of Reduce calls: fork, per-thread fold, and deterministic combine.",
 		telemetry.DurationBuckets())
@@ -97,7 +97,9 @@ func (t *Team) For(n int, body func(tid, lo, hi int)) {
 	}
 	t.Run(func(tid int) {
 		lo, hi := StaticBlock(n, t.threads, tid)
-		mChunks.Inc()
+		if hi > lo {
+			mChunks.Inc()
+		}
 		body(tid, lo, hi)
 	})
 }
@@ -133,13 +135,22 @@ func (t *Team) ForSchedule(n, chunk int, sched Schedule, body func(tid, lo, hi i
 	var next atomic.Int64
 	t.Run(func(tid int) {
 		for {
+			// Check for exhaustion before claiming: a thread arriving after
+			// the range is fully distributed must not bump the shared
+			// counter past n (the Guided sizing below would otherwise add a
+			// minimum chunk per late thread, inflating the claim counter and
+			// feeding negative remainders into other threads' size
+			// computations).
+			claimed := next.Load()
+			if claimed >= int64(n) {
+				return
+			}
 			var take int
 			switch sched {
 			case Dynamic:
 				take = chunk
 			case Guided:
-				remaining := int64(n) - next.Load()
-				take = int(remaining) / t.threads
+				take = (n - int(claimed)) / t.threads
 				if take < chunk {
 					take = chunk
 				}
@@ -225,7 +236,9 @@ func Reduce[L any](t *Team, n int, newLocal func(tid int) L,
 	t.Run(func(tid int) {
 		locals[tid] = newLocal(tid)
 		lo, hi := StaticBlock(n, t.threads, tid)
-		mChunks.Inc()
+		if hi > lo {
+			mChunks.Inc()
+		}
 		body(locals[tid], tid, lo, hi)
 	})
 	for i := 1; i < t.threads; i++ {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 func TestStaticBlockCoversExactly(t *testing.T) {
@@ -243,4 +244,92 @@ func TestBarrierAbandon(t *testing.T) {
 	// Subsequent waits return immediately.
 	b.Wait()
 	b.Wait()
+}
+
+// chunkDelta runs fn and returns how much omp_chunks_total moved, with
+// telemetry forced on for the duration.
+func chunkDelta(t *testing.T, fn func()) uint64 {
+	t.Helper()
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	before := mChunks.Value()
+	fn()
+	return mChunks.Value() - before
+}
+
+// TestChunkAccounting pins omp_chunks_total for deterministic schedules:
+// a chunk is one non-empty body invocation. Empty static blocks (n smaller
+// than the team) and post-exhaustion polls of the dynamic/guided claim
+// counter must not count.
+func TestChunkAccounting(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func()
+		want uint64
+	}{
+		// n=0: every static block is empty; the paper's loops dispatch no work.
+		{"For n=0 threads=4", func() {
+			NewTeam(4).For(0, func(tid, lo, hi int) {})
+		}, 0},
+		// n=3 over 8 threads: exactly 3 one-element blocks, 5 empty ones.
+		{"For n=3 threads=8", func() {
+			NewTeam(8).For(3, func(tid, lo, hi int) {})
+		}, 3},
+		// Static ForSchedule shares For's accounting.
+		{"ForSchedule static n=2 threads=4", func() {
+			NewTeam(4).ForSchedule(2, 1, Static, func(tid, lo, hi int) {})
+		}, 2},
+		// Dynamic: ceil(10/3) = 4 chunks regardless of thread count; the
+		// threads that poll the exhausted counter afterwards add nothing.
+		{"ForSchedule dynamic n=10 chunk=3 threads=2", func() {
+			NewTeam(2).ForSchedule(10, 3, Dynamic, func(tid, lo, hi int) {})
+		}, 4},
+		// Guided with one thread takes the whole remainder in one chunk.
+		{"ForSchedule guided n=100 chunk=4 threads=1", func() {
+			NewTeam(1).ForSchedule(100, 4, Guided, func(tid, lo, hi int) {})
+		}, 1},
+		// Reduce: 2 non-empty blocks over a 4-thread team.
+		{"Reduce n=2 threads=4", func() {
+			Reduce(NewTeam(4), 2,
+				func(int) *int { v := 0; return &v },
+				func(local *int, _, lo, hi int) { *local += hi - lo },
+				func(into, from *int) { *into += *from })
+		}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := chunkDelta(t, tc.run); got != tc.want {
+				t.Errorf("omp_chunks_total moved by %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestGuidedCounterStopsAtExhaustion drives the guided schedule with a
+// team much larger than the trip count and verifies both that the chunk
+// accounting stays exact (n one-element chunks when chunk=1 and
+// remaining/threads rounds to zero) and that iterations are covered
+// exactly once — the regression shape for the claim-counter overshoot,
+// where each late thread used to bump the shared counter past n.
+func TestGuidedCounterStopsAtExhaustion(t *testing.T) {
+	const n, threads = 5, 16
+	var covered [n]atomic.Int64
+	got := chunkDelta(t, func() {
+		NewTeam(threads).ForSchedule(n, 1, Guided, func(tid, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+		})
+	})
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("iteration %d covered %d times", i, covered[i].Load())
+		}
+	}
+	// With remaining/threads == 0 every take clamps to the minimum chunk
+	// of 1, so exactly n chunks are dispatched; the other 11 threads find
+	// the counter exhausted and must record nothing.
+	if got != n {
+		t.Errorf("omp_chunks_total moved by %d, want %d", got, n)
+	}
 }

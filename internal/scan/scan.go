@@ -10,6 +10,17 @@
 // each worker's block to an exact block total; the (cheap, sequential)
 // offset pass accumulates exclusive block offsets; phase 2 re-walks each
 // block from its exact offset emitting rounded prefixes.
+//
+// Error outcomes are decomposition-independent (wrap-and-check-final):
+// phase 1 block partials and the offset pass run in wrapping mode, because
+// a from-zero block partial may wrap for one worker count and not another
+// even though two's-complement addition is exact mod 2^(64N) and the
+// offsets come out bit-identical either way. Overflow is instead detected
+// in phase 2, where every accumulator walks the true prefix trajectory —
+// identical for every worker count — so both the values and the error are
+// the same for workers=1 and workers=64. Conversion range errors
+// (NaN/Inf/overflow/underflow of an input element) are per-element and
+// reported from phase 1, earliest element first. See DESIGN.md §9.
 package scan
 
 import (
@@ -33,11 +44,15 @@ func Inclusive(p core.Params, xs []float64, workers int) ([]float64, error) {
 	}
 	team := omp.NewTeam(workers)
 
-	// Phase 1: exact block totals.
+	// Phase 1: exact block totals, wrapping. A block partial that wraps is
+	// not an error here — only phase 2, which follows the true prefix
+	// trajectory, decides overflow, so the verdict cannot depend on where
+	// the block boundaries fell. Conversion errors are sticky per block;
+	// scanning blocks in index order below reports the earliest one.
 	totals := make([]*core.Accumulator, workers)
 	team.Run(func(tid int) {
 		lo, hi := omp.StaticBlock(n, workers, tid)
-		acc := core.NewAccumulator(p)
+		acc := core.NewAccumulator(p).AllowWrap()
 		acc.AddAll(xs[lo:hi])
 		totals[tid] = acc
 	})
@@ -47,9 +62,12 @@ func Inclusive(p core.Params, xs []float64, workers int) ([]float64, error) {
 		}
 	}
 
-	// Exclusive offsets: offsets[t] = exact sum of blocks < t.
+	// Exclusive offsets: offsets[t] = exact (mod 2^(64N)) sum of blocks
+	// < t — bit-identical to the sequential prefix state at that element,
+	// wraps included, because multi-limb addition is associative mod
+	// 2^(64N).
 	offsets := make([]*core.HP, workers)
-	running := core.NewAccumulator(p)
+	running := core.NewAccumulator(p).AllowWrap()
 	for t := 0; t < workers; t++ {
 		offsets[t] = running.Sum().Clone()
 		running.AddHP(totals[t].Sum())
@@ -58,7 +76,12 @@ func Inclusive(p core.Params, xs []float64, workers int) ([]float64, error) {
 		return nil, err
 	}
 
-	// Phase 2: emit rounded prefixes from each exact offset.
+	// Phase 2: emit rounded prefixes from each exact offset. Each
+	// accumulator state here equals the sequential prefix state
+	// bit-for-bit, so the per-add sign-rule overflow detection fires on
+	// exactly the same elements for every worker count. Accumulator.Float64
+	// reuses the accumulator's scratch buffer, so the per-element loop does
+	// not allocate.
 	errs := make([]error, workers)
 	team.Run(func(tid int) {
 		lo, hi := omp.StaticBlock(n, workers, tid)

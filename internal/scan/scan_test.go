@@ -1,6 +1,7 @@
 package scan
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/core"
@@ -105,5 +106,128 @@ func TestScanThroughCancellation(t *testing.T) {
 	}
 	if got[3] != 1.5 {
 		t.Errorf("final prefix = %g, want 1.5", got[3])
+	}
+}
+
+// scanOutcome captures everything observable from one scan call so
+// decomposition-invariance can be asserted exactly: the output bits and
+// the error identity.
+type scanOutcome struct {
+	bits []uint64
+	err  error
+}
+
+func runScan(t *testing.T, exclusive bool, p core.Params, xs []float64, workers int) scanOutcome {
+	t.Helper()
+	var out []float64
+	var err error
+	if exclusive {
+		out, err = Exclusive(p, xs, workers)
+	} else {
+		out, err = Inclusive(p, xs, workers)
+	}
+	o := scanOutcome{err: err}
+	if err == nil {
+		o.bits = make([]uint64, len(out))
+		for i, v := range out {
+			o.bits[i] = math.Float64bits(v)
+		}
+	}
+	return o
+}
+
+// TestPropScanWorkerInvariance is the DESIGN.md §9 error-path invariant:
+// for every worker count 1..8, Inclusive and Exclusive must produce
+// bit-identical outputs AND identical error outcomes, even on workloads
+// whose from-zero block partials wrap for some decompositions (phase 1
+// runs wrapping; overflow is decided on the true prefix trajectory in
+// phase 2, which is the same for every worker count).
+func TestPropScanWorkerInvariance(t *testing.T) {
+	p := core.Params{N: 2, K: 1} // tight range (max 2^63): overflows are easy to hit
+	big := math.Ldexp(1, 62)
+	r := rng.New(777)
+	workloads := map[string][]float64{
+		"uniform in range":   rng.UniformSet(r, 300, -1000, 1000),
+		"cancelling spikes":  {big, -big, big, -big, big, -big, big, -big, 1.5},
+		"overflowing prefix": {big, big, big, -big, -big, -big, 0.25},
+		"late overflow":      {1, 2, 3, 4, 5, 6, 7, big, big, big},
+		"conversion fault":   {1, 2, math.Ldexp(1, -100), 4, 5, 6}, // underflows (k=1)
+		"nan input":          {1, 2, math.NaN(), 4, 5, 6, 7, 8},
+		"mixed fault+wrap":   {big, big, math.Ldexp(1, -100), -big, -big, 1},
+	}
+	for name, xs := range workloads {
+		for _, exclusive := range []bool{false, true} {
+			kind := "inclusive"
+			if exclusive {
+				kind = "exclusive"
+			}
+			t.Run(name+"/"+kind, func(t *testing.T) {
+				ref := runScan(t, exclusive, p, xs, 1)
+				for w := 2; w <= 8; w++ {
+					got := runScan(t, exclusive, p, xs, w)
+					if got.err != ref.err {
+						t.Fatalf("workers=%d: err %v, want %v (workers=1)", w, got.err, ref.err)
+					}
+					for i := range ref.bits {
+						if got.bits[i] != ref.bits[i] {
+							t.Fatalf("workers=%d: prefix %d bits %016x, want %016x",
+								w, i, got.bits[i], ref.bits[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestScanBlockPartialWrapIsNotAnError pins the wrap-and-check-final
+// behavior concretely: a workload whose middle block (at workers=3) sums
+// far past the format range, while every true prefix stays in range, must
+// succeed for every worker count — before the wrapping phase 1 this
+// errored for exactly the worker counts whose block boundaries isolated
+// the large values.
+func TestScanBlockPartialWrapIsNotAnError(t *testing.T) {
+	p := core.Params{N: 2, K: 1}
+	big := math.Ldexp(1, 62)
+	// Prefixes: big, big+1, 1, big+1, 1, 1.5 — all in range. The block
+	// [big, -big-...]-style partials, however they fall, may wrap.
+	xs := []float64{big, 1, -big, big, -big, 0.5}
+	ref, err := Inclusive(p, xs, 1)
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	for w := 2; w <= 6; w++ {
+		got, err := Inclusive(p, xs, w)
+		if err != nil {
+			t.Fatalf("workers=%d: block-partial wrap surfaced as error: %v", w, err)
+		}
+		for i := range ref {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("workers=%d: prefix %d = %g, want %g", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestInclusiveSteadyStateAllocs bounds the per-element cost of phase 2:
+// beyond the fixed per-call structures (output slice, per-worker
+// accumulators and offsets), the rounding loop must not allocate.
+func TestInclusiveSteadyStateAllocs(t *testing.T) {
+	xs := rng.UniformSet(rng.New(9), 4096, -0.5, 0.5)
+	small := rng.UniformSet(rng.New(9), 64, -0.5, 0.5)
+	run := func(data []float64) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := Inclusive(core.Params384, data, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := run(small)
+	full := run(xs)
+	// 64x the elements must not mean more allocations: the per-element
+	// loop (fused add + scratch-buffer rounding) is allocation-free, so
+	// the only growth is the output slice the API returns.
+	if grow := full - base; grow > 1 {
+		t.Errorf("allocations grew by %.1f when n grew 64x; per-element path allocates", grow)
 	}
 }

@@ -72,9 +72,8 @@ func TestAtomicFacade(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			scratch := NewHP(Params384)
 			for i := 0; i < 1000; i++ {
-				if err := acc.AddFloat64(0.5, scratch); err != nil {
+				if err := acc.AddFloat64(0.5); err != nil {
 					t.Error(err)
 					return
 				}
