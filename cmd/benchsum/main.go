@@ -1,15 +1,16 @@
 // Command benchsum is the reproducible summation benchmark runner behind
 // BENCH_sum.json. It times one pass over a fixed pseudorandom workload
 // through each HP summation path — the pre-PR Listing 1+2 loop, the fused
-// sparse kernel, the omp reduction, the atomic XADD and CAS accumulators,
-// and the two-phase scan — and writes a schema-tagged JSON report with
-// throughput, speedup over the legacy baseline, and heap-allocation rates.
+// sparse kernel, the carry-save batch kernel, the omp reduction, the atomic
+// XADD/CAS/bulk-flush accumulators, and the two-phase scan — and writes a
+// schema-tagged JSON report with throughput, speedup over the legacy
+// baseline, and heap-allocation rates. Parallel workloads are swept over
+// worker counts 1/2/4/NumCPU; every configuration must produce the same
+// checksum bit-for-bit.
 //
 //	benchsum -count 1048576 -trials 5 -out BENCH_sum.json
 //	benchsum -validate BENCH_sum.json
-//
-// Every path sums the same values, so the exact workloads' checksums must
-// agree bit-for-bit; the runner fails if they do not.
+//	benchsum -against BENCH_sum.json   # regression gate for CI
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"slices"
 	"time"
 
 	"repro/internal/bench"
@@ -28,12 +30,19 @@ import (
 )
 
 type config struct {
-	params  core.Params
-	count   int
-	trials  int
-	workers int
-	seed    uint64
+	params core.Params
+	count  int
+	trials int
+	// sweep is the worker counts the parallel workloads run at.
+	sweep []int
+	seed  uint64
 }
+
+// guardedWorkloads are the paths the -against regression gate holds to
+// within maxSpeedupDrop of the committed report's speedup.
+var guardedWorkloads = []string{"serial-fused", "serial-batch"}
+
+const maxSpeedupDrop = 0.25
 
 func main() {
 	var (
@@ -41,12 +50,15 @@ func main() {
 		hpk      = flag.Int("k", 3, "HP fractional limbs k")
 		count    = flag.Int("count", 1<<20, "summands per trial")
 		trials   = flag.Int("trials", 5, "timed repetitions (median reported)")
-		workers  = flag.Int("workers", runtime.NumCPU(), "threads for the parallel workloads")
+		workers  = flag.Int("workers", runtime.NumCPU(), "max threads for the parallel workload sweep")
 		seed     = flag.Uint64("seed", 20160523, "workload PRNG seed")
 		out      = flag.String("out", "BENCH_sum.json", "report output path")
 		validate = flag.String("validate", "", "validate an existing report and exit")
+		against  = flag.String("against", "", "committed report to gate against: fail on checksum drift or >25% speedup drop")
 	)
 	flag.Parse()
+	outSet := false
+	flag.Visit(func(f *flag.Flag) { outSet = outSet || f.Name == "out" })
 
 	if *validate != "" {
 		r, err := bench.ReadReport(*validate)
@@ -60,23 +72,60 @@ func main() {
 	}
 
 	cfg := config{
-		params:  core.Params{N: *hpn, K: *hpk},
-		count:   *count,
-		trials:  *trials,
-		workers: *workers,
-		seed:    *seed,
+		params: core.Params{N: *hpn, K: *hpk},
+		count:  *count,
+		trials: *trials,
+		sweep:  workerSweep(*workers),
+		seed:   *seed,
 	}
 	report, err := run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsum: %v\n", err)
 		os.Exit(1)
 	}
+	if *against != "" {
+		committed, err := bench.ReadReport(*against)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsum: %v\n", err)
+			os.Exit(1)
+		}
+		printTable(report)
+		if err := bench.CompareReports(report, committed, guardedWorkloads, maxSpeedupDrop); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsum: regression vs %s: %v\n", *against, err)
+			os.Exit(1)
+		}
+		fmt.Printf("no regression vs %s (checksums bit-identical, guarded speedups within %.0f%%)\n",
+			*against, maxSpeedupDrop*100)
+		// Gate mode is read-only: don't clobber the baseline it just read
+		// unless an output path was asked for explicitly.
+		if !outSet {
+			return
+		}
+	}
 	if err := report.WriteJSON(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "benchsum: %v\n", err)
 		os.Exit(1)
 	}
-	printTable(report)
+	if *against == "" {
+		printTable(report)
+	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// workerSweep returns the parallel workloads' worker counts: 1, 2, 4, and
+// the requested maximum (normally NumCPU), deduplicated. Counts above the
+// CPU count are kept — oversubscribed teams still demonstrate that the
+// checksum is invariant in the worker count, which is the sweep's point.
+func workerSweep(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	sweep := []int{1, 2, 4}
+	if !slices.Contains(sweep, max) {
+		sweep = append(sweep, max)
+	}
+	slices.Sort(sweep)
+	return sweep
 }
 
 // workload is one measured code path: fn sums xs once and returns the
@@ -95,7 +144,7 @@ const baselineName = "serial-legacy"
 
 func workloads(cfg config) []workload {
 	p := cfg.params
-	return []workload{
+	ws := []workload{
 		{baselineName, 1, true, func(xs []float64) (float64, error) {
 			sum := core.New(p)
 			scratch := core.New(p)
@@ -114,85 +163,117 @@ func workloads(cfg config) []workload {
 			acc.AddAll(xs)
 			return acc.Float64(), acc.Err()
 		}},
-		{"omp-reduce", cfg.workers, true, func(xs []float64) (float64, error) {
-			team := omp.NewTeam(cfg.workers)
-			total := omp.Reduce(team, len(xs),
-				func(tid int) *core.Accumulator { return core.NewAccumulator(p) },
-				func(local *core.Accumulator, tid, lo, hi int) {
-					local.AddAll(xs[lo:hi])
-				},
-				func(into, from *core.Accumulator) { into.Merge(from) })
-			return total.Float64(), total.Err()
-		}},
-		{"atomic-xadd", cfg.workers, true, func(xs []float64) (float64, error) {
-			dst := core.NewAtomic(p)
-			errs := make([]error, cfg.workers)
-			omp.NewTeam(cfg.workers).For(len(xs), func(tid, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					if err := dst.AddFloat64(xs[i]); err != nil {
-						errs[tid] = err
-						return
-					}
-				}
-			})
-			for _, err := range errs {
-				if err != nil {
-					return 0, err
-				}
-			}
-			return dst.Snapshot().Float64(), nil
-		}},
-		{"atomic-cas", cfg.workers, true, func(xs []float64) (float64, error) {
-			dst := core.NewAtomic(p)
-			errs := make([]error, cfg.workers)
-			omp.NewTeam(cfg.workers).For(len(xs), func(tid, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					if err := dst.AddFloat64CAS(xs[i]); err != nil {
-						errs[tid] = err
-						return
-					}
-				}
-			})
-			for _, err := range errs {
-				if err != nil {
-					return 0, err
-				}
-			}
-			return dst.Snapshot().Float64(), nil
-		}},
-		// The scan emits n rounded prefixes, not one sum; its checksum is
-		// the final prefix, which equals the reduction result exactly.
-		{"scan-inclusive", cfg.workers, true, func(xs []float64) (float64, error) {
-			out, err := scan.Inclusive(p, xs, cfg.workers)
-			if err != nil {
-				return 0, err
-			}
-			return out[len(out)-1], nil
+		{"serial-batch", 1, true, func(xs []float64) (float64, error) {
+			b := core.NewBatch(p)
+			b.AddSlice(xs)
+			return b.Float64(), b.Err()
 		}},
 	}
+	for _, workers := range cfg.sweep {
+		workers := workers
+		ws = append(ws,
+			workload{"omp-reduce", workers, true, func(xs []float64) (float64, error) {
+				team := omp.NewTeam(workers)
+				total := omp.Reduce(team, len(xs),
+					func(int) *core.BatchAccumulator { return core.NewBatch(p) },
+					func(local *core.BatchAccumulator, _, lo, hi int) {
+						local.AddSlice(xs[lo:hi])
+					},
+					func(into, from *core.BatchAccumulator) { into.MergeChecked(from) })
+				return total.Float64(), total.Err()
+			}},
+			workload{"atomic-xadd", workers, true, func(xs []float64) (float64, error) {
+				dst := core.NewAtomic(p)
+				errs := make([]error, workers)
+				omp.NewTeam(workers).For(len(xs), func(tid, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						if err := dst.AddFloat64(xs[i]); err != nil {
+							errs[tid] = err
+							return
+						}
+					}
+				})
+				for _, err := range errs {
+					if err != nil {
+						return 0, err
+					}
+				}
+				return dst.Snapshot().Float64(), nil
+			}},
+			workload{"atomic-cas", workers, true, func(xs []float64) (float64, error) {
+				dst := core.NewAtomic(p)
+				errs := make([]error, workers)
+				omp.NewTeam(workers).For(len(xs), func(tid, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						if err := dst.AddFloat64CAS(xs[i]); err != nil {
+							errs[tid] = err
+							return
+						}
+					}
+				})
+				for _, err := range errs {
+					if err != nil {
+						return 0, err
+					}
+				}
+				return dst.Snapshot().Float64(), nil
+			}},
+			// Bulk flush: each thread folds its block through a local batch
+			// and lands it in the shared accumulator with one full-width
+			// atomic pass — the AtomicArray.AddSlice path.
+			workload{"atomic-batch", workers, true, func(xs []float64) (float64, error) {
+				bank := core.NewAtomicArray(p, workers)
+				errs := make([]error, workers)
+				omp.NewTeam(workers).For(len(xs), func(tid, lo, hi int) {
+					errs[tid] = bank.AddSlice(tid, xs[lo:hi], nil)
+				})
+				for _, err := range errs {
+					if err != nil {
+						return 0, err
+					}
+				}
+				total, err := bank.Combine()
+				if err != nil {
+					return 0, err
+				}
+				return total.Float64(), nil
+			}},
+			// The scan emits n rounded prefixes, not one sum; its checksum is
+			// the final prefix, which equals the reduction result exactly.
+			workload{"scan-inclusive", workers, true, func(xs []float64) (float64, error) {
+				out, err := scan.Inclusive(p, xs, workers)
+				if err != nil {
+					return 0, err
+				}
+				return out[len(out)-1], nil
+			}},
+		)
+	}
+	return ws
 }
 
 func run(cfg config) (*bench.Report, error) {
 	if err := cfg.params.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.count < 1 || cfg.trials < 1 || cfg.workers < 1 {
-		return nil, fmt.Errorf("count=%d trials=%d workers=%d", cfg.count, cfg.trials, cfg.workers)
+	if cfg.count < 1 || cfg.trials < 1 || len(cfg.sweep) == 0 {
+		return nil, fmt.Errorf("count=%d trials=%d sweep=%v", cfg.count, cfg.trials, cfg.sweep)
 	}
 	xs := rng.UniformSet(rng.New(cfg.seed), cfg.count, -0.5, 0.5)
 
 	report := &bench.Report{
-		Schema:    bench.SumReportSchema,
-		CreatedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		HPLimbs:   cfg.params.N,
-		HPFrac:    cfg.params.K,
-		Count:     cfg.count,
-		Trials:    cfg.trials,
-		Baseline:  baselineName,
+		Schema:     bench.SumReportSchema,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		HPLimbs:    cfg.params.N,
+		HPFrac:     cfg.params.K,
+		Count:      cfg.count,
+		Trials:     cfg.trials,
+		Baseline:   baselineName,
 	}
 
 	var wantSum float64
@@ -205,14 +286,14 @@ func run(cfg config) (*bench.Report, error) {
 		sum, err := w.fn(xs)
 		runtime.ReadMemStats(&after)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.name, err)
+			return nil, fmt.Errorf("%s workers=%d: %w", w.name, w.workers, err)
 		}
 		if w.exact {
 			if !haveWant {
 				wantSum, haveWant = sum, true
 			} else if math.Float64bits(sum) != math.Float64bits(wantSum) {
-				return nil, fmt.Errorf("%s: checksum %x, want %x (paths not bit-identical)",
-					w.name, math.Float64bits(sum), math.Float64bits(wantSum))
+				return nil, fmt.Errorf("%s workers=%d: checksum %x, want %x (paths not bit-identical)",
+					w.name, w.workers, math.Float64bits(sum), math.Float64bits(wantSum))
 			}
 		}
 
@@ -223,7 +304,7 @@ func run(cfg config) (*bench.Report, error) {
 			}
 		})
 		if failed != nil {
-			return nil, fmt.Errorf("%s: %w", w.name, failed)
+			return nil, fmt.Errorf("%s workers=%d: %w", w.name, w.workers, failed)
 		}
 		report.Workloads = append(report.Workloads, bench.Workload{
 			Name:            w.name,

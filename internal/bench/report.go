@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 )
@@ -10,13 +11,24 @@ import (
 // SumReportSchema identifies the BENCH_sum.json layout. Bump the suffix on
 // any incompatible field change so CI's schema check fails loudly instead
 // of silently comparing mismatched reports.
-const SumReportSchema = "repro/bench-sum/v1"
+//
+// v2 (current): adds the gomaxprocs field and a per-workload worker-count
+// sweep — a workload name may appear once per worker count, so entries are
+// keyed by (name, workers).
+//
+// v1: one entry per workload name. ReadReport still accepts v1 files so
+// older committed artifacts remain comparable.
+const (
+	SumReportSchema   = "repro/bench-sum/v2"
+	SumReportSchemaV1 = "repro/bench-sum/v1"
+)
 
 // Workload is one measured configuration in a summation benchmark report.
 type Workload struct {
 	// Name identifies the code path, e.g. "serial-fused" or "atomic-cas".
 	Name string `json:"name"`
-	// Workers is the thread/worker count used (1 for serial paths).
+	// Workers is the thread/worker count used (1 for serial paths). Under
+	// schema v2 the same Name may recur with different worker counts.
 	Workers int `json:"workers"`
 	// SecondsPerTrial is the median wall time of one full pass over the
 	// input.
@@ -30,8 +42,9 @@ type Workload struct {
 	// steady-state hot paths are required to hold this at ~0.
 	MallocsPerOp float64 `json:"mallocs_per_op"`
 	// Checksum is the rounded float64 result of the workload's sum (the
-	// last prefix for scans). All exact paths must agree bit-for-bit; it
-	// also keeps the compiler from eliding the measured work.
+	// last prefix for scans). All exact paths must agree bit-for-bit —
+	// across workloads and across worker counts; it also keeps the
+	// compiler from eliding the measured work.
 	Checksum float64 `json:"checksum"`
 }
 
@@ -44,7 +57,10 @@ type Report struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
-	CPUs      int    `json:"cpus"`
+	// CPUs is runtime.NumCPU() on the measuring machine; GOMAXPROCS is the
+	// scheduler's effective parallelism (v2; 0 when read from a v1 file).
+	CPUs       int `json:"cpus"`
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 
 	// HPLimbs/HPFrac are the HP format (paper N and k) every workload used.
 	HPLimbs int `json:"hp_limbs"`
@@ -58,7 +74,8 @@ type Report struct {
 	Workloads []Workload `json:"workloads"`
 }
 
-// Lookup returns the named workload, or nil.
+// Lookup returns the first workload with the given name (after WriteJSON's
+// sort, the one with the lowest worker count), or nil.
 func (r *Report) Lookup(name string) *Workload {
 	for i := range r.Workloads {
 		if r.Workloads[i].Name == name {
@@ -68,13 +85,29 @@ func (r *Report) Lookup(name string) *Workload {
 	return nil
 }
 
+// LookupWorkers returns the workload entry for (name, workers), or nil.
+func (r *Report) LookupWorkers(name string, workers int) *Workload {
+	for i := range r.Workloads {
+		if r.Workloads[i].Name == name && r.Workloads[i].Workers == workers {
+			return &r.Workloads[i]
+		}
+	}
+	return nil
+}
+
 // Validate checks the report's structural invariants: the schema tag, the
 // format and run parameters, per-workload sanity (positive throughput,
-// workers >= 1, unique names), and that the baseline workload exists with
-// speedup 1 (within rounding).
+// workers >= 1, unique keys), and that the baseline workload exists with
+// speedup 1 (within rounding). Both the current v2 schema and legacy v1
+// reports validate; v1 additionally requires workload names to be unique
+// on their own.
 func (r *Report) Validate() error {
-	if r.Schema != SumReportSchema {
-		return fmt.Errorf("bench: schema %q, want %q", r.Schema, SumReportSchema)
+	if r.Schema != SumReportSchema && r.Schema != SumReportSchemaV1 {
+		return fmt.Errorf("bench: schema %q, want %q (or legacy %q)",
+			r.Schema, SumReportSchema, SumReportSchemaV1)
+	}
+	if r.Schema == SumReportSchema && r.GOMAXPROCS < 1 {
+		return fmt.Errorf("bench: v2 report without gomaxprocs")
 	}
 	if r.HPLimbs < 2 || r.HPFrac < 1 || r.HPFrac >= r.HPLimbs {
 		return fmt.Errorf("bench: implausible HP format N=%d k=%d", r.HPLimbs, r.HPFrac)
@@ -85,15 +118,23 @@ func (r *Report) Validate() error {
 	if len(r.Workloads) == 0 {
 		return fmt.Errorf("bench: no workloads")
 	}
-	seen := make(map[string]bool, len(r.Workloads))
+	type key struct {
+		name    string
+		workers int
+	}
+	seen := make(map[key]bool, len(r.Workloads))
 	for _, w := range r.Workloads {
 		if w.Name == "" {
 			return fmt.Errorf("bench: unnamed workload")
 		}
-		if seen[w.Name] {
-			return fmt.Errorf("bench: duplicate workload %q", w.Name)
+		k := key{w.Name, w.Workers}
+		if r.Schema == SumReportSchemaV1 {
+			k.workers = 0 // v1: names are globally unique
 		}
-		seen[w.Name] = true
+		if seen[k] {
+			return fmt.Errorf("bench: duplicate workload %q workers=%d", w.Name, w.Workers)
+		}
+		seen[k] = true
 		if w.Workers < 1 {
 			return fmt.Errorf("bench: workload %q: workers=%d", w.Name, w.Workers)
 		}
@@ -131,10 +172,13 @@ func (r *Report) FillSpeedups() error {
 }
 
 // WriteJSON validates the report and writes it as indented JSON, sorted by
-// workload name for diff-stable artifacts.
+// (workload name, workers) for diff-stable artifacts.
 func (r *Report) WriteJSON(path string) error {
 	sort.Slice(r.Workloads, func(i, j int) bool {
-		return r.Workloads[i].Name < r.Workloads[j].Name
+		if r.Workloads[i].Name != r.Workloads[j].Name {
+			return r.Workloads[i].Name < r.Workloads[j].Name
+		}
+		return r.Workloads[i].Workers < r.Workloads[j].Workers
 	})
 	if err := r.Validate(); err != nil {
 		return err
@@ -146,7 +190,8 @@ func (r *Report) WriteJSON(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// ReadReport parses and validates a BENCH_sum.json file.
+// ReadReport parses and validates a BENCH_sum.json file (schema v2, or a
+// legacy v1 artifact).
 func ReadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -160,4 +205,47 @@ func ReadReport(path string) (*Report, error) {
 		return nil, fmt.Errorf("bench: %s: %w", path, err)
 	}
 	return &r, nil
+}
+
+// CompareReports is the regression gate between a freshly measured report
+// and a committed reference. It fails if the runs are not comparable (the
+// summand count or HP format differs — checksums would legitimately
+// diverge), if any (name, workers) entry present in both reports disagrees
+// on its checksum bit pattern, or if the current speedup of any workload
+// named in guard has dropped more than maxDrop (a fraction, e.g. 0.25)
+// below the committed speedup. Speedups are relative to each report's own
+// baseline, so a uniformly slower machine cancels out; entries only one
+// side measured are ignored except that a guard workload must exist in the
+// current report wherever the committed one has it.
+func CompareReports(cur, committed *Report, guard []string, maxDrop float64) error {
+	if cur.Count != committed.Count || cur.HPLimbs != committed.HPLimbs || cur.HPFrac != committed.HPFrac {
+		return fmt.Errorf("bench: runs not comparable: count %d vs %d, format N=%d k=%d vs N=%d k=%d",
+			cur.Count, committed.Count, cur.HPLimbs, cur.HPFrac, committed.HPLimbs, committed.HPFrac)
+	}
+	for _, ref := range committed.Workloads {
+		w := cur.LookupWorkers(ref.Name, ref.Workers)
+		if w == nil {
+			continue
+		}
+		if math.Float64bits(w.Checksum) != math.Float64bits(ref.Checksum) {
+			return fmt.Errorf("bench: %s workers=%d: checksum %x, committed %x (exact sums diverged)",
+				ref.Name, ref.Workers, math.Float64bits(w.Checksum), math.Float64bits(ref.Checksum))
+		}
+	}
+	for _, name := range guard {
+		ref := committed.Lookup(name)
+		if ref == nil {
+			continue // workload newer than the committed artifact
+		}
+		w := cur.LookupWorkers(name, ref.Workers)
+		if w == nil {
+			return fmt.Errorf("bench: guarded workload %q workers=%d missing from current run",
+				name, ref.Workers)
+		}
+		if w.Speedup < ref.Speedup*(1-maxDrop) {
+			return fmt.Errorf("bench: %s speedup %.3f dropped >%.0f%% below committed %.3f",
+				name, w.Speedup, maxDrop*100, ref.Speedup)
+		}
+	}
+	return nil
 }

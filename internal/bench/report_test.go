@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func v2Report() *Report {
+	return &Report{
+		Schema:     SumReportSchema,
+		GoVersion:  "go1.24",
+		GOOS:       "linux",
+		GOARCH:     "amd64",
+		CPUs:       8,
+		GOMAXPROCS: 8,
+		HPLimbs:    6,
+		HPFrac:     3,
+		Count:      1024,
+		Trials:     3,
+		Baseline:   "serial-legacy",
+		Workloads: []Workload{
+			{Name: "serial-legacy", Workers: 1, SecondsPerTrial: 1, AddsPerSec: 1024, Speedup: 1, Checksum: 0.5},
+			{Name: "serial-batch", Workers: 1, SecondsPerTrial: 0.25, AddsPerSec: 4096, Speedup: 4, Checksum: 0.5},
+			{Name: "omp-reduce", Workers: 1, SecondsPerTrial: 0.5, AddsPerSec: 2048, Speedup: 2, Checksum: 0.5},
+			{Name: "omp-reduce", Workers: 4, SecondsPerTrial: 0.125, AddsPerSec: 8192, Speedup: 8, Checksum: 0.5},
+		},
+	}
+}
+
+// TestReadReportAcceptsV1 keeps the legacy artifact readable: one entry per
+// name, no gomaxprocs field.
+func TestReadReportAcceptsV1(t *testing.T) {
+	const v1 = `{
+  "schema": "repro/bench-sum/v1",
+  "go_version": "go1.24.0",
+  "goos": "linux",
+  "goarch": "amd64",
+  "cpus": 1,
+  "hp_limbs": 6,
+  "hp_frac_limbs": 3,
+  "count": 1024,
+  "trials": 3,
+  "baseline": "serial-legacy",
+  "workloads": [
+    {"name": "serial-legacy", "workers": 1, "seconds_per_trial": 1,
+     "adds_per_sec": 1024, "speedup": 1, "mallocs_per_op": 0, "checksum": 0.5}
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "v1.json")
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("v1 report rejected: %v", err)
+	}
+	if r.Schema != SumReportSchemaV1 || r.GOMAXPROCS != 0 {
+		t.Errorf("schema %q gomaxprocs %d", r.Schema, r.GOMAXPROCS)
+	}
+	// v1 forbids what v2 allows: the same name at two worker counts.
+	r.Workloads = append(r.Workloads, Workload{
+		Name: "serial-legacy", Workers: 4, SecondsPerTrial: 1,
+		AddsPerSec: 1024, Speedup: 1, Checksum: 0.5,
+	})
+	if err := r.Validate(); err == nil {
+		t.Error("v1 report with duplicate name validated")
+	}
+}
+
+func TestLookupWorkers(t *testing.T) {
+	r := v2Report()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w := r.LookupWorkers("omp-reduce", 4); w == nil || w.Speedup != 8 {
+		t.Errorf("LookupWorkers(omp-reduce, 4) = %+v", w)
+	}
+	if w := r.LookupWorkers("omp-reduce", 2); w != nil {
+		t.Errorf("unswept worker count found: %+v", w)
+	}
+	// Lookup finds some entry with the name; after WriteJSON's sort it is
+	// the lowest worker count.
+	path := filepath.Join(t.TempDir(), "v2.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := got.Lookup("omp-reduce"); w == nil || w.Workers != 1 {
+		t.Errorf("Lookup after sort = %+v, want workers=1", w)
+	}
+}
+
+func TestCompareReportsGuards(t *testing.T) {
+	cur, committed := v2Report(), v2Report()
+	if err := CompareReports(cur, committed, []string{"serial-batch"}, 0.25); err != nil {
+		t.Fatalf("identical reports: %v", err)
+	}
+	// Within tolerance: 20% drop on a guarded workload passes at 25%.
+	cur.LookupWorkers("serial-batch", 1).Speedup = 3.2
+	if err := CompareReports(cur, committed, []string{"serial-batch"}, 0.25); err != nil {
+		t.Errorf("20%% drop failed a 25%% gate: %v", err)
+	}
+	cur.LookupWorkers("serial-batch", 1).Speedup = 2.9
+	if err := CompareReports(cur, committed, []string{"serial-batch"}, 0.25); err == nil {
+		t.Error("28% drop passed a 25% gate")
+	}
+	// A guarded workload missing from the current run fails; one missing
+	// from the committed reference (not yet benchmarked back then) passes.
+	cur = v2Report()
+	cur.Workloads = cur.Workloads[:1]
+	if err := CompareReports(cur, committed, []string{"serial-batch"}, 0.25); err == nil {
+		t.Error("missing guarded workload passed")
+	}
+	if err := CompareReports(v2Report(), committed, []string{"brand-new"}, 0.25); err != nil {
+		t.Errorf("guard absent from committed reference should pass: %v", err)
+	}
+}

@@ -101,8 +101,7 @@ func (a *Accumulator) Sum() *HP { return a.sum }
 // rounding loops (scan phase 2 calls this once per output element) do not
 // allocate.
 func (a *Accumulator) Float64() float64 {
-	neg := a.sum.magnitude(a.mag)
-	return magToFloat64(a.mag, a.sum.p.K, neg)
+	return limbsToFloat64(a.sum.limbs, a.sum.p.K, a.mag)
 }
 
 // Reset zeroes the sum and clears the sticky error.

@@ -139,6 +139,34 @@ func (a *AtomicArray) AddFloat64CAS(i int, x float64) error {
 	return nil
 }
 
+// AddBatch flushes a locally accumulated batch into accumulator i with one
+// full-width pass of fetch-adds (at most N atomic operations for the whole
+// batch, versus up to two per element through AddFloat64). b is normalized,
+// added, and reset so the caller can keep accumulating into it; its sticky
+// conversion fault (if any) is returned and cleared with the reset.
+func (a *AtomicArray) AddBatch(i int, b *BatchAccumulator) error {
+	err := b.Err()
+	a.AddHP(i, b.Sum())
+	b.Reset()
+	return err
+}
+
+// AddSlice accumulates xs thread-locally through the carry-save batch
+// kernel and flushes the block total into accumulator i with a single
+// full-width atomic pass — the bulk path for block-partitioned writers.
+// scratch is reset and reused (pass the same one across calls to stay
+// allocation-free); a nil scratch allocates a private batch. The first
+// conversion fault in xs is returned; faulting elements do not contribute.
+func (a *AtomicArray) AddSlice(i int, xs []float64, scratch *BatchAccumulator) error {
+	if scratch == nil {
+		scratch = NewBatch(a.p)
+	} else {
+		scratch.Reset()
+	}
+	scratch.AddSlice(xs)
+	return a.AddBatch(i, scratch)
+}
+
 // Snapshot copies accumulator i into a plain HP value; as with Atomic, the
 // read is only meaningful after all writers have finished.
 func (a *AtomicArray) Snapshot(i int) *HP {

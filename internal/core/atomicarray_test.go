@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sync"
 	"testing"
 
@@ -86,6 +87,70 @@ func TestAtomicArrayConcurrentMatchesSequential(t *testing.T) {
 		if !got.Equal(seq.Sum()) {
 			t.Errorf("cas=%v: bank sum differs from sequential", cas)
 		}
+	}
+}
+
+func TestAtomicArrayBatchFlushMatchesSequential(t *testing.T) {
+	p := Params384
+	const workers = 8
+	const perWorker = 2000
+	const slots = 4
+	xs := rng.UniformSet(rng.New(94), workers*perWorker, -0.5, 0.5)
+
+	seq := NewAccumulator(p)
+	seq.AddAll(xs)
+
+	bank := NewAtomicArray(p, slots)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int, slice []float64) {
+			defer wg.Done()
+			// Flush in several sub-blocks through one reused scratch to
+			// exercise the reset-and-continue path.
+			scratch := NewBatch(p)
+			for len(slice) > 0 {
+				n := min(512, len(slice))
+				if err := bank.AddSlice(w%slots, slice[:n], scratch); err != nil {
+					t.Error(err)
+					return
+				}
+				slice = slice[n:]
+			}
+		}(w, xs[w*perWorker:(w+1)*perWorker])
+	}
+	wg.Wait()
+	got, err := bank.Combine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(seq.Sum()) {
+		t.Error("bulk-flushed bank sum differs from sequential")
+	}
+}
+
+func TestAtomicArrayAddSliceFaults(t *testing.T) {
+	p := Params128
+	bank := NewAtomicArray(p, 1)
+	// nil scratch allocates internally; the NaN is reported and skipped,
+	// finite elements still land.
+	err := bank.AddSlice(0, []float64{1.5, math.NaN(), 2.5}, nil)
+	if err != ErrNotFinite {
+		t.Fatalf("err = %v, want ErrNotFinite", err)
+	}
+	if got := bank.Snapshot(0).Float64(); got != 4 {
+		t.Errorf("slot = %g, want 4", got)
+	}
+	// A reused scratch carries no state or error across calls.
+	scratch := NewBatch(p)
+	if err := bank.AddSlice(0, []float64{1e300}, scratch); err != ErrOverflow {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+	if err := bank.AddSlice(0, []float64{1}, scratch); err != nil {
+		t.Fatal(err)
+	}
+	if got := bank.Snapshot(0).Float64(); got != 5 {
+		t.Errorf("slot = %g, want 5", got)
 	}
 }
 

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/telemetry"
+)
+
+// This file implements the carry-save batch accumulation kernel. The fused
+// sparse kernel (sparse.go) already reduced each float64 to a two-limb
+// window, but every add still propagates its carry to quiescence and pays a
+// data-dependent branch on the value's sign and on each carry step. The
+// batch accumulator defers instead: each add touches exactly the two limbs
+// the value's exponent selects, and the carry (or borrow) that escapes that
+// 128-bit window is recorded as a pending *count* against the next limb up
+// — one wrapping integer increment, no loop, no data-dependent branch. A
+// counted Normalize folds the pending counts back into the value limbs,
+// producing the canonical two's-complement HP bit pattern.
+//
+// Deferral does not disturb order-invariance or exactness: the represented
+// value is
+//
+//	V + sum_i sext64(c_i) * 2^(64*(N-1-i))   (mod 2^(64N))
+//
+// where V is the value-limb vector and c_i the pending count into limb i.
+// Every add updates that quantity by exactly the addend (mod 2^(64N)),
+// limb-window adds and count increments both commute, and Normalize is the
+// identity on the represented value — so the canonical result after
+// Normalize equals the full-width sequential sum bit for bit, no matter
+// when or how often carries were resolved. See DESIGN.md §10 for the
+// adds-before-normalize bound and the proof sketch.
+
+// MaxBatchAdds is the provable maximum number of adds a BatchAccumulator
+// accepts between normalizations. Each add changes exactly one pending
+// counter by at most ±1, so after A adds every counter's signed magnitude
+// is at most A; Normalize additionally feeds each counter a running carry
+// of at most ±1, so sign-correct folding needs A + 1 < 2^63. The limit is
+// held two bits below that with 2^62, leaving margin while remaining
+// unreachable in practice (at 10^8 adds/sec, ~1400 years). AddSlice and
+// Add normalize automatically when the counted bound is hit.
+const MaxBatchAdds = 1 << 62
+
+// BatchAccumulator sums float64 values into an HP number using the
+// carry-save kernel: a branch-light two-limb add per value and deferred
+// carry normalization. It is the fastest serial hot loop in the package
+// (see BENCH_sum.json, workload "serial-batch") and the building block for
+// the per-thread partials of the parallel reductions.
+//
+// Semantics relative to Accumulator: conversion range errors (NaN/Inf,
+// overflow, underflow of an input element) are detected identically,
+// per element, and recorded as the same sticky first error. Signed-overflow
+// *wraps*, however, are not observable per add — carries are deferred, so
+// the accumulator operates in wrapping mode (exact mod 2^(64N)), like
+// Accumulator.AllowWrap. Callers that need the per-add sign-rule verdict on
+// a canonical trajectory use AddChecked, which normalizes around a single
+// add (scan phase 2 does this).
+//
+// A BatchAccumulator is not safe for concurrent use; give each goroutine
+// its own and combine with Merge, or flush into an Atomic/AtomicArray.
+type BatchAccumulator struct {
+	p Params
+	// vbuf[1:] holds the value limbs (big-endian, HP layout); vbuf[0] is a
+	// spill slot so the window add can write "limb idx-1" unconditionally —
+	// when idx is 0 the carry out of the top limb lands there and wraps,
+	// exactly as the full-width chain discards it.
+	vbuf []uint64
+	vv   []uint64 // = vbuf[1:]
+	// cbuf[j] counts pending carries into limb j-2 (the first limb above a
+	// window at j), as a wrapping two's-complement int64. cbuf[0] and
+	// cbuf[1] are spill slots for windows at the top of the format, whose
+	// escaped carries wrap away.
+	cbuf    []uint64
+	pending uint64 // adds since the last fold; bounded by limit
+	limit   uint64 // normally MaxBatchAdds; lowered in tests
+	// Fast-path gate: a biased exponent e with uint(e-eMin) <= uint(eSpan)
+	// is a nonzero normal float64 whose window provably fits the format, so
+	// the branchless path applies; everything else (zeros, subnormals,
+	// NaN/Inf, range faults) takes the decomposeFloat64 slow path.
+	eMin, eSpan int
+	sBias       int // s = e + sBias is the bit offset of the significand
+	err         error
+	sum         *HP      // lazily allocated canonical view, reused by Sum
+	mag         []uint64 // magnitude scratch for Float64, reused across calls
+}
+
+// NewBatch returns a zeroed batch accumulator with the given parameters.
+// It panics if p is invalid; use Params.Validate to check first.
+func NewBatch(p Params) *BatchAccumulator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	vbuf := make([]uint64, p.N+1)
+	b := &BatchAccumulator{
+		p:     p,
+		vbuf:  vbuf,
+		vv:    vbuf[1:],
+		cbuf:  make([]uint64, p.N),
+		limit: MaxBatchAdds,
+		sBias: 64*p.K - 1075,
+		mag:   make([]uint64, p.N),
+	}
+	// Gate bounds: s >= 0 keeps the significand wholly above the fractional
+	// cutoff, and 53+s <= 64N-1 keeps its 53 bits (every normal float64 has
+	// bit 52 set) inside the signed range. Outside [1, 2046] the exponent
+	// encodes a zero, subnormal, or non-finite value.
+	b.eMin = max(1, 1075-64*p.K)
+	b.eSpan = min(2046, 64*p.N-54+1075-64*p.K) - b.eMin
+	return b
+}
+
+// Params returns the accumulator's HP parameters.
+func (b *BatchAccumulator) Params() Params { return b.p }
+
+// Err returns the first conversion range error (NaN/Inf, overflow,
+// underflow), or nil. Signed-overflow wraps are not errors; see the type
+// comment.
+func (b *BatchAccumulator) Err() error { return b.err }
+
+// Reset zeroes the accumulator and clears the sticky error.
+func (b *BatchAccumulator) Reset() {
+	for i := range b.vbuf {
+		b.vbuf[i] = 0
+	}
+	for i := range b.cbuf {
+		b.cbuf[i] = 0
+	}
+	b.pending = 0
+	b.err = nil
+}
+
+// Add adds one value via the carry-save kernel. For long inputs prefer
+// AddSlice, which amortizes the bound check over the whole slice.
+func (b *BatchAccumulator) Add(x float64) {
+	if b.pending >= b.limit {
+		b.Normalize()
+	}
+	b.pending++
+	b.add1(x)
+}
+
+// AddSlice adds every element of xs — the batch hot loop. Conversion range
+// errors set the sticky error and skip the offending element, exactly as
+// Accumulator.AddAll does.
+func (b *BatchAccumulator) AddSlice(xs []float64) {
+	if telemetry.Enabled() {
+		mBatchAdds.Add(uint64(len(xs)))
+	}
+	for len(xs) > 0 {
+		room := b.limit - b.pending
+		if room == 0 {
+			b.Normalize()
+			room = b.limit
+		}
+		chunk := xs
+		if uint64(len(chunk)) > room {
+			chunk = xs[:room]
+		}
+		b.pending += uint64(len(chunk))
+		b.addChunk(chunk)
+		xs = xs[len(chunk):]
+	}
+}
+
+// addChunk is the branchless inner loop: per element, one exponent-range
+// compare, a handful of ALU ops to form the signed two-limb window, two
+// bits.Add64 into the value limbs, and one wrapping counter update. The
+// sign is folded in arithmetically (conditional 128-bit negation via the
+// sign mask), so mixed-sign streams cost no mispredicted branches.
+func (b *BatchAccumulator) addChunk(xs []float64) {
+	vv, vbuf, cbuf := b.vv, b.vbuf, b.cbuf
+	eMin, eSpan, sBias := b.eMin, b.eSpan, b.sBias
+	top := b.p.N - 1
+	for _, x := range xs {
+		bv := math.Float64bits(x)
+		e := int(bv >> 52 & 0x7ff)
+		if uint(e-eMin) > uint(eSpan) {
+			b.addSlow(x)
+			continue
+		}
+		m := bv&(1<<52-1) | 1<<52
+		s := e + sBias
+		off := uint(s) & 63
+		lo := m << off
+		hi := m >> (64 - off) // off==0: shift by 64 reads as 0
+		// smask is all-ones for negative x: the window is negated as one
+		// 128-bit quantity and the escaped carry count is decremented
+		// (all-ones above a two's-complement window is a pending -1).
+		smask := uint64(int64(bv) >> 63)
+		dlo, c0 := bits.Add64(lo^smask, smask&1, 0)
+		dhi, _ := bits.Add64(hi^smask, 0, c0)
+		idx := top - s>>6
+		var c1, c2 uint64
+		vv[idx], c1 = bits.Add64(vv[idx], dlo, 0)
+		vbuf[idx], c2 = bits.Add64(vbuf[idx], dhi, c1) // limb idx-1, or spill
+		cbuf[idx] += c2 + smask
+	}
+}
+
+// add1 is addChunk for a single value, kept separate so Add stays cheap to
+// inline-call without constructing a slice.
+func (b *BatchAccumulator) add1(x float64) {
+	bv := math.Float64bits(x)
+	e := int(bv >> 52 & 0x7ff)
+	if uint(e-b.eMin) > uint(b.eSpan) {
+		b.addSlow(x)
+		return
+	}
+	m := bv&(1<<52-1) | 1<<52
+	s := e + b.sBias
+	off := uint(s) & 63
+	lo := m << off
+	hi := m >> (64 - off)
+	smask := uint64(int64(bv) >> 63)
+	dlo, c0 := bits.Add64(lo^smask, smask&1, 0)
+	dhi, _ := bits.Add64(hi^smask, 0, c0)
+	idx := b.p.N - 1 - s>>6
+	var c1, c2 uint64
+	b.vv[idx], c1 = bits.Add64(b.vv[idx], dlo, 0)
+	b.vbuf[idx], c2 = bits.Add64(b.vbuf[idx], dhi, c1)
+	b.cbuf[idx] += c2 + smask
+}
+
+// addSlow handles everything the gate rejects: zeros (no-ops), subnormals
+// and limb-aligned shifts (via decomposeFloat64, so acceptance and error
+// identity match the fused path exactly), and NaN/Inf/range faults (sticky
+// error, accumulator untouched).
+func (b *BatchAccumulator) addSlow(x float64) {
+	if x == 0 {
+		return
+	}
+	d, err := decomposeFloat64(b.p, x)
+	if err != nil {
+		if b.err == nil {
+			b.err = err
+		}
+		return
+	}
+	var smask uint64
+	if d.neg {
+		smask = ^uint64(0)
+	}
+	dlo, c0 := bits.Add64(d.lo^smask, smask&1, 0)
+	dhi, _ := bits.Add64(d.hi^smask, 0, c0)
+	var c1, c2 uint64
+	b.vv[d.idx], c1 = bits.Add64(b.vv[d.idx], dlo, 0)
+	b.vbuf[d.idx], c2 = bits.Add64(b.vbuf[d.idx], dhi, c1)
+	b.cbuf[d.idx] += c2 + smask
+}
+
+// Normalize folds the pending carry counts into the value limbs, restoring
+// the canonical two's-complement form — bit-identical to the fused path's
+// state after the same adds, because both compute the same sum mod
+// 2^(64N). It is a no-op when nothing is pending; when counts are pending
+// but all zero (carries escaped no window since the last fold — the common
+// case for well-scaled data) it costs one pass over the counter words.
+func (b *BatchAccumulator) Normalize() {
+	if b.pending == 0 {
+		return
+	}
+	b.pending = 0
+	b.vbuf[0] = 0 // discard wrapped spill from top-of-format windows
+	if telemetry.Enabled() {
+		mBatchNormalizes.Inc()
+	}
+	if b.p.N < 3 {
+		return // every window reaches the top limb: nothing ever defers
+	}
+	var any uint64
+	for _, c := range b.cbuf[2:] {
+		any |= c
+	}
+	if any == 0 {
+		return
+	}
+	if telemetry.Enabled() {
+		mBatchFolds.Inc()
+	}
+	// Counts are signed and bounded (|count| <= limit < 2^62), and the
+	// running inter-limb carry h is at most ±1, so d never overflows and
+	// each step is a single Add64 or Sub64. The final carry out of limb 0
+	// wraps, exactly as full-width addition would.
+	var h int64
+	for i := b.p.N - 3; i >= 0; i-- {
+		d := h + int64(b.cbuf[i+2])
+		b.cbuf[i+2] = 0
+		if d >= 0 {
+			var co uint64
+			b.vv[i], co = bits.Add64(b.vv[i], uint64(d), 0)
+			h = int64(co)
+		} else {
+			var bo uint64
+			b.vv[i], bo = bits.Sub64(b.vv[i], uint64(-d), 0)
+			h = -int64(bo)
+		}
+	}
+}
+
+// AddHP adds a canonical HP value (a partial sum) in wrapping mode. The
+// pending counters are untouched: full-width addition commutes with the
+// deferred fold.
+func (b *BatchAccumulator) AddHP(x *HP) {
+	if x.p != b.p {
+		if b.err == nil {
+			b.err = ErrParamMismatch
+		}
+		return
+	}
+	var c uint64
+	for i := b.p.N - 1; i >= 0; i-- {
+		b.vv[i], c = bits.Add64(b.vv[i], x.limbs[i], c)
+	}
+}
+
+// Merge folds another batch accumulator's partial sum into b, propagating
+// its sticky error — the combine step when per-worker partials reduce into
+// a final result.
+func (b *BatchAccumulator) Merge(from *BatchAccumulator) {
+	if from.err != nil && b.err == nil {
+		b.err = from.err
+	}
+	if from.p != b.p {
+		if b.err == nil {
+			b.err = ErrParamMismatch
+		}
+		return
+	}
+	from.Normalize()
+	var c uint64
+	for i := b.p.N - 1; i >= 0; i-- {
+		b.vv[i], c = bits.Add64(b.vv[i], from.vv[i], c)
+	}
+}
+
+// MergeChecked is Merge with the paper's sign-rule overflow test applied to
+// the combine: both sides are normalized first, and if the two canonical
+// partials agree in sign while their sum's sign differs, the combined value
+// exceeded the representable range and ErrOverflow is recorded (sticky,
+// after any earlier error from either side). Reductions use this so that
+// overflow is decided at the deterministic combine points rather than
+// inside a block, where the verdict would depend on the decomposition.
+func (b *BatchAccumulator) MergeChecked(from *BatchAccumulator) {
+	if from.err != nil && b.err == nil {
+		b.err = from.err
+	}
+	if from.p != b.p {
+		if b.err == nil {
+			b.err = ErrParamMismatch
+		}
+		return
+	}
+	b.Normalize()
+	from.Normalize()
+	s0, s1 := b.vv[0]>>63, from.vv[0]>>63
+	var c uint64
+	for i := b.p.N - 1; i >= 0; i-- {
+		b.vv[i], c = bits.Add64(b.vv[i], from.vv[i], c)
+	}
+	if s0 == s1 && b.vv[0]>>63 != s0 && b.err == nil {
+		mOverflow.Inc()
+		b.err = ErrOverflow
+	}
+}
+
+// Sum normalizes and returns the canonical HP sum. The returned value is
+// owned by b and reused across calls; Clone it to keep a copy.
+func (b *BatchAccumulator) Sum() *HP {
+	b.Normalize()
+	if b.sum == nil {
+		b.sum = New(b.p)
+	}
+	copy(b.sum.limbs, b.vv)
+	return b.sum
+}
+
+// Float64 normalizes and returns the running sum rounded to float64
+// (round to nearest, ties to even), through a reused magnitude buffer so
+// per-element rounding loops do not allocate.
+func (b *BatchAccumulator) Float64() float64 {
+	b.Normalize()
+	return limbsToFloat64(b.vv, b.p.K, b.mag)
+}
+
+// AddChecked adds one value with the paper's §III.B.1 sign-rule overflow
+// verdict on the canonical trajectory: it normalizes around the add, so
+// the before/after states are exactly the sequential prefix states and the
+// verdict is identical to Accumulator.Add's for every decomposition. Scan
+// phase 2 uses this to keep overflow detection worker-count-invariant
+// while still adding through the batch kernel. Conversion faults set the
+// sticky error and report no overflow.
+func (b *BatchAccumulator) AddChecked(x float64) (overflow bool) {
+	b.Normalize()
+	s0 := b.vv[0] >> 63
+	var sx uint64
+	if math.Signbit(x) {
+		sx = 1
+	}
+	b.pending++
+	b.add1(x)
+	b.Normalize()
+	if s0 == sx && b.vv[0]>>63 != s0 {
+		mOverflow.Inc()
+		return true
+	}
+	return false
+}
+
+// AddRound is AddChecked followed by Float64, fused for per-element rebuild
+// loops (scan phase 2 emits one rounded prefix per input element): the
+// state is kept canonical across calls, so instead of scanning every
+// pending counter the single carry (±1) the add lets escape its two-limb
+// window is folded up the value limbs immediately, and the rounding reads
+// the canonical limbs in place. Bit-identical to AddChecked + Float64 in
+// value, verdict, and sticky error, for every input.
+func (b *BatchAccumulator) AddRound(x float64) (out float64, overflow bool) {
+	b.Normalize() // no-op when the previous call left the state canonical
+	s0 := b.vv[0] >> 63
+	bv := math.Float64bits(x)
+	var idx int
+	var lo, hi, smask uint64
+	if e := int(bv >> 52 & 0x7ff); uint(e-b.eMin) <= uint(b.eSpan) {
+		m := bv&(1<<52-1) | 1<<52
+		s := e + b.sBias
+		off := uint(s) & 63
+		lo = m << off
+		hi = m >> (64 - off)
+		smask = uint64(int64(bv) >> 63)
+		idx = b.p.N - 1 - s>>6
+	} else {
+		if x == 0 {
+			return limbsToFloat64(b.vv, b.p.K, b.mag), false
+		}
+		d, err := decomposeFloat64(b.p, x)
+		if err != nil {
+			if b.err == nil {
+				b.err = err
+			}
+			return limbsToFloat64(b.vv, b.p.K, b.mag), false
+		}
+		lo, hi, idx = d.lo, d.hi, d.idx
+		if d.neg {
+			smask = ^uint64(0)
+		}
+	}
+	dlo, c0 := bits.Add64(lo^smask, smask&1, 0)
+	dhi, _ := bits.Add64(hi^smask, 0, c0)
+	var c1, c2 uint64
+	b.vv[idx], c1 = bits.Add64(b.vv[idx], dlo, 0)
+	b.vbuf[idx], c2 = bits.Add64(b.vbuf[idx], dhi, c1)
+	if idx == 0 {
+		b.vbuf[0] = 0 // carry out of the top limb wraps away
+	} else if pend := c2 + smask; pend != 0 && idx >= 2 {
+		// Fold the escaped ±1 up from the limb above the window; idx == 1
+		// escapes past the top limb and wraps, like the spill above.
+		if pend == 1 {
+			for i := idx - 2; i >= 0; i-- {
+				b.vv[i]++
+				if b.vv[i] != 0 {
+					break
+				}
+			}
+		} else { // pend == ^uint64(0): a borrow
+			for i := idx - 2; i >= 0; i-- {
+				b.vv[i]--
+				if b.vv[i] != ^uint64(0) {
+					break
+				}
+			}
+		}
+	}
+	if b.vv[0]>>63 != s0 && s0 == bv>>63 {
+		mOverflow.Inc()
+		overflow = true
+	}
+	return limbsToFloat64(b.vv, b.p.K, b.mag), overflow
+}

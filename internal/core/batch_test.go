@@ -1,0 +1,468 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// batchFormats are the formats the batch kernel differential tests sweep:
+// the canonical presets plus the degenerate shapes (N=1, two-limb, K=0,
+// K=N) whose windows hit the spill slots.
+var batchFormats = []Params{
+	Params128, Params192, Params384, Params512,
+	{N: 1, K: 0}, {N: 1, K: 1}, {N: 2, K: 0}, {N: 2, K: 2}, {N: 3, K: 3},
+}
+
+// batchValues returns a value stream tuned to format p: magnitudes spread
+// across the whole representable exponent range, exact dyadic fractions,
+// sign flips, zeros, and trailing-zero significands (the lo==0 window).
+func batchValues(p Params, seed uint64, n int) []float64 {
+	r := rand.New(rand.NewSource(int64(seed)))
+	loExp := -64 * p.K
+	hiExp := 64*(p.N-p.K) - 2
+	xs := make([]float64, 0, n)
+	for len(xs) < n {
+		switch r.Intn(8) {
+		case 0:
+			xs = append(xs, 0, math.Copysign(0, -1))
+		case 1: // single-bit values at random in-range exponents
+			e := loExp + r.Intn(hiExp-loExp+1)
+			xs = append(xs, math.Copysign(math.Ldexp(1, e), float64(1-2*r.Intn(2))))
+		case 2: // trailing-zero significands: limb-aligned lo==0 windows
+			if hiExp-1 < loExp {
+				continue
+			}
+			e := loExp + 1 + r.Intn(hiExp-loExp)
+			xs = append(xs, math.Copysign(math.Ldexp(1, e)+math.Ldexp(1, e-1), float64(1-2*r.Intn(2))))
+		default:
+			// Multi-bit significands placed so every bit is representable:
+			// lowest bit at e >= loExp, highest at e+20 <= hiExp.
+			span := hiExp - loExp - 20
+			if span < 1 {
+				continue
+			}
+			e := loExp + r.Intn(span)
+			v := math.Ldexp(float64(1+r.Intn(1<<20)), e)
+			if r.Intn(2) == 0 {
+				v = -v
+			}
+			xs = append(xs, v)
+		}
+	}
+	return xs[:n]
+}
+
+// addBatchOracle mirrors a batch add stream through the fused kernel,
+// skipping exactly the elements the batch path rejects, and returns the
+// first error. Wrap-mode: overflow verdicts are ignored, as the batch
+// accumulator defines.
+func addBatchOracle(z *HP, xs []float64) error {
+	var first error
+	for _, x := range xs {
+		if _, err := z.AddFloat64(x); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// TestPropBatchMatchesFused: from arbitrary starting states and value
+// streams spanning the format range, AddSlice + Normalize produces limbs
+// bit-identical to the fused sparse kernel, with the same sticky error
+// identity, across every format shape.
+func TestPropBatchMatchesFused(t *testing.T) {
+	for _, p := range batchFormats {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			for trial := uint64(0); trial < 20; trial++ {
+				start := mixedLimbs(p, trial*977+13)
+				xs := batchValues(p, trial, 500)
+
+				oracle := start.Clone()
+				wantErr := addBatchOracle(oracle, xs)
+
+				b := NewBatch(p)
+				b.AddHP(start)
+				b.AddSlice(xs)
+				if gotErr := b.Err(); gotErr != wantErr {
+					t.Fatalf("trial %d: err %v, want %v", trial, gotErr, wantErr)
+				}
+				if got := b.Sum(); !got.Equal(oracle) {
+					t.Fatalf("trial %d: limbs diverged\nbatch %016x\nfused %016x",
+						trial, got.Limbs(), oracle.Limbs())
+				}
+			}
+		})
+	}
+}
+
+// TestPropBatchOrderInvariance: the canonical sum is identical no matter
+// where Normalize falls — every batch boundary decomposition of the same
+// stream, including per-element normalization, yields the same bits.
+func TestPropBatchOrderInvariance(t *testing.T) {
+	p := Params384
+	xs := batchValues(p, 99, 2000)
+	ref := NewBatch(p)
+	ref.AddSlice(xs)
+	want := ref.Sum().Clone()
+
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		b := NewBatch(p)
+		rest := xs
+		for len(rest) > 0 {
+			n := 1 + r.Intn(len(rest))
+			b.AddSlice(rest[:n])
+			rest = rest[n:]
+			if r.Intn(2) == 0 {
+				b.Normalize()
+			}
+		}
+		if got := b.Sum(); !got.Equal(want) {
+			t.Fatalf("trial %d: batch boundaries changed the sum\ngot  %016x\nwant %016x",
+				trial, got.Limbs(), want.Limbs())
+		}
+	}
+
+	// Shuffling the summands must not change the canonical sum either: the
+	// deferred-carry representation is as order-invariant as the HP method.
+	shuffled := append([]float64(nil), xs...)
+	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	b := NewBatch(p)
+	b.AddSlice(shuffled)
+	if got := b.Sum(); !got.Equal(want) {
+		t.Fatalf("shuffled stream changed the sum")
+	}
+}
+
+// TestBatchNormalizeBound: with the counted bound lowered to a handful of
+// adds, saturation triggers automatic normalization mid-slice and the
+// result still matches the fused oracle — including streams built to hold
+// a pending counter at its signed extreme (all same-sign borrows).
+func TestBatchNormalizeBound(t *testing.T) {
+	p := Params{N: 4, K: 2}
+	streams := map[string][]float64{
+		"mixed":          batchValues(p, 5, 300),
+		"negative-heavy": nil,
+		"alternating":    nil,
+	}
+	negs := make([]float64, 300)
+	alts := make([]float64, 300)
+	for i := range negs {
+		negs[i] = -math.Ldexp(1+float64(i%7)/8, -40)
+		alts[i] = math.Ldexp(1, 60) * float64(1-2*(i%2))
+	}
+	streams["negative-heavy"] = negs
+	streams["alternating"] = alts
+
+	for name, xs := range streams {
+		t.Run(name, func(t *testing.T) {
+			for _, limit := range []uint64{1, 2, 3, 7, 64} {
+				oracle := New(p)
+				if err := addBatchOracle(oracle, xs); err != nil {
+					t.Fatal(err)
+				}
+				b := NewBatch(p)
+				b.limit = limit
+				b.AddSlice(xs)
+				if b.pending > limit {
+					t.Fatalf("limit %d: pending %d exceeds bound", limit, b.pending)
+				}
+				if got := b.Sum(); !got.Equal(oracle) {
+					t.Fatalf("limit %d: sum diverged", limit)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchNormalizeThenContinue: interleaving Normalize, Sum, Float64,
+// and further adds never perturbs the stream's final value.
+func TestBatchNormalizeThenContinue(t *testing.T) {
+	p := Params384
+	xs := batchValues(p, 11, 400)
+	oracle := New(p)
+	if err := addBatchOracle(oracle, xs); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(p)
+	for i, x := range xs {
+		b.Add(x)
+		switch i % 5 {
+		case 1:
+			b.Normalize()
+		case 3:
+			_ = b.Float64()
+		case 4:
+			_ = b.Sum()
+		}
+	}
+	if got := b.Sum(); !got.Equal(oracle) {
+		t.Fatalf("interleaved canonicalization changed the sum\ngot  %016x\nwant %016x",
+			got.Limbs(), oracle.Limbs())
+	}
+	if got, want := b.Float64(), oracle.Float64(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("Float64 = %g, want %g", got, want)
+	}
+}
+
+// TestBatchGoldenPendingCarries pins the carry-save representation itself:
+// adds whose carries escape the two-limb window must land in the pending
+// counters, not the value limbs, until Normalize folds them.
+func TestBatchGoldenPendingCarries(t *testing.T) {
+	p := Params{N: 4, K: 1}
+	b := NewBatch(p)
+	// Limb 3 (the fractional limb) is all-ones; one more ulp carries out of
+	// the window limbs {3, 2} only after the window add overflows limb 2.
+	b.AddHP(mustHP(t, p, func(z *HP) error {
+		z.limbs = []uint64{0, 0, ^uint64(0), ^uint64(0)}
+		return nil
+	}))
+	b.Add(math.Ldexp(1, -64)) // one ulp: ripples through limbs 3 and 2
+	if b.cbuf[3] != 1 {
+		t.Fatalf("pending carry into limb 1 = %d, want 1 (cbuf %v)", b.cbuf[3], b.cbuf)
+	}
+	if b.vv[1] != 0 || b.vv[0] != 0 {
+		t.Fatalf("carry folded eagerly: vv %016x", b.vv)
+	}
+	b.Normalize()
+	want := []uint64{0, 1, 0, 0}
+	for i, w := range want {
+		if b.vv[i] != w {
+			t.Fatalf("normalized limbs %016x, want %016x", b.vv, want)
+		}
+	}
+
+	// The symmetric borrow: subtracting the ulp back records a pending -1
+	// (wrapping counter) and normalization restores the original bits.
+	b.Reset()
+	b.AddHP(mustHP(t, p, func(z *HP) error {
+		z.limbs = []uint64{0, 1, 0, 0}
+		return nil
+	}))
+	b.Add(-math.Ldexp(1, -64))
+	if b.cbuf[3] != ^uint64(0) {
+		t.Fatalf("pending borrow = %d, want -1", int64(b.cbuf[3]))
+	}
+	b.Normalize()
+	want = []uint64{0, 0, ^uint64(0), ^uint64(0)}
+	for i, w := range want {
+		if b.vv[i] != w {
+			t.Fatalf("normalized limbs %016x, want %016x", b.vv, want)
+		}
+	}
+}
+
+func mustHP(t *testing.T, p Params, fill func(*HP) error) *HP {
+	t.Helper()
+	z := New(p)
+	if err := fill(z); err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+// TestBatchErrors: conversion faults are sticky (first wins), identical in
+// identity to the fused path, and never corrupt the running sum.
+func TestBatchErrors(t *testing.T) {
+	p := Params128
+	b := NewBatch(p)
+	b.AddSlice([]float64{1.5, math.Inf(1), math.NaN(), 1e300, 0.25})
+	if b.Err() != ErrNotFinite {
+		t.Fatalf("sticky err = %v, want first ErrNotFinite", b.Err())
+	}
+	// The accepted elements still accumulated exactly.
+	oracle := New(p)
+	oracle.AddFloat64(1.5)
+	oracle.AddFloat64(0.25)
+	if !b.Sum().Equal(oracle) {
+		t.Fatal("faulting elements corrupted the sum")
+	}
+
+	b.Reset()
+	if b.Err() != nil || !b.Sum().IsZero() {
+		t.Fatal("Reset did not clear state")
+	}
+	b.AddSlice([]float64{1e300})
+	if b.Err() != ErrOverflow {
+		t.Fatalf("overflow err = %v", b.Err())
+	}
+	b.Reset()
+	b.AddSlice([]float64{math.Ldexp(1, -100)}) // below 2^-64 resolution
+	if b.Err() != ErrUnderflow {
+		t.Fatalf("underflow err = %v", b.Err())
+	}
+}
+
+// TestBatchAddChecked: the sign-rule verdict on the canonical trajectory
+// matches Accumulator.Add element for element, including through wrap-and-
+// return sequences.
+func TestBatchAddChecked(t *testing.T) {
+	p := Params{N: 2, K: 1}
+	big := math.Ldexp(1, 62)
+	xs := []float64{big, big, -big, -big, -big, -big, big, big, 1.5, -0.25}
+	acc := NewAccumulator(p)
+	b := NewBatch(p)
+	for i, x := range xs {
+		wantOv := false
+		{
+			pre := acc.Err()
+			acc.Add(x)
+			wantOv = pre == nil && acc.Err() == ErrOverflow
+			if wantOv {
+				acc.err = nil // keep observing later verdicts
+			}
+		}
+		if gotOv := b.AddChecked(x); gotOv != wantOv {
+			t.Fatalf("element %d (%g): overflow %v, want %v", i, x, gotOv, wantOv)
+		}
+		if !b.Sum().Equal(acc.Sum()) {
+			t.Fatalf("element %d: states diverged", i)
+		}
+	}
+}
+
+// TestBatchMerge: Merge equals AddHP of the normalized partial and
+// propagates the sticky error, so parallel combines are exact.
+func TestBatchMerge(t *testing.T) {
+	p := Params384
+	xs := batchValues(p, 3, 1000)
+	whole := NewBatch(p)
+	whole.AddSlice(xs)
+
+	a := NewBatch(p)
+	c := NewBatch(p)
+	a.AddSlice(xs[:371])
+	c.AddSlice(xs[371:])
+	a.Merge(c)
+	if !a.Sum().Equal(whole.Sum()) {
+		t.Fatal("merged partials differ from the whole")
+	}
+
+	bad := NewBatch(p)
+	bad.AddSlice([]float64{math.NaN()})
+	a.Merge(bad)
+	if a.Err() != ErrNotFinite {
+		t.Fatalf("Merge did not propagate sticky error: %v", a.Err())
+	}
+	mismatched := NewBatch(Params128)
+	fresh := NewBatch(p)
+	fresh.Merge(mismatched)
+	if fresh.Err() != ErrParamMismatch {
+		t.Fatalf("param mismatch err = %v", fresh.Err())
+	}
+}
+
+// TestBatchMergeChecked: the checked combine matches Merge bit-for-bit when
+// in range and records ErrOverflow exactly when two same-signed canonical
+// partials produce an opposite-signed sum.
+func TestBatchMergeChecked(t *testing.T) {
+	p := Params384
+	xs := batchValues(p, 4, 1000)
+	whole := NewBatch(p)
+	whole.AddSlice(xs)
+	a := NewBatch(p)
+	c := NewBatch(p)
+	a.AddSlice(xs[:619])
+	c.AddSlice(xs[619:])
+	a.MergeChecked(c)
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Sum().Equal(whole.Sum()) {
+		t.Fatal("checked merge differs from the whole")
+	}
+
+	// Two partials at half the positive range: each fits, their sum does not.
+	pp := Params{N: 2, K: 1}
+	big := math.Ldexp(1, 62)
+	u := NewBatch(pp)
+	v := NewBatch(pp)
+	u.Add(big)
+	v.Add(big)
+	u.MergeChecked(v)
+	if u.Err() != ErrOverflow {
+		t.Fatalf("overflowing combine err = %v, want ErrOverflow", u.Err())
+	}
+
+	// Opposite signs can never trip the rule, however large.
+	u2 := NewBatch(pp)
+	v2 := NewBatch(pp)
+	u2.Add(big)
+	v2.Add(-big)
+	u2.MergeChecked(v2)
+	if u2.Err() != nil || u2.Float64() != 0 {
+		t.Fatalf("cancelling combine: err=%v sum=%g", u2.Err(), u2.Float64())
+	}
+
+	// Sticky errors from either side win over the overflow verdict.
+	bad := NewBatch(pp)
+	bad.AddSlice([]float64{math.NaN()})
+	w := NewBatch(pp)
+	w.Add(big)
+	bad.Add(big)
+	w.MergeChecked(bad)
+	if w.Err() != ErrNotFinite {
+		t.Fatalf("sticky error lost: %v", w.Err())
+	}
+}
+
+// TestBatchAtomicFlush: Atomic.AddBatch drains a local batch into the
+// shared sum (resetting it for reuse) and reports its sticky fault.
+func TestBatchAtomicFlush(t *testing.T) {
+	p := Params192
+	dst := NewAtomic(p)
+	b := NewBatch(p)
+	b.AddSlice([]float64{1.5, -0.25, math.NaN()})
+	if err := dst.AddBatch(b); err != ErrNotFinite {
+		t.Fatalf("flush err = %v, want ErrNotFinite", err)
+	}
+	if b.Err() != nil || b.Float64() != 0 {
+		t.Fatal("batch not reset after flush")
+	}
+	b.AddSlice([]float64{2})
+	if err := dst.AddBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Snapshot().Float64(); got != 3.25 {
+		t.Errorf("atomic sum = %g, want 3.25", got)
+	}
+}
+
+// TestBatchAddSliceZeroAlloc: the hot loop and its canonicalization points
+// are allocation-free in steady state (after Sum's lazy canonical view
+// exists).
+func TestBatchAddSliceZeroAlloc(t *testing.T) {
+	xs := rng.UniformSet(rng.New(21), 4096, -0.5, 0.5)
+	b := NewBatch(Params384)
+	b.AddSlice(xs)
+	_ = b.Sum() // allocate the lazy canonical view once
+	if avg := testing.AllocsPerRun(100, func() {
+		b.AddSlice(xs)
+		b.Normalize()
+		_ = b.Float64()
+		_ = b.Sum()
+	}); avg != 0 {
+		t.Errorf("batch hot loop allocates %.2f objects per pass", avg)
+	}
+}
+
+// TestBatchGoldenUniformSum: the batch kernel reproduces the repository's
+// pinned reproducibility certificate (same workload as the fused golden).
+func TestBatchGoldenUniformSum(t *testing.T) {
+	xs := rng.UniformSet(rng.New(2016), 100000, -0.5, 0.5)
+	b := NewBatch(Params384)
+	b.AddSlice(xs)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	got := fmt.Sprintf("%016x", b.Sum().Limbs())
+	const want = "[0000000000000000 0000000000000000 0000000000000097 d2fb6ee2a75a8000 0000000000000000 0000000000000000]"
+	if got != want {
+		t.Errorf("batch golden uniform sum drifted:\n got %s\nwant %s", got, want)
+	}
+}

@@ -154,6 +154,79 @@ func FuzzFusedAddDifferential(f *testing.F) {
 	})
 }
 
+// FuzzBatchAddDifferential: from an arbitrary accumulator state, the
+// carry-save batch kernel must match the fused sparse kernel bit for bit —
+// same acceptance, same sticky-error identity, same canonical limbs — for
+// any pair of values and any normalize placement between them, including a
+// saturated counted bound that forces mid-stream normalization.
+func FuzzBatchAddDifferential(f *testing.F) {
+	f.Add(uint64(0), 0.5, -0.25, uint8(0))
+	f.Add(uint64(1), -0.1, 0.1, uint8(1))
+	f.Add(uint64(0xfff), 1e15, -1e15, uint8(2))
+	f.Add(^uint64(0), -math.Ldexp(1, 62), math.Ldexp(1, 62), uint8(3))
+	f.Add(uint64(42), math.Ldexp(1, -64), 1.0, uint8(4))
+	f.Add(uint64(7), math.MaxFloat64, math.Inf(1), uint8(5))
+	f.Add(uint64(9), math.NaN(), math.Ldexp(1.5, -60), uint8(6))
+	f.Fuzz(func(t *testing.T, seed uint64, x, y float64, mode uint8) {
+		p := Params384
+		start := mixedLimbs(p, seed)
+
+		oracle := start.Clone()
+		var wantErr error
+		for _, v := range []float64{x, y} {
+			if _, err := oracle.AddFloat64(v); err != nil && wantErr == nil {
+				wantErr = err
+			}
+		}
+
+		b := NewBatch(p)
+		if mode%7 == 6 {
+			b.limit = 1 // saturate the counted bound on every add
+		}
+		b.AddHP(start)
+		b.Add(x)
+		switch mode % 3 {
+		case 1:
+			b.Normalize()
+		case 2:
+			_ = b.Float64()
+		}
+		b.Add(y)
+		if gotErr := b.Err(); gotErr != wantErr {
+			t.Fatalf("sticky err %v, want %v (x=%g y=%g)", gotErr, wantErr, x, y)
+		}
+		if got := b.Sum(); !got.Equal(oracle) {
+			t.Fatalf("limbs differ after %g, %g (mode %d):\nbatch %016x\nfused %016x",
+				x, y, mode, got.Limbs(), oracle.Limbs())
+		}
+	})
+}
+
+// FuzzLimbsToFloat64Differential: the branch-light rounding fast path used
+// by the per-element hot loops must agree bit-for-bit with the generic
+// magnitude path on arbitrary two's-complement states, across formats whose
+// ranges sit inside, straddle, and exceed float64's (exercising the
+// saturation and subnormal fallbacks).
+func FuzzLimbsToFloat64Differential(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(1), ^uint64(0))
+	f.Add(uint64(42), uint64(1)<<63)
+	f.Add(^uint64(0), uint64(0xfff))
+	f.Fuzz(func(t *testing.T, seed, top uint64) {
+		for _, p := range []Params{Params128, Params192, Params384, Params512, {N: 2, K: 0}, {N: 20, K: 17}} {
+			h := mixedLimbs(p, seed)
+			h.limbs[0] = top // drive the sign and leading-bit cases directly
+			fast := limbsToFloat64(h.limbs, p.K, nil)
+			mag := make([]uint64, p.N)
+			slow := magToFloat64(mag, p.K, magnitudeInto(mag, h.limbs))
+			if math.Float64bits(fast) != math.Float64bits(slow) {
+				t.Fatalf("%v limbs %016x: fast %x (%g), slow %x (%g)",
+					p, h.limbs, math.Float64bits(fast), fast, math.Float64bits(slow), slow)
+			}
+		}
+	})
+}
+
 // FuzzMarshalRoundTrip: any accepted encoding decodes to identical state,
 // and arbitrary byte mutations never crash the decoder.
 func FuzzMarshalRoundTrip(f *testing.F) {

@@ -175,8 +175,15 @@ func (x *HP) SetFloat64(v float64) error {
 // undone if negative) and reports whether x was negative. dst must have
 // length N.
 func (x *HP) magnitude(dst []uint64) bool {
-	copy(dst, x.limbs)
-	if x.limbs[0]>>63 == 0 {
+	return magnitudeInto(dst, x.limbs)
+}
+
+// magnitudeInto writes the magnitude of the big-endian two's-complement limb
+// vector src into dst and reports whether src was negative. Shared by HP and
+// BatchAccumulator rounding.
+func magnitudeInto(dst, src []uint64) bool {
+	copy(dst, src)
+	if src[0]>>63 == 0 {
 		return false
 	}
 	carry := uint64(1)
@@ -275,9 +282,147 @@ func shiftRightRounded(limbs []uint64, shift, keepBits int) uint64 {
 // (§III.B.1) that HP-to-double conversion can itself overflow or underflow
 // when the HP range exceeds that of double precision.
 func (x *HP) Float64() float64 {
-	mag := make([]uint64, x.p.N)
-	neg := x.magnitude(mag)
-	return magToFloat64(mag, x.p.K, neg)
+	return limbsToFloat64(x.limbs, x.p.K, nil)
+}
+
+// limbsToFloat64 rounds a canonical two's-complement limb vector (big-
+// endian, k fractional limbs) to the nearest float64, ties to even. The
+// common case — a result that lands in float64's normal range — is handled
+// directly on the two's-complement words: the magnitude limbs are derived
+// lazily (complement above the lowest nonzero limb, negate at it), so no
+// magnitude buffer is written and no math.Ldexp call is made. Everything
+// else (zero, subnormal results, saturation to ±Inf, values shorter than
+// the target precision) falls back to the generic magnitude path through
+// mag, which is allocated only if nil.
+func limbsToFloat64(limbs []uint64, k int, mag []uint64) float64 {
+	if limbs[0]>>63 == 0 {
+		// Positive (or zero): the limbs are the magnitude.
+		return roundMagnitude(limbs, k)
+	}
+	// Negative: the magnitude is ^limbs + 1. The +1 ripples only through
+	// the trailing zero limbs, so limb i of the magnitude is ^limbs[i]
+	// above the lowest nonzero limb (index lo), -limbs[lo] at it, and 0
+	// below — negMagLimb reads it lazily, nothing is written.
+	n := len(limbs)
+	lo := n - 1
+	for limbs[lo] == 0 {
+		lo--
+	}
+	t := 0
+	for t < lo && limbs[t] == ^uint64(0) {
+		t++
+	}
+	mt := negMagLimb(limbs, lo, t)
+	bl := 64*(n-1-t) + bits.Len64(mt)
+	shift := bl - 53
+	if shift < 1 {
+		return slowNegToFloat64(limbs, k, mag)
+	}
+	j := n - 1 - shift/64
+	off := uint(shift) & 63
+	mant := negMagLimb(limbs, lo, j) >> off
+	if off != 0 && j > 0 {
+		mant |= negMagLimb(limbs, lo, j-1) << (64 - off)
+	}
+	mant &= 1<<53 - 1
+	goff := uint(shift-1) & 63
+	jg := n - 1 - (shift-1)/64
+	if negMagLimb(limbs, lo, jg)>>goff&1 != 0 {
+		// The magnitude's lowest nonzero limb is exactly lo (its value
+		// there is -limbs[lo] != 0), so "any magnitude bit in a limb below
+		// jg" is just lo > jg — no scan.
+		sticky := mant&1 == 1 || lo > jg
+		if !sticky && goff != 0 {
+			sticky = negMagLimb(limbs, lo, jg)&(1<<goff-1) != 0
+		}
+		if sticky {
+			mant++
+		}
+	}
+	f := float64(mant) // exact: mant <= 2^53
+	b := math.Float64bits(f)
+	e := shift - 64*k
+	if ne := int(b>>52&0x7ff) + e; ne < 1 || ne > 2046 {
+		return slowNegToFloat64(limbs, k, mag)
+	}
+	return -math.Float64frombits(b + uint64(int64(e))<<52)
+}
+
+// negMagLimb returns limb i of the magnitude of a negative two's-complement
+// limb vector whose lowest nonzero limb is at index lo.
+func negMagLimb(limbs []uint64, lo, i int) uint64 {
+	if i > lo {
+		return 0
+	}
+	m := ^limbs[i]
+	if i == lo {
+		m++
+	}
+	return m
+}
+
+// slowNegToFloat64 is the generic fallback for negative values (subnormal,
+// saturating, or shorter than the target precision): materialize the
+// magnitude into mag (allocated if nil) and round through magToFloat64.
+func slowNegToFloat64(limbs []uint64, k int, mag []uint64) float64 {
+	if mag == nil {
+		mag = make([]uint64, len(limbs))
+	}
+	magnitudeInto(mag, limbs)
+	return magToFloat64(mag, k, true)
+}
+
+// roundMagnitude rounds the unsigned big-endian magnitude m (k fractional
+// limbs) to float64. Normal-range results are computed with one top-limb
+// scan, a two-limb window read, and a sticky scan — no math.Ldexp;
+// everything else (zero, subnormal, saturation, values shorter than the
+// target precision) defers to the generic magToFloat64.
+func roundMagnitude(m []uint64, k int) float64 {
+	n := len(m)
+	t := 0
+	for m[t] == 0 {
+		if t++; t == n {
+			return 0
+		}
+	}
+	bl := 64*(n-1-t) + bits.Len64(m[t])
+	shift := bl - 53
+	if shift < 1 {
+		// Fewer bits than the target precision (plus guard): exact, rare.
+		return magToFloat64(m, k, false)
+	}
+	// 53-bit window starting at bit `shift` spans at most two limbs; the
+	// guard bit at shift-1 and the sticky bits sit at and below limb jg.
+	j := n - 1 - shift/64
+	off := uint(shift) & 63
+	mant := m[j] >> off
+	if off != 0 && j > 0 {
+		mant |= m[j-1] << (64 - off)
+	}
+	mant &= 1<<53 - 1
+	goff := uint(shift-1) & 63
+	jg := n - 1 - (shift-1)/64
+	if m[jg]>>goff&1 != 0 {
+		sticky := mant&1 == 1 // a tie rounds up iff mant is odd: no scan
+		for i := n - 1; !sticky && i > jg; i-- {
+			sticky = m[i] != 0
+		}
+		if !sticky && goff != 0 {
+			sticky = m[jg]&(1<<goff-1) != 0
+		}
+		if sticky {
+			mant++
+		}
+	}
+	f := float64(mant) // exact: mant <= 2^53
+	b := math.Float64bits(f)
+	e := shift - 64*k
+	if ne := int(b>>52&0x7ff) + e; ne < 1 || ne > 2046 {
+		// Subnormal or out of float64 range: the 53-bit rounding above
+		// does not apply; redo generically.
+		return magToFloat64(m, k, false)
+	}
+	return math.Float64frombits(b + uint64(int64(e))<<52)
 }
 
 func magToFloat64(mag []uint64, k int, neg bool) float64 {

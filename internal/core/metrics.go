@@ -22,6 +22,12 @@ var (
 		"Underflow detections: conversions with significant bits below the HP fractional range.")
 	mAdaptiveWidenings = telemetry.NewCounter("core_adaptive_widenings_total",
 		"Adaptive accumulator precision promotions (format widenings).")
+	mBatchAdds = telemetry.NewCounter("core_batch_adds_total",
+		"Values accumulated through the carry-save batch kernel (BatchAccumulator.AddSlice elements).")
+	mBatchNormalizes = telemetry.NewCounter("core_batch_normalizes_total",
+		"BatchAccumulator.Normalize calls that had pending adds to account for.")
+	mBatchFolds = telemetry.NewCounter("core_batch_carry_folds_total",
+		"Normalize calls that found nonzero pending carry counts and ran the fold loop.")
 	mAdaptiveLimbs = telemetry.NewGauge("core_adaptive_limbs",
 		"Current limb count N of the most recently widened adaptive accumulator.")
 )

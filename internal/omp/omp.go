@@ -221,31 +221,48 @@ func (b *Barrier) Abandon() {
 	b.mu.Unlock()
 }
 
+// cacheLineSize is the false-sharing granularity assumed for per-thread
+// state. 128 bytes covers the 64-byte lines on x86-64 plus the adjacent-line
+// prefetcher pairing them, and the 128-byte lines on apple silicon.
+const cacheLineSize = 128
+
+// paddedLocal spaces per-thread reduction locals at least a cache line
+// apart so threads writing adjacent slice slots (small value-typed locals
+// in particular) never invalidate each other's lines.
+type paddedLocal[L any] struct {
+	v L
+	_ [cacheLineSize]byte
+}
+
 // Reduce runs a parallel reduction over [0, n): each thread builds a local
 // accumulator with newLocal, folds its statically assigned block with body,
 // and the master combines the locals in ascending thread order — the
 // deterministic combine structure used by all of the paper's strong-scaling
 // experiments. The combined value for thread 0's local is returned.
+//
+// Locals are stored cache-line padded: each thread's slot is at least
+// cacheLineSize bytes from its neighbours, so concurrent folds into
+// value-typed locals do not false-share.
 func Reduce[L any](t *Team, n int, newLocal func(tid int) L,
 	body func(local L, tid, lo, hi int), combine func(into, from L)) L {
 	var start time.Time
 	if telemetry.Enabled() {
 		start = time.Now() // clock reads only when recording is on
 	}
-	locals := make([]L, t.threads)
+	locals := make([]paddedLocal[L], t.threads)
 	t.Run(func(tid int) {
-		locals[tid] = newLocal(tid)
+		locals[tid].v = newLocal(tid)
 		lo, hi := StaticBlock(n, t.threads, tid)
 		if hi > lo {
 			mChunks.Inc()
 		}
-		body(locals[tid], tid, lo, hi)
+		body(locals[tid].v, tid, lo, hi)
 	})
 	for i := 1; i < t.threads; i++ {
-		combine(locals[0], locals[i])
+		combine(locals[0].v, locals[i].v)
 	}
 	if !start.IsZero() {
 		mReduceLatency.ObserveDuration(time.Since(start).Seconds())
 	}
-	return locals[0]
+	return locals[0].v
 }

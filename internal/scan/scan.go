@@ -44,20 +44,22 @@ func Inclusive(p core.Params, xs []float64, workers int) ([]float64, error) {
 	}
 	team := omp.NewTeam(workers)
 
-	// Phase 1: exact block totals, wrapping. A block partial that wraps is
-	// not an error here — only phase 2, which follows the true prefix
+	// Phase 1: exact block totals through the carry-save batch kernel
+	// (inherently wrapping — deferred carries make per-add overflow
+	// unobservable, which is exactly the policy here). A block partial that
+	// wraps is not an error — only phase 2, which follows the true prefix
 	// trajectory, decides overflow, so the verdict cannot depend on where
 	// the block boundaries fell. Conversion errors are sticky per block;
 	// scanning blocks in index order below reports the earliest one.
-	totals := make([]*core.Accumulator, workers)
+	totals := make([]*core.BatchAccumulator, workers)
 	team.Run(func(tid int) {
 		lo, hi := omp.StaticBlock(n, workers, tid)
-		acc := core.NewAccumulator(p).AllowWrap()
-		acc.AddAll(xs[lo:hi])
-		totals[tid] = acc
+		b := core.NewBatch(p)
+		b.AddSlice(xs[lo:hi])
+		totals[tid] = b
 	})
-	for _, acc := range totals {
-		if err := acc.Err(); err != nil {
+	for _, b := range totals {
+		if err := b.Err(); err != nil {
 			return nil, err
 		}
 	}
@@ -76,22 +78,32 @@ func Inclusive(p core.Params, xs []float64, workers int) ([]float64, error) {
 		return nil, err
 	}
 
-	// Phase 2: emit rounded prefixes from each exact offset. Each
-	// accumulator state here equals the sequential prefix state
-	// bit-for-bit, so the per-add sign-rule overflow detection fires on
-	// exactly the same elements for every worker count. Accumulator.Float64
-	// reuses the accumulator's scratch buffer, so the per-element loop does
-	// not allocate.
+	// Phase 2: emit rounded prefixes from each exact offset, again through
+	// the batch kernel. AddRound keeps the state canonical across each add,
+	// so every state equals the sequential prefix state bit-for-bit and
+	// the sign-rule overflow verdict fires on exactly the same elements
+	// for every worker count; the per-element first error (conversion or
+	// overflow, whichever came first in element order) likewise matches
+	// the sequential accumulator. AddRound rounds in place through the
+	// batch's reused scratch, so the per-element loop does not allocate.
 	errs := make([]error, workers)
 	team.Run(func(tid int) {
 		lo, hi := omp.StaticBlock(n, workers, tid)
-		acc := core.NewAccumulator(p)
-		acc.AddHP(offsets[tid])
+		b := core.NewBatch(p)
+		b.AddHP(offsets[tid])
+		var firstErr error
 		for i := lo; i < hi; i++ {
-			acc.Add(xs[i])
-			out[i] = acc.Float64()
+			v, overflow := b.AddRound(xs[i])
+			if firstErr == nil {
+				if err := b.Err(); err != nil {
+					firstErr = err
+				} else if overflow {
+					firstErr = core.ErrOverflow
+				}
+			}
+			out[i] = v
 		}
-		errs[tid] = acc.Err()
+		errs[tid] = firstErr
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -73,6 +73,15 @@ type Atomic = core.Atomic
 // any finite float64, eliminating the a-priori range choice.
 type Adaptive = core.Adaptive
 
+// BatchAccumulator is the carry-save batch accumulator: the highest-
+// throughput sequential path, deferring cross-limb carries across a batch
+// of summands and folding them at normalize points. Its canonical sums are
+// bit-identical to Accumulator's. See core.BatchAccumulator.
+type BatchAccumulator = core.BatchAccumulator
+
+// NewBatch returns a zeroed carry-save batch accumulator with format p.
+func NewBatch(p Params) *BatchAccumulator { return core.NewBatch(p) }
+
 // NewAccumulator returns a zeroed sequential accumulator with format p.
 func NewAccumulator(p Params) *Accumulator { return core.NewAccumulator(p) }
 
@@ -110,15 +119,23 @@ func ParallelSum(p Params, xs []float64, workers int) (float64, error) {
 }
 
 // ParallelSumHP is ParallelSum returning the full-precision HP result.
+//
+// Each worker folds its block through the carry-save batch kernel, so block
+// partials are carried exactly mod 2^(64N) with carries deferred; the
+// master combines them in ascending thread order through a checked
+// accumulator. Conversion faults (NaN/Inf/range) are detected identically
+// to the sequential path; a partial that transiently exceeds the signed
+// range but cancels before its combine point is not an error, matching the
+// scan package's wrap-and-check-at-combine policy.
 func ParallelSumHP(p Params, xs []float64, workers int) (*HP, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("repro: worker count %d", workers)
 	}
 	team := omp.NewTeam(workers)
 	total := omp.Reduce(team, len(xs),
-		func(int) *core.Accumulator { return core.NewAccumulator(p) },
-		func(local *core.Accumulator, _, lo, hi int) { local.AddAll(xs[lo:hi]) },
-		func(into, from *core.Accumulator) { into.Merge(from) })
+		func(int) *core.BatchAccumulator { return core.NewBatch(p) },
+		func(local *core.BatchAccumulator, _, lo, hi int) { local.AddSlice(xs[lo:hi]) },
+		func(into, from *core.BatchAccumulator) { into.MergeChecked(from) })
 	if err := total.Err(); err != nil {
 		return nil, err
 	}
