@@ -17,9 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"slices"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -27,6 +30,7 @@ import (
 	"repro/internal/omp"
 	"repro/internal/rng"
 	"repro/internal/scan"
+	"repro/internal/server"
 )
 
 type config struct {
@@ -134,6 +138,7 @@ type workload struct {
 	name    string
 	workers int
 	exact   bool // checksum must match the other exact paths bit-for-bit
+	frames  int  // wire frames per pass, for service workloads (0 otherwise)
 	fn      func(xs []float64) (float64, error)
 }
 
@@ -145,7 +150,7 @@ const baselineName = "serial-legacy"
 func workloads(cfg config) []workload {
 	p := cfg.params
 	ws := []workload{
-		{baselineName, 1, true, func(xs []float64) (float64, error) {
+		{baselineName, 1, true, 0, func(xs []float64) (float64, error) {
 			sum := core.New(p)
 			scratch := core.New(p)
 			for _, x := range xs {
@@ -158,12 +163,12 @@ func workloads(cfg config) []workload {
 			}
 			return sum.Float64(), nil
 		}},
-		{"serial-fused", 1, true, func(xs []float64) (float64, error) {
+		{"serial-fused", 1, true, 0, func(xs []float64) (float64, error) {
 			acc := core.NewAccumulator(p)
 			acc.AddAll(xs)
 			return acc.Float64(), acc.Err()
 		}},
-		{"serial-batch", 1, true, func(xs []float64) (float64, error) {
+		{"serial-batch", 1, true, 0, func(xs []float64) (float64, error) {
 			b := core.NewBatch(p)
 			b.AddSlice(xs)
 			return b.Float64(), b.Err()
@@ -172,7 +177,7 @@ func workloads(cfg config) []workload {
 	for _, workers := range cfg.sweep {
 		workers := workers
 		ws = append(ws,
-			workload{"omp-reduce", workers, true, func(xs []float64) (float64, error) {
+			workload{"omp-reduce", workers, true, 0, func(xs []float64) (float64, error) {
 				team := omp.NewTeam(workers)
 				total := omp.Reduce(team, len(xs),
 					func(int) *core.BatchAccumulator { return core.NewBatch(p) },
@@ -182,7 +187,7 @@ func workloads(cfg config) []workload {
 					func(into, from *core.BatchAccumulator) { into.MergeChecked(from) })
 				return total.Float64(), total.Err()
 			}},
-			workload{"atomic-xadd", workers, true, func(xs []float64) (float64, error) {
+			workload{"atomic-xadd", workers, true, 0, func(xs []float64) (float64, error) {
 				dst := core.NewAtomic(p)
 				errs := make([]error, workers)
 				omp.NewTeam(workers).For(len(xs), func(tid, lo, hi int) {
@@ -200,7 +205,7 @@ func workloads(cfg config) []workload {
 				}
 				return dst.Snapshot().Float64(), nil
 			}},
-			workload{"atomic-cas", workers, true, func(xs []float64) (float64, error) {
+			workload{"atomic-cas", workers, true, 0, func(xs []float64) (float64, error) {
 				dst := core.NewAtomic(p)
 				errs := make([]error, workers)
 				omp.NewTeam(workers).For(len(xs), func(tid, lo, hi int) {
@@ -221,7 +226,7 @@ func workloads(cfg config) []workload {
 			// Bulk flush: each thread folds its block through a local batch
 			// and lands it in the shared accumulator with one full-width
 			// atomic pass — the AtomicArray.AddSlice path.
-			workload{"atomic-batch", workers, true, func(xs []float64) (float64, error) {
+			workload{"atomic-batch", workers, true, 0, func(xs []float64) (float64, error) {
 				bank := core.NewAtomicArray(p, workers)
 				errs := make([]error, workers)
 				omp.NewTeam(workers).For(len(xs), func(tid, lo, hi int) {
@@ -240,7 +245,7 @@ func workloads(cfg config) []workload {
 			}},
 			// The scan emits n rounded prefixes, not one sum; its checksum is
 			// the final prefix, which equals the reduction result exactly.
-			workload{"scan-inclusive", workers, true, func(xs []float64) (float64, error) {
+			workload{"scan-inclusive", workers, true, 0, func(xs []float64) (float64, error) {
 				out, err := scan.Inclusive(p, xs, workers)
 				if err != nil {
 					return 0, err
@@ -249,7 +254,71 @@ func workloads(cfg config) []workload {
 			}},
 		)
 	}
+	ws = append(ws, serverLoopback(cfg))
 	return ws
+}
+
+// serverLoopback measures the full network service path: an in-process
+// hpsumd handler on a real loopback TCP listener, fed by concurrent clients
+// streaming CRC-framed binary batches. It is an exact workload — the
+// service merge is bit-identical to the serial paths — so its checksum
+// rides the same cross-path identity check, and it is the only workload
+// reporting frames/sec.
+func serverLoopback(cfg config) workload {
+	p := cfg.params
+	clients := cfg.sweep[len(cfg.sweep)-1]
+	const frameLen = 4096
+	frames := 0
+	for i := 0; i < clients; i++ {
+		sz := cfg.count / clients
+		if i < cfg.count%clients {
+			sz++
+		}
+		frames += (sz + frameLen - 1) / frameLen
+	}
+	return workload{"server-loopback", clients, true, frames, func(xs []float64) (float64, error) {
+		s := server.New(server.Config{Params: p})
+		defer s.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer hs.Close()
+		base := "http://" + ln.Addr().String()
+
+		c := &server.Client{Base: base, FrameLen: frameLen}
+		if _, err := c.Create("bench", core.Params{}); err != nil {
+			return 0, err
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		for i := 0; i < clients; i++ {
+			lo := i * len(xs) / clients
+			hi := (i + 1) * len(xs) / clients
+			wg.Add(1)
+			go func(i int, part []float64) {
+				defer wg.Done()
+				cl := &server.Client{Base: base, FrameLen: frameLen}
+				_, errs[i] = cl.Stream("bench", part)
+			}(i, xs[lo:hi])
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		info, err := c.Get("bench")
+		if err != nil {
+			return 0, err
+		}
+		if info.Err != "" {
+			return 0, fmt.Errorf("server-loopback: sticky error %s", info.Err)
+		}
+		return info.Sum, nil
+	}}
 }
 
 func run(cfg config) (*bench.Report, error) {
@@ -306,14 +375,18 @@ func run(cfg config) (*bench.Report, error) {
 		if failed != nil {
 			return nil, fmt.Errorf("%s workers=%d: %w", w.name, w.workers, failed)
 		}
-		report.Workloads = append(report.Workloads, bench.Workload{
+		wl := bench.Workload{
 			Name:            w.name,
 			Workers:         w.workers,
 			SecondsPerTrial: d.Seconds(),
 			AddsPerSec:      float64(cfg.count) / d.Seconds(),
 			MallocsPerOp:    float64(after.Mallocs-before.Mallocs) / float64(cfg.count),
 			Checksum:        sum,
-		})
+		}
+		if w.frames > 0 {
+			wl.FramesPerSec = float64(w.frames) / d.Seconds()
+		}
+		report.Workloads = append(report.Workloads, wl)
 	}
 	if err := report.FillSpeedups(); err != nil {
 		return nil, err

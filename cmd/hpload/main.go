@@ -1,0 +1,217 @@
+// Command hpload drives an hpsumd instance with concurrent clients and
+// verifies the service's headline claim end to end: K clients streaming
+// shuffled partitions of one seeded workload must leave the accumulator
+// bit-identical (MarshalText equal) to a serial in-process oracle, because
+// HP addition is exactly associative and commutative.
+//
+//	hpload -addr http://127.0.0.1:8080 -clients 8 -count 1000000 -seed 1
+//	hpload -addr ... -duration 5s            # soak: repeat rounds until the clock runs out
+//	hpload -addr ... -corrupt                # also probe the 4xx rejection paths
+//
+// Exit status 0 means every round verified; any mismatch, transport error,
+// or rejection-path surprise is fatal. The tool prints per-round throughput
+// (values/s) and the certificate prefix so runs are comparable.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hpload:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr     string
+	clients  int
+	count    int
+	seed     uint64
+	rounds   int
+	duration time.Duration
+	frameLen int
+	corrupt  bool
+	params   core.Params
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hpload", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "hpsumd base URL")
+	fs.IntVar(&cfg.clients, "clients", 8, "concurrent streaming clients")
+	fs.IntVar(&cfg.count, "count", 100000, "values per round")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "workload PRNG seed (round i uses seed+i)")
+	fs.IntVar(&cfg.rounds, "rounds", 1, "verification rounds (ignored when -duration is set)")
+	fs.DurationVar(&cfg.duration, "duration", 0, "soak mode: run rounds until this much time has passed")
+	fs.IntVar(&cfg.frameLen, "frame", 4096, "values per ingest frame")
+	fs.BoolVar(&cfg.corrupt, "corrupt", false, "also send corrupt/oversize/non-finite frames and require 4xx")
+	n := fs.Int("n", 6, "HP total limbs N")
+	k := fs.Int("k", 3, "HP fractional limbs k")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg.params = core.Params{N: *n, K: *k}
+	if err := cfg.params.Validate(); err != nil {
+		return err
+	}
+
+	deadline := time.Time{}
+	rounds := cfg.rounds
+	if cfg.duration > 0 {
+		deadline = time.Now().Add(cfg.duration)
+		rounds = int(math.MaxInt32)
+	}
+	for i := 0; i < rounds; i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		if err := round(cfg, cfg.seed+uint64(i), out); err != nil {
+			return fmt.Errorf("round %d (seed %d): %w", i, cfg.seed+uint64(i), err)
+		}
+	}
+	if cfg.corrupt {
+		if err := corruptProbes(cfg); err != nil {
+			return fmt.Errorf("corrupt probes: %w", err)
+		}
+		fmt.Fprintln(out, "corrupt probes: all rejected with 4xx")
+	}
+	return nil
+}
+
+// round creates a fresh accumulator, streams one seeded workload through
+// cfg.clients concurrent clients (each with a private shuffled partition),
+// and verifies the result against a serial oracle bit for bit.
+func round(cfg config, seed uint64, out io.Writer) error {
+	c := &server.Client{Base: cfg.addr, FrameLen: cfg.frameLen}
+	name := fmt.Sprintf("hpload-%d", seed)
+	if _, err := c.Create(name, cfg.params); err != nil {
+		return err
+	}
+	defer c.Delete(name)
+
+	xs := rng.UniformSet(rng.New(seed), cfg.count, -0.5, 0.5)
+	parts := make([][]float64, cfg.clients)
+	for i, x := range xs {
+		parts[i%cfg.clients] = append(parts[i%cfg.clients], x)
+	}
+	for i := range parts {
+		rng.New(seed ^ uint64(i+1)).Shuffle(parts[i])
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.clients)
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := &server.Client{Base: cfg.addr, FrameLen: cfg.frameLen}
+			_, errs[i] = cl.Stream(name, parts[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %d: %w", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	info, err := c.Get(name)
+	if err != nil {
+		return err
+	}
+	oracle := core.NewAccumulator(cfg.params)
+	oracle.AddAll(xs)
+	if err := oracle.Err(); err != nil {
+		return err
+	}
+	txt, err := oracle.Sum().MarshalText()
+	if err != nil {
+		return err
+	}
+	if info.HP != string(txt) {
+		return fmt.Errorf("certificate mismatch:\n server %s\n oracle %s", info.HP, txt)
+	}
+	if info.Adds != uint64(len(xs)) {
+		return fmt.Errorf("adds %d, want %d", info.Adds, len(xs))
+	}
+	if info.Err != "" {
+		return fmt.Errorf("sticky error: %s", info.Err)
+	}
+	fmt.Fprintf(out, "seed %d: %d values x %d clients verified bit-identical in %v (%.0f values/s) hp=%.24s...\n",
+		seed, len(xs), cfg.clients, elapsed.Round(time.Millisecond),
+		float64(len(xs))/elapsed.Seconds(), info.HP)
+	return nil
+}
+
+// corruptProbes sends frames the server must refuse — CRC damage, an
+// oversize length prefix, NaN payloads, and a bad accumulator name — and
+// requires a 4xx verdict for each without poisoning a healthy accumulator.
+func corruptProbes(cfg config) error {
+	c := &server.Client{Base: cfg.addr}
+	name := "hpload-corrupt"
+	if _, err := c.Create(name, cfg.params); err != nil {
+		return err
+	}
+	defer c.Delete(name)
+	if _, err := c.Stream(name, []float64{1, 2}); err != nil {
+		return err
+	}
+
+	post := func(body []byte, accName string) (int, error) {
+		resp, err := http.Post(cfg.addr+"/v1/acc/"+accName+"/add",
+			"application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	crcFlipped := server.AppendFloatFrame(nil, []float64{3, 4})
+	crcFlipped[len(crcFlipped)-1] ^= 0xff
+	probes := []struct {
+		desc string
+		body []byte
+		acc  string
+	}{
+		{"crc-flip", crcFlipped, name},
+		{"oversize-length", []byte{'f', 0xff, 0xff, 0xff, 0xf8}, name},
+		{"nan-payload", server.AppendFloatFrame(nil, []float64{math.NaN()}), name},
+		{"bad-type", append([]byte{'z'}, crcFlipped[1:]...), name},
+		{"missing-acc", server.AppendFloatFrame(nil, []float64{1}), "hpload-no-such-acc"},
+	}
+	for _, p := range probes {
+		status, err := post(p.body, p.acc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.desc, err)
+		}
+		if status < 400 || status > 499 {
+			return fmt.Errorf("%s: HTTP %d, want 4xx", p.desc, status)
+		}
+	}
+	// The healthy accumulator must be untouched by all of the above.
+	info, err := c.Get(name)
+	if err != nil {
+		return err
+	}
+	if info.Sum != 3 || info.Err != "" {
+		return fmt.Errorf("probes damaged the accumulator: sum=%v err=%q", info.Sum, info.Err)
+	}
+	return nil
+}

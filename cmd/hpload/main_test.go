@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// startServer runs an in-process summation service — the same Handler
+// hpsumd mounts — so the tool's full verification loop executes without a
+// separate process.
+func startServer(t *testing.T) string {
+	t.Helper()
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts.URL
+}
+
+func TestRoundsVerifyAgainstOracle(t *testing.T) {
+	url := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", url, "-clients", "8", "-count", "20000",
+		"-seed", "1", "-rounds", "2", "-frame", "512",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "verified bit-identical"); got != 2 {
+		t.Fatalf("want 2 verified rounds, got %d:\n%s", got, out.String())
+	}
+}
+
+func TestCorruptProbes(t *testing.T) {
+	url := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{"-addr", url, "-count", "1000", "-rounds", "1", "-corrupt"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "corrupt probes: all rejected") {
+		t.Fatalf("corrupt probe summary missing:\n%s", out.String())
+	}
+}
+
+func TestSoakDuration(t *testing.T) {
+	url := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", url, "-clients", "2", "-count", "2000", "-duration", "300ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verified bit-identical") {
+		t.Fatalf("soak completed no rounds:\n%s", out.String())
+	}
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "1", "-k", "9"}, &out); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

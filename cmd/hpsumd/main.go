@@ -1,0 +1,117 @@
+// Command hpsumd serves order-invariant summation as a network service: a
+// sharded registry of named HP accumulators behind a streaming binary ingest
+// API. Because HP addition is exactly associative and commutative, any
+// number of clients may stream frames concurrently, in any interleaving,
+// and the final sum is bit-identical to a serial pass — the service can
+// shard, batch, and reorder freely without ever changing a ulp.
+//
+//	hpsumd -addr :8080                          # serve with Params384 default
+//	hpsumd -addr :8080 -snapshot state.hpss     # snapshot on graceful shutdown
+//	hpsumd -addr :8080 -restore state.hpss -snapshot state.hpss
+//
+// One listener carries both the service API (/v1/...) and the telemetry
+// exporter (/metrics, /debug/vars, /debug/pprof/). SIGINT or SIGTERM
+// triggers a graceful shutdown: stop accepting requests, drain every shard
+// queue, write the snapshot (if -snapshot is set), then exit. Restarting
+// with -restore reloads the snapshot byte-identically: the restored
+// accumulators carry the exact limbs, counters, and sticky errors they held
+// at shutdown, and adds accepted after restart continue the same exact
+// trajectory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "hpsumd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with injectable args and an optional ready channel (tests use
+// it to learn the bound address of ":0" listeners). It returns once the
+// server has fully shut down.
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("hpsumd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (service API + telemetry on one listener)")
+		hpn      = fs.Int("n", 6, "default HP total limbs N for new accumulators")
+		hpk      = fs.Int("k", 3, "default HP fractional limbs k")
+		shards   = fs.Int("shards", runtime.GOMAXPROCS(0), "drain lanes per accumulator")
+		queue    = fs.Int("queue", 256, "per-shard queue depth (backpressure bound)")
+		wait     = fs.Duration("enqueue-wait", 5*time.Millisecond, "how long ingest waits for queue room before 429")
+		snapshot = fs.String("snapshot", "", "write a snapshot to this path on graceful shutdown")
+		restore  = fs.String("restore", "", "reload accumulators from this snapshot at startup")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := core.Params{N: *hpn, K: *hpk}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+
+	s := server.New(server.Config{
+		Params:      p,
+		Shards:      *shards,
+		QueueDepth:  *queue,
+		EnqueueWait: *wait,
+	})
+	if *restore != "" {
+		n, err := s.Restore(*restore)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", *restore, err)
+		}
+		fmt.Fprintf(os.Stderr, "hpsumd: restored %d accumulator(s) from %s\n", n, *restore)
+	}
+
+	// Service API takes /v1/; everything else (/, /metrics, /debug/...)
+	// falls through to the telemetry exporter.
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", s.Handler())
+	mux.Handle("/", telemetry.Handler())
+	srv, err := telemetry.ServeHandler(*addr, mux)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hpsumd: serving on %s (N=%d, k=%d, %d shards)\n", srv.Addr(), p.N, p.K, *shards)
+	if ready != nil {
+		ready <- srv.Addr()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "hpsumd: %s: shutting down\n", got)
+
+	// Shutdown order matters: stop the HTTP layer first so nothing can
+	// enqueue anymore, snapshot while the shards are still draining (the
+	// flush ops queue behind every accepted frame, so the image reflects all
+	// acked work), and only then close the drain goroutines.
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "hpsumd: http shutdown: %v\n", err)
+	}
+	if *snapshot != "" {
+		if err := s.Snapshot(*snapshot); err != nil {
+			s.Close()
+			return fmt.Errorf("snapshot %s: %w", *snapshot, err)
+		}
+		fmt.Fprintf(os.Stderr, "hpsumd: snapshot written to %s\n", *snapshot)
+	}
+	s.Close()
+	return nil
+}

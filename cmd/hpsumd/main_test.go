@@ -1,0 +1,151 @@
+package main
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/server"
+)
+
+// startDaemon runs the real hpsumd entrypoint on an ephemeral port and
+// returns its base URL plus a channel that yields run's final error. Stop
+// it by signalling the test process: run's signal.Notify handler picks it
+// up exactly as a real deployment would.
+func startDaemon(t *testing.T, extra ...string) (string, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() { done <- run(args, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, done
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+		return "", nil
+	}
+}
+
+func stopDaemon(t *testing.T, done chan error) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestServeSnapshotRestore is the full lifecycle the ISSUE acceptance
+// demands: serve, stream, SIGTERM with -snapshot, then a second daemon with
+// -restore must report the byte-identical certificate and continue the
+// exact trajectory.
+func TestServeSnapshotRestore(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "state.hpss")
+	xs := rng.UniformSet(rng.New(11), 30000, -0.5, 0.5)
+
+	url, done := startDaemon(t, "-snapshot", snap, "-shards", "2", "-queue", "8")
+	c := &server.Client{Base: url, FrameLen: 1024}
+	if _, err := c.Create("acc", core.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stream("acc", xs); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.Get("acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Telemetry must ride the same listener as the service API.
+	if names, err := c.List(); err != nil || len(names) != 1 {
+		t.Fatalf("list: %v %v", names, err)
+	}
+	stopDaemon(t, done)
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	url2, done2 := startDaemon(t, "-restore", snap)
+	c2 := &server.Client{Base: url2}
+	after, err := c2.Get("acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.HP != before.HP {
+		t.Fatalf("restore lost bits:\n before %s\n  after %s", before.HP, after.HP)
+	}
+	if after.Adds != uint64(len(xs)) {
+		t.Fatalf("adds %d, want %d", after.Adds, len(xs))
+	}
+	// Continue the trajectory: tail adds after restart agree with a single
+	// serial pass over the full workload.
+	tail := rng.UniformSet(rng.New(12), 5000, -0.5, 0.5)
+	if _, err := c2.Stream("acc", tail); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c2.Get("acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := core.NewAccumulator(core.Params384)
+	oracle.AddAll(xs)
+	oracle.AddAll(tail)
+	txt, err := oracle.Sum().MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.HP != string(txt) {
+		t.Fatalf("post-restart trajectory diverged:\n server %s\n oracle %s", final.HP, txt)
+	}
+	stopDaemon(t, done2)
+}
+
+func TestTelemetrySharesListener(t *testing.T) {
+	url, done := startDaemon(t)
+	c := &server.Client{Base: url}
+	if _, err := c.Create("m", core.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stream("m", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		resp, err := httpGet(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp != 200 {
+			t.Fatalf("GET %s: HTTP %d", path, resp)
+		}
+	}
+	stopDaemon(t, done)
+}
+
+func httpGet(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-n", "2", "-k", "5"}, nil); err == nil {
+		t.Fatal("invalid HP params accepted")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-restore", "/no/such/snapshot"}, nil); err == nil {
+		t.Fatal("missing restore file accepted")
+	}
+}

@@ -41,6 +41,10 @@ type Workload struct {
 	// (mallocs, not bytes), measured from runtime.MemStats deltas. The
 	// steady-state hot paths are required to hold this at ~0.
 	MallocsPerOp float64 `json:"mallocs_per_op"`
+	// FramesPerSec is the wire-frame throughput for workloads that stream
+	// through the network service (cmd/hpsumd's ingest path); zero and
+	// omitted for in-process paths.
+	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
 	// Checksum is the rounded float64 result of the workload's sum (the
 	// last prefix for scans). All exact paths must agree bit-for-bit —
 	// across workloads and across worker counts; it also keeps the

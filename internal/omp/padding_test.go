@@ -97,4 +97,3 @@ func BenchmarkReducePadding(b *testing.B) {
 		})
 	}
 }
-

@@ -1,0 +1,300 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Client is a minimal hpsumd client speaking the binary ingest protocol,
+// shared by cmd/hpload, cmd/benchsum's server-loopback workload, and the
+// test suites. It handles 429 backpressure by honoring Retry-After and
+// resending exactly the unaccepted frame suffix, which is safe because
+// frames are admitted whole and addition is commutative.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+	// FrameLen is values per ingest frame (default 4096).
+	FrameLen int
+	// ReqFrames is the number of frames batched into one POST (default 64).
+	ReqFrames int
+	// RetryWait overrides the server's Retry-After hint between 429 retries
+	// (0 honors the hint; useful to shorten in tests).
+	RetryWait time.Duration
+	// MaxRetries bounds consecutive 429 rounds for one request before
+	// giving up (default 100).
+	MaxRetries int
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) frameLen() int {
+	if c.FrameLen > 0 {
+		return c.FrameLen
+	}
+	return 4096
+}
+
+func (c *Client) reqFrames() int {
+	if c.ReqFrames > 0 {
+		return c.ReqFrames
+	}
+	return 64
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 100
+}
+
+// decodeJSON reads resp's body into v (ignoring decode errors on error
+// statuses where the body may be absent).
+func decodeJSON(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(v)
+}
+
+func (c *Client) url(format string, args ...any) string {
+	return c.Base + fmt.Sprintf(format, args...)
+}
+
+// Create registers name with format p (zero Params: server default).
+func (c *Client) Create(name string, p core.Params) (Info, error) {
+	var body io.Reader
+	if p != (core.Params{}) {
+		b, err := json.Marshal(createRequest{N: p.N, K: p.K})
+		if err != nil {
+			return Info{}, err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(http.MethodPut, c.url("/v1/acc/%s", name), body)
+	if err != nil {
+		return Info{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Info{}, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return Info{}, respError("create", resp)
+	}
+	var info Info
+	if err := decodeJSON(resp, &info); err != nil {
+		return Info{}, err
+	}
+	return info, nil
+}
+
+// Delete removes name.
+func (c *Client) Delete(name string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.url("/v1/acc/%s", name), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return respError("delete", resp)
+	}
+	return nil
+}
+
+// Get flushes and reads the accumulator: the rounded sum, the canonical HP
+// certificate, and the adds/frames counters.
+func (c *Client) Get(name string) (Info, error) {
+	resp, err := c.http().Get(c.url("/v1/acc/%s", name))
+	if err != nil {
+		return Info{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Info{}, respError("get", resp)
+	}
+	var info Info
+	if err := decodeJSON(resp, &info); err != nil {
+		return Info{}, err
+	}
+	return info, nil
+}
+
+// List returns the registered accumulator names.
+func (c *Client) List() ([]string, error) {
+	resp, err := c.http().Get(c.url("/v1/acc"))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, respError("list", resp)
+	}
+	var out struct {
+		Accumulators []listEntry `json:"accumulators"`
+	}
+	if err := decodeJSON(resp, &out); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(out.Accumulators))
+	for i, e := range out.Accumulators {
+		names[i] = e.Name
+	}
+	return names, nil
+}
+
+// StreamStats summarizes one Stream call.
+type StreamStats struct {
+	Frames  int // frames accepted by the server
+	Values  int // float64 values accepted
+	Retries int // 429 rounds absorbed
+}
+
+// Stream sends every value of xs to name as framed batches, batching
+// frames into POSTs and transparently retrying the unaccepted suffix on
+// backpressure. It returns once the server has acked every frame.
+func (c *Client) Stream(name string, xs []float64) (StreamStats, error) {
+	flen := c.frameLen()
+	frames := make([][]float64, 0, len(xs)/flen+1)
+	for len(xs) > 0 {
+		n := min(flen, len(xs))
+		frames = append(frames, xs[:n])
+		xs = xs[n:]
+	}
+	return c.streamFrames(name, frames)
+}
+
+// streamFrames sends pre-partitioned frames.
+func (c *Client) streamFrames(name string, frames [][]float64) (StreamStats, error) {
+	var stats StreamStats
+	per := c.reqFrames()
+	for len(frames) > 0 {
+		batch := frames[:min(per, len(frames))]
+		acked, retries, err := c.postFrames(name, batch)
+		stats.Frames += acked
+		stats.Retries += retries
+		for _, f := range batch[:acked] {
+			stats.Values += len(f)
+		}
+		if err != nil {
+			return stats, err
+		}
+		frames = frames[acked:]
+	}
+	return stats, nil
+}
+
+// postFrames POSTs one batch of frames, absorbing 429 rounds by resending
+// the unaccepted suffix. It returns how many of the batch's frames were
+// acked in total.
+func (c *Client) postFrames(name string, frames [][]float64) (acked, retries int, err error) {
+	var buf []byte
+	for retry := 0; ; retry++ {
+		buf = buf[:0]
+		for _, f := range frames[acked:] {
+			buf = AppendFloatFrame(buf, f)
+		}
+		if len(buf) == 0 {
+			return acked, retries, nil
+		}
+		resp, err := c.http().Post(c.url("/v1/acc/%s/add", name),
+			"application/octet-stream", bytes.NewReader(buf))
+		if err != nil {
+			return acked, retries, err
+		}
+		var res AddResult
+		status := resp.StatusCode
+		retryAfter := resp.Header.Get("Retry-After")
+		if derr := decodeJSON(resp, &res); derr != nil && status == http.StatusOK {
+			return acked, retries, derr
+		}
+		acked += res.FramesAccepted
+		switch status {
+		case http.StatusOK:
+			return acked, retries, nil
+		case http.StatusTooManyRequests:
+			retries++
+			if retry >= c.maxRetries() {
+				return acked, retries, fmt.Errorf("server: still busy after %d retries", retries)
+			}
+			wait := c.RetryWait
+			if wait <= 0 {
+				wait = time.Second
+				if s, err := strconv.Atoi(retryAfter); err == nil && s >= 0 {
+					wait = time.Duration(s) * time.Second
+				}
+			}
+			time.Sleep(wait)
+		default:
+			return acked, retries, fmt.Errorf("server: add: HTTP %d: %s", status, res.Error)
+		}
+	}
+}
+
+// AddHP hands off one exact HP partial sum.
+func (c *Client) AddHP(name string, h *core.HP) error {
+	buf, err := AppendHPFrame(nil, h)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Post(c.url("/v1/acc/%s/add", name),
+		"application/octet-stream", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	var res AddResult
+	if resp.StatusCode != http.StatusOK {
+		return respError("addhp", resp)
+	}
+	return decodeJSON(resp, &res)
+}
+
+// Sum drives the one-shot endpoint: frames in, Info out.
+func (c *Client) Sum(xs []float64, p core.Params) (Info, error) {
+	var buf []byte
+	flen := c.frameLen()
+	for off := 0; off < len(xs); off += flen {
+		buf = AppendFloatFrame(buf, xs[off:min(off+flen, len(xs))])
+	}
+	u := c.url("/v1/sum")
+	if p != (core.Params{}) {
+		u += fmt.Sprintf("?n=%d&k=%d", p.N, p.K)
+	}
+	resp, err := c.http().Post(u, "application/octet-stream", bytes.NewReader(buf))
+	if err != nil {
+		return Info{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Info{}, respError("sum", resp)
+	}
+	var info Info
+	if err := decodeJSON(resp, &info); err != nil {
+		return Info{}, err
+	}
+	return info, nil
+}
+
+// respError drains an error response into a readable error.
+func respError(opName string, resp *http.Response) error {
+	defer resp.Body.Close()
+	var eb errorBody
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
+	if eb.Error == "" {
+		eb.Error = resp.Status
+	}
+	return fmt.Errorf("server: %s: HTTP %d: %s", opName, resp.StatusCode, eb.Error)
+}

@@ -1,0 +1,195 @@
+// Package server implements hpsumd, the order-invariant summation service:
+// a registry of named HP accumulators sharded across drain goroutines,
+// served over a stdlib-only HTTP wire surface with streaming binary ingest,
+// admission control, and checkpoint-based snapshot/restore.
+//
+// The service leans entirely on the paper's central property (eq. 2):
+// multi-limb two's-complement addition is exactly associative and
+// commutative, so any interleaving of concurrent client batches — across
+// connections, shards, and drain goroutines — produces a bit-identical
+// sum. Batching, sharding, and reordering are therefore correctness-free
+// design dimensions; only overflow verdicts need deterministic combine
+// points (MergeChecked at snapshot/read time), mirroring omp.Reduce.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Wire format of the streaming ingest payload: a sequence of self-checking
+// frames, each
+//
+//	type(1) | payloadLen(4, big-endian) | payload | crc32(4, big-endian)
+//
+// where the CRC-32 (IEEE, matching the core.SumCheckpoint convention) covers
+// everything before it — header and payload. Two frame types exist:
+//
+//	'f' — a batch of float64 values, 8 bytes each, big-endian IEEE-754 bit
+//	      patterns (the same byte order as HP limb images);
+//	'h' — one core.HP partial sum in its self-describing MarshalBinary
+//	      envelope, for exact hand-off of pre-reduced partials (e.g. from
+//	      MPI ranks or another hpsumd).
+//
+// A frame is the unit of admission: it is either accepted whole (enqueued
+// on one shard) or rejected whole, so clients can resume after backpressure
+// by resending only unaccepted frames.
+const (
+	FrameFloat64 byte = 'f'
+	FrameHP      byte = 'h'
+
+	frameHeaderLen  = 5 // type + payload length
+	frameTrailerLen = 4 // crc32
+	frameOverhead   = frameHeaderLen + frameTrailerLen
+)
+
+// MaxFramePayload is the default cap on a single frame's payload size
+// (1 MiB: 128k float64 values). The decoder rejects larger length prefixes
+// before allocating, so a corrupt or hostile length field cannot balloon
+// memory.
+const MaxFramePayload = 1 << 20
+
+// Frame decoding errors. ErrFrameTooLarge and ErrFrameChecksum are returned
+// wrapped with frame context; use errors.Is to classify.
+var (
+	ErrFrameTooLarge = errors.New("server: frame payload exceeds limit")
+	ErrFrameChecksum = errors.New("server: frame checksum mismatch")
+	ErrFrameType     = errors.New("server: unknown frame type")
+	ErrFrameTrunc    = errors.New("server: truncated frame")
+)
+
+// AppendFloatFrame appends a FrameFloat64 frame holding xs to buf and
+// returns the extended slice.
+func AppendFloatFrame(buf []byte, xs []float64) []byte {
+	start := len(buf)
+	buf = append(buf, FrameFloat64)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(8*len(xs)))
+	for _, x := range xs {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
+}
+
+// AppendHPFrame appends a FrameHP frame holding x's self-describing binary
+// envelope to buf and returns the extended slice.
+func AppendHPFrame(buf []byte, x *core.HP) ([]byte, error) {
+	env, err := x.MarshalBinary()
+	if err != nil {
+		return buf, err
+	}
+	start := len(buf)
+	buf = append(buf, FrameHP)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(env)))
+	buf = append(buf, env...)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:])), nil
+}
+
+// Frame is one decoded ingest frame. Payload aliases the decoder's internal
+// buffer and is only valid until the next call to Next.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// Floats decodes a FrameFloat64 payload into out (reused if capacity
+// allows). Non-finite values are rejected here, at admission, so a poisoned
+// frame cannot wedge a named accumulator into a permanent sticky-error
+// state; range errors (overflow/underflow of the HP format) remain per-
+// accumulator sticky errors, as in the rest of the repo.
+func (f Frame) Floats(out []float64) ([]float64, error) {
+	if f.Type != FrameFloat64 {
+		return nil, fmt.Errorf("server: Floats on frame type %q", f.Type)
+	}
+	if len(f.Payload)%8 != 0 {
+		return nil, fmt.Errorf("server: float frame payload of %d bytes is not a multiple of 8", len(f.Payload))
+	}
+	n := len(f.Payload) / 8
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	for i := range out {
+		v := math.Float64frombits(binary.BigEndian.Uint64(f.Payload[8*i:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("server: value %d in float frame: %w", i, core.ErrNotFinite)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// HP decodes a FrameHP payload into a fresh HP value.
+func (f Frame) HP() (*core.HP, error) {
+	if f.Type != FrameHP {
+		return nil, fmt.Errorf("server: HP on frame type %q", f.Type)
+	}
+	var h core.HP
+	if err := h.UnmarshalBinary(f.Payload); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// FrameDecoder reads frames from a byte stream, verifying structure and
+// checksum and bounding allocation by maxPayload regardless of what the
+// length prefix claims.
+type FrameDecoder struct {
+	r          io.Reader
+	maxPayload int
+	buf        []byte // header+payload+trailer of the current frame
+}
+
+// NewFrameDecoder returns a decoder reading from r. maxPayload <= 0 selects
+// MaxFramePayload.
+func NewFrameDecoder(r io.Reader, maxPayload int) *FrameDecoder {
+	if maxPayload <= 0 {
+		maxPayload = MaxFramePayload
+	}
+	return &FrameDecoder{r: r, maxPayload: maxPayload}
+}
+
+// Next reads and verifies the next frame. It returns io.EOF at a clean
+// stream end (no partial frame read), ErrFrameTrunc-wrapped errors for
+// mid-frame truncation, and checksum/type/size errors for corrupt input.
+// The returned Frame's payload is only valid until the following call.
+func (d *FrameDecoder) Next() (Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(d.r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: reading type: %v", ErrFrameTrunc, err)
+	}
+	ftype := hdr[0]
+	if ftype != FrameFloat64 && ftype != FrameHP {
+		return Frame{}, fmt.Errorf("%w 0x%02x", ErrFrameType, ftype)
+	}
+	if _, err := io.ReadFull(d.r, hdr[1:]); err != nil {
+		return Frame{}, fmt.Errorf("%w: reading length: %v", ErrFrameTrunc, err)
+	}
+	plen := int(binary.BigEndian.Uint32(hdr[1:]))
+	if plen > d.maxPayload {
+		return Frame{}, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, plen, d.maxPayload)
+	}
+	total := frameHeaderLen + plen + frameTrailerLen
+	if cap(d.buf) < total {
+		d.buf = make([]byte, total)
+	}
+	d.buf = d.buf[:total]
+	copy(d.buf, hdr[:])
+	if _, err := io.ReadFull(d.r, d.buf[frameHeaderLen:]); err != nil {
+		return Frame{}, fmt.Errorf("%w: reading %d payload bytes: %v", ErrFrameTrunc, plen, err)
+	}
+	body := d.buf[:frameHeaderLen+plen]
+	stored := binary.BigEndian.Uint32(d.buf[frameHeaderLen+plen:])
+	if got := crc32.ChecksumIEEE(body); got != stored {
+		return Frame{}, fmt.Errorf("%w (stored %08x, computed %08x)", ErrFrameChecksum, stored, got)
+	}
+	return Frame{Type: ftype, Payload: body[frameHeaderLen:]}, nil
+}

@@ -1,0 +1,358 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+)
+
+// HTTP surface:
+//
+//	PUT    /v1/acc/{name}        create (optional JSON body {"n":N,"k":K})
+//	GET    /v1/acc/{name}        flush + read: Info JSON (rounded sum + HP text)
+//	DELETE /v1/acc/{name}        delete
+//	GET    /v1/acc               list names and formats
+//	POST   /v1/acc/{name}/add    streaming binary ingest (frames; see frame.go)
+//	POST   /v1/sum               one-shot: frames in, Info JSON out (?n=&k=)
+//
+// Ingest semantics: frames are admitted one at a time; each accepted frame
+// is enqueued before the next is read, so the frames_accepted count in
+// every response (success or error) tells the client exactly which prefix
+// of its stream the server owns. On 429 the client resends the unaccepted
+// suffix — double-sending an accepted frame would double-count it, but
+// re-sending an unaccepted one is always safe, and since addition is
+// commutative the retry needs no ordering care.
+
+// AddResult is the ingest response body. On errors it is embedded alongside
+// an error string so clients can resume precisely.
+type AddResult struct {
+	FramesAccepted int    `json:"frames_accepted"`
+	ValuesAccepted int    `json:"values_accepted"`
+	Error          string `json:"error,omitempty"`
+}
+
+// Handler returns the service mux. Mount it alone, or alongside the
+// telemetry exporter's mux on one listener as cmd/hpsumd does.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/acc/{name}", s.handleCreate)
+	mux.HandleFunc("GET /v1/acc/{name}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/acc/{name}", s.handleDelete)
+	mux.HandleFunc("GET /v1/acc", s.handleList)
+	mux.HandleFunc("GET /v1/acc/{$}", s.handleList)
+	mux.HandleFunc("POST /v1/acc/{name}/add", s.handleAdd)
+	mux.HandleFunc("POST /v1/sum", s.handleSum)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+type createRequest struct {
+	N int `json:"n"`
+	K int `json:"k"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	name := r.PathValue("name")
+	var req createRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad create body: %v", err)
+			return
+		}
+	}
+	a, created, err := s.Create(name, core.Params{N: req.N, K: req.K})
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrBadName):
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, ErrExists):
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, ErrServerClosed):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, Info{Name: a.Name(), N: a.params.N, K: a.params.K,
+		Shards: len(a.shards), HP: "", Sum: 0})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	a := s.Lookup(r.PathValue("name"))
+	if a == nil {
+		writeErr(w, http.StatusNotFound, "no accumulator %q", r.PathValue("name"))
+		return
+	}
+	info, err := a.State()
+	if err != nil {
+		writeErr(w, http.StatusGone, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	if !s.Delete(r.PathValue("name")) {
+		writeErr(w, http.StatusNotFound, "no accumulator %q", r.PathValue("name"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type listEntry struct {
+	Name   string `json:"name"`
+	N      int    `json:"n"`
+	K      int    `json:"k"`
+	Shards int    `json:"shards"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	names := s.Names()
+	out := struct {
+		Accumulators []listEntry `json:"accumulators"`
+	}{Accumulators: make([]listEntry, 0, len(names))}
+	for _, name := range names {
+		if a := s.Lookup(name); a != nil {
+			out.Accumulators = append(out.Accumulators,
+				listEntry{Name: name, N: a.params.N, K: a.params.K, Shards: len(a.shards)})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleAdd is the streaming ingest endpoint. The body is a sequence of
+// binary frames; each is verified (length bound, CRC, finiteness /
+// parameter checks) and enqueued whole before the next is read. A read
+// deadline is re-armed before every frame so a stalled client cannot hold
+// the connection; the request body is additionally capped by
+// MaxRequestBytes and MaxRequestFrames.
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	a := s.Lookup(r.PathValue("name"))
+	if a == nil {
+		writeErr(w, http.StatusNotFound, "no accumulator %q", r.PathValue("name"))
+		return
+	}
+	rc := http.NewResponseController(w)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	dec := NewFrameDecoder(bufio.NewReader(body), s.cfg.MaxFramePayload)
+	var res AddResult
+	fail := func(status int, format string, args ...any) {
+		res.Error = fmt.Sprintf(format, args...)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		}
+		writeJSON(w, status, res)
+	}
+	for {
+		// Slow-client guard: each frame must arrive within FrameReadTimeout.
+		// ErrNotSupported (e.g. an httptest.ResponseRecorder) just means no
+		// deadline enforcement, which is fine for in-process use.
+		if err := rc.SetReadDeadline(time.Now().Add(s.cfg.FrameReadTimeout)); err != nil &&
+			!errors.Is(err, http.ErrNotSupported) {
+			fail(http.StatusInternalServerError, "arming read deadline: %v", err)
+			return
+		}
+		f, err := dec.Next()
+		if err != nil {
+			switch {
+			case isEOF(err):
+				writeJSON(w, http.StatusOK, res)
+				return
+			case isMaxBytes(err):
+				mBadFrames.Inc()
+				fail(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.cfg.MaxRequestBytes)
+				return
+			case isTimeout(err):
+				mBadFrames.Inc()
+				fail(http.StatusRequestTimeout, "frame read stalled past %s", s.cfg.FrameReadTimeout)
+				return
+			case errors.Is(err, ErrFrameTooLarge):
+				mBadFrames.Inc()
+				fail(http.StatusRequestEntityTooLarge, "%v", err)
+				return
+			default:
+				mBadFrames.Inc()
+				fail(http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+		if res.FramesAccepted >= s.cfg.MaxRequestFrames {
+			fail(http.StatusRequestEntityTooLarge,
+				"more than %d frames in one request", s.cfg.MaxRequestFrames)
+			return
+		}
+		var enqErr error
+		var values int
+		switch f.Type {
+		case FrameHP:
+			h, err := f.HP()
+			if err != nil {
+				mBadFrames.Inc()
+				fail(http.StatusBadRequest, "%v", err)
+				return
+			}
+			if h.Params() != a.params {
+				mBadFrames.Inc()
+				fail(http.StatusBadRequest, "HP frame is (N=%d,k=%d), accumulator is (N=%d,k=%d)",
+					h.Params().N, h.Params().K, a.params.N, a.params.K)
+				return
+			}
+			enqErr = a.AddHP(h)
+		default:
+			xs, err := f.Floats(nil)
+			if err != nil {
+				mBadFrames.Inc()
+				fail(http.StatusBadRequest, "%v", err)
+				return
+			}
+			values = len(xs)
+			enqErr = a.AddFloats(xs)
+		}
+		switch {
+		case enqErr == nil:
+			res.FramesAccepted++
+			res.ValuesAccepted += values
+			mFrames.Inc()
+			mValues.Add(uint64(values))
+		case errors.Is(enqErr, ErrBusy):
+			fail(http.StatusTooManyRequests, "shard queue full; retry unaccepted frames")
+			return
+		case errors.Is(enqErr, ErrGone):
+			fail(http.StatusGone, "accumulator deleted mid-stream")
+			return
+		default:
+			fail(http.StatusInternalServerError, "%v", enqErr)
+			return
+		}
+	}
+}
+
+// handleSum is the one-shot endpoint: decode every frame in the body into
+// a request-local serial accumulator and return its Info. ?n=&k= select the
+// format (default: the server's).
+func (s *Server) handleSum(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	p := s.cfg.Params
+	q := r.URL.Query()
+	if q.Get("n") != "" || q.Get("k") != "" {
+		n, err1 := strconv.Atoi(q.Get("n"))
+		k, err2 := strconv.Atoi(q.Get("k"))
+		if err1 != nil || err2 != nil {
+			writeErr(w, http.StatusBadRequest, "bad n/k query parameters")
+			return
+		}
+		p = core.Params{N: n, K: k}
+		if err := p.Validate(); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	dec := NewFrameDecoder(bufio.NewReader(body), s.cfg.MaxFramePayload)
+	b := core.NewBatch(p)
+	var adds, frames uint64
+	var xs []float64
+	for {
+		f, err := dec.Next()
+		if isEOF(err) {
+			break
+		}
+		if err != nil {
+			mBadFrames.Inc()
+			status := http.StatusBadRequest
+			if isMaxBytes(err) || errors.Is(err, ErrFrameTooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeErr(w, status, "%v", err)
+			return
+		}
+		switch f.Type {
+		case FrameHP:
+			h, err := f.HP()
+			if err != nil || h.Params() != p {
+				mBadFrames.Inc()
+				writeErr(w, http.StatusBadRequest, "bad HP frame (err=%v)", err)
+				return
+			}
+			b.AddHP(h)
+		default:
+			xs, err = f.Floats(xs)
+			if err != nil {
+				mBadFrames.Inc()
+				writeErr(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			b.AddSlice(xs)
+			adds += uint64(len(xs))
+			mValues.Add(uint64(len(xs)))
+		}
+		frames++
+		mFrames.Inc()
+	}
+	sum := b.Sum()
+	txt, err := sum.MarshalText()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	info := Info{N: p.N, K: p.K, Adds: adds, Frames: frames, Sum: b.Float64(), HP: string(txt)}
+	if b.Err() != nil {
+		info.Err = b.Err().Error()
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// isEOF reports a clean end of the frame stream (no partial frame).
+func isEOF(err error) bool { return err == io.EOF }
+
+// isMaxBytes reports that http.MaxBytesReader cut the body off.
+func isMaxBytes(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
+
+// isTimeout reports a read-deadline expiry (net.Error with Timeout, or an
+// os timeout) anywhere in the wrapped chain.
+func isTimeout(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return os.IsTimeout(err)
+}

@@ -1,0 +1,31 @@
+package server
+
+import "repro/internal/telemetry"
+
+// Service metrics, registered on the process-wide telemetry registry so the
+// daemon's /metrics endpoint covers the service for free, alongside the
+// core/omp/mpi hot-path counters. All recording is gated by
+// telemetry.Enabled() and never touches accumulator state.
+var (
+	mRequests = telemetry.NewCounter("server_requests_total",
+		"HTTP requests handled by the summation service (all endpoints).")
+	mFrames = telemetry.NewCounter("server_frames_total",
+		"Ingest frames accepted and enqueued onto a shard.")
+	mValues = telemetry.NewCounter("server_values_total",
+		"Float64 values accepted through ingest frames.")
+	mBadFrames = telemetry.NewCounter("server_bad_frames_total",
+		"Ingest frames rejected for structural reasons: truncation, checksum mismatch, bad type, oversize, non-finite values, or parameter mismatch.")
+	mRejectedAdds = telemetry.NewCounter("server_rejected_adds_total",
+		"Frames refused with 429 because the target shard queue stayed full past the enqueue wait (backpressure).")
+	mQueueDepth = telemetry.NewGauge("server_queue_depth",
+		"Ingest operations currently enqueued across all shards of all accumulators.")
+	mDrainLatency = telemetry.NewHistogram("server_drain_latency_seconds",
+		"Time from frame enqueue to the shard drain goroutine finishing its accumulation.",
+		telemetry.DurationBuckets())
+	mAccumulators = telemetry.NewGauge("server_accumulators",
+		"Named accumulators currently registered.")
+	mSnapshots = telemetry.NewCounter("server_snapshots_total",
+		"Snapshot files written (graceful shutdowns or explicit saves).")
+	mRestores = telemetry.NewCounter("server_restores_total",
+		"Accumulators restored from a snapshot file at startup.")
+)

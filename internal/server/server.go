@@ -1,0 +1,509 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Config tunes a summation Server. The zero value selects the documented
+// defaults; New normalizes it.
+type Config struct {
+	// Params is the default HP format for accumulators created without an
+	// explicit format. Defaults to core.Params384.
+	Params core.Params
+	// Shards is the number of independent drain lanes per accumulator.
+	// Defaults to GOMAXPROCS; associativity makes the count invisible in
+	// the sums, so it only trades contention for goroutines.
+	Shards int
+	// QueueDepth bounds each shard's pending-operation channel; a full
+	// queue is the backpressure signal. Defaults to 256.
+	QueueDepth int
+	// EnqueueWait is how long an ingest waits for queue room before giving
+	// up with a busy error (HTTP 429). Defaults to 5ms.
+	EnqueueWait time.Duration
+	// MaxFramePayload caps a single frame's payload bytes (default
+	// MaxFramePayload); MaxRequestBytes caps one request body (default
+	// 64 MiB); MaxRequestFrames caps frames per request (default 65536).
+	MaxFramePayload  int
+	MaxRequestBytes  int64
+	MaxRequestFrames int
+	// FrameReadTimeout is the per-frame read deadline on streaming ingest:
+	// a client that stalls mid-frame longer than this is cut off with 408
+	// rather than holding a connection open. Defaults to 10s.
+	FrameReadTimeout time.Duration
+	// RetryAfter is the backoff hint attached to 429 responses. Defaults
+	// to 1s.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Params == (core.Params{}) {
+		c.Params = core.Params384
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.EnqueueWait <= 0 {
+		c.EnqueueWait = 5 * time.Millisecond
+	}
+	if c.MaxFramePayload <= 0 {
+		c.MaxFramePayload = MaxFramePayload
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 64 << 20
+	}
+	if c.MaxRequestFrames <= 0 {
+		c.MaxRequestFrames = 1 << 16
+	}
+	if c.FrameReadTimeout <= 0 {
+		c.FrameReadTimeout = 10 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Sentinel errors surfaced by the registry and mapped onto HTTP statuses by
+// the handler layer.
+var (
+	ErrBusy         = errors.New("server: shard queue full")
+	ErrGone         = errors.New("server: accumulator deleted")
+	ErrNotFound     = errors.New("server: no such accumulator")
+	ErrExists       = errors.New("server: accumulator exists with different parameters")
+	ErrBadName      = errors.New("server: invalid accumulator name")
+	ErrServerClosed = errors.New("server: closed")
+)
+
+// Server is the sharded registry of named accumulators. Create it with New,
+// serve it with Handler, and stop it with Close — only after the HTTP layer
+// has stopped delivering requests (hpsumd orders http.Server.Shutdown
+// before Close; tests must do the same).
+type Server struct {
+	cfg    Config
+	mu     sync.RWMutex
+	accs   map[string]*Accumulator
+	closed bool
+}
+
+// New returns an empty server with cfg normalized to its defaults.
+func New(cfg Config) *Server {
+	return &Server{cfg: cfg.withDefaults(), accs: make(map[string]*Accumulator)}
+}
+
+// Config returns the normalized configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// validName reports whether name is acceptable: 1-128 bytes of
+// [a-zA-Z0-9._-], so names embed safely in URL paths and snapshot files.
+func validName(name string) bool {
+	if len(name) == 0 || len(name) > 128 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Create registers an accumulator under name with format p (zero Params
+// selects the server default). It returns the accumulator and whether it
+// was newly created; asking for an existing name with a different format is
+// ErrExists.
+func (s *Server) Create(name string, p core.Params) (*Accumulator, bool, error) {
+	if !validName(name) {
+		return nil, false, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	if p == (core.Params{}) {
+		p = s.cfg.Params
+	}
+	if err := p.Validate(); err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrServerClosed
+	}
+	if a, ok := s.accs[name]; ok {
+		if a.params != p {
+			return nil, false, fmt.Errorf("%w: %q is (N=%d,k=%d), requested (N=%d,k=%d)",
+				ErrExists, name, a.params.N, a.params.K, p.N, p.K)
+		}
+		return a, false, nil
+	}
+	a := newAccumulator(name, p, s.cfg)
+	s.accs[name] = a
+	mAccumulators.Set(int64(len(s.accs)))
+	return a, true, nil
+}
+
+// Lookup returns the accumulator registered under name, or nil.
+func (s *Server) Lookup(name string) *Accumulator {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.accs[name]
+}
+
+// Delete unregisters name and signals its drain goroutines to stop,
+// dropping any queued operations. It reports whether the name existed.
+func (s *Server) Delete(name string) bool {
+	s.mu.Lock()
+	a, ok := s.accs[name]
+	if ok {
+		delete(s.accs, name)
+		mAccumulators.Set(int64(len(s.accs)))
+	}
+	s.mu.Unlock()
+	if ok {
+		a.stop()
+	}
+	return ok
+}
+
+// Names returns the registered accumulator names, sorted.
+func (s *Server) Names() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.accs))
+	for name := range s.accs {
+		out = append(out, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Close drains every shard queue and stops the drain goroutines. It must
+// only be called once no more requests are being delivered (after HTTP
+// shutdown): queued work is fully applied, then the goroutines exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	accs := make([]*Accumulator, 0, len(s.accs))
+	for _, a := range s.accs {
+		accs = append(accs, a)
+	}
+	s.mu.Unlock()
+	for _, a := range accs {
+		a.closeDrain()
+	}
+}
+
+// Info is the JSON description of one accumulator, as served by the read
+// endpoints. HP is the canonical MarshalText certificate: two sums are
+// bit-identical iff these strings are byte-equal.
+type Info struct {
+	Name   string  `json:"name"`
+	N      int     `json:"n"`
+	K      int     `json:"k"`
+	Shards int     `json:"shards,omitempty"`
+	Adds   uint64  `json:"adds"`
+	Frames uint64  `json:"frames"`
+	Sum    float64 `json:"sum"`
+	HP     string  `json:"hp"`
+	Err    string  `json:"error,omitempty"`
+}
+
+// op is one unit of shard work: exactly one of xs (a float batch), hp (an
+// HP partial), or snap (a flush-and-report request) is set.
+type op struct {
+	xs   []float64
+	hp   *core.HP
+	snap chan shardState
+	seed bool      // restore seed: fold the value in without counting a frame
+	enq  time.Time // set when telemetry is recording; zero otherwise
+}
+
+// shardState is a shard's reply to a snap op: the canonical partial sum
+// (cloned, caller-owned) plus its counters and sticky error.
+type shardState struct {
+	sum    *core.HP
+	err    error
+	adds   uint64
+	frames uint64
+}
+
+type shard struct {
+	ops  chan op
+	quit chan struct{} // closed by stop(): drop queued work and exit
+	done chan struct{} // closed when the drain goroutine returns
+}
+
+// Accumulator is one named, sharded accumulator: Shards independent
+// BatchAccumulators, each owned by a drain goroutine fed from a bounded
+// channel. Frames are dispatched round-robin; because HP addition is
+// exactly associative and commutative, the dispatch policy, queue
+// interleaving, and shard count leave the merged sum bit-identical.
+type Accumulator struct {
+	name   string
+	params core.Params
+	cfg    Config
+	shards []*shard
+	next   atomic.Uint64 // round-robin dispatch cursor
+
+	// Restore state: a snapshot reloaded at startup seeds shard 0 with the
+	// checkpointed HP value; the counters and sticky error it carried are
+	// folded into state() from here.
+	baseAdds    uint64
+	baseFrames  uint64
+	restoredErr error
+
+	stopOnce sync.Once
+}
+
+func newAccumulator(name string, p core.Params, cfg Config) *Accumulator {
+	a := &Accumulator{name: name, params: p, cfg: cfg}
+	a.shards = make([]*shard, cfg.Shards)
+	for i := range a.shards {
+		sh := &shard{
+			ops:  make(chan op, cfg.QueueDepth),
+			quit: make(chan struct{}),
+			done: make(chan struct{}),
+		}
+		a.shards[i] = sh
+		go a.drain(sh)
+	}
+	return a
+}
+
+// Name returns the accumulator's registry name.
+func (a *Accumulator) Name() string { return a.name }
+
+// Params returns the accumulator's HP format.
+func (a *Accumulator) Params() core.Params { return a.params }
+
+// drain is the shard's owner goroutine: it applies queued operations to its
+// private BatchAccumulator until the ops channel is closed (graceful close,
+// queue fully applied) or quit is closed (delete, queue dropped).
+func (a *Accumulator) drain(sh *shard) {
+	defer close(sh.done)
+	b := core.NewBatch(a.params)
+	var adds, frames uint64
+	apply := func(o op) {
+		switch {
+		case o.snap != nil:
+			b.Normalize()
+			o.snap <- shardState{sum: b.Sum().Clone(), err: b.Err(), adds: adds, frames: frames}
+		case o.hp != nil:
+			b.AddHP(o.hp)
+			if !o.seed {
+				frames++
+			}
+		default:
+			b.AddSlice(o.xs)
+			adds += uint64(len(o.xs))
+			frames++
+		}
+		mQueueDepth.Dec()
+		if !o.enq.IsZero() {
+			mDrainLatency.Observe(time.Since(o.enq).Seconds())
+		}
+	}
+	for {
+		select {
+		case <-sh.quit:
+			// Deleted: unblock any queued snap requests, drop the rest.
+			for {
+				select {
+				case o := <-sh.ops:
+					if o.snap != nil {
+						o.snap <- shardState{err: ErrGone, sum: core.New(a.params)}
+					}
+					mQueueDepth.Dec()
+				default:
+					return
+				}
+			}
+		case o, ok := <-sh.ops:
+			if !ok {
+				return
+			}
+			apply(o)
+		}
+	}
+}
+
+// stop signals every shard to exit, dropping queued work (delete semantics).
+func (a *Accumulator) stop() {
+	a.stopOnce.Do(func() {
+		for _, sh := range a.shards {
+			close(sh.quit)
+		}
+	})
+	for _, sh := range a.shards {
+		<-sh.done
+	}
+}
+
+// closeDrain closes the ops channels so the drains apply everything still
+// queued and exit (graceful shutdown semantics). The caller guarantees no
+// concurrent enqueues.
+func (a *Accumulator) closeDrain() {
+	for _, sh := range a.shards {
+		close(sh.ops)
+	}
+	for _, sh := range a.shards {
+		<-sh.done
+	}
+}
+
+// enqueue places o on the next shard in round-robin order, waiting up to
+// EnqueueWait for room; a persistently full queue is ErrBusy (backpressure)
+// and a deleted accumulator is ErrGone.
+func (a *Accumulator) enqueue(o op) error {
+	if telemetry.Enabled() {
+		o.enq = time.Now()
+	}
+	sh := a.shards[a.next.Add(1)%uint64(len(a.shards))]
+	select {
+	case <-sh.quit:
+		return ErrGone
+	default:
+	}
+	select {
+	case sh.ops <- o:
+		mQueueDepth.Inc()
+		return nil
+	default:
+	}
+	t := time.NewTimer(a.cfg.EnqueueWait)
+	defer t.Stop()
+	select {
+	case sh.ops <- o:
+		mQueueDepth.Inc()
+		return nil
+	case <-sh.quit:
+		return ErrGone
+	case <-t.C:
+		mRejectedAdds.Inc()
+		return ErrBusy
+	}
+}
+
+// AddFloats enqueues one accepted frame of values. The slice is owned by
+// the accumulator from this point on.
+func (a *Accumulator) AddFloats(xs []float64) error { return a.enqueue(op{xs: xs}) }
+
+// AddHP enqueues one HP partial sum (an exact hand-off from another
+// reduction). The value must match the accumulator's format.
+func (a *Accumulator) AddHP(h *core.HP) error {
+	if h.Params() != a.params {
+		return core.ErrParamMismatch
+	}
+	return a.enqueue(op{hp: h})
+}
+
+// State flushes every shard (a snap op queues behind all previously
+// accepted work, so the reply reflects every frame acked before the call)
+// and merges the partials in fixed shard order through the sign-rule
+// overflow check — the service's deterministic combine point, mirroring
+// omp.Reduce's MergeChecked. The merged limbs are bit-identical for every
+// dispatch interleaving; only the overflow verdict depends on the combine
+// trajectory, which the fixed order pins given the shard partials.
+func (a *Accumulator) State() (Info, error) {
+	replies := make([]chan shardState, len(a.shards))
+	for i, sh := range a.shards {
+		ch := make(chan shardState, 1)
+		select {
+		case sh.ops <- op{snap: ch}:
+			mQueueDepth.Inc()
+		case <-sh.quit:
+			return Info{}, ErrGone
+		}
+		replies[i] = ch
+	}
+	merged := core.NewAccumulator(a.params)
+	adds, frames := a.baseAdds, a.baseFrames
+	firstErr := a.restoredErr
+	for i, ch := range replies {
+		var st shardState
+		select {
+		case st = <-ch:
+		case <-a.shards[i].done:
+			// Graceful close raced the snap: the drain applied it before
+			// exiting, or dropped it via quit; try a non-blocking read.
+			select {
+			case st = <-ch:
+			default:
+				return Info{}, ErrGone
+			}
+		}
+		if st.err != nil && firstErr == nil {
+			firstErr = st.err
+		}
+		merged.AddHP(st.sum)
+		adds += st.adds
+		frames += st.frames
+	}
+	if firstErr == nil {
+		firstErr = merged.Err()
+	}
+	txt, err := merged.Sum().MarshalText()
+	if err != nil {
+		return Info{}, err
+	}
+	info := Info{
+		Name:   a.name,
+		N:      a.params.N,
+		K:      a.params.K,
+		Shards: len(a.shards),
+		Adds:   adds,
+		Frames: frames,
+		Sum:    merged.Float64(),
+		HP:     string(txt),
+	}
+	if firstErr != nil {
+		info.Err = firstErr.Error()
+	}
+	return info, nil
+}
+
+// checkpoint returns the accumulator's state as a core.SumCheckpoint (Step
+// = values applied, Sum = merged canonical HP) plus its frame count and
+// sticky error, for the snapshot writer.
+func (a *Accumulator) checkpoint() (*core.SumCheckpoint, uint64, string, error) {
+	info, err := a.State()
+	if err != nil {
+		return nil, 0, "", err
+	}
+	var h core.HP
+	if err := h.UnmarshalText([]byte(info.HP)); err != nil {
+		return nil, 0, "", err
+	}
+	return &core.SumCheckpoint{Step: info.Adds, Sum: &h}, info.Frames, info.Err, nil
+}
+
+// seedRestore installs a restored checkpoint: the HP value is enqueued on
+// shard 0 (associativity makes the landing shard irrelevant) and the
+// counters and sticky error are carried at the accumulator level.
+func (a *Accumulator) seedRestore(ck *core.SumCheckpoint, frames uint64, errText string) error {
+	if ck.Sum.Params() != a.params {
+		return core.ErrParamMismatch
+	}
+	if err := a.enqueue(op{hp: ck.Sum, seed: true}); err != nil {
+		return err
+	}
+	a.baseAdds = ck.Step
+	a.baseFrames = frames
+	if errText != "" {
+		a.restoredErr = errors.New(errText)
+	}
+	return nil
+}

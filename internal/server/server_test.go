@@ -1,0 +1,358 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// newTestServer starts an httptest server around a fresh Server and
+// returns both plus a ready client. Cleanup tears the HTTP layer down
+// before draining the shards, matching the documented shutdown order.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, &Client{Base: ts.URL, HTTP: ts.Client(), RetryWait: time.Millisecond}
+}
+
+func oracleText(t *testing.T, p core.Params, xs []float64) string {
+	t.Helper()
+	a := core.NewAccumulator(p)
+	a.AddAll(xs)
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := a.Sum().MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(txt)
+}
+
+func TestCreateGetDeleteList(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+
+	info, err := c.Create("demo", core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != core.Params384.N || info.K != core.Params384.K {
+		t.Fatalf("default params (N=%d,k=%d)", info.N, info.K)
+	}
+	// Idempotent re-create with the same (defaulted) format.
+	if _, err := c.Create("demo", core.Params384); err != nil {
+		t.Fatal(err)
+	}
+	// Same name, different format: conflict.
+	if _, err := c.Create("demo", core.Params128); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("conflicting create: %v", err)
+	}
+	if _, err := c.Create("other", core.Params128); err != nil {
+		t.Fatal(err)
+	}
+	names, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "demo" || names[1] != "other" {
+		t.Fatalf("names %v", names)
+	}
+	if err := c.Delete("other"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("other"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := c.Get("other"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("get deleted: %v", err)
+	}
+}
+
+func TestBadNamesRejected(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	for _, name := range []string{"a b", "x%2Fy", strings.Repeat("q", 200)} {
+		if _, err := c.Create(name, core.Params{}); err == nil {
+			t.Fatalf("name %q accepted", name)
+		}
+	}
+}
+
+func TestStreamAndReadMatchesOracle(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	xs := rng.UniformSet(rng.New(42), 20000, -0.5, 0.5)
+	if _, err := c.Create("s", core.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	c.FrameLen = 512
+	stats, err := c.Stream("s", xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Values != len(xs) {
+		t.Fatalf("acked %d values, want %d", stats.Values, len(xs))
+	}
+	info, err := c.Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Adds != uint64(len(xs)) {
+		t.Fatalf("adds %d, want %d", info.Adds, len(xs))
+	}
+	want := oracleText(t, core.Params384, xs)
+	if info.HP != want {
+		t.Fatalf("server sum %s\n  oracle %s", info.HP, want)
+	}
+	// The rounded JSON field must agree with the oracle rounding too.
+	a := core.NewAccumulator(core.Params384)
+	a.AddAll(xs)
+	if math.Float64bits(info.Sum) != math.Float64bits(a.Float64()) {
+		t.Fatalf("rounded %x, want %x", math.Float64bits(info.Sum), math.Float64bits(a.Float64()))
+	}
+}
+
+func TestHPFrameHandoff(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	if _, err := c.Create("h", core.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	xs := rng.UniformSet(rng.New(7), 5000, -1, 1)
+	// Pre-reduce half the workload elsewhere (an "MPI rank"), hand the
+	// partial over as an HP frame, stream the rest as floats.
+	half := len(xs) / 2
+	partial, err := core.SumHP(core.Params384, xs[:half])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddHP("h", partial); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stream("h", xs[half:]); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Get("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracleText(t, core.Params384, xs); info.HP != want {
+		t.Fatalf("handoff sum %s\n   oracle %s", info.HP, want)
+	}
+	// Param-mismatched HP frames must be rejected before enqueue.
+	wrong := core.New(core.Params128)
+	if err := c.AddHP("h", wrong); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("mismatched HP frame: %v", err)
+	}
+}
+
+func TestOneShotSum(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	xs := rng.UniformSet(rng.New(3), 10000, -2, 2)
+	info, err := c.Sum(xs, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracleText(t, core.Params384, xs); info.HP != want {
+		t.Fatalf("one-shot %s, want %s", info.HP, want)
+	}
+	info128, err := c.Sum([]float64{1.5, 2.5}, core.Params128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info128.N != 2 || info128.Sum != 4 {
+		t.Fatalf("n=%d sum=%v", info128.N, info128.Sum)
+	}
+}
+
+func TestCorruptFramesRejected(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	if _, err := c.Create("x", core.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	good := AppendFloatFrame(nil, []float64{1, 2})
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-2] ^= 0x10 // CRC byte
+
+	// One good frame then a corrupt one: 400, with the good frame counted.
+	resp, err := c.http().Post(c.url("/v1/acc/x/add"), "application/octet-stream",
+		bytes.NewReader(append(append([]byte(nil), good...), bad...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res AddResult
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if err := decodeJSON(resp, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.FramesAccepted != 1 || res.ValuesAccepted != 2 {
+		t.Fatalf("accepted %d frames / %d values, want 1 / 2", res.FramesAccepted, res.ValuesAccepted)
+	}
+	if res.Error == "" {
+		t.Fatal("no error text")
+	}
+	// Non-finite values are rejected at admission, not stuck into the sum.
+	nanFrame := AppendFloatFrame(nil, []float64{math.NaN()})
+	resp, err = c.http().Post(c.url("/v1/acc/x/add"), "application/octet-stream", bytes.NewReader(nanFrame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("NaN frame: status %d, want 400", resp.StatusCode)
+	}
+	// The accumulator still works and holds exactly the accepted frame.
+	info, err := c.Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Err != "" {
+		t.Fatalf("sticky error leaked into accumulator: %q", info.Err)
+	}
+	if info.Sum != 3 {
+		t.Fatalf("sum %v, want 3", info.Sum)
+	}
+}
+
+func TestFrameTooLargeRejected(t *testing.T) {
+	_, c := newTestServer(t, Config{MaxFramePayload: 64})
+	if _, err := c.Create("x", core.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	frame := AppendFloatFrame(nil, make([]float64, 9)) // 72 > 64 payload bytes
+	resp, err := c.http().Post(c.url("/v1/acc/x/add"), "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestBackpressure429AndResume(t *testing.T) {
+	// One shard with a one-deep queue and a negligible enqueue wait: a big
+	// frame parks the drain goroutine, the next fills the queue, and the
+	// third must be refused with 429 + Retry-After.
+	s, c := newTestServer(t, Config{
+		Shards: 1, QueueDepth: 1, EnqueueWait: time.Millisecond,
+		MaxFramePayload: 64 << 20, MaxRequestBytes: 256 << 20,
+	})
+	if _, err := c.Create("bp", core.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]float64, 1<<22)
+	for i := range big {
+		big[i] = 1.0 / (1 << 20)
+	}
+	var body []byte
+	body = AppendFloatFrame(body, big)                // occupies the drain
+	body = AppendFloatFrame(body, []float64{1})       // sits in the queue
+	body = AppendFloatFrame(body, []float64{2, 3, 4}) // must bounce
+	resp, err := c.http().Post(c.url("/v1/acc/bp/add"), "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var res AddResult
+	if err := decodeJSON(resp, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.FramesAccepted < 1 || res.FramesAccepted > 2 {
+		t.Fatalf("frames_accepted %d, want 1 or 2", res.FramesAccepted)
+	}
+
+	// The client's retry loop must push a full workload through this same
+	// tiny-queue server, and the result must still be exact.
+	xs := rng.UniformSet(rng.New(9), 5000, -1, 1)
+	if _, err := c.Create("resume", core.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	c.FrameLen = 64
+	c.ReqFrames = 8
+	stats, err := c.Stream("resume", xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Values != len(xs) {
+		t.Fatalf("acked %d values, want %d", stats.Values, len(xs))
+	}
+	info, err := c.Get("resume")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracleText(t, s.Config().Params, xs); info.HP != want {
+		t.Fatalf("resume sum %s\n  oracle %s", info.HP, want)
+	}
+}
+
+func TestRangeErrorIsSticky(t *testing.T) {
+	// Underflow (a value with bits below 2^-64k) is a per-accumulator
+	// sticky error, reported in the read Info, exactly like Accumulator.
+	_, c := newTestServer(t, Config{Params: core.Params128})
+	if _, err := c.Create("u", core.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stream("u", []float64{1, 1e-30}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Get("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info.Err, "underflow") {
+		t.Fatalf("error %q, want underflow", info.Err)
+	}
+	if info.Sum != 1 {
+		t.Fatalf("sum %v, want 1 (offending value skipped)", info.Sum)
+	}
+}
+
+func TestAddToMissingAccumulator(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	frame := AppendFloatFrame(nil, []float64{1})
+	resp, err := c.http().Post(c.url("/v1/acc/nope/add"), "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestListJSONShape(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	if _, err := c.Create("a1", core.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.http().Get(c.url("/v1/acc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out["accumulators"]; !ok {
+		t.Fatalf("list body %v", out)
+	}
+}

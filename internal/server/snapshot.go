@@ -1,0 +1,185 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/core"
+)
+
+// Snapshot file format — the durable image a graceful shutdown writes and
+// -restore reloads byte-identically:
+//
+//	magic "HPSS" | version(1) | count(4, big-endian) | entries | crc32(4)
+//
+// with each entry
+//
+//	nameLen(2) | name | frames(8) | errLen(2) | err | ckptLen(4) | ckpt
+//
+// where ckpt is a core.SumCheckpoint envelope (itself CRC-guarded, carrying
+// the adds cursor and the exact merged HP sum — self-describing, so mixed
+// per-accumulator formats restore correctly). The outer CRC-32 (IEEE, the
+// repo-wide convention) covers everything before it, so truncation or
+// bit rot anywhere fails loudly at restore instead of seeding a silently
+// wrong service state.
+
+const (
+	snapshotMagic   = "HPSS"
+	snapshotVersion = 1
+)
+
+// snapshotEntry is one accumulator's durable state.
+type snapshotEntry struct {
+	name    string
+	frames  uint64
+	errText string
+	ckpt    []byte // SumCheckpoint.MarshalBinary envelope
+}
+
+// Snapshot flushes every accumulator (in sorted name order, for
+// deterministic bytes) and writes the snapshot file atomically
+// (temp file + rename). Safe to call on a live server; the image reflects
+// all frames acked before the flush of each accumulator.
+func (s *Server) Snapshot(path string) error {
+	names := s.Names()
+	entries := make([]snapshotEntry, 0, len(names))
+	for _, name := range names {
+		a := s.Lookup(name)
+		if a == nil {
+			continue // deleted between Names and Lookup
+		}
+		ck, frames, errText, err := a.checkpoint()
+		if err != nil {
+			return fmt.Errorf("server: snapshot %q: %w", name, err)
+		}
+		env, err := ck.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("server: snapshot %q: %w", name, err)
+		}
+		entries = append(entries, snapshotEntry{name: name, frames: frames, errText: errText, ckpt: env})
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, snapshotMagic...)
+	buf = append(buf, snapshotVersion)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.name)))
+		buf = append(buf, e.name...)
+		buf = binary.BigEndian.AppendUint64(buf, e.frames)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.errText)))
+		buf = append(buf, e.errText...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.ckpt)))
+		buf = append(buf, e.ckpt...)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	mSnapshots.Inc()
+	return nil
+}
+
+// parseSnapshot decodes and verifies a snapshot image.
+func parseSnapshot(data []byte) ([]snapshotEntry, error) {
+	const minLen = 4 + 1 + 4 + 4
+	if len(data) < minLen {
+		return nil, fmt.Errorf("server: snapshot of %d bytes, need at least %d", len(data), minLen)
+	}
+	body, stored := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != stored {
+		return nil, fmt.Errorf("server: snapshot checksum mismatch (stored %08x, computed %08x)", stored, got)
+	}
+	if string(body[:4]) != snapshotMagic {
+		return nil, fmt.Errorf("server: bad snapshot magic %q", body[:4])
+	}
+	if body[4] != snapshotVersion {
+		return nil, fmt.Errorf("server: unsupported snapshot version %d", body[4])
+	}
+	count := int(binary.BigEndian.Uint32(body[5:9]))
+	off := 9
+	need := func(n int) error {
+		if len(body)-off < n {
+			return fmt.Errorf("server: snapshot truncated at offset %d (need %d more bytes)", off, n)
+		}
+		return nil
+	}
+	entries := make([]snapshotEntry, 0, min(count, 1024))
+	for i := 0; i < count; i++ {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		nameLen := int(binary.BigEndian.Uint16(body[off:]))
+		off += 2
+		if err := need(nameLen + 8 + 2); err != nil {
+			return nil, err
+		}
+		name := string(body[off : off+nameLen])
+		off += nameLen
+		frames := binary.BigEndian.Uint64(body[off:])
+		off += 8
+		errLen := int(binary.BigEndian.Uint16(body[off:]))
+		off += 2
+		if err := need(errLen + 4); err != nil {
+			return nil, err
+		}
+		errText := string(body[off : off+errLen])
+		off += errLen
+		ckptLen := int(binary.BigEndian.Uint32(body[off:]))
+		off += 4
+		if err := need(ckptLen); err != nil {
+			return nil, err
+		}
+		ckpt := body[off : off+ckptLen]
+		off += ckptLen
+		if !validName(name) {
+			return nil, fmt.Errorf("server: snapshot entry %d: %w: %q", i, ErrBadName, name)
+		}
+		entries = append(entries, snapshotEntry{name: name, frames: frames, errText: errText, ckpt: ckpt})
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("server: %d trailing snapshot bytes", len(body)-off)
+	}
+	return entries, nil
+}
+
+// Restore reloads a snapshot file into the server, creating each named
+// accumulator with its checkpointed format and seeding it with the exact
+// HP sum it held at shutdown. Because the seed value is the canonical
+// merged sum and HP addition is associative, the restored accumulator is
+// byte-identical (MarshalText equal) to the pre-shutdown state, and adds
+// accepted after restore continue the same exact trajectory. Returns the
+// number of accumulators restored.
+func (s *Server) Restore(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	entries, err := parseSnapshot(data)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range entries {
+		var ck core.SumCheckpoint
+		if err := ck.UnmarshalBinary(e.ckpt); err != nil {
+			return 0, fmt.Errorf("server: restore %q: %w", e.name, err)
+		}
+		a, created, err := s.Create(e.name, ck.Sum.Params())
+		if err != nil {
+			return 0, fmt.Errorf("server: restore %q: %w", e.name, err)
+		}
+		if !created {
+			return 0, fmt.Errorf("server: restore %q: already exists", e.name)
+		}
+		if err := a.seedRestore(&ck, e.frames, e.errText); err != nil {
+			return 0, fmt.Errorf("server: restore %q: %w", e.name, err)
+		}
+		mRestores.Inc()
+	}
+	return len(entries), nil
+}

@@ -11,6 +11,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -118,30 +119,61 @@ func init() {
 
 // Server is a running telemetry exporter.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln      net.Listener
+	srv     *http.Server
+	serveCh chan error // Serve's exit error, nil-or-ErrServerClosed on clean stop
+	once    sync.Once
+	err     error
 }
 
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the exporter, waiting briefly for in-flight requests.
+// Close stops the exporter, waiting briefly for in-flight requests, and
+// returns the first error from either the serve loop (a listener that died
+// mid-run) or the shutdown itself. Close is idempotent.
 func (s *Server) Close() error {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	return s.srv.Shutdown(ctx)
+	s.once.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		shutdownErr := s.srv.Shutdown(ctx)
+		serveErr := <-s.serveCh
+		if serveErr == http.ErrServerClosed {
+			serveErr = nil
+		}
+		if serveErr != nil {
+			s.err = fmt.Errorf("telemetry: serve: %w", serveErr)
+		} else if shutdownErr != nil {
+			s.err = fmt.Errorf("telemetry: shutdown: %w", shutdownErr)
+		}
+	})
+	return s.err
 }
 
 // Serve enables metric recording and starts the exporter on addr
 // (e.g. "localhost:9090" or ":0" for an ephemeral port), returning the
 // running server. The exporter serves the default registry.
-func Serve(addr string) (*Server, error) {
+func Serve(addr string) (*Server, error) { return ServeHandler(addr, Handler()) }
+
+// ServeHandler is Serve with a caller-supplied handler, so a service can
+// mount its own API alongside the exporter endpoints on one listener
+// (cmd/hpsumd does exactly that). The server applies header/idle timeouts
+// that bound slow-loris clients but deliberately sets no blanket read or
+// write timeout: ingest bodies are streamed under per-frame deadlines at
+// the application layer, and /debug/pprof/profile legitimately takes 30s.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	SetEnabled(true)
-	srv := &http.Server{Handler: Handler()}
-	go func() { _ = srv.Serve(ln) }()
-	return &Server{ln: ln, srv: srv}, nil
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 16,
+	}
+	s := &Server{ln: ln, srv: srv, serveCh: make(chan error, 1)}
+	go func() { s.serveCh <- srv.Serve(ln) }()
+	return s, nil
 }

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestMetricsRoundTrip drives the exporter through httptest: register
@@ -162,5 +163,72 @@ func TestServe(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestServeHandler mounts a service mux alongside the exporter on one
+// listener — the cmd/hpsumd composition — and checks both respond, the
+// hardening timeouts are set, and Close stays idempotent and error-free.
+func TestServeHandler(t *testing.T) {
+	prev := Enabled()
+	defer SetEnabled(prev)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ping", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	})
+	mux.Handle("/", Handler())
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]int{"/v1/ping": 200, "/metrics": 200, "/debug/vars": 200} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: %s", path, resp.Status)
+		}
+	}
+	if srv.srv.ReadHeaderTimeout == 0 || srv.srv.IdleTimeout == 0 || srv.srv.MaxHeaderBytes == 0 {
+		t.Error("hardening timeouts not set on the exporter server")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	// The listener is really gone.
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("exporter still reachable after Close")
+	}
+}
+
+// TestServeErrorPropagation: killing the listener out from under the serve
+// loop must surface as an error from Close instead of vanishing in a
+// discarded goroutine.
+func TestServeErrorPropagation(t *testing.T) {
+	prev := Enabled()
+	defer SetEnabled(prev)
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ln.Close() // simulate the listener dying mid-run
+	// Give the serve loop a moment to observe the dead listener.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(srv.serveCh) > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Close(); err == nil {
+		t.Error("Close swallowed the serve loop's listener error")
 	}
 }
