@@ -31,6 +31,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/scan"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 type config struct {
@@ -59,8 +60,18 @@ func main() {
 		out      = flag.String("out", "BENCH_sum.json", "report output path")
 		validate = flag.String("validate", "", "validate an existing report and exit")
 		against  = flag.String("against", "", "committed report to gate against: fail on checksum drift or >25% speedup drop")
+
+		traceOn     = flag.Bool("trace", false, "record spans while benchmarking (perturbs timings; off for committed reports)")
+		traceSample = flag.Uint64("trace-sample", 1, "record 1 in every N traces (1 = all)")
+		flightDump  = flag.String("flight-dump", "", "write flight-recorder JSON here on SIGQUIT or overflow trip")
 	)
 	flag.Parse()
+	if *traceOn {
+		trace.SetEnabled(true)
+		trace.SetSampling(*traceSample)
+	}
+	stopFlight := trace.StartFlightDump(*flightDump)
+	defer stopFlight()
 	outSet := false
 	flag.Visit(func(f *flag.Flag) { outSet = outSet || f.Name == "out" })
 

@@ -21,12 +21,14 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -68,6 +70,10 @@ func run(args []string, out io.Writer) error {
 	if err := cfg.params.Validate(); err != nil {
 		return err
 	}
+	// Per-stage latency percentiles come from the client's own trace spans;
+	// recording is in-process only and provably does not perturb the sums
+	// (the server certificate check below would catch it if it did).
+	defer trace.SetEnabled(trace.SetEnabled(true))
 
 	deadline := time.Time{}
 	rounds := cfg.rounds
@@ -96,6 +102,7 @@ func run(args []string, out io.Writer) error {
 // cfg.clients concurrent clients (each with a private shuffled partition),
 // and verifies the result against a serial oracle bit for bit.
 func round(cfg config, seed uint64, out io.Writer) error {
+	trace.Reset() // stage percentiles are per round
 	c := &server.Client{Base: cfg.addr, FrameLen: cfg.frameLen}
 	name := fmt.Sprintf("hpload-%d", seed)
 	if _, err := c.Create(name, cfg.params); err != nil {
@@ -153,10 +160,35 @@ func round(cfg config, seed uint64, out io.Writer) error {
 	if info.Err != "" {
 		return fmt.Errorf("sticky error: %s", info.Err)
 	}
-	fmt.Fprintf(out, "seed %d: %d values x %d clients verified bit-identical in %v (%.0f values/s) hp=%.24s...\n",
+	fmt.Fprintf(out, "seed %d: %d values x %d clients verified bit-identical in %v (%.0f values/s) hp=%.24s... %s\n",
 		seed, len(xs), cfg.clients, elapsed.Round(time.Millisecond),
-		float64(len(xs))/elapsed.Seconds(), info.HP)
+		float64(len(xs))/elapsed.Seconds(), info.HP, stageLine())
 	return nil
+}
+
+// stageLine summarizes the round's client-side trace spans as per-stage
+// p50/p95/p99 latency percentiles: TCP connects, POST round-trips, 429
+// backoff waits, and the final flush-and-read.
+func stageLine() string {
+	byName := map[string][]float64{}
+	for _, r := range trace.Snapshot() {
+		switch r.Name {
+		case "client.connect", "client.send", "client.resume", "client.read":
+			byName[r.Name] = append(byName[r.Name], float64(r.Dur)/1e6)
+		}
+	}
+	stage := func(name string) string {
+		ds := byName[name]
+		if len(ds) == 0 {
+			return "-"
+		}
+		sort.Float64s(ds)
+		q := func(p float64) float64 { return ds[int(p*float64(len(ds)-1)+0.5)] }
+		return fmt.Sprintf("%.2f/%.2f/%.2f", q(0.50), q(0.95), q(0.99))
+	}
+	return fmt.Sprintf("stages(ms,p50/p95/p99) connect=%s send=%s resume429=%s read=%s",
+		stage("client.connect"), stage("client.send"),
+		stage("client.resume"), stage("client.read"))
 }
 
 // corruptProbes sends frames the server must refuse — CRC damage, an

@@ -36,6 +36,7 @@ import (
 	"repro/internal/floatsum"
 	"repro/internal/mpi"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // config carries every run option; the zero value plus params is a plain
@@ -66,6 +67,9 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (enables telemetry)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOn     = flag.Bool("trace", false, "record spans (export at /debug/trace when -metrics-addr is set)")
+		traceSample = flag.Uint64("trace-sample", 1, "record 1 in every N traces (1 = all)")
+		flightDump  = flag.String("flight-dump", "", "write flight-recorder JSON here on SIGQUIT, stall, or crash")
 	)
 	flag.Parse()
 
@@ -74,6 +78,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hpsum: %v\n", err)
 		os.Exit(1)
 	}
+	if *traceOn {
+		trace.SetEnabled(true)
+		trace.SetSampling(*traceSample)
+	}
+	stopFlight := trace.StartFlightDump(*flightDump)
+	defer stopFlight()
 	cfg := config{
 		params:             core.Params{N: *nFlag, K: *kFlag},
 		adaptive:           *adaptive,
@@ -85,6 +95,7 @@ func main() {
 		stallTimeout:       *stall,
 	}
 	if err := run(cfg, flag.Args(), os.Stdout); err != nil {
+		stopFlight() // os.Exit skips defers; any trip dump is already on disk
 		stop()
 		fmt.Fprintf(os.Stderr, "hpsum: %v\n", err)
 		os.Exit(1)

@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -53,8 +54,11 @@ func run(args []string, ready chan<- string) error {
 		shards   = fs.Int("shards", runtime.GOMAXPROCS(0), "drain lanes per accumulator")
 		queue    = fs.Int("queue", 256, "per-shard queue depth (backpressure bound)")
 		wait     = fs.Duration("enqueue-wait", 5*time.Millisecond, "how long ingest waits for queue room before 429")
-		snapshot = fs.String("snapshot", "", "write a snapshot to this path on graceful shutdown")
-		restore  = fs.String("restore", "", "reload accumulators from this snapshot at startup")
+		snapshot    = fs.String("snapshot", "", "write a snapshot to this path on graceful shutdown")
+		restore     = fs.String("restore", "", "reload accumulators from this snapshot at startup")
+		traceOn     = fs.Bool("trace", false, "record spans (export at /debug/trace as Chrome trace-event JSON)")
+		traceSample = fs.Uint64("trace-sample", 1, "record 1 in every N traces (1 = all)")
+		flightDump  = fs.String("flight-dump", "", "write flight-recorder JSON here on SIGQUIT, stall, crash, or 5xx")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +67,12 @@ func run(args []string, ready chan<- string) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	if *traceOn {
+		trace.SetEnabled(true)
+		trace.SetSampling(*traceSample)
+	}
+	stopFlight := trace.StartFlightDump(*flightDump)
+	defer stopFlight()
 
 	s := server.New(server.Config{
 		Params:      p,

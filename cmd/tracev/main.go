@@ -1,0 +1,123 @@
+// Command tracev validates observability artifacts produced by the trace
+// package: flight-recorder dumps (the schema-versioned JSON written on
+// SIGQUIT, stall-watchdog trips, injected crashes, and server 5xx) and
+// Chrome trace-event JSON exported at /debug/trace. CI's trace smoke job
+// uses it to prove that a soaked, faulted, SIGQUIT-ed run leaves behind
+// artifacts a human (or Perfetto) can actually open.
+//
+//	tracev -flight dump.json                   # validate a flight-recorder dump
+//	tracev -flight dump.json -reason stall-watchdog
+//	tracev -flight dump.json -expect-event mpi/stall-edge
+//	tracev -chrome trace.json                  # validate Chrome trace-event JSON
+//	tracev -chrome trace.json -min-events 10
+//
+// Exit status 0 means every requested check passed; any structural problem,
+// schema mismatch, or unmet expectation is reported on stderr and exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		flight      = flag.String("flight", "", "flight-recorder dump JSON to validate")
+		reason      = flag.String("reason", "", "require the flight dump's trip reason to equal this")
+		expectEvent = flag.String("expect-event", "", "comma-separated subsystem/event names the flight dump must contain, e.g. 'mpi/stall-edge,server/backpressure-429'")
+		chrome      = flag.String("chrome", "", "Chrome trace-event JSON (from /debug/trace) to validate")
+		minEvents   = flag.Int("min-events", 1, "minimum traceEvents the Chrome trace must contain")
+	)
+	flag.Parse()
+	if *flight == "" && *chrome == "" {
+		fmt.Fprintln(os.Stderr, "tracev: nothing to do; pass -flight and/or -chrome")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *flight != "" {
+		if err := checkFlight(*flight, *reason, *expectEvent); err != nil {
+			fmt.Fprintln(os.Stderr, "tracev:", err)
+			os.Exit(1)
+		}
+	}
+	if *chrome != "" {
+		if err := checkChrome(*chrome, *minEvents); err != nil {
+			fmt.Fprintln(os.Stderr, "tracev:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func checkFlight(path, wantReason, expectEvents string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	d, err := trace.ValidateDump(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if wantReason != "" && d.Reason != wantReason {
+		return fmt.Errorf("%s: trip reason %q, want %q", path, d.Reason, wantReason)
+	}
+	if expectEvents != "" {
+		for _, want := range strings.Split(expectEvents, ",") {
+			want = strings.TrimSpace(want)
+			if want == "" {
+				continue
+			}
+			sub, name, ok := strings.Cut(want, "/")
+			if !ok {
+				return fmt.Errorf("-expect-event %q: want subsystem/name", want)
+			}
+			if !hasEvent(d, sub, name) {
+				return fmt.Errorf("%s: no %q event in subsystem %q (reason %q, subsystems %v)",
+					path, name, sub, d.Reason, subsystemNames(d))
+			}
+		}
+	}
+	events := 0
+	for _, evs := range d.Subsystems {
+		events += len(evs)
+	}
+	fmt.Printf("%s: ok (schema %s, reason %q, %d subsystems, %d events, %d in-flight spans, %d slow ops)\n",
+		path, trace.DumpSchema, d.Reason, len(d.Subsystems), events, len(d.InFlight), len(d.SlowOps))
+	return nil
+}
+
+func hasEvent(d *trace.Dump, sub, name string) bool {
+	for _, ev := range d.Subsystems[sub] {
+		if ev.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func subsystemNames(d *trace.Dump) []string {
+	names := make([]string, 0, len(d.Subsystems))
+	for name := range d.Subsystems {
+		names = append(names, name)
+	}
+	return names
+}
+
+func checkChrome(path string, minEvents int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	n, err := trace.ValidateChromeTrace(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if n < minEvents {
+		return fmt.Errorf("%s: %d trace events, want at least %d", path, n, minEvents)
+	}
+	fmt.Printf("%s: ok (%d Chrome trace events)\n", path, n)
+	return nil
+}

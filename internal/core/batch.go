@@ -5,7 +5,13 @@ import (
 	"math/bits"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
+
+// coreFlight records overflow verdicts in the flight recorder. Overflow is
+// a cold, sticky-error event, so the always-on recording never touches the
+// add hot loops.
+var coreFlight = trace.Subsystem("core")
 
 // This file implements the carry-save batch accumulation kernel. The fused
 // sparse kernel (sparse.go) already reduced each float64 to a two-limb
@@ -358,6 +364,7 @@ func (b *BatchAccumulator) MergeChecked(from *BatchAccumulator) {
 	}
 	if s0 == s1 && b.vv[0]>>63 != s0 && b.err == nil {
 		mOverflow.Inc()
+		coreFlight.Event("overflow", trace.Str("op", "merge-checked"))
 		b.err = ErrOverflow
 	}
 }
@@ -400,6 +407,7 @@ func (b *BatchAccumulator) AddChecked(x float64) (overflow bool) {
 	b.Normalize()
 	if s0 == sx && b.vv[0]>>63 != s0 {
 		mOverflow.Inc()
+		coreFlight.Event("overflow", trace.Str("op", "add-checked"))
 		return true
 	}
 	return false
@@ -470,6 +478,7 @@ func (b *BatchAccumulator) AddRound(x float64) (out float64, overflow bool) {
 	}
 	if b.vv[0]>>63 != s0 && s0 == bv>>63 {
 		mOverflow.Inc()
+		coreFlight.Event("overflow", trace.Str("op", "add-round"))
 		overflow = true
 	}
 	return limbsToFloat64(b.vv, b.p.K, b.mag), overflow

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+
+	"repro/internal/trace"
 )
 
 // Wire framing. Every point-to-point payload (user sends and
@@ -14,29 +16,54 @@ import (
 //
 // Layout (big-endian):
 //
-//	version(1) | flags(1) | seq(8) | crc32(4) | payload
+//	version(1) | flags(1) | seq(8) | crc32(4) | [traceID(8) | spanID(8)] | payload
 //
 // seq is assigned from a per-(src, dst) edge counter, so it identifies a
 // logical message uniquely on its edge: retransmissions reuse the seq of
 // the original send and are deduplicated at the receiver. The CRC covers
-// version, flags, seq, and payload, so a bit flip anywhere in the frame
-// (checksum field included) is detected.
+// version, flags, seq, the optional trace context, and the payload, so a
+// bit flip anywhere in the frame (checksum field included) is detected.
+//
+// The trace-context extension exists only when flagTraced is set: a sender
+// inside a sampled trace stamps its current span's (trace id, span id)
+// into the header, and the receive path parents an mpi.recv span under it —
+// which is how one AllreduceFT round stays a single trace across every
+// rank, retransmits included (a retransmitted frame is byte-identical, so
+// it carries the same context). Untraced frames pay zero bytes and zero
+// branches beyond the flag test.
 
 const (
 	frameVersion   = 1
 	frameHeaderLen = 14
 
+	// frameTraceLen is the size of the optional trace-context header
+	// extension: traceID(8) | spanID(8).
+	frameTraceLen = 16
+
 	// flagAckWanted marks frames sent by SendTimeout: every receive path
 	// answers them with an ack frame carrying the seq on tagAck.
 	flagAckWanted = 1 << 0
+	// flagTraced marks frames whose header carries a trace context.
+	flagTraced = 1 << 1
 )
 
-func encodeFrame(seq uint64, flags byte, payload []byte) []byte {
-	f := make([]byte, frameHeaderLen+len(payload))
+func encodeFrame(seq uint64, flags byte, tctx trace.Context, payload []byte) []byte {
+	hlen := frameHeaderLen
+	if tctx.Valid() {
+		flags |= flagTraced
+		hlen += frameTraceLen
+	} else {
+		flags &^= flagTraced
+	}
+	f := make([]byte, hlen+len(payload))
 	f[0] = frameVersion
 	f[1] = flags
 	binary.BigEndian.PutUint64(f[2:], seq)
-	copy(f[frameHeaderLen:], payload)
+	if flags&flagTraced != 0 {
+		binary.BigEndian.PutUint64(f[frameHeaderLen:], tctx.TraceID)
+		binary.BigEndian.PutUint64(f[frameHeaderLen+8:], tctx.SpanID)
+	}
+	copy(f[hlen:], payload)
 	binary.BigEndian.PutUint32(f[10:], frameCRC(f))
 	return f
 }
@@ -49,16 +76,30 @@ func frameCRC(f []byte) uint32 {
 }
 
 // decodeFrame validates and splits a frame. The returned payload aliases
-// f's backing array (each queued frame is owned by exactly one receiver).
-func decodeFrame(f []byte) (seq uint64, flags byte, payload []byte, err error) {
+// f's backing array (each queued frame is owned by exactly one receiver);
+// tctx is the invalid context on untraced frames.
+func decodeFrame(f []byte) (seq uint64, flags byte, tctx trace.Context, payload []byte, err error) {
 	if len(f) < frameHeaderLen {
-		return 0, 0, nil, fmt.Errorf("mpi: frame truncated to %d bytes", len(f))
+		return 0, 0, trace.Context{}, nil, fmt.Errorf("mpi: frame truncated to %d bytes", len(f))
 	}
 	if f[0] != frameVersion {
-		return 0, 0, nil, fmt.Errorf("mpi: unknown frame version %d", f[0])
+		return 0, 0, trace.Context{}, nil, fmt.Errorf("mpi: unknown frame version %d", f[0])
+	}
+	hlen := frameHeaderLen
+	if f[1]&flagTraced != 0 {
+		hlen += frameTraceLen
+		if len(f) < hlen {
+			return 0, 0, trace.Context{}, nil, fmt.Errorf("mpi: traced frame truncated to %d bytes", len(f))
+		}
 	}
 	if binary.BigEndian.Uint32(f[10:]) != frameCRC(f) {
-		return 0, 0, nil, fmt.Errorf("mpi: frame checksum mismatch")
+		return 0, 0, trace.Context{}, nil, fmt.Errorf("mpi: frame checksum mismatch")
 	}
-	return binary.BigEndian.Uint64(f[2:]), f[1], f[frameHeaderLen:], nil
+	if f[1]&flagTraced != 0 {
+		tctx = trace.Context{
+			TraceID: binary.BigEndian.Uint64(f[frameHeaderLen:]),
+			SpanID:  binary.BigEndian.Uint64(f[frameHeaderLen+8:]),
+		}
+	}
+	return binary.BigEndian.Uint64(f[2:]), f[1], tctx, f[hlen:], nil
 }

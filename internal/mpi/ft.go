@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Fault-tolerant allreduce with checkpointed recovery.
@@ -127,6 +129,26 @@ func (c *Comm) AllreduceFT(data []byte, op Op, opts FTOpts) ([]byte, error) {
 	if !opts.NoSelfCheckpoint {
 		opts.Store.Put(c.rank, data)
 	}
+	// Root the round's span on the Comm's context when the caller set one,
+	// else open a fresh (sampled) trace; every send in the round stamps the
+	// round context into its frames, so all ranks' spans — retransmits and
+	// recoveries included — stitch into one trace.
+	parent := c.tctx
+	if !parent.Valid() {
+		parent = trace.NewTrace()
+	}
+	roundSpan := trace.Start(parent, "mpi.allreduce_ft")
+	roundSpan.Attr(trace.Int("rank", int64(c.rank)))
+	roundSpan.Attr(trace.Int("round", int64(c.ftRound)))
+	roundSpan.Attr(trace.Int("bytes", int64(len(data))))
+	prevCtx := c.tctx
+	if roundSpan.Context().Valid() {
+		c.tctx = roundSpan.Context()
+	}
+	defer func() {
+		c.tctx = prevCtx
+		roundSpan.End()
+	}()
 	size := c.w.size
 	for attempt := 0; attempt < size; attempt++ {
 		leader := attempt
@@ -135,6 +157,9 @@ func (c *Comm) AllreduceFT(data []byte, op Op, opts FTOpts) ([]byte, error) {
 		if c.w.isCrashed(leader) && c.rank != leader {
 			continue
 		}
+		attemptSpan := trace.Start(c.tctx, "mpi.ft_attempt")
+		attemptSpan.Attr(trace.Int("attempt", int64(attempt)))
+		attemptSpan.Attr(trace.Int("leader", int64(leader)))
 		var out []byte
 		var err error
 		if c.rank == leader {
@@ -143,12 +168,19 @@ func (c *Comm) AllreduceFT(data []byte, op Op, opts FTOpts) ([]byte, error) {
 			out, err = c.ftFollow(data, leader, tagContrib, tagResult, timeout)
 		}
 		if err == nil {
+			attemptSpan.End()
 			done()
 			return out, nil
 		}
+		attemptSpan.Attr(trace.Str("error", err.Error()))
+		attemptSpan.End()
 		var te *TimeoutError
 		var pc *PeerCrashedError
 		if errors.As(err, &te) || errors.As(err, &pc) {
+			mpiFlight.Event("ft-leader-unreachable",
+				trace.Int("rank", int64(c.rank)),
+				trace.Int("leader", int64(leader)),
+				trace.Int("attempt", int64(attempt)))
 			continue // leader unreachable: next attempt, next leader
 		}
 		return nil, err
@@ -203,6 +235,10 @@ func (c *Comm) ftContribution(r int, own []byte, opts FTOpts, tagContrib int, ti
 			return nil, err
 		}
 	}
+	sp := trace.Start(c.tctx, "mpi.recover")
+	sp.Attr(trace.Int("lost_rank", int64(r)))
+	sp.Attr(trace.Int("leader", int64(c.rank)))
+	defer sp.End()
 	ckpt, ok := opts.Store.Get(r)
 	recover := opts.Recover
 	if recover == nil {
@@ -218,7 +254,18 @@ func (c *Comm) ftContribution(r int, own []byte, opts FTOpts, tagContrib int, ti
 		return nil, fmt.Errorf("mpi: rank %d lost and unrecoverable: %w", r, err)
 	}
 	mRecoveries.Inc()
+	mpiFlight.Event("ft-recovery",
+		trace.Int("lost_rank", int64(r)),
+		trace.Int("leader", int64(c.rank)),
+		trace.Int("checkpoint", boolInt(ok)))
 	return contrib, nil
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // ftFollow runs the follower side: offer the contribution, await the

@@ -30,7 +30,13 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
+
+// mpiFlight is the substrate's flight-recorder ring: rank crashes,
+// retransmissions, send timeouts, stalled edges, and FT recoveries land
+// here. Always on, written only from fault and failure paths.
+var mpiFlight = trace.Subsystem("mpi")
 
 // Op combines two encoded values: inout = combine(inout, in). Ops used with
 // Reduce must be commutative and associative over the encoded domain (the
@@ -143,7 +149,7 @@ func (m *mailbox) sweepStaleLocked() []uint64 {
 	var stale []uint64
 	kept := m.queue[:0]
 	for _, msg := range m.queue {
-		if seq, flags, _, err := decodeFrame(msg.frame); err == nil && flags&flagAckWanted != 0 {
+		if seq, flags, _, _, err := decodeFrame(msg.frame); err == nil && flags&flagAckWanted != 0 {
 			if _, delivered := m.seen[seq]; delivered {
 				stale = append(stale, seq)
 				mDupSuppressed.Inc()
@@ -281,6 +287,8 @@ func (w *world) noteCrashed(rank int) {
 		return
 	}
 	mCrashesObserved.Inc()
+	mpiFlight.Event("rank-crash", trace.Int("rank", int64(rank)))
+	trace.TripDump("crash", fmt.Sprintf("mpi: rank %d crashed (injected fault)", rank))
 	for dst := range w.boxes {
 		w.boxes[dst][rank].wake()
 	}
@@ -296,11 +304,27 @@ func (w *world) isCrashed(rank int) bool {
 type Comm struct {
 	rank    int
 	w       *world
-	ftRound int // AllreduceFT invocation counter, for collision-free tags
+	ftRound int           // AllreduceFT invocation counter, for collision-free tags
+	tctx    trace.Context // current trace context, stamped into frame headers
 }
 
 // Rank returns this rank's id in [0, Size).
 func (c *Comm) Rank() int { return c.rank }
+
+// SetTraceContext installs ctx as the communicator's current trace context:
+// subsequent sends stamp it into their frame headers (so receivers parent
+// their recv spans under it) and collectives parent their spans under it.
+// It returns the previous context; the Comm is single-goroutine-owned, so
+// no synchronization is involved.
+func (c *Comm) SetTraceContext(ctx trace.Context) trace.Context {
+	prev := c.tctx
+	c.tctx = ctx
+	return prev
+}
+
+// TraceContext returns the communicator's current trace context (invalid
+// when untraced).
+func (c *Comm) TraceContext() trace.Context { return c.tctx }
 
 // Size returns the world size.
 func (c *Comm) Size() int { return c.w.size }
@@ -402,7 +426,7 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 }
 
 func (c *Comm) send(dst, tag int, data []byte) error {
-	_, frame, err := c.packFrame(dst, data, 0)
+	_, frame, err := c.packFrame(dst, data, 0, c.tctx)
 	if err != nil {
 		return err
 	}
@@ -410,14 +434,15 @@ func (c *Comm) send(dst, tag int, data []byte) error {
 }
 
 // packFrame assigns the next sequence number on the (rank, dst) edge and
-// encodes data into a frame. Reliable sends keep the frame so
-// retransmissions reuse the same seq (letting the receiver deduplicate).
-func (c *Comm) packFrame(dst int, data []byte, flags byte) (uint64, []byte, error) {
+// encodes data into a frame stamped with tctx (invalid = untraced).
+// Reliable sends keep the frame so retransmissions reuse the same seq
+// (letting the receiver deduplicate) and the same trace context.
+func (c *Comm) packFrame(dst int, data []byte, flags byte, tctx trace.Context) (uint64, []byte, error) {
 	if dst < 0 || dst >= c.w.size {
 		return 0, nil, fmt.Errorf("mpi: send to invalid rank %d (size %d)", dst, c.w.size)
 	}
 	seq := c.w.seqs[c.rank][dst].Add(1)
-	return seq, encodeFrame(seq, flags, data), nil
+	return seq, encodeFrame(seq, flags, tctx, data), nil
 }
 
 // deliver pushes one framed message toward dst, applying the world's fault
@@ -479,6 +504,10 @@ func (c *Comm) recvFrame(src, tag int, deadline time.Time) ([]byte, error) {
 	if src < 0 || src >= c.w.size {
 		return nil, fmt.Errorf("mpi: recv from invalid rank %d (size %d)", src, c.w.size)
 	}
+	var tstart time.Time
+	if trace.Enabled() {
+		tstart = time.Now()
+	}
 	box := c.w.boxes[c.rank][src]
 	for {
 		raw, stale, err := box.take(tag, deadline)
@@ -492,7 +521,7 @@ func (c *Comm) recvFrame(src, tag int, deadline time.Time) ([]byte, error) {
 		if raw == nil {
 			continue
 		}
-		seq, flags, payload, derr := decodeFrame(raw)
+		seq, flags, fctx, payload, derr := decodeFrame(raw)
 		if derr != nil {
 			mCorruptDetected.Inc()
 			continue
@@ -504,6 +533,19 @@ func (c *Comm) recvFrame(src, tag int, deadline time.Time) ([]byte, error) {
 		if !fresh {
 			mDupSuppressed.Inc()
 			continue
+		}
+		if fctx.Valid() {
+			// Parent under the SENDER's span, stitching the cross-rank
+			// edge into one trace.
+			sp := trace.Start(fctx, "mpi.recv")
+			sp.Attr(trace.Int("src", int64(src)))
+			sp.Attr(trace.Int("dst", int64(c.rank)))
+			sp.Attr(trace.Int("tag", int64(tag)))
+			sp.Attr(trace.Int("seq", int64(seq)))
+			if !tstart.IsZero() {
+				sp.Attr(trace.Int("wait_ns", time.Since(tstart).Nanoseconds()))
+			}
+			sp.End()
 		}
 		return payload, nil
 	}

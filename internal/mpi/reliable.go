@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Reliable point-to-point layer: deadline-bounded send and receive with
@@ -52,7 +54,23 @@ func (c *Comm) sendReliable(dst, tag int, data []byte, timeout time.Duration) er
 		return fmt.Errorf("mpi: non-positive timeout %v", timeout)
 	}
 	deadline := time.Now().Add(timeout)
-	seq, frame, err := c.packFrame(dst, data, flagAckWanted)
+	sp := trace.Start(c.tctx, "mpi.send")
+	sp.Attr(trace.Int("src", int64(c.rank)))
+	sp.Attr(trace.Int("dst", int64(dst)))
+	sp.Attr(trace.Int("tag", int64(tag)))
+	retransmits := 0
+	defer func() {
+		sp.Attr(trace.Int("retransmits", int64(retransmits)))
+		sp.End()
+	}()
+	// The frame carries the send span's context (falling back to the Comm's
+	// when untraced), so every retransmission — a byte-identical copy —
+	// carries the same context and the receiver stitches to this attempt.
+	tctx := sp.Context()
+	if !tctx.Valid() {
+		tctx = c.tctx
+	}
+	seq, frame, err := c.packFrame(dst, data, flagAckWanted, tctx)
 	if err != nil {
 		return err
 	}
@@ -64,6 +82,11 @@ func (c *Comm) sendReliable(dst, tag int, data []byte, timeout time.Duration) er
 			// by the receiver; never alias delivered buffers.
 			f = append([]byte(nil), frame...)
 			mRetransmits.Inc()
+			retransmits++
+			mpiFlight.Event("retransmit",
+				trace.Int("src", int64(c.rank)), trace.Int("dst", int64(dst)),
+				trace.Int("tag", int64(tag)), trace.Int("seq", int64(seq)),
+				trace.Int("attempt", int64(attempt)))
 		}
 		if err := c.deliver(dst, tag, f); err != nil {
 			return err
@@ -85,6 +108,9 @@ func (c *Comm) sendReliable(dst, tag int, data []byte, timeout time.Duration) er
 		}
 		if !time.Now().Before(deadline) {
 			mSendTimeouts.Inc()
+			mpiFlight.Event("send-timeout",
+				trace.Int("src", int64(c.rank)), trace.Int("dst", int64(dst)),
+				trace.Int("tag", int64(tag)), trace.Int("seq", int64(seq)))
 			return &TimeoutError{Src: c.rank, Dst: dst, Tag: tag, Op: "send"}
 		}
 		if rto *= 2; rto > rtoMax {

@@ -3,6 +3,8 @@ package mpi
 import (
 	"sort"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Stall watchdog: a per-world monitor that turns silent deadlocks into
@@ -79,7 +81,19 @@ func (w *world) startWatchdog(stall time.Duration) (stop func()) {
 			case <-t.C:
 				if edges := w.stalledEdges(stall); len(edges) > 0 {
 					mStalls.Inc()
-					w.abort(&StallError{After: stall, Edges: edges})
+					// Name every blocked edge in the flight recorder, then
+					// dump: the trip is the moment the recent-event rings
+					// and in-flight spans explain the hang.
+					for _, e := range edges {
+						mpiFlight.Event("stall-edge",
+							trace.Int("src", int64(e.Src)),
+							trace.Int("dst", int64(e.Dst)),
+							trace.Int("tag", int64(e.Tag)),
+							trace.Int("blocked_ms", time.Since(e.Since).Milliseconds()))
+					}
+					err := &StallError{After: stall, Edges: edges}
+					trace.TripDump("stall-watchdog", err.Error())
+					w.abort(err)
 					return
 				}
 			}

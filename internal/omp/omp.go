@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Telemetry for the fork-join substrate. Chunk counters are sharded, so
@@ -249,6 +250,9 @@ func Reduce[L any](t *Team, n int, newLocal func(tid int) L,
 	if telemetry.Enabled() {
 		start = time.Now() // clock reads only when recording is on
 	}
+	span := trace.StartRoot("omp.reduce")
+	span.Attr(trace.Int("n", int64(n)))
+	span.Attr(trace.Int("threads", int64(t.threads)))
 	locals := make([]paddedLocal[L], t.threads)
 	t.Run(func(tid int) {
 		locals[tid].v = newLocal(tid)
@@ -258,11 +262,14 @@ func Reduce[L any](t *Team, n int, newLocal func(tid int) L,
 		}
 		body(locals[tid].v, tid, lo, hi)
 	})
+	csp := trace.Start(span.Context(), "omp.combine")
 	for i := 1; i < t.threads; i++ {
 		combine(locals[0].v, locals[i].v)
 	}
+	csp.End()
 	if !start.IsZero() {
 		mReduceLatency.ObserveDuration(time.Since(start).Seconds())
 	}
+	span.End()
 	return locals[0].v
 }

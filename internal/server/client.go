@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptrace"
 	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // Client is a minimal hpsumd client speaking the binary ingest protocol,
@@ -121,6 +123,9 @@ func (c *Client) Delete(name string) error {
 // Get flushes and reads the accumulator: the rounded sum, the canonical HP
 // certificate, and the adds/frames counters.
 func (c *Client) Get(name string) (Info, error) {
+	span := trace.StartRoot("client.read")
+	span.Attr(trace.Str("acc", name))
+	defer span.End()
 	resp, err := c.http().Get(c.url("/v1/acc/%s", name))
 	if err != nil {
 		return Info{}, err
@@ -168,6 +173,10 @@ type StreamStats struct {
 // frames into POSTs and transparently retrying the unaccepted suffix on
 // backpressure. It returns once the server has acked every frame.
 func (c *Client) Stream(name string, xs []float64) (StreamStats, error) {
+	span := trace.StartRoot("client.stream")
+	span.Attr(trace.Str("acc", name))
+	span.Attr(trace.Int("values", int64(len(xs))))
+	defer span.End()
 	flen := c.frameLen()
 	frames := make([][]float64, 0, len(xs)/flen+1)
 	for len(xs) > 0 {
@@ -175,16 +184,16 @@ func (c *Client) Stream(name string, xs []float64) (StreamStats, error) {
 		frames = append(frames, xs[:n])
 		xs = xs[n:]
 	}
-	return c.streamFrames(name, frames)
+	return c.streamFrames(name, frames, span.Context())
 }
 
 // streamFrames sends pre-partitioned frames.
-func (c *Client) streamFrames(name string, frames [][]float64) (StreamStats, error) {
+func (c *Client) streamFrames(name string, frames [][]float64, parent trace.Context) (StreamStats, error) {
 	var stats StreamStats
 	per := c.reqFrames()
 	for len(frames) > 0 {
 		batch := frames[:min(per, len(frames))]
-		acked, retries, err := c.postFrames(name, batch)
+		acked, retries, err := c.postFrames(name, batch, parent)
 		stats.Frames += acked
 		stats.Retries += retries
 		for _, f := range batch[:acked] {
@@ -200,26 +209,42 @@ func (c *Client) streamFrames(name string, frames [][]float64) (StreamStats, err
 
 // postFrames POSTs one batch of frames, absorbing 429 rounds by resending
 // the unaccepted suffix. It returns how many of the batch's frames were
-// acked in total.
-func (c *Client) postFrames(name string, frames [][]float64) (acked, retries int, err error) {
+// acked in total. When parent is a valid trace context, each POST attempt
+// is a client.send span whose context rides ahead of the data frames as a
+// FrameTrace, so the server's ingest span (and the shard folds under it)
+// parent back to this exact attempt.
+func (c *Client) postFrames(name string, frames [][]float64, parent trace.Context) (acked, retries int, err error) {
 	var buf []byte
 	for retry := 0; ; retry++ {
+		if acked >= len(frames) {
+			return acked, retries, nil
+		}
+		sendSpan := trace.Start(parent, "client.send")
+		sendSpan.Attr(trace.Int("frames", int64(len(frames)-acked)))
 		buf = buf[:0]
+		buf = AppendTraceFrame(buf, sendSpan.Context())
 		for _, f := range frames[acked:] {
 			buf = AppendFloatFrame(buf, f)
 		}
-		if len(buf) == 0 {
-			return acked, retries, nil
+		req, rerr := http.NewRequest(http.MethodPost, c.url("/v1/acc/%s/add", name),
+			bytes.NewReader(buf))
+		if rerr != nil {
+			sendSpan.End()
+			return acked, retries, rerr
 		}
-		resp, err := c.http().Post(c.url("/v1/acc/%s/add", name),
-			"application/octet-stream", bytes.NewReader(buf))
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := c.http().Do(withConnectTrace(req, parent))
 		if err != nil {
+			sendSpan.End()
 			return acked, retries, err
 		}
 		var res AddResult
 		status := resp.StatusCode
 		retryAfter := resp.Header.Get("Retry-After")
-		if derr := decodeJSON(resp, &res); derr != nil && status == http.StatusOK {
+		derr := decodeJSON(resp, &res)
+		sendSpan.Attr(trace.Int("status", int64(status)))
+		sendSpan.End()
+		if derr != nil && status == http.StatusOK {
 			return acked, retries, derr
 		}
 		acked += res.FramesAccepted
@@ -238,11 +263,36 @@ func (c *Client) postFrames(name string, frames [][]float64) (acked, retries int
 					wait = time.Duration(s) * time.Second
 				}
 			}
+			resumeSpan := trace.Start(parent, "client.resume")
+			resumeSpan.Attr(trace.Int("retry", int64(retries)))
+			resumeSpan.Attr(trace.Int("wait_ms", wait.Milliseconds()))
 			time.Sleep(wait)
+			resumeSpan.End()
 		default:
 			return acked, retries, fmt.Errorf("server: add: HTTP %d: %s", status, res.Error)
 		}
 	}
+}
+
+// withConnectTrace arms an httptrace hook that brackets any fresh TCP dial
+// for req in a client.connect span (pooled-connection reuse dials nothing
+// and records nothing). Both callbacks run on the transport's dial
+// goroutine, so the span value never crosses goroutines mid-flight.
+func withConnectTrace(req *http.Request, parent trace.Context) *http.Request {
+	if !parent.Valid() {
+		return req
+	}
+	var connSpan trace.Span
+	ct := &httptrace.ClientTrace{
+		ConnectStart: func(network, addr string) {
+			connSpan = trace.Start(parent, "client.connect")
+			connSpan.Attr(trace.Str("addr", addr))
+		},
+		ConnectDone: func(network, addr string, err error) {
+			connSpan.End()
+		},
+	}
+	return req.WithContext(httptrace.WithClientTrace(req.Context(), ct))
 }
 
 // AddHP hands off one exact HP partial sum.

@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // Wire format of the streaming ingest payload: a sequence of self-checking
@@ -35,7 +36,13 @@ import (
 //	      patterns (the same byte order as HP limb images);
 //	'h' — one core.HP partial sum in its self-describing MarshalBinary
 //	      envelope, for exact hand-off of pre-reduced partials (e.g. from
-//	      MPI ranks or another hpsumd).
+//	      MPI ranks or another hpsumd);
+//	'T' — an optional trace-context frame: 16 bytes of (trace id, span id),
+//	      big-endian. It is metadata, not data: the server parents its
+//	      ingest span under it so a frame can be followed client → shard
+//	      queue → fold, but it never counts toward frames_accepted (resume
+//	      arithmetic is untouched) and never touches accumulator state.
+//	      Clients only send it when tracing is enabled and sampled.
 //
 // A frame is the unit of admission: it is either accepted whole (enqueued
 // on one shard) or rejected whole, so clients can resume after backpressure
@@ -43,10 +50,15 @@ import (
 const (
 	FrameFloat64 byte = 'f'
 	FrameHP      byte = 'h'
+	FrameTrace   byte = 'T'
 
 	frameHeaderLen  = 5 // type + payload length
 	frameTrailerLen = 4 // crc32
 	frameOverhead   = frameHeaderLen + frameTrailerLen
+
+	// traceFramePayloadLen is the fixed payload size of a FrameTrace:
+	// traceID(8) | spanID(8).
+	traceFramePayloadLen = 16
 )
 
 // MaxFramePayload is the default cap on a single frame's payload size
@@ -90,6 +102,21 @@ func AppendHPFrame(buf []byte, x *core.HP) ([]byte, error) {
 	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:])), nil
 }
 
+// AppendTraceFrame appends a FrameTrace frame carrying ctx to buf and
+// returns the extended slice. An invalid context appends nothing, so
+// callers can chain it unconditionally.
+func AppendTraceFrame(buf []byte, ctx trace.Context) []byte {
+	if !ctx.Valid() {
+		return buf
+	}
+	start := len(buf)
+	buf = append(buf, FrameTrace)
+	buf = binary.BigEndian.AppendUint32(buf, traceFramePayloadLen)
+	buf = binary.BigEndian.AppendUint64(buf, ctx.TraceID)
+	buf = binary.BigEndian.AppendUint64(buf, ctx.SpanID)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
+}
+
 // Frame is one decoded ingest frame. Payload aliases the decoder's internal
 // buffer and is only valid until the next call to Next.
 type Frame struct {
@@ -122,6 +149,20 @@ func (f Frame) Floats(out []float64) ([]float64, error) {
 		out[i] = v
 	}
 	return out, nil
+}
+
+// TraceContext decodes a FrameTrace payload.
+func (f Frame) TraceContext() (trace.Context, error) {
+	if f.Type != FrameTrace {
+		return trace.Context{}, fmt.Errorf("server: TraceContext on frame type %q", f.Type)
+	}
+	if len(f.Payload) != traceFramePayloadLen {
+		return trace.Context{}, fmt.Errorf("server: trace frame payload of %d bytes, want %d", len(f.Payload), traceFramePayloadLen)
+	}
+	return trace.Context{
+		TraceID: binary.BigEndian.Uint64(f.Payload),
+		SpanID:  binary.BigEndian.Uint64(f.Payload[8:]),
+	}, nil
 }
 
 // HP decodes a FrameHP payload into a fresh HP value.
@@ -167,7 +208,7 @@ func (d *FrameDecoder) Next() (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: reading type: %v", ErrFrameTrunc, err)
 	}
 	ftype := hdr[0]
-	if ftype != FrameFloat64 && ftype != FrameHP {
+	if ftype != FrameFloat64 && ftype != FrameHP && ftype != FrameTrace {
 		return Frame{}, fmt.Errorf("%w 0x%02x", ErrFrameType, ftype)
 	}
 	if _, err := io.ReadFull(d.r, hdr[1:]); err != nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // HTTP surface:
@@ -66,7 +67,21 @@ type errorBody struct {
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+	msg := fmt.Sprintf(format, args...)
+	noteServerError(status, msg)
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+// noteServerError records an escaped 5xx in the flight recorder and trips
+// a dump: a server error on this service means an invariant broke (enqueue
+// failed for a non-backpressure reason, marshalling a sum failed), which is
+// exactly the moment the recent-event rings are worth keeping.
+func noteServerError(status int, msg string) {
+	if status < 500 || status == http.StatusServiceUnavailable {
+		return
+	}
+	flight.Event("server-5xx", trace.Int("status", int64(status)), trace.Str("error", msg))
+	trace.TripDump("server-5xx", fmt.Sprintf("HTTP %d: %s", status, msg))
 }
 
 type createRequest struct {
@@ -170,9 +185,33 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	rc := http.NewResponseController(w)
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 	dec := NewFrameDecoder(bufio.NewReader(body), s.cfg.MaxFramePayload)
+
+	// Ingest span, started lazily at the first frame so a leading
+	// FrameTrace can parent it under the client's send span. One span per
+	// request; when tracing is off every operation below is free.
+	var span trace.Span
+	spanStarted := false
+	ensureSpan := func(parent trace.Context) {
+		if spanStarted {
+			return
+		}
+		spanStarted = true
+		if !parent.Valid() {
+			parent = trace.NewTrace()
+		}
+		span = trace.Start(parent, "server.ingest")
+		span.Attr(trace.Str("acc", a.name))
+	}
 	var res AddResult
+	defer func() {
+		span.Attr(trace.Int("frames", int64(res.FramesAccepted)))
+		span.Attr(trace.Int("values", int64(res.ValuesAccepted)))
+		span.End()
+	}()
+
 	fail := func(status int, format string, args ...any) {
 		res.Error = fmt.Sprintf(format, args...)
+		noteServerError(status, res.Error)
 		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After",
 				strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
@@ -220,6 +259,19 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		var enqErr error
 		var values int
 		switch f.Type {
+		case FrameTrace:
+			// Metadata, not data: adopt the client's context for this
+			// request's ingest span, count nothing, touch no state. The
+			// resume protocol is untouched because frames_accepted only
+			// ever counts data frames.
+			wctx, err := f.TraceContext()
+			if err != nil {
+				mBadFrames.Inc()
+				fail(http.StatusBadRequest, "%v", err)
+				return
+			}
+			ensureSpan(wctx)
+			continue
 		case FrameHP:
 			h, err := f.HP()
 			if err != nil {
@@ -233,7 +285,8 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 					h.Params().N, h.Params().K, a.params.N, a.params.K)
 				return
 			}
-			enqErr = a.AddHP(h)
+			ensureSpan(trace.Context{})
+			enqErr = a.AddHPTraced(h, span.Context())
 		default:
 			xs, err := f.Floats(nil)
 			if err != nil {
@@ -242,7 +295,8 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			values = len(xs)
-			enqErr = a.AddFloats(xs)
+			ensureSpan(trace.Context{})
+			enqErr = a.AddFloatsTraced(xs, span.Context())
 		}
 		switch {
 		case enqErr == nil:
@@ -303,6 +357,8 @@ func (s *Server) handleSum(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		switch f.Type {
+		case FrameTrace:
+			continue // metadata: never counted, never summed
 		case FrameHP:
 			h, err := f.HP()
 			if err != nil || h.Params() != p {

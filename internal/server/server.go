@@ -11,7 +11,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
+
+// flight is the server's flight-recorder ring: backpressure rejections,
+// escaped 5xx responses, and snapshot/restore milestones land here. Always
+// on, but written only from cold paths.
+var flight = trace.Subsystem("server")
 
 // Config tunes a summation Server. The zero value selects the documented
 // defaults; New normalizes it.
@@ -227,8 +233,9 @@ type op struct {
 	xs   []float64
 	hp   *core.HP
 	snap chan shardState
-	seed bool      // restore seed: fold the value in without counting a frame
-	enq  time.Time // set when telemetry is recording; zero otherwise
+	seed bool          // restore seed: fold the value in without counting a frame
+	enq  time.Time     // set when telemetry is recording; zero otherwise
+	tctx trace.Context // ingest span context; folds become its children
 }
 
 // shardState is a shard's reply to a snap op: the canonical partial sum
@@ -299,17 +306,25 @@ func (a *Accumulator) drain(sh *shard) {
 	apply := func(o op) {
 		switch {
 		case o.snap != nil:
+			sp := trace.Start(o.tctx, "server.snapshot")
 			b.Normalize()
 			o.snap <- shardState{sum: b.Sum().Clone(), err: b.Err(), adds: adds, frames: frames}
+			sp.End()
 		case o.hp != nil:
+			sp := trace.Start(o.tctx, "server.fold")
+			sp.Attr(trace.Str("kind", "hp"))
 			b.AddHP(o.hp)
 			if !o.seed {
 				frames++
 			}
+			sp.End()
 		default:
+			sp := trace.Start(o.tctx, "server.fold")
+			sp.Attr(trace.Int("values", int64(len(o.xs))))
 			b.AddSlice(o.xs)
 			adds += uint64(len(o.xs))
 			frames++
+			sp.End()
 		}
 		mQueueDepth.Dec()
 		if !o.enq.IsZero() {
@@ -393,6 +408,10 @@ func (a *Accumulator) enqueue(o op) error {
 		return ErrGone
 	case <-t.C:
 		mRejectedAdds.Inc()
+		flight.Event("backpressure-429",
+			trace.Str("acc", a.name),
+			trace.Int("queue_depth", mQueueDepth.Value()),
+			trace.Int("queue_cap", int64(a.cfg.QueueDepth*len(a.shards))))
 		return ErrBusy
 	}
 }
@@ -401,13 +420,22 @@ func (a *Accumulator) enqueue(o op) error {
 // the accumulator from this point on.
 func (a *Accumulator) AddFloats(xs []float64) error { return a.enqueue(op{xs: xs}) }
 
+// AddFloatsTraced is AddFloats carrying a trace context: the shard-side
+// fold becomes a child span of tctx. The invalid context costs nothing.
+func (a *Accumulator) AddFloatsTraced(xs []float64, tctx trace.Context) error {
+	return a.enqueue(op{xs: xs, tctx: tctx})
+}
+
 // AddHP enqueues one HP partial sum (an exact hand-off from another
 // reduction). The value must match the accumulator's format.
-func (a *Accumulator) AddHP(h *core.HP) error {
+func (a *Accumulator) AddHP(h *core.HP) error { return a.AddHPTraced(h, trace.Context{}) }
+
+// AddHPTraced is AddHP carrying a trace context for the shard-side fold.
+func (a *Accumulator) AddHPTraced(h *core.HP, tctx trace.Context) error {
 	if h.Params() != a.params {
 		return core.ErrParamMismatch
 	}
-	return a.enqueue(op{hp: h})
+	return a.enqueue(op{hp: h, tctx: tctx})
 }
 
 // State flushes every shard (a snap op queues behind all previously
@@ -418,11 +446,15 @@ func (a *Accumulator) AddHP(h *core.HP) error {
 // dispatch interleaving; only the overflow verdict depends on the combine
 // trajectory, which the fixed order pins given the shard partials.
 func (a *Accumulator) State() (Info, error) {
+	mergeSpan := trace.StartRoot("server.merge")
+	mergeSpan.Attr(trace.Str("acc", a.name))
+	mergeSpan.Attr(trace.Int("shards", int64(len(a.shards))))
+	defer mergeSpan.End()
 	replies := make([]chan shardState, len(a.shards))
 	for i, sh := range a.shards {
 		ch := make(chan shardState, 1)
 		select {
-		case sh.ops <- op{snap: ch}:
+		case sh.ops <- op{snap: ch, tctx: mergeSpan.Context()}:
 			mQueueDepth.Inc()
 		case <-sh.quit:
 			return Info{}, ErrGone

@@ -82,16 +82,39 @@ func (r *Registry) metricsHandler() http.Handler {
 	})
 }
 
+// Debug-handler extension point: packages that want an endpoint on every
+// exporter listener (internal/trace mounts /debug/trace this way) register
+// it here, keeping the dependency arrow pointed at telemetry.
+var (
+	debugMu       sync.Mutex
+	debugHandlers = map[string]http.Handler{}
+)
+
+// RegisterDebugHandler mounts h at pattern on every Handler/Serve mux
+// built afterwards. Registering the same pattern again replaces the
+// handler (harmless for repeated package init in tests).
+func RegisterDebugHandler(pattern string, h http.Handler) {
+	debugMu.Lock()
+	debugHandlers[pattern] = h
+	debugMu.Unlock()
+}
+
 // Handler returns the exporter mux for the default registry: /metrics
-// (Prometheus text, or JSON via ?format=json), /debug/vars (expvar), and
-// the /debug/pprof/ endpoints. It is exported so tests can drive the
-// exporter with net/http/httptest without opening a socket.
+// (Prometheus text, or JSON via ?format=json), /debug/vars (expvar), the
+// /debug/pprof/ endpoints, and any registered debug handlers. It is
+// exported so tests can drive the exporter with net/http/httptest without
+// opening a socket.
 func Handler() http.Handler { return handlerFor(defaultRegistry) }
 
 func handlerFor(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.metricsHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	debugMu.Lock()
+	for pattern, h := range debugHandlers {
+		mux.Handle(pattern, h)
+	}
+	debugMu.Unlock()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

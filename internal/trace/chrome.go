@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Chrome trace-event export: the completed-span rings rendered in the
+// Trace Event Format (the JSON that chrome://tracing and Perfetto's
+// legacy loader consume). Every completed span becomes one "X" (complete)
+// event with microsecond timestamps; in-flight spans become "i" (instant)
+// events so a dump taken mid-stall still shows what was running.
+//
+// Alongside it lives the slow-op log: spans whose duration crossed
+// SetSlowThreshold are copied into a dedicated ring and exported with
+// explicit threshold flags, so "what was slow recently" does not require
+// loading a full trace into a viewer.
+
+// slowThreshold is the slow-op threshold in nanoseconds (0 disables the
+// log). Default 100ms.
+var slowThreshold atomic.Int64
+
+func init() { slowThreshold.Store(int64(100 * time.Millisecond)) }
+
+// SetSlowThreshold sets the duration at or above which a completed span is
+// also recorded in the slow-op log (0 disables), returning the previous
+// threshold.
+func SetSlowThreshold(d time.Duration) time.Duration {
+	return time.Duration(slowThreshold.Swap(int64(d)))
+}
+
+const slowRingSize = 1 << 9
+
+var slowRing struct {
+	pos   atomic.Uint64
+	slots [slowRingSize]atomic.Pointer[Record]
+}
+
+func recordSlow(rec *Record) {
+	i := slowRing.pos.Add(1) - 1
+	slowRing.slots[i&(slowRingSize-1)].Store(rec)
+}
+
+func resetSlow() {
+	slowRing.pos.Store(0)
+	for i := range slowRing.slots {
+		slowRing.slots[i].Store(nil)
+	}
+}
+
+// SlowOps returns the slow-op log, oldest first.
+func SlowOps() []*Record {
+	var out []*Record
+	n := slowRing.pos.Load()
+	if n > slowRingSize {
+		n = slowRingSize
+	}
+	for i := uint64(0); i < n; i++ {
+		if rec := slowRing.slots[i].Load(); rec != nil {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func toChromeEvent(rec *Record, ph string) chromeEvent {
+	args := map[string]any{
+		"trace":  fmt.Sprintf("%016x", rec.TraceID),
+		"span":   fmt.Sprintf("%016x", rec.SpanID),
+		"parent": fmt.Sprintf("%016x", rec.Parent),
+	}
+	for _, a := range rec.AttrList() {
+		if a.Str != "" {
+			args[a.Key] = a.Str
+		} else {
+			args[a.Key] = a.Int
+		}
+	}
+	if rec.Slow {
+		args["slow"] = true
+	}
+	ev := chromeEvent{
+		Name: rec.Name,
+		Cat:  "span",
+		Ph:   ph,
+		Ts:   float64(rec.Start) / 1e3,
+		Pid:  1,
+		Tid:  rec.Shard,
+		ID:   strconv.FormatUint(rec.TraceID, 16),
+		Args: args,
+	}
+	if ph == "X" {
+		ev.Dur = float64(rec.Dur) / 1e3
+	}
+	if ph == "i" {
+		ev.S = "t" // thread-scoped instant
+	}
+	return ev
+}
+
+// WriteChromeTrace writes every completed span (plus in-flight spans as
+// instant events) in Chrome trace-event JSON, loadable by Perfetto and
+// chrome://tracing.
+func WriteChromeTrace(w io.Writer) error {
+	ct := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, rec := range Snapshot() {
+		ct.TraceEvents = append(ct.TraceEvents, toChromeEvent(rec, "X"))
+	}
+	for _, rec := range InFlight() {
+		ct.TraceEvents = append(ct.TraceEvents, toChromeEvent(rec, "i"))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}
+
+// slowEntry is one slow-op log line as served by the handler.
+type slowEntry struct {
+	Name        string  `json:"name"`
+	Trace       string  `json:"trace"`
+	Span        string  `json:"span"`
+	StartNS     int64   `json:"start_ns"`
+	DurMS       float64 `json:"dur_ms"`
+	ThresholdMS float64 `json:"threshold_ms"`
+	Exceeded    bool    `json:"threshold_exceeded"`
+	Attrs       []Attr  `json:"attrs,omitempty"`
+}
+
+// writeSlowLog writes the slow-op log as JSON.
+func writeSlowLog(w io.Writer) error {
+	th := float64(slowThreshold.Load()) / 1e6
+	out := struct {
+		ThresholdMS float64     `json:"threshold_ms"`
+		SlowOps     []slowEntry `json:"slow_ops"`
+	}{ThresholdMS: th, SlowOps: []slowEntry{}}
+	for _, rec := range SlowOps() {
+		out.SlowOps = append(out.SlowOps, slowEntry{
+			Name:        rec.Name,
+			Trace:       fmt.Sprintf("%016x", rec.TraceID),
+			Span:        fmt.Sprintf("%016x", rec.SpanID),
+			StartNS:     rec.Start,
+			DurMS:       float64(rec.Dur) / 1e6,
+			ThresholdMS: th,
+			Exceeded:    true,
+			Attrs:       rec.AttrList(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Handler serves the trace exporter:
+//
+//	/debug/trace            Chrome trace-event JSON (Perfetto-loadable)
+//	/debug/trace?view=slow  the slow-op log with threshold flags
+//	/debug/trace?view=flight  the flight-recorder snapshot (reason "http")
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.URL.Query().Get("view") {
+		case "", "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteChromeTrace(w)
+		case "slow":
+			w.Header().Set("Content-Type", "application/json")
+			_ = writeSlowLog(w)
+		case "flight":
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteDump(w, "http", req.RemoteAddr)
+		default:
+			http.Error(w, "unknown view (want chrome, slow, or flight)", http.StatusBadRequest)
+		}
+	})
+}
+
+func init() {
+	// Mount /debug/trace on every telemetry exporter listener (hpsumd's
+	// single-listener layout included) without telemetry importing trace.
+	telemetry.RegisterDebugHandler("/debug/trace", Handler())
+}
+
+// ValidateChromeTrace parses data as Chrome trace-event JSON and checks
+// the invariants Perfetto's loader cares about: a traceEvents array whose
+// entries carry a name, a known phase, and non-negative timestamps (and
+// durations for complete events). It returns the event count.
+func ValidateChromeTrace(data []byte) (int, error) {
+	var ct struct {
+		TraceEvents []struct {
+			Name *string  `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &ct); err != nil {
+		return 0, fmt.Errorf("trace: chrome trace is not valid JSON: %w", err)
+	}
+	if ct.TraceEvents == nil {
+		return 0, fmt.Errorf("trace: chrome trace has no traceEvents array")
+	}
+	known := map[string]bool{"X": true, "B": true, "E": true, "i": true, "I": true,
+		"C": true, "M": true, "b": true, "e": true, "n": true}
+	for i, ev := range ct.TraceEvents {
+		if ev.Name == nil || *ev.Name == "" {
+			return 0, fmt.Errorf("trace: event %d has no name", i)
+		}
+		if !known[ev.Ph] {
+			return 0, fmt.Errorf("trace: event %d has unknown phase %q", i, ev.Ph)
+		}
+		if ev.Ts == nil || *ev.Ts < 0 {
+			return 0, fmt.Errorf("trace: event %d has missing or negative ts", i)
+		}
+		if ev.Ph == "X" && ev.Dur != nil && *ev.Dur < 0 {
+			return 0, fmt.Errorf("trace: event %d has negative dur", i)
+		}
+	}
+	return len(ct.TraceEvents), nil
+}

@@ -1,0 +1,336 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Flight recorder: an always-on, bounded ring of recent events per
+// subsystem. Unlike spans it is NOT gated on Enabled() — events are only
+// recorded from cold paths (backpressure rejections, retransmissions,
+// watchdog trips, crashes, snapshots), so the recorder costs nothing on
+// the summation hot loops while still holding the last moments before a
+// failure. WriteDump serializes the whole picture — recent events, queue
+// depths (every telemetry gauge), in-flight spans, the slow-op log — as a
+// schema-versioned JSON snapshot; TripDump writes it to the configured
+// path when a watchdog fires, a fault crashes a rank, or a server 5xx
+// escapes, and a StartFlightDump flusher goroutine does the same on
+// SIGQUIT.
+
+// DumpSchema versions the flight-recorder dump format.
+const DumpSchema = "repro/flight-recorder/v1"
+
+// eventRingSize bounds each subsystem's recent-event ring.
+const eventRingSize = 1 << 9
+
+// Event is one flight-recorder entry.
+type Event struct {
+	Time      int64  `json:"time_ns"`
+	Subsystem string `json:"subsystem"`
+	Name      string `json:"name"`
+	Attrs     []Attr `json:"attrs,omitempty"`
+}
+
+// eventRec is the immutable stored form (fixed-size attrs).
+type eventRec struct {
+	time   int64
+	name   string
+	nattrs int
+	attrs  [maxAttrs]Attr
+}
+
+// Ring is one subsystem's flight-recorder ring. Obtain one with
+// Subsystem; Event is lock-free and always on.
+type Ring struct {
+	name  string
+	pos   atomic.Uint64
+	slots [eventRingSize]atomic.Pointer[eventRec]
+}
+
+var (
+	subsMu sync.Mutex
+	subs   = map[string]*Ring{}
+)
+
+// Subsystem returns (creating if needed) the flight-recorder ring named
+// name. Packages call it once at init and keep the handle.
+func Subsystem(name string) *Ring {
+	subsMu.Lock()
+	defer subsMu.Unlock()
+	if r, ok := subs[name]; ok {
+		return r
+	}
+	r := &Ring{name: name}
+	subs[name] = r
+	return r
+}
+
+// Event records one event with its attributes. It is always on, bounded,
+// and lock-free: one allocation, one atomic add, one pointer store.
+func (r *Ring) Event(name string, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	rec := &eventRec{time: time.Now().UnixNano(), name: name}
+	for _, a := range attrs {
+		if rec.nattrs >= maxAttrs {
+			break
+		}
+		rec.attrs[rec.nattrs] = a
+		rec.nattrs++
+	}
+	i := r.pos.Add(1) - 1
+	r.slots[i&(eventRingSize-1)].Store(rec)
+}
+
+// Events returns the ring's recent events, oldest first.
+func (r *Ring) Events() []Event {
+	n := r.pos.Load()
+	if n > eventRingSize {
+		n = eventRingSize
+	}
+	out := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rec := r.slots[i].Load()
+		if rec == nil {
+			continue
+		}
+		ev := Event{Time: rec.time, Subsystem: r.name, Name: rec.name}
+		if rec.nattrs > 0 {
+			ev.Attrs = append([]Attr(nil), rec.attrs[:rec.nattrs]...)
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// Reset clears the ring (for tests).
+func (r *Ring) Reset() {
+	r.pos.Store(0)
+	for i := range r.slots {
+		r.slots[i].Store(nil)
+	}
+}
+
+// dumpSpan is a span record as serialized into dumps.
+type dumpSpan struct {
+	Trace   string  `json:"trace"`
+	Span    string  `json:"span"`
+	Parent  string  `json:"parent,omitempty"`
+	Name    string  `json:"name"`
+	StartNS int64   `json:"start_ns"`
+	DurMS   float64 `json:"dur_ms"` // -1 when still in flight
+	Attrs   []Attr  `json:"attrs,omitempty"`
+}
+
+func toDumpSpan(rec *Record) dumpSpan {
+	d := dumpSpan{
+		Trace:   fmt.Sprintf("%016x", rec.TraceID),
+		Span:    fmt.Sprintf("%016x", rec.SpanID),
+		Name:    rec.Name,
+		StartNS: rec.Start,
+		DurMS:   float64(rec.Dur) / 1e6,
+		Attrs:   rec.AttrList(),
+	}
+	if rec.Parent != 0 {
+		d.Parent = fmt.Sprintf("%016x", rec.Parent)
+	}
+	if rec.Dur < 0 {
+		d.DurMS = -1
+	}
+	return d
+}
+
+// Dump is the parsed form of a flight-recorder snapshot; WriteDump emits
+// it and ValidateDump checks one.
+type Dump struct {
+	Schema     string             `json:"schema"`
+	Reason     string             `json:"reason"`
+	Detail     string             `json:"detail,omitempty"`
+	WrittenAt  string             `json:"written_at"`
+	Goroutines int                `json:"goroutines"`
+	Gauges     map[string]int64   `json:"gauges"`
+	Subsystems map[string][]Event `json:"subsystems"`
+	InFlight   []dumpSpan         `json:"inflight_spans"`
+	SlowOps    []dumpSpan         `json:"slow_ops"`
+}
+
+// WriteDump writes the flight-recorder snapshot as schema-versioned JSON:
+// why it was taken, every telemetry gauge (queue depths included), every
+// subsystem's recent events, the spans in flight at the moment of the
+// dump, and the slow-op log.
+func WriteDump(w io.Writer, reason, detail string) error {
+	d := Dump{
+		Schema:     DumpSchema,
+		Reason:     reason,
+		Detail:     detail,
+		WrittenAt:  time.Now().UTC().Format(time.RFC3339Nano),
+		Goroutines: runtime.NumGoroutine(),
+		Gauges:     map[string]int64{},
+		Subsystems: map[string][]Event{},
+		InFlight:   []dumpSpan{},
+		SlowOps:    []dumpSpan{},
+	}
+	reg := telemetry.Default()
+	for _, name := range reg.Names() {
+		if g, ok := reg.Get(name).(*telemetry.Gauge); ok {
+			d.Gauges[name] = g.Value()
+		}
+	}
+	subsMu.Lock()
+	rings := make([]*Ring, 0, len(subs))
+	for _, r := range subs {
+		rings = append(rings, r)
+	}
+	subsMu.Unlock()
+	for _, r := range rings {
+		d.Subsystems[r.name] = r.Events()
+	}
+	for _, rec := range InFlight() {
+		d.InFlight = append(d.InFlight, toDumpSpan(rec))
+	}
+	for _, rec := range SlowOps() {
+		d.SlowOps = append(d.SlowOps, toDumpSpan(rec))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ValidateDump parses data as a flight-recorder dump and verifies its
+// schema tag and structural invariants, returning the parsed dump.
+func ValidateDump(data []byte) (*Dump, error) {
+	var d Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("trace: dump is not valid JSON: %w", err)
+	}
+	if d.Schema != DumpSchema {
+		return nil, fmt.Errorf("trace: dump schema %q, want %q", d.Schema, DumpSchema)
+	}
+	if d.Reason == "" {
+		return nil, fmt.Errorf("trace: dump has no reason")
+	}
+	if _, err := time.Parse(time.RFC3339Nano, d.WrittenAt); err != nil {
+		return nil, fmt.Errorf("trace: dump written_at: %w", err)
+	}
+	if d.Subsystems == nil {
+		return nil, fmt.Errorf("trace: dump has no subsystems object")
+	}
+	for name, evs := range d.Subsystems {
+		for i, ev := range evs {
+			if ev.Name == "" {
+				return nil, fmt.Errorf("trace: subsystem %q event %d has no name", name, i)
+			}
+		}
+	}
+	return &d, nil
+}
+
+// Dump-on-trip wiring. SetDumpPath configures where TripDump writes; the
+// empty path (the default) disables trip dumps entirely, so library code
+// can call TripDump unconditionally.
+var (
+	dumpMu    sync.Mutex
+	dumpPath  string
+	dumpCount atomic.Uint64
+)
+
+// SetDumpPath sets (or, with "", clears) the file trip dumps are written
+// to and returns the previous path.
+func SetDumpPath(path string) string {
+	dumpMu.Lock()
+	defer dumpMu.Unlock()
+	prev := dumpPath
+	dumpPath = path
+	return prev
+}
+
+// DumpCount returns how many trip dumps have been written (for tests).
+func DumpCount() uint64 { return dumpCount.Load() }
+
+// TripDump writes a flight-recorder dump to the configured path, tagged
+// with the trip reason (e.g. "stall-watchdog", "crash", "server-5xx").
+// It is synchronous — trips happen on failure paths where losing the dump
+// to a fast exit would defeat the point — and serialized, with the last
+// trip winning the file. A no-op when no dump path is configured.
+func TripDump(reason, detail string) {
+	dumpMu.Lock()
+	path := dumpPath
+	dumpMu.Unlock()
+	if path == "" {
+		return
+	}
+	if err := writeDumpFile(path, reason, detail); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: flight dump: %v\n", err)
+		return
+	}
+	dumpCount.Add(1)
+	fmt.Fprintf(os.Stderr, "trace: flight-recorder dump (%s) written to %s\n", reason, path)
+}
+
+func writeDumpFile(path, reason, detail string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteDump(f, reason, detail); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// StartFlightDump arms the flight-recorder flusher: trip dumps go to path
+// (also installed via SetDumpPath), and a flusher goroutine writes a dump
+// on every SIGQUIT — to path when set, else to stderr — without killing
+// the process. The returned stop function releases the signal handler and
+// terminates the flusher goroutine; callers should defer it.
+func StartFlightDump(path string) (stop func()) {
+	SetDumpPath(path)
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGQUIT)
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		for {
+			select {
+			case <-done:
+				return
+			case <-sigCh:
+				if path == "" {
+					if err := WriteDump(os.Stderr, "SIGQUIT", ""); err != nil {
+						fmt.Fprintf(os.Stderr, "trace: flight dump: %v\n", err)
+					}
+					continue
+				}
+				if err := writeDumpFile(path, "SIGQUIT", ""); err != nil {
+					fmt.Fprintf(os.Stderr, "trace: flight dump: %v\n", err)
+					continue
+				}
+				dumpCount.Add(1)
+				fmt.Fprintf(os.Stderr, "trace: flight-recorder dump (SIGQUIT) written to %s\n", path)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(sigCh)
+			close(done)
+			<-exited
+		})
+	}
+}

@@ -1,0 +1,466 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// withTracing enables span recording for one test and restores all global
+// trace state afterwards (the package state is process-wide, like
+// telemetry's).
+func withTracing(t *testing.T) {
+	t.Helper()
+	prev := SetEnabled(true)
+	prevSample := SetSampling(1)
+	Reset()
+	t.Cleanup(func() {
+		SetEnabled(prev)
+		SetSampling(prevSample)
+		Reset()
+	})
+}
+
+func TestSpanLifecycleAndParenting(t *testing.T) {
+	withTracing(t)
+	root := StartRoot("root")
+	if !root.Context().Valid() {
+		t.Fatal("root context invalid with tracing enabled")
+	}
+	child := Start(root.Context(), "child")
+	child.Attr(Int("k", 7))
+	child.Attr(Str("s", "v"))
+	child.End()
+	root.End()
+
+	recs := Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("snapshot has %d records, want 2", len(recs))
+	}
+	byName := map[string]*Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	r, c := byName["root"], byName["child"]
+	if r == nil || c == nil {
+		t.Fatalf("missing records: %v", byName)
+	}
+	if c.TraceID != r.TraceID {
+		t.Fatalf("child trace %x, root trace %x", c.TraceID, r.TraceID)
+	}
+	if c.Parent != r.SpanID {
+		t.Fatalf("child parent %x, root span %x", c.Parent, r.SpanID)
+	}
+	if got := c.AttrList(); len(got) != 2 || got[0].Int != 7 || got[1].Str != "v" {
+		t.Fatalf("child attrs %v", got)
+	}
+	if c.Dur < 0 || r.Dur < 0 {
+		t.Fatalf("completed spans have negative durations: %d %d", c.Dur, r.Dur)
+	}
+	if len(InFlight()) != 0 {
+		t.Fatalf("in-flight table not empty: %v", InFlight())
+	}
+}
+
+func TestDisabledAndInertSpansAreFree(t *testing.T) {
+	Reset()
+	if prev := SetEnabled(false); prev {
+		defer SetEnabled(true)
+	}
+	if NewTrace().Valid() {
+		t.Fatal("NewTrace valid while disabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartRoot("off")
+		sp.Attr(Int("k", 1))
+		child := Start(sp.Context(), "child")
+		child.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing costs %v allocs/op, want 0", allocs)
+	}
+	if n := len(Snapshot()); n != 0 {
+		t.Fatalf("disabled tracing recorded %d spans", n)
+	}
+
+	// Double-End and zero-value spans are no-ops.
+	var zero Span
+	zero.End()
+	zero.Attr(Int("x", 1))
+	SetEnabled(true)
+	defer SetEnabled(false)
+	sp := StartRoot("once")
+	sp.End()
+	sp.End()
+	if n := len(Snapshot()); n != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", n)
+	}
+	Reset()
+}
+
+func TestSampling(t *testing.T) {
+	withTracing(t)
+	SetSampling(4)
+	sampled := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		if NewTrace().Valid() {
+			sampled++
+		}
+	}
+	if want := trials / 4; sampled != want {
+		t.Fatalf("sampled %d of %d traces at stride 4, want %d", sampled, trials, want)
+	}
+	// A sampled-out trace must yield fully inert spans.
+	SetSampling(1 << 62)
+	sp := Start(NewTrace(), "dropped")
+	sp.End()
+}
+
+func TestSpanRingWraps(t *testing.T) {
+	withTracing(t)
+	const extra = 512
+	for i := 0; i < ringSize+extra; i++ {
+		sp := StartRoot("wrap")
+		sp.End()
+	}
+	n := len(Snapshot())
+	if n == 0 || n > ringSize*numShards {
+		t.Fatalf("snapshot has %d records after wrap, want (0, %d]", n, ringSize*numShards)
+	}
+}
+
+func TestConcurrentRecordingIsRaceFree(t *testing.T) {
+	withTracing(t)
+	ring := Subsystem("trace-test-race")
+	ring.Reset()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				sp := StartRoot("race")
+				child := Start(sp.Context(), "race-child")
+				child.Attr(Int("i", int64(i)))
+				child.End()
+				sp.End()
+				ring.Event("evt", Int("w", int64(w)))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() { // concurrent readers against the writers above
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			Snapshot()
+			InFlight()
+			ring.Events()
+			var buf bytes.Buffer
+			_ = WriteChromeTrace(&buf)
+			_ = WriteDump(&buf, "race", "")
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestFlightRingAlwaysOnAndWraps(t *testing.T) {
+	// The flight recorder is NOT gated on Enabled().
+	Reset()
+	SetEnabled(false)
+	ring := Subsystem("trace-test-flight")
+	ring.Reset()
+	for i := 0; i < eventRingSize+100; i++ {
+		ring.Event("e", Int("i", int64(i)))
+	}
+	evs := ring.Events()
+	if len(evs) != eventRingSize {
+		t.Fatalf("ring holds %d events, want %d", len(evs), eventRingSize)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatalf("events not sorted oldest-first at %d", i)
+		}
+	}
+	if Subsystem("trace-test-flight") != ring {
+		t.Fatal("Subsystem is not idempotent")
+	}
+}
+
+func TestDumpRoundTripAndValidation(t *testing.T) {
+	withTracing(t)
+	Subsystem("trace-test-dump").Reset()
+	Subsystem("trace-test-dump").Event("boom", Str("edge", "1->0"), Int("tag", 9))
+	open := StartRoot("still-running") // must appear as in-flight
+	defer open.End()
+	done := Start(open.Context(), "finished")
+	done.End()
+
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, "stall-watchdog", "rank 0 <- rank 1 (tag 9)"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ValidateDump(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Schema != DumpSchema || d.Reason != "stall-watchdog" {
+		t.Fatalf("schema %q reason %q", d.Schema, d.Reason)
+	}
+	evs := d.Subsystems["trace-test-dump"]
+	if len(evs) != 1 || evs[0].Name != "boom" || evs[0].Attrs[0].Str != "1->0" {
+		t.Fatalf("subsystem events %+v", evs)
+	}
+	foundInFlight := false
+	for _, s := range d.InFlight {
+		if s.Name == "still-running" && s.DurMS == -1 {
+			foundInFlight = true
+		}
+	}
+	if !foundInFlight {
+		t.Fatalf("in-flight span missing from dump: %+v", d.InFlight)
+	}
+
+	// Rejections: bad JSON, wrong schema, missing reason, bad timestamp.
+	for _, bad := range []string{
+		`{`,
+		`{"schema":"other/v9","reason":"x","written_at":"2026-01-01T00:00:00Z","subsystems":{}}`,
+		`{"schema":"` + DumpSchema + `","written_at":"2026-01-01T00:00:00Z","subsystems":{}}`,
+		`{"schema":"` + DumpSchema + `","reason":"x","written_at":"not-a-time","subsystems":{}}`,
+		`{"schema":"` + DumpSchema + `","reason":"x","written_at":"2026-01-01T00:00:00Z"}`,
+	} {
+		if _, err := ValidateDump([]byte(bad)); err == nil {
+			t.Errorf("accepted invalid dump %s", bad)
+		}
+	}
+}
+
+func TestTripDump(t *testing.T) {
+	withTracing(t)
+	path := filepath.Join(t.TempDir(), "flight.json")
+	prev := SetDumpPath(path)
+	defer SetDumpPath(prev)
+
+	Subsystem("trace-test-trip").Event("trip-evt")
+	before := DumpCount()
+	TripDump("crash", "rank 1 crashed")
+	if DumpCount() != before+1 {
+		t.Fatal("TripDump did not count")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ValidateDump(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Reason != "crash" || d.Detail != "rank 1 crashed" {
+		t.Fatalf("reason %q detail %q", d.Reason, d.Detail)
+	}
+
+	// With no path configured, TripDump is a silent no-op.
+	SetDumpPath("")
+	TripDump("crash", "nowhere to go")
+	if DumpCount() != before+1 {
+		t.Fatal("pathless TripDump wrote a dump")
+	}
+}
+
+func TestChromeTraceExportAndValidation(t *testing.T) {
+	withTracing(t)
+	root := StartRoot("chrome-root")
+	child := Start(root.Context(), "chrome-child")
+	child.Attr(Int("values", 42))
+	child.End()
+	root.End()
+	open := StartRoot("chrome-open")
+	defer open.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("%d trace events, want 3 (2 complete + 1 instant)", n)
+	}
+	// The instant event for the in-flight span must be phase "i".
+	var ct struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]string{}
+	for _, ev := range ct.TraceEvents {
+		phases[ev["name"].(string)] = ev["ph"].(string)
+	}
+	if phases["chrome-child"] != "X" || phases["chrome-open"] != "i" {
+		t.Fatalf("phases %v", phases)
+	}
+
+	for _, bad := range []string{
+		`not json`,
+		`{}`,
+		`{"traceEvents":[{"ph":"X","ts":1}]}`,
+		`{"traceEvents":[{"name":"a","ph":"??","ts":1}]}`,
+		`{"traceEvents":[{"name":"a","ph":"X"}]}`,
+		`{"traceEvents":[{"name":"a","ph":"X","ts":-5}]}`,
+		`{"traceEvents":[{"name":"a","ph":"X","ts":1,"dur":-1}]}`,
+	} {
+		if _, err := ValidateChromeTrace([]byte(bad)); err == nil {
+			t.Errorf("accepted invalid chrome trace %s", bad)
+		}
+	}
+}
+
+func TestSlowOpLog(t *testing.T) {
+	withTracing(t)
+	prev := SetSlowThreshold(20 * time.Millisecond)
+	defer SetSlowThreshold(prev)
+	sp := StartRoot("slow-op")
+	time.Sleep(30 * time.Millisecond)
+	sp.End()
+	fast := StartRoot("fast-op")
+	fast.End()
+
+	found := false
+	for _, r := range SlowOps() {
+		if r.Name == "fast-op" {
+			t.Fatal("fast span landed in the slow-op log")
+		}
+		if r.Name == "slow-op" && r.Slow {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("slow span missing from the slow-op log")
+	}
+}
+
+func TestDebugTraceHandler(t *testing.T) {
+	withTracing(t)
+	sp := StartRoot("handler-span")
+	sp.End()
+	h := Handler()
+
+	get := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		return rec
+	}
+	rec := get("/debug/trace")
+	if rec.Code != 200 {
+		t.Fatalf("/debug/trace: HTTP %d", rec.Code)
+	}
+	if n, err := ValidateChromeTrace(rec.Body.Bytes()); err != nil || n < 1 {
+		t.Fatalf("/debug/trace: %d events, err %v", n, err)
+	}
+	rec = get("/debug/trace?view=slow")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "slow_ops") {
+		t.Fatalf("view=slow: HTTP %d body %.80s", rec.Code, rec.Body)
+	}
+	rec = get("/debug/trace?view=flight")
+	if rec.Code != 200 {
+		t.Fatalf("view=flight: HTTP %d", rec.Code)
+	}
+	if d, err := ValidateDump(rec.Body.Bytes()); err != nil || d.Reason != "http" {
+		t.Fatalf("view=flight: %v (err %v)", d, err)
+	}
+	if rec := get("/debug/trace?view=bogus"); rec.Code != 400 {
+		t.Fatalf("view=bogus: HTTP %d, want 400", rec.Code)
+	}
+}
+
+// traceGoroutines returns stacks of goroutines running package code,
+// excluding test runners — the flusher-leak oracle, mirroring
+// internal/mpi's leak_test.go.
+func traceGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var got []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if !strings.Contains(g, "repro/internal/trace.") {
+			continue
+		}
+		if strings.Contains(g, "testing.tRunner") {
+			continue
+		}
+		got = append(got, g)
+	}
+	return got
+}
+
+func assertNoFlusherLeak(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var leaked []string
+	for {
+		leaked = traceGoroutines()
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("%d trace goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+}
+
+func TestStartFlightDumpSIGQUITAndStop(t *testing.T) {
+	withTracing(t)
+	path := filepath.Join(t.TempDir(), "sigquit.json")
+	Subsystem("trace-test-sigquit").Event("pre-signal")
+	stop := StartFlightDump(path)
+
+	before := DumpCount()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for DumpCount() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("SIGQUIT did not produce a flight dump")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ValidateDump(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Reason != "SIGQUIT" {
+		t.Fatalf("reason %q, want SIGQUIT", d.Reason)
+	}
+
+	// stop is idempotent and must terminate the flusher goroutine.
+	stop()
+	stop()
+	assertNoFlusherLeak(t)
+	SetDumpPath("")
+}
