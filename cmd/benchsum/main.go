@@ -41,6 +41,9 @@ type config struct {
 	// sweep is the worker counts the parallel workloads run at.
 	sweep []int
 	seed  uint64
+	// replicas is the server-loopback replication factor (1 = unreplicated,
+	// matching committed reports).
+	replicas int
 }
 
 // guardedWorkloads are the paths the -against regression gate holds to
@@ -57,6 +60,7 @@ func main() {
 		trials   = flag.Int("trials", 5, "timed repetitions (median reported)")
 		workers  = flag.Int("workers", runtime.NumCPU(), "max threads for the parallel workload sweep")
 		seed     = flag.Uint64("seed", 20160523, "workload PRNG seed")
+		replicas = flag.Int("replicas", 1, "server-loopback replication factor (k-of-n certification overhead; keep 1 for committed reports)")
 		out      = flag.String("out", "BENCH_sum.json", "report output path")
 		validate = flag.String("validate", "", "validate an existing report and exit")
 		against  = flag.String("against", "", "committed report to gate against: fail on checksum drift or >25% speedup drop")
@@ -87,11 +91,12 @@ func main() {
 	}
 
 	cfg := config{
-		params: core.Params{N: *hpn, K: *hpk},
-		count:  *count,
-		trials: *trials,
-		sweep:  workerSweep(*workers),
-		seed:   *seed,
+		params:   core.Params{N: *hpn, K: *hpk},
+		count:    *count,
+		trials:   *trials,
+		sweep:    workerSweep(*workers),
+		seed:     *seed,
+		replicas: *replicas,
 	}
 	report, err := run(cfg)
 	if err != nil {
@@ -288,7 +293,7 @@ func serverLoopback(cfg config) workload {
 		frames += (sz + frameLen - 1) / frameLen
 	}
 	return workload{"server-loopback", clients, true, frames, func(xs []float64) (float64, error) {
-		s := server.New(server.Config{Params: p})
+		s := server.New(server.Config{Params: p, Replicas: cfg.replicas})
 		defer s.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

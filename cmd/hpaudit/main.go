@@ -1,0 +1,142 @@
+// Command hpaudit is the offline auditor for an hpsumd deployment running
+// with -journal/-audit-log. It replays the recorded frame journal against
+// the hash-linked audit log and proves — by exact re-summation, bit for bit
+// — that every attested watermark is the sum of exactly the accepted frames,
+// or it names the first divergent link (the record and accumulator where the
+// two files stop telling the same story).
+//
+//	hpaudit -log audit.hpal -journal frames.hpfj
+//	hpaudit -log ... -journal ... -acc metrics -expect "<canonical HP text>"
+//
+// The proof needs no trust in the daemon: HP addition is exactly
+// associative and commutative, so the auditor's serial replay of the
+// journal must land on the identical canonical envelope the log attests.
+// With -acc/-expect it additionally proves a total reported elsewhere (a
+// dashboard, an invoice) is the final attested state of that accumulator.
+//
+// Exit status 0 means the whole chain verified (and -expect matched);
+// anything else is a named divergence.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hpaudit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hpaudit", flag.ContinueOnError)
+	var (
+		logPath     = fs.String("log", "", "hash-linked audit log path (required)")
+		journalPath = fs.String("journal", "", "frame journal path (required)")
+		accName     = fs.String("acc", "", "accumulator whose final attested total must equal -expect")
+		expect      = fs.String("expect", "", "reported total to prove, as canonical HP text")
+		verbose     = fs.Bool("v", false, "print every record in the chain")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" || *journalPath == "" {
+		return errors.New("-log and -journal are both required")
+	}
+	if (*accName == "") != (*expect == "") {
+		return errors.New("-acc and -expect must be set together")
+	}
+
+	// Stage 1: the chain itself. ReadLog verifies CRC, sequence continuity,
+	// and the prev_hash links, naming the first record that breaks.
+	logData, err := os.ReadFile(*logPath)
+	if err != nil {
+		return err
+	}
+	records, err := audit.ReadLog(logData)
+	if err != nil {
+		return fmt.Errorf("DIVERGENT: %w", err)
+	}
+	fmt.Fprintf(out, "chain: %d record(s), hash-linked and CRC-clean\n", len(records))
+	if *verbose {
+		for _, r := range records {
+			fmt.Fprintf(out, "  record %d (%s): %d accumulator(s)\n", r.Seq, r.Reason, len(r.Entries))
+			for _, e := range r.Entries {
+				fmt.Fprintf(out, "    %-20s frames=%-8d adds=%-10d digest=%x...\n",
+					e.Name, e.Frames, e.Adds, e.Digest[:8])
+			}
+		}
+	}
+
+	// Stage 2: the replay. Every attested watermark is re-summed from the
+	// journaled frames and compared bit for bit.
+	jf, err := os.Open(*journalPath)
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+	res, err := audit.Verify(records, audit.NewJournalReader(jf))
+	if err != nil {
+		var d *audit.Divergence
+		if errors.As(err, &d) {
+			return fmt.Errorf("DIVERGENT: %w", d)
+		}
+		return err
+	}
+	fmt.Fprintf(out, "replay: %d frame(s), %d value(s) re-summed; every watermark matches bit for bit\n",
+		res.FramesReplayed, res.ValuesReplayed)
+	if res.UnauditedFrames > 0 {
+		fmt.Fprintf(out, "note: %d journaled frame(s) past the last watermark (accepted but not yet attested)\n",
+			res.UnauditedFrames)
+	}
+	if res.TornTail {
+		fmt.Fprintln(out, "note: journal ends mid-entry (torn append; all attested frames are before the tear)")
+	}
+	for name, e := range res.Final {
+		hp, err := hpText(e.Env)
+		if err != nil {
+			return fmt.Errorf("final entry %q: %w", name, err)
+		}
+		fmt.Fprintf(out, "final %-20s frames=%-8d adds=%-10d hp=%s\n", name, e.Frames, e.Adds, hp)
+	}
+
+	// Stage 3 (optional): prove a reported total.
+	if *accName != "" {
+		e, ok := res.Final[*accName]
+		if !ok {
+			return fmt.Errorf("no record attests accumulator %q", *accName)
+		}
+		hp, err := hpText(e.Env)
+		if err != nil {
+			return err
+		}
+		if hp != *expect {
+			return fmt.Errorf("DIVERGENT: reported total is not the attested sum of %q's accepted frames:\n reported %s\n attested %s",
+				*accName, *expect, hp)
+		}
+		fmt.Fprintf(out, "PROVEN: %q's reported total is the exact sum of its %d accepted frame(s)\n",
+			*accName, e.Frames)
+	}
+	return nil
+}
+
+// hpText renders a canonical HP envelope as its canonical text.
+func hpText(env []byte) (string, error) {
+	var h core.HP
+	if err := h.UnmarshalBinary(env); err != nil {
+		return "", err
+	}
+	txt, err := h.MarshalText()
+	if err != nil {
+		return "", err
+	}
+	return string(txt), nil
+}

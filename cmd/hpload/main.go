@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -47,7 +48,16 @@ type config struct {
 	duration time.Duration
 	frameLen int
 	corrupt  bool
-	params   core.Params
+	// expectDivergence tolerates (and requires) fail-closed 503 reads from a
+	// daemon running with an injected replica-fault plan: reads are retried
+	// until the quorum heals, and the run fails if no divergence was ever
+	// observed.
+	expectDivergence bool
+	// keep leaves each round's accumulator on the server instead of deleting
+	// it, so a daemon running with -audit-log can attest the verified totals
+	// in its shutdown record (deletion would orphan the journaled frames).
+	keep   bool
+	params core.Params
 }
 
 func run(args []string, out io.Writer) error {
@@ -61,6 +71,8 @@ func run(args []string, out io.Writer) error {
 	fs.DurationVar(&cfg.duration, "duration", 0, "soak mode: run rounds until this much time has passed")
 	fs.IntVar(&cfg.frameLen, "frame", 4096, "values per ingest frame")
 	fs.BoolVar(&cfg.corrupt, "corrupt", false, "also send corrupt/oversize/non-finite frames and require 4xx")
+	fs.BoolVar(&cfg.expectDivergence, "expect-divergence", false, "require >=1 fail-closed 503 read (daemon must be running a -replica-fault-plan)")
+	fs.BoolVar(&cfg.keep, "keep", false, "leave round accumulators on the server (so a shutdown audit record can attest them)")
 	n := fs.Int("n", 6, "HP total limbs N")
 	k := fs.Int("k", 3, "HP fractional limbs k")
 	if err := fs.Parse(args); err != nil {
@@ -81,13 +93,22 @@ func run(args []string, out io.Writer) error {
 		deadline = time.Now().Add(cfg.duration)
 		rounds = int(math.MaxInt32)
 	}
+	divergences := 0
 	for i := 0; i < rounds; i++ {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			break
 		}
-		if err := round(cfg, cfg.seed+uint64(i), out); err != nil {
+		d, err := round(cfg, cfg.seed+uint64(i), out)
+		divergences += d
+		if err != nil {
 			return fmt.Errorf("round %d (seed %d): %w", i, cfg.seed+uint64(i), err)
 		}
+	}
+	if cfg.expectDivergence && divergences == 0 {
+		return fmt.Errorf("expected at least one replica divergence, saw none (is the daemon running a -replica-fault-plan?)")
+	}
+	if divergences > 0 {
+		fmt.Fprintf(out, "replica divergences absorbed: %d (every read that succeeded was certified)\n", divergences)
 	}
 	if cfg.corrupt {
 		if err := corruptProbes(cfg); err != nil {
@@ -100,15 +121,18 @@ func run(args []string, out io.Writer) error {
 
 // round creates a fresh accumulator, streams one seeded workload through
 // cfg.clients concurrent clients (each with a private shuffled partition),
-// and verifies the result against a serial oracle bit for bit.
-func round(cfg config, seed uint64, out io.Writer) error {
+// and verifies the result against a serial oracle bit for bit. It returns
+// how many fail-closed divergence reads it absorbed along the way.
+func round(cfg config, seed uint64, out io.Writer) (int, error) {
 	trace.Reset() // stage percentiles are per round
 	c := &server.Client{Base: cfg.addr, FrameLen: cfg.frameLen}
 	name := fmt.Sprintf("hpload-%d", seed)
 	if _, err := c.Create(name, cfg.params); err != nil {
-		return err
+		return 0, err
 	}
-	defer c.Delete(name)
+	if !cfg.keep {
+		defer c.Delete(name)
+	}
 
 	xs := rng.UniformSet(rng.New(seed), cfg.count, -0.5, 0.5)
 	parts := make([][]float64, cfg.clients)
@@ -133,37 +157,65 @@ func round(cfg config, seed uint64, out io.Writer) error {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("client %d: %w", i, err)
+			return 0, fmt.Errorf("client %d: %w", i, err)
 		}
 	}
 	elapsed := time.Since(start)
 
-	info, err := c.Get(name)
-	if err != nil {
-		return err
+	// The read is certified (k-of-n agreement) on a replicated daemon. A
+	// divergence pass fails closed with 503 while the server quarantines and
+	// reseeds the minority; with -expect-divergence those reads are retried
+	// until the quorum heals, and counted.
+	var info server.Info
+	divergences := 0
+	for {
+		var err error
+		info, err = c.Get(name)
+		if err == nil {
+			break
+		}
+		if cfg.expectDivergence && strings.Contains(err.Error(), "HTTP 503") && divergences < 100 {
+			divergences++
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		return divergences, err
 	}
 	oracle := core.NewAccumulator(cfg.params)
 	oracle.AddAll(xs)
 	if err := oracle.Err(); err != nil {
-		return err
+		return divergences, err
 	}
 	txt, err := oracle.Sum().MarshalText()
 	if err != nil {
-		return err
+		return divergences, err
 	}
 	if info.HP != string(txt) {
-		return fmt.Errorf("certificate mismatch:\n server %s\n oracle %s", info.HP, txt)
+		return divergences, fmt.Errorf("certificate mismatch:\n server %s\n oracle %s", info.HP, txt)
 	}
 	if info.Adds != uint64(len(xs)) {
-		return fmt.Errorf("adds %d, want %d", info.Adds, len(xs))
+		return divergences, fmt.Errorf("adds %d, want %d", info.Adds, len(xs))
 	}
 	if info.Err != "" {
-		return fmt.Errorf("sticky error: %s", info.Err)
+		return divergences, fmt.Errorf("sticky error: %s", info.Err)
 	}
-	fmt.Fprintf(out, "seed %d: %d values x %d clients verified bit-identical in %v (%.0f values/s) hp=%.24s... %s\n",
+	// Agreement certificate: the digest must cover the exact served value
+	// with a full quorum of shares. An unreplicated daemon (n=1) certifies
+	// with itself; the check is identical.
+	if info.Cert == nil {
+		return divergences, fmt.Errorf("read carried no agreement certificate")
+	}
+	if err := info.Cert.Verify(info.HP); err != nil {
+		return divergences, fmt.Errorf("agreement certificate: %w", err)
+	}
+	if info.Cert.Adds != info.Adds || info.Cert.Frames != info.Frames {
+		return divergences, fmt.Errorf("certificate counters %d/%d disagree with info %d/%d",
+			info.Cert.Frames, info.Cert.Adds, info.Frames, info.Adds)
+	}
+	fmt.Fprintf(out, "seed %d: %d values x %d clients verified bit-identical in %v (%.0f values/s) cert=%d-of-%d hp=%.24s... %s\n",
 		seed, len(xs), cfg.clients, elapsed.Round(time.Millisecond),
-		float64(len(xs))/elapsed.Seconds(), info.HP, stageLine())
-	return nil
+		float64(len(xs))/elapsed.Seconds(), info.Cert.K, info.Cert.N, info.HP, stageLine())
+	return divergences, nil
 }
 
 // stageLine summarizes the round's client-side trace spans as per-stage

@@ -8,6 +8,15 @@
 //	hpsumd -addr :8080                          # serve with Params384 default
 //	hpsumd -addr :8080 -snapshot state.hpss     # snapshot on graceful shutdown
 //	hpsumd -addr :8080 -restore state.hpss -snapshot state.hpss
+//	hpsumd -addr :8080 -replicas 3              # 2-of-3 certified reads
+//	hpsumd -addr :8080 -journal f.hpfj -audit-log a.hpal -audit-interval 30s
+//
+// With -replicas n every accumulator runs n lock-step replicas and reads
+// are served only under a k-of-n agreement certificate (fail-closed 503 on
+// divergence; minority replicas are quarantined and reseeded). With
+// -journal/-audit-log every accepted frame is journaled and each snapshot
+// cut is chained into a hash-linked audit log that cmd/hpaudit can replay
+// offline to prove the served totals.
 //
 // One listener carries both the service API (/v1/...) and the telemetry
 // exporter (/metrics, /debug/vars, /debug/pprof/). SIGINT or SIGTERM
@@ -26,10 +35,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -48,14 +59,20 @@ func main() {
 func run(args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("hpsumd", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (service API + telemetry on one listener)")
-		hpn      = fs.Int("n", 6, "default HP total limbs N for new accumulators")
-		hpk      = fs.Int("k", 3, "default HP fractional limbs k")
-		shards   = fs.Int("shards", runtime.GOMAXPROCS(0), "drain lanes per accumulator")
-		queue    = fs.Int("queue", 256, "per-shard queue depth (backpressure bound)")
-		wait     = fs.Duration("enqueue-wait", 5*time.Millisecond, "how long ingest waits for queue room before 429")
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address (service API + telemetry on one listener)")
+		hpn         = fs.Int("n", 6, "default HP total limbs N for new accumulators")
+		hpk         = fs.Int("k", 3, "default HP fractional limbs k")
+		shards      = fs.Int("shards", runtime.GOMAXPROCS(0), "drain lanes per accumulator")
+		queue       = fs.Int("queue", 256, "per-shard queue depth (backpressure bound)")
+		wait        = fs.Duration("enqueue-wait", 5*time.Millisecond, "how long ingest waits for queue room before 429")
 		snapshot    = fs.String("snapshot", "", "write a snapshot to this path on graceful shutdown")
 		restore     = fs.String("restore", "", "reload accumulators from this snapshot at startup")
+		replicas    = fs.Int("replicas", 1, "in-process replicas per accumulator (k-of-n certified reads)")
+		quorum      = fs.Int("quorum", 0, "replicas that must agree to serve a read (0 = majority)")
+		journal     = fs.String("journal", "", "append every accepted frame to this journal (required with -audit-log)")
+		auditLog    = fs.String("audit-log", "", "append hash-linked audit records to this path (required with -journal)")
+		auditEvery  = fs.Duration("audit-interval", 0, "cut a periodic audit record this often (0 = shutdown record only)")
+		faultPlan   = fs.String("replica-fault-plan", "", "inject Byzantine replica faults, e.g. \"seed=7;lie:replica=1,limit=1\" (testing only)")
 		traceOn     = fs.Bool("trace", false, "record spans (export at /debug/trace as Chrome trace-event JSON)")
 		traceSample = fs.Uint64("trace-sample", 1, "record 1 in every N traces (1 = all)")
 		flightDump  = fs.String("flight-dump", "", "write flight-recorder JSON here on SIGQUIT, stall, crash, or 5xx")
@@ -67,6 +84,9 @@ func run(args []string, ready chan<- string) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	if (*journal == "") != (*auditLog == "") {
+		return fmt.Errorf("-journal and -audit-log must be set together")
+	}
 	if *traceOn {
 		trace.SetEnabled(true)
 		trace.SetSampling(*traceSample)
@@ -74,12 +94,33 @@ func run(args []string, ready chan<- string) error {
 	stopFlight := trace.StartFlightDump(*flightDump)
 	defer stopFlight()
 
+	var hook func(int, []byte) []byte
+	if *faultPlan != "" {
+		plan, err := faults.ParseReplicaPlan(*faultPlan)
+		if err != nil {
+			return fmt.Errorf("replica-fault-plan: %w", err)
+		}
+		hook = plan.NewReplicaInjector().OnReport
+		fmt.Fprintf(os.Stderr, "hpsumd: WARNING: injecting replica faults (%s)\n", *faultPlan)
+	}
+
 	s := server.New(server.Config{
 		Params:      p,
 		Shards:      *shards,
 		QueueDepth:  *queue,
 		EnqueueWait: *wait,
+		Replicas:    *replicas,
+		Quorum:      *quorum,
+		ReportHook:  hook,
 	})
+	audited := *journal != ""
+	if audited {
+		// Before any accumulator exists, so the journal sees every frame.
+		if err := s.EnableAudit(*journal, *auditLog); err != nil {
+			return fmt.Errorf("enable audit: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "hpsumd: auditing to %s (journal %s)\n", *auditLog, *journal)
+	}
 	if *restore != "" {
 		n, err := s.Restore(*restore)
 		if err != nil {
@@ -102,6 +143,29 @@ func run(args []string, ready chan<- string) error {
 		ready <- srv.Addr()
 	}
 
+	// Periodic audit records ride a ticker; each cut is a quiescent-point
+	// quorum read of every accumulator, chained into the log.
+	stopAudit := make(chan struct{})
+	var auditWG sync.WaitGroup
+	if audited && *auditEvery > 0 {
+		auditWG.Add(1)
+		go func() {
+			defer auditWG.Done()
+			tick := time.NewTicker(*auditEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopAudit:
+					return
+				case <-tick.C:
+					if _, err := s.AuditRecord("periodic"); err != nil {
+						fmt.Fprintf(os.Stderr, "hpsumd: periodic audit: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	defer signal.Stop(sig)
@@ -109,9 +173,12 @@ func run(args []string, ready chan<- string) error {
 	fmt.Fprintf(os.Stderr, "hpsumd: %s: shutting down\n", got)
 
 	// Shutdown order matters: stop the HTTP layer first so nothing can
-	// enqueue anymore, snapshot while the shards are still draining (the
-	// flush ops queue behind every accepted frame, so the image reflects all
-	// acked work), and only then close the drain goroutines.
+	// enqueue anymore, snapshot and cut the shutdown audit record while the
+	// shards are still draining (the flush ops queue behind every accepted
+	// frame, so both reflect all acked work), and only then close the drain
+	// goroutines and the audit files.
+	close(stopAudit)
+	auditWG.Wait()
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "hpsumd: http shutdown: %v\n", err)
 	}
@@ -122,6 +189,18 @@ func run(args []string, ready chan<- string) error {
 		}
 		fmt.Fprintf(os.Stderr, "hpsumd: snapshot written to %s\n", *snapshot)
 	}
+	if audited {
+		if rec, err := s.AuditRecord("sigterm"); err != nil {
+			fmt.Fprintf(os.Stderr, "hpsumd: shutdown audit: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "hpsumd: audit record %d written\n", rec.Seq)
+		}
+	}
 	s.Close()
+	if audited {
+		if err := s.CloseAudit(); err != nil {
+			return fmt.Errorf("close audit: %w", err)
+		}
+	}
 	return nil
 }

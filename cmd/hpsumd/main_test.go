@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/server"
@@ -147,5 +148,90 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "127.0.0.1:0", "-restore", "/no/such/snapshot"}, nil); err == nil {
 		t.Fatal("missing restore file accepted")
+	}
+}
+
+// TestReplicatedAuditedLifecycle drives the full Byzantine-auditable
+// deployment: a replicated daemon with audit files, certified reads, a
+// SIGTERM that chains a shutdown record, a restart that restores and keeps
+// extending the same chain, and a final offline replay proving the totals.
+func TestReplicatedAuditedLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "state.hpss")
+	jpath := filepath.Join(dir, "frames.hpfj")
+	lpath := filepath.Join(dir, "audit.hpal")
+	auditFlags := []string{"-replicas", "3", "-journal", jpath, "-audit-log", lpath, "-snapshot", snap}
+
+	xs := rng.UniformSet(rng.New(13), 20000, -0.5, 0.5)
+	url, done := startDaemon(t, append(auditFlags, "-shards", "2")...)
+	c := &server.Client{Base: url, FrameLen: 1024}
+	if _, err := c.Create("acc", core.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stream("acc", xs); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Get("acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Cert == nil || info.Cert.K != 2 || info.Cert.N != 3 {
+		t.Fatalf("read not certified 2-of-3: %+v", info.Cert)
+	}
+	if err := info.Cert.Verify(info.HP); err != nil {
+		t.Fatal(err)
+	}
+	stopDaemon(t, done)
+
+	tail := rng.UniformSet(rng.New(14), 5000, -0.5, 0.5)
+	url2, done2 := startDaemon(t, append(auditFlags, "-restore", snap)...)
+	c2 := &server.Client{Base: url2, FrameLen: 1024}
+	if _, err := c2.Stream("acc", tail); err != nil {
+		t.Fatal(err)
+	}
+	stopDaemon(t, done2)
+
+	// Offline replay over both daemon lifetimes.
+	logData, err := os.ReadFile(lpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := audit.ReadLog(logData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("%d audit records, want 2 (one per SIGTERM)", len(records))
+	}
+	jf, err := os.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	res, err := audit.Verify(records, audit.NewJournalReader(jf))
+	if err != nil {
+		t.Fatalf("audit replay across restart failed: %v", err)
+	}
+	fe := res.Final["acc"]
+	var fh core.HP
+	if err := fh.UnmarshalBinary(fe.Env); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := fh.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := core.NewAccumulator(core.Params384)
+	oracle.AddAll(xs)
+	oracle.AddAll(tail)
+	want, err := oracle.Sum().MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(txt) != string(want) {
+		t.Fatalf("attested total diverges from oracle:\n attested %s\n oracle   %s", txt, want)
+	}
+	if fe.Adds != uint64(len(xs)+len(tail)) {
+		t.Fatalf("attested adds %d, want %d", fe.Adds, len(xs)+len(tail))
 	}
 }

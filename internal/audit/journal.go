@@ -1,0 +1,247 @@
+package audit
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+)
+
+// JournalSchema identifies the frame-journal format.
+const JournalSchema = "repro/frame-journal/v1"
+
+// Frame journal wire format — one self-checking entry per accepted ingest
+// frame (or restore hand-off):
+//
+//	'E' | kind(1) | nameLen(2) | name | [frames(8) | adds(8), seed only] |
+//	payloadLen(4) | payload | crc32(4)
+//
+// with kind one of
+//
+//	'f' — an accepted float64 batch frame; payload is 8 bytes per value,
+//	      big-endian IEEE-754 bit patterns (the ingest wire encoding);
+//	'h' — an accepted HP hand-off frame; payload is the core.HP
+//	      MarshalBinary envelope;
+//	's' — a restore seed: the daemon reloaded this accumulator from a
+//	      snapshot whose exact state is the payload envelope, with the
+//	      frames/adds counters it carried. A seed is not an accepted frame;
+//	      replay resets the accumulator to the seed state and counters.
+//
+// The CRC-32 (IEEE) covers every preceding byte of the entry. Entries for
+// one accumulator appear in admission order, and every audit-log watermark
+// is taken at a quiescent point, so the first W journaled frames of an
+// accumulator are exactly the W frames its audit record attests to.
+const (
+	JournalFloats byte = 'f'
+	JournalHP     byte = 'h'
+	JournalSeed   byte = 's'
+
+	journalEntryMark byte = 'E'
+)
+
+// MaxJournalPayload bounds one journal entry's payload, mirroring the
+// ingest layer's frame cap so a corrupt length prefix cannot balloon
+// allocation.
+const MaxJournalPayload = 1 << 20
+
+// Journal decoding errors.
+var (
+	ErrJournalTruncated = errors.New("audit: truncated journal entry")
+	ErrJournalCorrupt   = errors.New("audit: corrupt journal entry")
+)
+
+// JournalEntry is one decoded journal entry. Payload aliases the reader's
+// internal buffer and is only valid until the next call to Next.
+type JournalEntry struct {
+	Kind    byte
+	Name    string
+	Frames  uint64 // seed entries only: restored frame watermark
+	Adds    uint64 // seed entries only: restored value count
+	Payload []byte
+}
+
+// Floats decodes a JournalFloats payload.
+func (e *JournalEntry) Floats() ([]float64, error) {
+	if e.Kind != JournalFloats {
+		return nil, fmt.Errorf("audit: Floats on journal kind %q", e.Kind)
+	}
+	if len(e.Payload)%8 != 0 {
+		return nil, fmt.Errorf("%w: float payload of %d bytes", ErrJournalCorrupt, len(e.Payload))
+	}
+	out := make([]float64, len(e.Payload)/8)
+	for i := range out {
+		v := math.Float64frombits(binary.BigEndian.Uint64(e.Payload[8*i:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite value %d in float entry", ErrJournalCorrupt, i)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// AppendJournalEntry appends e's wire image to buf and returns the extended
+// slice.
+func AppendJournalEntry(buf []byte, e *JournalEntry) ([]byte, error) {
+	if len(e.Name) == 0 || len(e.Name) > maxNameLen {
+		return buf, fmt.Errorf("audit: journal entry name of %d bytes", len(e.Name))
+	}
+	if len(e.Payload) > MaxJournalPayload {
+		return buf, fmt.Errorf("audit: journal payload of %d bytes exceeds %d", len(e.Payload), MaxJournalPayload)
+	}
+	switch e.Kind {
+	case JournalFloats, JournalHP, JournalSeed:
+	default:
+		return buf, fmt.Errorf("audit: unknown journal kind %q", e.Kind)
+	}
+	start := len(buf)
+	buf = append(buf, journalEntryMark, e.Kind)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Name)))
+	buf = append(buf, e.Name...)
+	if e.Kind == JournalSeed {
+		buf = binary.BigEndian.AppendUint64(buf, e.Frames)
+		buf = binary.BigEndian.AppendUint64(buf, e.Adds)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Payload)))
+	buf = append(buf, e.Payload...)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:])), nil
+}
+
+// JournalReader streams entries from a journal image.
+type JournalReader struct {
+	r   *bufio.Reader
+	buf []byte
+	off int // bytes consumed so far, for error context
+}
+
+// NewJournalReader returns a reader over r.
+func NewJournalReader(r io.Reader) *JournalReader {
+	return &JournalReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Offset returns the byte offset of the next entry.
+func (jr *JournalReader) Offset() int { return jr.off }
+
+// Next reads and verifies the next entry. It returns io.EOF at a clean end
+// (no partial entry), ErrJournalTruncated-wrapped errors for mid-entry
+// truncation, and ErrJournalCorrupt-wrapped errors for damage. The returned
+// entry's Payload is only valid until the following call.
+func (jr *JournalReader) Next() (*JournalEntry, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(jr.r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w at offset %d: %v", ErrJournalTruncated, jr.off, err)
+	}
+	if hdr[0] != journalEntryMark {
+		return nil, fmt.Errorf("%w at offset %d: bad entry mark 0x%02x", ErrJournalCorrupt, jr.off, hdr[0])
+	}
+	if _, err := io.ReadFull(jr.r, hdr[1:]); err != nil {
+		return nil, fmt.Errorf("%w at offset %d: reading header: %v", ErrJournalTruncated, jr.off, err)
+	}
+	kind := hdr[1]
+	nameLen := int(binary.BigEndian.Uint16(hdr[2:]))
+	if nameLen == 0 || nameLen > maxNameLen {
+		return nil, fmt.Errorf("%w at offset %d: name length %d", ErrJournalCorrupt, jr.off, nameLen)
+	}
+	extra := 0
+	if kind == JournalSeed {
+		extra = 16
+	}
+	// Read name + optional counters + payload length in one shot, keeping
+	// the full entry image for the CRC.
+	pre := 4 + nameLen + extra + 4
+	if cap(jr.buf) < pre {
+		jr.buf = make([]byte, pre, 2*pre)
+	}
+	jr.buf = jr.buf[:pre]
+	copy(jr.buf, hdr[:])
+	if _, err := io.ReadFull(jr.r, jr.buf[4:]); err != nil {
+		return nil, fmt.Errorf("%w at offset %d: reading entry header: %v", ErrJournalTruncated, jr.off, err)
+	}
+	plen := int(binary.BigEndian.Uint32(jr.buf[pre-4:]))
+	if plen > MaxJournalPayload {
+		return nil, fmt.Errorf("%w at offset %d: payload length %d exceeds %d", ErrJournalCorrupt, jr.off, plen, MaxJournalPayload)
+	}
+	total := pre + plen + 4
+	if cap(jr.buf) < total {
+		buf := make([]byte, total)
+		copy(buf, jr.buf[:pre])
+		jr.buf = buf
+	}
+	jr.buf = jr.buf[:total]
+	if _, err := io.ReadFull(jr.r, jr.buf[pre:]); err != nil {
+		return nil, fmt.Errorf("%w at offset %d: reading %d payload bytes: %v", ErrJournalTruncated, jr.off, plen, err)
+	}
+	body := jr.buf[:total-4]
+	stored := binary.BigEndian.Uint32(jr.buf[total-4:])
+	if got := crc32.ChecksumIEEE(body); got != stored {
+		return nil, fmt.Errorf("%w at offset %d: crc mismatch (stored %08x, computed %08x)", ErrJournalCorrupt, jr.off, stored, got)
+	}
+	e := &JournalEntry{Kind: kind, Name: string(jr.buf[4 : 4+nameLen])}
+	switch kind {
+	case JournalFloats, JournalHP:
+	case JournalSeed:
+		e.Frames = binary.BigEndian.Uint64(jr.buf[4+nameLen:])
+		e.Adds = binary.BigEndian.Uint64(jr.buf[4+nameLen+8:])
+	default:
+		return nil, fmt.Errorf("%w at offset %d: unknown kind 0x%02x", ErrJournalCorrupt, jr.off, kind)
+	}
+	e.Payload = jr.buf[pre : pre+plen]
+	jr.off += total
+	return e, nil
+}
+
+// Journal is the daemon-side appender: a mutex-serialized append-only file.
+// Entries are written in admission order; Sync makes the written prefix
+// durable before an audit record referencing it is chained.
+type Journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	buf []byte
+}
+
+// OpenJournal opens (or creates) the journal at path for appending.
+// Restarted daemons reuse the same path so per-accumulator frame counts
+// continue the recorded sequence.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append writes one entry. It is safe for concurrent use; the entry is
+// fully written (single Write call) before the mutex is released, so
+// entries never interleave.
+func (j *Journal) Append(e *JournalEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	buf, err := AppendJournalEntry(j.buf[:0], e)
+	if err != nil {
+		return err
+	}
+	j.buf = buf[:0]
+	_, err = j.f.Write(buf)
+	return err
+}
+
+// Sync fsyncs the journal file.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -16,4 +16,8 @@ var (
 		"Frames the fault injector bit-flipped before delivery.")
 	mCrashes = telemetry.NewCounter("faults_crashes_total",
 		"Rank crashes triggered by the fault injector.")
+	mReplicaLies = telemetry.NewCounter("faults_replica_lies_total",
+		"Replica reports the injector corrupted (lie and equivocate rules).")
+	mReplicaReplays = telemetry.NewCounter("faults_replica_replays_total",
+		"Replica reports the injector replaced with frozen stale state (replay rules).")
 )

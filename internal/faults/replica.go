@@ -1,0 +1,263 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Replica fault rules model Byzantine replicas in the k-of-n certified
+// serving layer (internal/server): a replica whose *reported* state is wrong
+// even though the substrate delivered every frame faithfully. The injector
+// sits on the replica's report path — it rewrites the canonical HP envelope
+// a replica hands to the certifier — so a test or a chaos daemon can make a
+// replica lie, equivocate, or replay stale state without touching the
+// accumulator engine itself. Decisions are deterministic in the plan seed
+// and the per-replica report index, matching the package's reproducibility
+// contract: the same plan produces the same corruptions on every run.
+
+// ReplicaClass enumerates the Byzantine replica fault classes.
+type ReplicaClass int
+
+const (
+	// Lie corrupts the reported HP envelope once per firing (1-3 bit flips
+	// via CorruptBytes), so the replica's digest disagrees with its peers.
+	Lie ReplicaClass = iota
+	// Equivocate alternates honest and corrupted reports, so the replica
+	// tells different stories to successive reads.
+	Equivocate
+	// Replay freezes the replica's first in-window report and returns that
+	// stale envelope forever after, as if the replica lost every frame since.
+	Replay
+)
+
+var replicaClassNames = map[ReplicaClass]string{
+	Lie: "lie", Equivocate: "equivocate", Replay: "replay",
+}
+
+func (c ReplicaClass) String() string {
+	if s, ok := replicaClassNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("ReplicaClass(%d)", int(c))
+}
+
+// AnyReplica matches every replica in a ReplicaRule.
+const AnyReplica = -1
+
+// ReplicaRule is one fault clause of a ReplicaPlan.
+type ReplicaRule struct {
+	Class ReplicaClass
+	// Replica restricts the rule to one replica id; AnyReplica matches all.
+	Replica int
+	// After is how many reports the targeted replica answers honestly
+	// before the rule arms (0 = armed from the first report).
+	After int
+	// Limit caps how many reports the rule corrupts; 0 means unlimited.
+	// Replay ignores it (a frozen replica stays frozen).
+	Limit int
+}
+
+func (r ReplicaRule) matches(replica int) bool {
+	return r.Replica == AnyReplica || r.Replica == replica
+}
+
+// String renders the rule in ParseReplicaPlan clause syntax.
+func (r ReplicaRule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Class.String())
+	sep := byte(':')
+	field := func(k, v string) {
+		b.WriteByte(sep)
+		sep = ','
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(v)
+	}
+	if r.Replica != AnyReplica {
+		field("replica", strconv.Itoa(r.Replica))
+	}
+	if r.After > 0 {
+		field("after", strconv.Itoa(r.After))
+	}
+	if r.Limit > 0 {
+		field("limit", strconv.Itoa(r.Limit))
+	}
+	return b.String()
+}
+
+// ReplicaPlan is a seeded set of replica fault rules, the parsed form of a
+// -replica-fault-plan flag value.
+type ReplicaPlan struct {
+	Seed  uint64
+	Rules []ReplicaRule
+}
+
+// String renders the plan in ParseReplicaPlan syntax;
+// ParseReplicaPlan(p.String()) is equivalent to p.
+func (p *ReplicaPlan) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	for _, r := range p.Rules {
+		parts = append(parts, r.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseReplicaPlan parses the -replica-fault-plan syntax, mirroring
+// ParsePlan: semicolon-separated clauses, optionally starting with seed=N,
+// each remaining clause class:key=val[,key=val...] with class one of lie,
+// equivocate, replay. Examples:
+//
+//	seed=7;lie:replica=1,limit=1
+//	equivocate:replica=0,after=2
+//	replay:replica=2,after=1
+func ParseReplicaPlan(s string) (*ReplicaPlan, error) {
+	p := &ReplicaPlan{Seed: 1}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(clause, "seed="); ok {
+			seed, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed in %q: %v", clause, err)
+			}
+			p.Seed = seed
+			continue
+		}
+		name, params, _ := strings.Cut(clause, ":")
+		rule := ReplicaRule{Replica: AnyReplica}
+		switch strings.TrimSpace(name) {
+		case "lie":
+			rule.Class = Lie
+		case "equivocate":
+			rule.Class = Equivocate
+		case "replay":
+			rule.Class = Replay
+		default:
+			return nil, fmt.Errorf("faults: unknown replica fault class %q (want lie, equivocate, or replay)", name)
+		}
+		if params != "" {
+			for _, kv := range strings.Split(params, ",") {
+				k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("faults: malformed parameter %q in %q", kv, clause)
+				}
+				n, err := strconv.Atoi(strings.TrimSpace(v))
+				if err != nil {
+					return nil, fmt.Errorf("faults: bad %s %q in %q", k, v, clause)
+				}
+				switch strings.TrimSpace(k) {
+				case "replica":
+					rule.Replica = n
+				case "after":
+					rule.After = n
+				case "limit":
+					rule.Limit = n
+				default:
+					return nil, fmt.Errorf("faults: unknown parameter %q in %q", k, clause)
+				}
+			}
+		}
+		if rule.After < 0 || rule.Limit < 0 || (rule.Replica != AnyReplica && rule.Replica < 0) {
+			return nil, fmt.Errorf("faults: negative parameter in %q", clause)
+		}
+		p.Rules = append(p.Rules, rule)
+	}
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("faults: replica plan %q has no fault clauses", s)
+	}
+	return p, nil
+}
+
+// replicaState is the injector's per-replica bookkeeping.
+type replicaState struct {
+	reports uint64 // reports answered so far (honest or not)
+	rng     *rng.Source
+	frozen  []byte // Replay: the cached stale envelope
+}
+
+// ReplicaInjector applies a ReplicaPlan to the report stream of a replica
+// set. Safe for concurrent use; each replica's corruption stream is
+// deterministic in (plan seed, replica id, report index).
+type ReplicaInjector struct {
+	plan *ReplicaPlan
+
+	mu       sync.Mutex
+	replicas map[int]*replicaState
+	fired    []uint64 // per-rule firing counts
+}
+
+// NewReplicaInjector compiles the plan into a live injector.
+func (p *ReplicaPlan) NewReplicaInjector() *ReplicaInjector {
+	return &ReplicaInjector{
+		plan:     p,
+		replicas: make(map[int]*replicaState),
+		fired:    make([]uint64, len(p.Rules)),
+	}
+}
+
+// Fired returns how many times rule i has corrupted a report.
+func (ri *ReplicaInjector) Fired(i int) uint64 {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	return ri.fired[i]
+}
+
+// OnReport evaluates the plan against one replica report. env is the
+// replica's canonical HP envelope; the returned slice is either env itself
+// (honest report) or a fresh corrupted/stale copy — the caller's buffer is
+// never modified in place.
+func (ri *ReplicaInjector) OnReport(replica int, env []byte) []byte {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	st := ri.replicas[replica]
+	if st == nil {
+		st = &replicaState{rng: rng.New(ri.plan.Seed ^ (uint64(replica)+1)*0x9e3779b97f4a7c15)}
+		ri.replicas[replica] = st
+	}
+	idx := st.reports
+	st.reports++
+	out := env
+	for i, rule := range ri.plan.Rules {
+		if !rule.matches(replica) || idx < uint64(rule.After) {
+			continue
+		}
+		switch rule.Class {
+		case Lie:
+			if rule.Limit > 0 && ri.fired[i] >= uint64(rule.Limit) {
+				continue
+			}
+			out = CorruptBytes(st.rng, append([]byte(nil), out...))
+			ri.fired[i]++
+			mReplicaLies.Inc()
+		case Equivocate:
+			// Corrupt every other in-window report: reads i, i+2, ... get a
+			// different story than reads i+1, i+3, ...
+			if (idx-uint64(rule.After))%2 != 0 {
+				continue
+			}
+			if rule.Limit > 0 && ri.fired[i] >= uint64(rule.Limit) {
+				continue
+			}
+			out = CorruptBytes(st.rng, append([]byte(nil), out...))
+			ri.fired[i]++
+			mReplicaLies.Inc()
+		case Replay:
+			if st.frozen == nil {
+				// First in-window report: freeze the honest state, answer
+				// truthfully this once so there is something stale to replay.
+				st.frozen = append([]byte(nil), out...)
+				continue
+			}
+			out = append([]byte(nil), st.frozen...)
+			ri.fired[i]++
+			mReplicaReplays.Inc()
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParseReplicaPlanRoundTrip(t *testing.T) {
+	cases := []string{
+		"seed=7;lie:replica=1,limit=1",
+		"seed=1;equivocate:replica=0,after=2",
+		"seed=1;replay:replica=2,after=1",
+		"seed=9;lie;equivocate:after=3,limit=2",
+	}
+	for _, s := range cases {
+		p, err := ParseReplicaPlan(s)
+		if err != nil {
+			t.Fatalf("ParseReplicaPlan(%q): %v", s, err)
+		}
+		p2, err := ParseReplicaPlan(p.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", p.String(), err)
+		}
+		if p.String() != p2.String() {
+			t.Fatalf("round trip %q -> %q -> %q", s, p.String(), p2.String())
+		}
+	}
+}
+
+func TestParseReplicaPlanRejects(t *testing.T) {
+	for _, s := range []string{
+		"", "seed=1", "drop:p=1", "lie:replica=x", "lie:bogus=1",
+		"lie:after=-1", "seed=zzz;lie",
+	} {
+		if _, err := ParseReplicaPlan(s); err == nil {
+			t.Fatalf("plan %q accepted", s)
+		}
+	}
+}
+
+func TestReplicaLieFiresOnceWithLimit(t *testing.T) {
+	p, err := ParseReplicaPlan("seed=3;lie:replica=1,limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := p.NewReplicaInjector()
+	env := bytes.Repeat([]byte{0xAA}, 53)
+
+	// Untargeted replica is always honest (same slice back).
+	for i := 0; i < 5; i++ {
+		if got := ri.OnReport(0, env); !bytes.Equal(got, env) {
+			t.Fatalf("replica 0 report %d corrupted", i)
+		}
+	}
+	// Targeted replica lies exactly once, with a fresh buffer.
+	first := ri.OnReport(1, env)
+	if bytes.Equal(first, env) {
+		t.Fatal("lie rule did not corrupt the first report")
+	}
+	if bytes.Equal(env, bytes.Repeat([]byte{0xAA}, 53)) == false {
+		t.Fatal("caller's buffer was modified in place")
+	}
+	if got := ri.OnReport(1, env); !bytes.Equal(got, env) {
+		t.Fatal("lie fired past its limit")
+	}
+	if ri.Fired(0) != 1 {
+		t.Fatalf("fired %d, want 1", ri.Fired(0))
+	}
+}
+
+func TestReplicaEquivocateAlternates(t *testing.T) {
+	p, err := ParseReplicaPlan("seed=5;equivocate:replica=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := p.NewReplicaInjector()
+	env := bytes.Repeat([]byte{0x42}, 53)
+	a := ri.OnReport(0, env) // corrupted
+	b := ri.OnReport(0, env) // honest
+	c := ri.OnReport(0, env) // corrupted (differently seeded draw)
+	if bytes.Equal(a, env) {
+		t.Fatal("first report should be corrupted")
+	}
+	if !bytes.Equal(b, env) {
+		t.Fatal("second report should be honest")
+	}
+	if bytes.Equal(c, env) {
+		t.Fatal("third report should be corrupted")
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("equivocation should draw fresh corruptions")
+	}
+}
+
+func TestReplicaReplayFreezesState(t *testing.T) {
+	p, err := ParseReplicaPlan("seed=2;replay:replica=1,after=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := p.NewReplicaInjector()
+	s1 := []byte("state-1")
+	s2 := []byte("state-2")
+	s3 := []byte("state-3")
+	if got := ri.OnReport(1, s1); !bytes.Equal(got, s1) {
+		t.Fatal("report before the window must be honest")
+	}
+	if got := ri.OnReport(1, s2); !bytes.Equal(got, s2) {
+		t.Fatal("first in-window report freezes but stays honest")
+	}
+	if got := ri.OnReport(1, s3); !bytes.Equal(got, s2) {
+		t.Fatalf("replayed %q, want frozen %q", got, s2)
+	}
+	if got := ri.OnReport(1, s3); !bytes.Equal(got, s2) {
+		t.Fatal("replay must persist")
+	}
+}
+
+func TestReplicaInjectorDeterminism(t *testing.T) {
+	env := bytes.Repeat([]byte{0x11}, 53)
+	run := func() [][]byte {
+		p, err := ParseReplicaPlan("seed=13;lie:replica=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri := p.NewReplicaInjector()
+		var out [][]byte
+		for i := 0; i < 4; i++ {
+			out = append(out, ri.OnReport(0, env))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("report %d differs across identically seeded runs", i)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package server
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// auditPaths returns journal/log/snapshot paths in a fresh temp dir.
+func auditPaths(t *testing.T) (string, string, string) {
+	dir := t.TempDir()
+	return filepath.Join(dir, "frames.hpfj"), filepath.Join(dir, "audit.hpal"), filepath.Join(dir, "snap.hpss")
+}
+
+// Full lifecycle: audited ingest across two accumulators, a periodic audit
+// record, a snapshot + shutdown record, a restart that restores and keeps
+// appending to the same journal and chain, and a final record — then the
+// offline replay proves every attested watermark is the exact sum of the
+// journaled frames.
+func TestAuditEndToEndReplayClean(t *testing.T) {
+	jpath, lpath, spath := auditPaths(t)
+	xs1 := rng.UniformSet(rng.New(41), 600, -1, 1)
+	ys1 := rng.UniformSet(rng.New(42), 300, -5, 5)
+	xs2 := rng.UniformSet(rng.New(43), 400, -1, 1)
+	xs3 := rng.UniformSet(rng.New(44), 500, -1, 1)
+
+	s := New(Config{Shards: 2, Replicas: 2, Quorum: 2})
+	if err := s.EnableAudit(jpath, lpath); err != nil {
+		t.Fatal(err)
+	}
+	alpha, _, err := s.Create("alpha", core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, _, err := s.Create("beta", core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedFloats(t, alpha, xs1, 64)
+	feedFloats(t, beta, ys1, 64)
+	// An exact HP hand-off is journaled and replayed too.
+	h, err := core.FromFloat64(core.Params384, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := beta.AddHP(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AuditRecord("periodic"); err != nil {
+		t.Fatal(err)
+	}
+	feedFloats(t, alpha, xs2, 64)
+	if err := s.Snapshot(spath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AuditRecord("sigterm"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.CloseAudit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: same journal and chain, state restored from the snapshot.
+	s2 := New(Config{Shards: 2, Replicas: 2, Quorum: 2})
+	if err := s2.EnableAudit(jpath, lpath); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s2.Restore(spath); err != nil || n != 2 {
+		t.Fatalf("restore: n=%d err=%v", n, err)
+	}
+	feedFloats(t, s2.Lookup("alpha"), xs3, 64)
+	if _, err := s2.AuditRecord("sigterm"); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	if err := s2.CloseAudit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline replay: the auditor's view, from the files alone.
+	logData, err := os.ReadFile(lpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := audit.ReadLog(logData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("%d audit records, want 3", len(records))
+	}
+	jf, err := os.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	res, err := audit.Verify(records, audit.NewJournalReader(jf))
+	if err != nil {
+		t.Fatalf("replay verification failed: %v", err)
+	}
+	if res.Records != 3 || res.TornTail || res.UnauditedFrames != 0 {
+		t.Fatalf("replay summary %+v", res)
+	}
+	// The final attested alpha state is the exact oracle sum.
+	fe, ok := res.Final["alpha"]
+	if !ok {
+		t.Fatal("no final entry for alpha")
+	}
+	var fh core.HP
+	if err := fh.UnmarshalBinary(fe.Env); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := fh.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append(append([]float64(nil), xs1...), xs2...), xs3...)
+	if string(txt) != oracleHPText(t, core.Params384, all) {
+		t.Fatalf("attested alpha sum diverges from oracle: %s", txt)
+	}
+}
+
+// A tampered log or a journal missing accepted frames must be named, not
+// tolerated.
+func TestAuditNamesDivergentLink(t *testing.T) {
+	jpath, lpath, _ := auditPaths(t)
+	s := New(Config{Shards: 1})
+	if err := s.EnableAudit(jpath, lpath); err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := s.Create("acc", core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedFloats(t, a, rng.UniformSet(rng.New(51), 300, -1, 1), 50)
+	if _, err := s.AuditRecord("periodic"); err != nil {
+		t.Fatal(err)
+	}
+	feedFloats(t, a, rng.UniformSet(rng.New(52), 300, -1, 1), 50)
+	if _, err := s.AuditRecord("sigterm"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.CloseAudit(); err != nil {
+		t.Fatal(err)
+	}
+
+	logData, err := os.ReadFile(lpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := audit.ReadLog(logData)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tampered chain: flip one byte inside the second record.
+	mauled := append([]byte(nil), logData...)
+	mauled[len(mauled)-10] ^= 0x40
+	if _, err := audit.ReadLog(mauled); err == nil || !strings.Contains(err.Error(), "record 1") {
+		t.Fatalf("tampered log not pinned to its record: %v", err)
+	}
+
+	// Journal truncated below the last watermark: the log attests frames
+	// the journal never recorded.
+	jdata, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, verr := audit.Verify(records, audit.NewJournalReader(strings.NewReader(string(jdata[:len(jdata)/2]))))
+	var d *audit.Divergence
+	if !errors.As(verr, &d) {
+		t.Fatalf("half journal verified: %v", verr)
+	}
+	if d.Name != "acc" {
+		t.Fatalf("divergence names %q", d.Name)
+	}
+}
+
+// Satellite: a crash injected between the snapshot's durability stages
+// must leave a restorable file either way — the old complete image if the
+// crash hits before the rename, the new complete image after.
+func TestSnapshotCrashLeavesRestorableFile(t *testing.T) {
+	_, _, spath := auditPaths(t)
+	s := New(Config{Shards: 1})
+	defer s.Close()
+	a, _, err := s.Create("acc", core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs1 := rng.UniformSet(rng.New(61), 400, -1, 1)
+	feedFloats(t, a, xs1, 64)
+	if err := s.Snapshot(spath); err != nil {
+		t.Fatal(err)
+	}
+
+	restoreHP := func() string {
+		t.Helper()
+		s2 := New(Config{Shards: 1})
+		defer s2.Close()
+		if _, err := s2.Restore(spath); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		info, err := s2.Lookup("acc").State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info.HP
+	}
+	wantOld := oracleHPText(t, core.Params384, xs1)
+
+	// Crash before the rename: the temp file dies, the old image survives.
+	xs2 := rng.UniformSet(rng.New(62), 400, -1, 1)
+	feedFloats(t, a, xs2, 64)
+	crashed := errors.New("injected crash")
+	snapshotCrash = func(stage string) error {
+		if stage == "written" {
+			return crashed
+		}
+		return nil
+	}
+	if err := s.Snapshot(spath); !errors.Is(err, crashed) {
+		snapshotCrash = nil
+		t.Fatalf("crash not injected: %v", err)
+	}
+	snapshotCrash = nil
+	if got := restoreHP(); got != wantOld {
+		t.Fatalf("post-crash restore lost the old image:\n got  %s\n want %s", got, wantOld)
+	}
+
+	// Crash after the rename: the new complete image is already in place.
+	snapshotCrash = func(stage string) error {
+		if stage == "renamed" {
+			return crashed
+		}
+		return nil
+	}
+	if err := s.Snapshot(spath); !errors.Is(err, crashed) {
+		snapshotCrash = nil
+		t.Fatalf("crash not injected: %v", err)
+	}
+	snapshotCrash = nil
+	all := append(append([]float64(nil), xs1...), xs2...)
+	if got, want := restoreHP(), oracleHPText(t, core.Params384, all); got != want {
+		t.Fatalf("post-rename-crash restore wrong:\n got  %s\n want %s", got, want)
+	}
+}
+
+// Replicated, audited, end to end: a lying replica can delay reads but can
+// never poison an audit record — the attested values replay clean.
+func TestAuditRecordNeverAttestsLyingReplica(t *testing.T) {
+	jpath, lpath, _ := auditPaths(t)
+	src := rng.New(9)
+	lies := 0
+	hook := func(replica int, env []byte) []byte {
+		if replica == 1 && lies < 1 {
+			lies++
+			return rngCorrupt(src, env)
+		}
+		return env
+	}
+	s := New(Config{Shards: 1, Replicas: 3, Quorum: 2, ReportHook: hook})
+	if err := s.EnableAudit(jpath, lpath); err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := s.Create("acc", core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedFloats(t, a, rng.UniformSet(rng.New(71), 500, -1, 1), 50)
+	// The cut itself hits the lie: the record must carry the quorum value.
+	if _, err := s.AuditRecord("periodic"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.CloseAudit(); err != nil {
+		t.Fatal(err)
+	}
+	logData, err := os.ReadFile(lpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := audit.ReadLog(logData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	if _, err := audit.Verify(records, audit.NewJournalReader(jf)); err != nil {
+		t.Fatalf("record written under a lying replica does not replay: %v", err)
+	}
+	if lies != 1 {
+		t.Fatalf("lie fired %d times, want 1", lies)
+	}
+}
+
+func rngCorrupt(src *rng.Source, env []byte) []byte {
+	out := append([]byte(nil), env...)
+	out[src.Intn(len(out))] ^= 0x01
+	return out
+}

@@ -2,12 +2,16 @@ package server
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptrace"
 	"strconv"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -34,6 +38,12 @@ type Client struct {
 	// MaxRetries bounds consecutive 429 rounds for one request before
 	// giving up (default 100).
 	MaxRetries int
+	// MaxTransportRetries bounds retries of one request body after a
+	// transport failure (connection reset, EOF mid-POST). Each retry
+	// resends the identical body under the same Ingest-Id, so frames the
+	// server accepted before the connection died are skipped server-side
+	// rather than double-counted. Default 4.
+	MaxTransportRetries int
 }
 
 func (c *Client) http() *http.Client {
@@ -62,6 +72,54 @@ func (c *Client) maxRetries() int {
 		return c.MaxRetries
 	}
 	return 100
+}
+
+func (c *Client) maxTransportRetries() int {
+	if c.MaxTransportRetries > 0 {
+		return c.MaxTransportRetries
+	}
+	return 4
+}
+
+// newIngestID mints a fresh idempotency key for one POST body.
+func newIngestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is not worth failing an upload over; an empty
+		// id just disables skip-ahead resume for this body.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// isTransientTransport reports whether err is a connection-level failure
+// worth retrying with the same body: the server (or the network) severed
+// the connection without delivering a response, so the request may or may
+// not have been partially processed — exactly the case Ingest-Id resume
+// makes safe to retry.
+func isTransientTransport(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		return true
+	case errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.ECONNABORTED),
+		errors.Is(err, syscall.EPIPE):
+		return true
+	}
+	return false
+}
+
+// transportBackoff is a jittered exponential backoff: attempt 1 waits
+// ~10ms, doubling per attempt, capped at 1s, with the wait drawn uniformly
+// from the upper half of the window so simultaneous retriers spread out.
+func transportBackoff(attempt int) time.Duration {
+	d := 10 * time.Millisecond << min(attempt, 7)
+	if d > time.Second {
+		d = time.Second
+	}
+	jitter := time.Duration(time.Now().UnixNano()) % (d / 2)
+	return d/2 + jitter
 }
 
 // decodeJSON reads resp's body into v (ignoring decode errors on error
@@ -208,34 +266,71 @@ func (c *Client) streamFrames(name string, frames [][]float64, parent trace.Cont
 }
 
 // postFrames POSTs one batch of frames, absorbing 429 rounds by resending
-// the unaccepted suffix. It returns how many of the batch's frames were
+// the unaccepted suffix and transport failures by resending the identical
+// body under the same Ingest-Id (the server skips the already-owned prefix,
+// so a connection severed after acceptance but before the response cannot
+// double-count a frame). It returns how many of the batch's frames were
 // acked in total. When parent is a valid trace context, each POST attempt
 // is a client.send span whose context rides ahead of the data frames as a
 // FrameTrace, so the server's ingest span (and the shard folds under it)
 // parent back to this exact attempt.
 func (c *Client) postFrames(name string, frames [][]float64, parent trace.Context) (acked, retries int, err error) {
 	var buf []byte
+	base := -1 // acked count the current body was built at; -1 forces a build
+	id := ""
+	transportTries := 0
 	for retry := 0; ; retry++ {
 		if acked >= len(frames) {
 			return acked, retries, nil
 		}
 		sendSpan := trace.Start(parent, "client.send")
 		sendSpan.Attr(trace.Int("frames", int64(len(frames)-acked)))
-		buf = buf[:0]
-		buf = AppendTraceFrame(buf, sendSpan.Context())
-		for _, f := range frames[acked:] {
-			buf = AppendFloatFrame(buf, f)
+		if acked != base {
+			// The suffix changed (429 partial accept, or first attempt):
+			// a new body needs a fresh idempotency key. An unchanged body
+			// (transport retry) keeps both body and id, byte for byte.
+			base = acked
+			id = newIngestID()
+			transportTries = 0
+			buf = buf[:0]
+			for _, f := range frames[acked:] {
+				buf = AppendFloatFrame(buf, f)
+			}
+		}
+		body := buf
+		if parent.Valid() {
+			// The trace frame carries this attempt's span, so it cannot be
+			// part of the retry-stable body; prepend per attempt. Trace
+			// frames are metadata and never counted by the server.
+			tf := AppendTraceFrame(nil, sendSpan.Context())
+			body = append(tf, buf...)
 		}
 		req, rerr := http.NewRequest(http.MethodPost, c.url("/v1/acc/%s/add", name),
-			bytes.NewReader(buf))
+			bytes.NewReader(body))
 		if rerr != nil {
 			sendSpan.End()
 			return acked, retries, rerr
 		}
 		req.Header.Set("Content-Type", "application/octet-stream")
+		if id != "" {
+			req.Header.Set("Ingest-Id", id)
+		}
 		resp, err := c.http().Do(withConnectTrace(req, parent))
 		if err != nil {
+			sendSpan.Attr(trace.Str("transport_error", err.Error()))
 			sendSpan.End()
+			if isTransientTransport(err) && transportTries < c.maxTransportRetries() {
+				transportTries++
+				retries++
+				wait := transportBackoff(transportTries)
+				resumeSpan := trace.Start(parent, "client.resume")
+				resumeSpan.Attr(trace.Str("kind", "transport"))
+				resumeSpan.Attr(trace.Int("retry", int64(transportTries)))
+				resumeSpan.Attr(trace.Int("wait_ms", wait.Milliseconds()))
+				time.Sleep(wait)
+				resumeSpan.End()
+				continue
+			}
 			return acked, retries, err
 		}
 		var res AddResult
@@ -247,7 +342,10 @@ func (c *Client) postFrames(name string, frames [][]float64, parent trace.Contex
 		if derr != nil && status == http.StatusOK {
 			return acked, retries, derr
 		}
-		acked += res.FramesAccepted
+		// frames_accepted is the id's owned prefix of the current body
+		// (skipped frames from a severed earlier attempt included), so the
+		// batch total is the body's base plus the server's count.
+		acked = base + res.FramesAccepted
 		switch status {
 		case http.StatusOK:
 			return acked, retries, nil

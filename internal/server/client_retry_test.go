@@ -1,0 +1,147 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// killConn severs the connection the moment the handler tries to respond:
+// the request body has been fully processed, but the client never learns
+// the outcome — the exact window where a naive retry double-counts.
+type killConn struct{ http.ResponseWriter }
+
+func (k killConn) Write([]byte) (int, error)   { panic(http.ErrAbortHandler) }
+func (k killConn) WriteHeader(int)             { panic(http.ErrAbortHandler) }
+func (k killConn) Unwrap() http.ResponseWriter { return k.ResponseWriter }
+
+// Satellite: the client must absorb transport failures mid-POST — both a
+// connection severed after every frame was accepted (response lost) and one
+// severed mid-body (prefix accepted) — by resending the identical body under
+// the same Ingest-Id, and the server must skip the already-owned prefix.
+// The proof is exact: the final sum equals the serial oracle and the adds
+// counter equals len(xs), so not one value was double-counted or dropped.
+func TestStreamResumesAcrossSeveredConnections(t *testing.T) {
+	s := New(Config{Shards: 2})
+	defer s.Close()
+	mux := s.Handler()
+	var posts atomic.Int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/add") {
+			switch posts.Add(1) {
+			case 1:
+				// Accept the full body, then die before the response.
+				mux.ServeHTTP(killConn{w}, r)
+				return
+			case 2:
+				// Retry of the same body: feed the handler a truncated
+				// prefix and die again. Whatever frames fit are decoded
+				// (and skipped — the id already owns them).
+				r.Body = io.NopCloser(io.LimitReader(r.Body, 100))
+				mux.ServeHTTP(killConn{w}, r)
+				return
+			}
+		}
+		mux.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, FrameLen: 4, ReqFrames: 8, RetryWait: time.Millisecond}
+	if _, err := c.Create("acc", core.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	xs := rng.UniformSet(rng.New(81), 64, -1, 1)
+	stats, err := c.Stream("acc", xs)
+	if err != nil {
+		t.Fatalf("stream did not survive severed connections: %v", err)
+	}
+	if stats.Frames != 16 || stats.Values != len(xs) {
+		t.Fatalf("stats %+v, want 16 frames / %d values", stats, len(xs))
+	}
+	if stats.Retries < 2 {
+		t.Fatalf("stats report %d retries, want >= 2", stats.Retries)
+	}
+	if got := posts.Load(); got < 3 {
+		t.Fatalf("%d POSTs, want >= 3 (two severed, one clean resume)", got)
+	}
+
+	info, err := c.Get("acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Adds != uint64(len(xs)) {
+		t.Fatalf("adds %d, want %d: a severed connection double-counted or dropped values", info.Adds, len(xs))
+	}
+	if info.HP != oracleHPText(t, core.Params384, xs) {
+		t.Fatalf("sum after resume diverges from oracle: %s", info.HP)
+	}
+}
+
+// A connection that keeps dying past the retry budget must surface the
+// transport error instead of spinning forever.
+func TestTransportRetriesAreBounded(t *testing.T) {
+	s := New(Config{Shards: 1})
+	defer s.Close()
+	mux := s.Handler()
+	var posts atomic.Int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/add") {
+			posts.Add(1)
+			mux.ServeHTTP(killConn{w}, r)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, FrameLen: 4, ReqFrames: 4, MaxTransportRetries: 2}
+	if _, err := c.Create("acc", core.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := c.Stream("acc", rng.UniformSet(rng.New(82), 8, -1, 1))
+	if err == nil {
+		t.Fatal("stream succeeded against a server that never responds")
+	}
+	if !isTransientTransport(err) {
+		t.Fatalf("surfaced error is not the transport failure: %v", err)
+	}
+	if got := posts.Load(); got != 3 {
+		t.Fatalf("%d POSTs, want 3 (first + 2 retries)", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("bounded retry took %s", elapsed)
+	}
+}
+
+func TestTransientTransportClassifier(t *testing.T) {
+	if isTransientTransport(nil) {
+		t.Fatal("nil classified transient")
+	}
+	if isTransientTransport(io.ErrClosedPipe) {
+		t.Fatal("non-transport error classified transient")
+	}
+	for _, err := range []error{io.EOF, io.ErrUnexpectedEOF} {
+		if !isTransientTransport(err) {
+			t.Fatalf("%v not classified transient", err)
+		}
+	}
+}
+
+func TestTransportBackoffJittered(t *testing.T) {
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := transportBackoff(attempt)
+		if d <= 0 || d > time.Second {
+			t.Fatalf("attempt %d: backoff %s out of (0, 1s]", attempt, d)
+		}
+	}
+}

@@ -120,7 +120,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusCreated
 	}
 	writeJSON(w, status, Info{Name: a.Name(), N: a.params.N, K: a.params.K,
-		Shards: len(a.shards), HP: "", Sum: 0})
+		Shards: a.cfg.Shards, HP: "", Sum: 0})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -130,8 +130,16 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no accumulator %q", r.PathValue("name"))
 		return
 	}
-	info, err := a.State()
-	if err != nil {
+	info, err := a.Certified()
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrDiverged):
+		// Fail closed: never serve a value the replicas did not agree on.
+		// The certification pass has already quarantined and reseeded the
+		// minority, so a retry is expected to succeed.
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
 		writeErr(w, http.StatusGone, "%v", err)
 		return
 	}
@@ -163,7 +171,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for _, name := range names {
 		if a := s.Lookup(name); a != nil {
 			out.Accumulators = append(out.Accumulators,
-				listEntry{Name: name, N: a.params.N, K: a.params.K, Shards: len(a.shards)})
+				listEntry{Name: name, N: a.params.N, K: a.params.K, Shards: a.cfg.Shards})
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -175,6 +183,15 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 // deadline is re-armed before every frame so a stalled client cannot hold
 // the connection; the request body is additionally capped by
 // MaxRequestBytes and MaxRequestFrames.
+//
+// Idempotent resume: a request may carry an Ingest-Id header naming its
+// frame stream. The server remembers, per accumulator, how many data frames
+// each id has already been accepted for; a client whose connection died
+// mid-POST — after frames were accepted but before the response could say
+// so — retries with the same id and the identical body, and the server
+// decodes-and-skips the already-owned prefix instead of double-counting it.
+// The response's frames_accepted is always the id's total, so the resume
+// arithmetic is the same as the 429 path's.
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	mRequests.Inc()
 	a := s.Lookup(r.PathValue("name"))
@@ -182,6 +199,8 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no accumulator %q", r.PathValue("name"))
 		return
 	}
+	ingestID := r.Header.Get("Ingest-Id")
+	skip := a.resumeCount(ingestID)
 	rc := http.NewResponseController(w)
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 	dec := NewFrameDecoder(bufio.NewReader(body), s.cfg.MaxFramePayload)
@@ -258,6 +277,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		}
 		var enqErr error
 		var values int
+		skipFrame := res.FramesAccepted < skip
 		switch f.Type {
 		case FrameTrace:
 			// Metadata, not data: adopt the client's context for this
@@ -286,7 +306,9 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			ensureSpan(trace.Context{})
-			enqErr = a.AddHPTraced(h, span.Context())
+			if !skipFrame {
+				enqErr = a.AddHPTraced(h, span.Context())
+			}
 		default:
 			xs, err := f.Floats(nil)
 			if err != nil {
@@ -296,14 +318,24 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 			}
 			values = len(xs)
 			ensureSpan(trace.Context{})
-			enqErr = a.AddFloatsTraced(xs, span.Context())
+			if !skipFrame {
+				enqErr = a.AddFloatsTraced(xs, span.Context())
+			}
 		}
 		switch {
+		case skipFrame && enqErr == nil:
+			// Already accepted under this Ingest-Id on a previous attempt:
+			// decoded (so the stream position advances) but not re-counted
+			// into the sum. It still counts toward frames_accepted — that
+			// number reports the id's owned prefix.
+			res.FramesAccepted++
+			res.ValuesAccepted += values
 		case enqErr == nil:
 			res.FramesAccepted++
 			res.ValuesAccepted += values
 			mFrames.Inc()
 			mValues.Add(uint64(values))
+			a.noteAccepted(ingestID, res.FramesAccepted)
 		case errors.Is(enqErr, ErrBusy):
 			fail(http.StatusTooManyRequests, "shard queue full; retry unaccepted frames")
 			return

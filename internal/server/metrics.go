@@ -28,4 +28,16 @@ var (
 		"Snapshot files written (graceful shutdowns or explicit saves).")
 	mRestores = telemetry.NewCounter("server_restores_total",
 		"Accumulators restored from a snapshot file at startup.")
+	mCertReads = telemetry.NewCounter("server_certified_reads_total",
+		"Reads served through the k-of-n certification path (including 503 divergence rejections).")
+	mReplicaDivergence = telemetry.NewCounter("server_replica_divergence_total",
+		"Replica state reports that disagreed with the quorum at a certification cut (one per divergent replica, plus one per failed-quorum cut).")
+	mReseeds = telemetry.NewCounter("server_replica_reseeds_total",
+		"Divergent replicas repaired by a synchronous reseed from the agreed state (first strike).")
+	mQuarantines = telemetry.NewCounter("server_replica_quarantines_total",
+		"Replicas quarantined permanently after diverging again post-reseed (second strike).")
+	mAuditRecords = telemetry.NewCounter("server_audit_records_total",
+		"Hash-linked audit records appended (periodic and shutdown snapshots).")
+	mJournalFrames = telemetry.NewCounter("server_journal_frames_total",
+		"Accepted ingest frames recorded in the audit frame journal.")
 )

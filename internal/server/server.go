@@ -6,17 +6,15 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
 // flight is the server's flight-recorder ring: backpressure rejections,
-// escaped 5xx responses, and snapshot/restore milestones land here. Always
-// on, but written only from cold paths.
+// escaped 5xx responses, replica divergence, and snapshot/restore milestones
+// land here. Always on, but written only from cold paths.
 var flight = trace.Subsystem("server")
 
 // Config tunes a summation Server. The zero value selects the documented
@@ -25,10 +23,24 @@ type Config struct {
 	// Params is the default HP format for accumulators created without an
 	// explicit format. Defaults to core.Params384.
 	Params core.Params
-	// Shards is the number of independent drain lanes per accumulator.
+	// Shards is the number of independent drain lanes per replica.
 	// Defaults to GOMAXPROCS; associativity makes the count invisible in
 	// the sums, so it only trades contention for goroutines.
 	Shards int
+	// Replicas is the number of independent replica engines every accepted
+	// frame is folded into (n). Defaults to 1 (replication off: every
+	// certificate is a single self-vote).
+	Replicas int
+	// Quorum is the number of byte-identical replica states required to
+	// serve a read (k). Defaults to Replicas/2+1 — a strict majority — and
+	// is clamped to [1, Replicas].
+	Quorum int
+	// ReportHook, when non-nil, intercepts each replica's state report (the
+	// canonical HP envelope) before certification. It exists so fault
+	// injection (faults.ReplicaInjector.OnReport) can make a replica lie,
+	// equivocate, or replay stale state without the replica itself being
+	// wrong; production servers leave it nil.
+	ReportHook func(replica int, env []byte) []byte
 	// QueueDepth bounds each shard's pending-operation channel; a full
 	// queue is the backpressure signal. Defaults to 256.
 	QueueDepth int
@@ -56,6 +68,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Quorum <= 0 {
+		c.Quorum = c.Replicas/2 + 1
+	}
+	if c.Quorum > c.Replicas {
+		c.Quorum = c.Replicas
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
@@ -90,6 +111,11 @@ var (
 	ErrExists       = errors.New("server: accumulator exists with different parameters")
 	ErrBadName      = errors.New("server: invalid accumulator name")
 	ErrServerClosed = errors.New("server: closed")
+	// ErrDiverged fails a certified read closed: the replica states did not
+	// agree byte for byte (HTTP 503). The wrapped message names the
+	// minority replicas; retrying after the quarantine-and-reseed pass is
+	// expected to succeed while a quorum of honest replicas remains.
+	ErrDiverged = errors.New("server: replica divergence")
 )
 
 // Server is the sharded registry of named accumulators. Create it with New,
@@ -100,6 +126,7 @@ type Server struct {
 	cfg    Config
 	mu     sync.RWMutex
 	accs   map[string]*Accumulator
+	aud    *auditState // nil: auditing off
 	closed bool
 }
 
@@ -155,7 +182,7 @@ func (s *Server) Create(name string, p core.Params) (*Accumulator, bool, error) 
 		}
 		return a, false, nil
 	}
-	a := newAccumulator(name, p, s.cfg)
+	a := newAccumulator(name, p, s.cfg, s.aud)
 	s.accs[name] = a
 	mAccumulators.Set(int64(len(s.accs)))
 	return a, true, nil
@@ -170,6 +197,8 @@ func (s *Server) Lookup(name string) *Accumulator {
 
 // Delete unregisters name and signals its drain goroutines to stop,
 // dropping any queued operations. It reports whether the name existed.
+// Deleting an audited accumulator invalidates the audit trail for that
+// name: its journaled frames outlive the state they were folded into.
 func (s *Server) Delete(name string) bool {
 	s.mu.Lock()
 	a, ok := s.accs[name]
@@ -214,78 +243,53 @@ func (s *Server) Close() {
 
 // Info is the JSON description of one accumulator, as served by the read
 // endpoints. HP is the canonical MarshalText certificate: two sums are
-// bit-identical iff these strings are byte-equal.
+// bit-identical iff these strings are byte-equal. Cert, when present, is
+// the k-of-n agreement certificate the value was served under.
 type Info struct {
-	Name   string  `json:"name"`
-	N      int     `json:"n"`
-	K      int     `json:"k"`
-	Shards int     `json:"shards,omitempty"`
-	Adds   uint64  `json:"adds"`
-	Frames uint64  `json:"frames"`
-	Sum    float64 `json:"sum"`
-	HP     string  `json:"hp"`
-	Err    string  `json:"error,omitempty"`
+	Name   string       `json:"name"`
+	N      int          `json:"n"`
+	K      int          `json:"k"`
+	Shards int          `json:"shards,omitempty"`
+	Adds   uint64       `json:"adds"`
+	Frames uint64       `json:"frames"`
+	Sum    float64      `json:"sum"`
+	HP     string       `json:"hp"`
+	Err    string       `json:"error,omitempty"`
+	Cert   *Certificate `json:"cert,omitempty"`
 }
 
-// op is one unit of shard work: exactly one of xs (a float batch), hp (an
-// HP partial), or snap (a flush-and-report request) is set.
-type op struct {
-	xs   []float64
-	hp   *core.HP
-	snap chan shardState
-	seed bool          // restore seed: fold the value in without counting a frame
-	enq  time.Time     // set when telemetry is recording; zero otherwise
-	tctx trace.Context // ingest span context; folds become its children
-}
-
-// shardState is a shard's reply to a snap op: the canonical partial sum
-// (cloned, caller-owned) plus its counters and sticky error.
-type shardState struct {
-	sum    *core.HP
-	err    error
-	adds   uint64
-	frames uint64
-}
-
-type shard struct {
-	ops  chan op
-	quit chan struct{} // closed by stop(): drop queued work and exit
-	done chan struct{} // closed when the drain goroutine returns
-}
-
-// Accumulator is one named, sharded accumulator: Shards independent
-// BatchAccumulators, each owned by a drain goroutine fed from a bounded
-// channel. Frames are dispatched round-robin; because HP addition is
-// exactly associative and commutative, the dispatch policy, queue
-// interleaving, and shard count leave the merged sum bit-identical.
+// Accumulator is one named accumulator, replicated across cfg.Replicas
+// independent engines. Every accepted frame is folded into every active
+// replica; reads are certified by comparing the replicas' canonical states
+// byte for byte (replica.go). mu is the replication lock: ingest holds it
+// shared (frames fan out concurrently), while certification, quarantine,
+// reseeding, and audit cuts hold it exclusively — an exclusive acquisition
+// is therefore a quiescent point where the set of accepted frames is exact.
 type Accumulator struct {
 	name   string
 	params core.Params
 	cfg    Config
-	shards []*shard
-	next   atomic.Uint64 // round-robin dispatch cursor
+	aud    *auditState // nil: auditing off
 
-	// Restore state: a snapshot reloaded at startup seeds shard 0 with the
-	// checkpointed HP value; the counters and sticky error it carried are
-	// folded into state() from here.
-	baseAdds    uint64
-	baseFrames  uint64
-	restoredErr error
+	mu       sync.RWMutex
+	replicas []*replica
+
+	// Ingest-Id resume state: id -> frames accepted under that id, so a
+	// client retrying a transport-severed POST with the same id and body
+	// never double-counts a frame (http.go, client.go).
+	resMu      sync.Mutex
+	resume     map[string]int
+	resumeFIFO []string
 
 	stopOnce sync.Once
 }
 
-func newAccumulator(name string, p core.Params, cfg Config) *Accumulator {
-	a := &Accumulator{name: name, params: p, cfg: cfg}
-	a.shards = make([]*shard, cfg.Shards)
-	for i := range a.shards {
-		sh := &shard{
-			ops:  make(chan op, cfg.QueueDepth),
-			quit: make(chan struct{}),
-			done: make(chan struct{}),
-		}
-		a.shards[i] = sh
-		go a.drain(sh)
+func newAccumulator(name string, p core.Params, cfg Config, aud *auditState) *Accumulator {
+	a := &Accumulator{name: name, params: p, cfg: cfg, aud: aud,
+		resume: make(map[string]int)}
+	a.replicas = make([]*replica, cfg.Replicas)
+	for i := range a.replicas {
+		a.replicas[i] = &replica{id: i, eng: newEngine(name, p, cfg)}
 	}
 	return a
 }
@@ -296,134 +300,94 @@ func (a *Accumulator) Name() string { return a.name }
 // Params returns the accumulator's HP format.
 func (a *Accumulator) Params() core.Params { return a.params }
 
-// drain is the shard's owner goroutine: it applies queued operations to its
-// private BatchAccumulator until the ops channel is closed (graceful close,
-// queue fully applied) or quit is closed (delete, queue dropped).
-func (a *Accumulator) drain(sh *shard) {
-	defer close(sh.done)
-	b := core.NewBatch(a.params)
-	var adds, frames uint64
-	apply := func(o op) {
-		switch {
-		case o.snap != nil:
-			sp := trace.Start(o.tctx, "server.snapshot")
-			b.Normalize()
-			o.snap <- shardState{sum: b.Sum().Clone(), err: b.Err(), adds: adds, frames: frames}
-			sp.End()
-		case o.hp != nil:
-			sp := trace.Start(o.tctx, "server.fold")
-			sp.Attr(trace.Str("kind", "hp"))
-			b.AddHP(o.hp)
-			if !o.seed {
-				frames++
-			}
-			sp.End()
-		default:
-			sp := trace.Start(o.tctx, "server.fold")
-			sp.Attr(trace.Int("values", int64(len(o.xs))))
-			b.AddSlice(o.xs)
-			adds += uint64(len(o.xs))
-			frames++
-			sp.End()
-		}
-		mQueueDepth.Dec()
-		if !o.enq.IsZero() {
-			mDrainLatency.Observe(time.Since(o.enq).Seconds())
-		}
-	}
-	for {
-		select {
-		case <-sh.quit:
-			// Deleted: unblock any queued snap requests, drop the rest.
-			for {
-				select {
-				case o := <-sh.ops:
-					if o.snap != nil {
-						o.snap <- shardState{err: ErrGone, sum: core.New(a.params)}
-					}
-					mQueueDepth.Dec()
-				default:
-					return
-				}
-			}
-		case o, ok := <-sh.ops:
-			if !ok {
-				return
-			}
-			apply(o)
-		}
-	}
-}
-
-// stop signals every shard to exit, dropping queued work (delete semantics).
+// stop kills every replica's drains, dropping queued work (delete
+// semantics).
 func (a *Accumulator) stop() {
 	a.stopOnce.Do(func() {
-		for _, sh := range a.shards {
-			close(sh.quit)
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		for _, r := range a.replicas {
+			r.eng.stop()
 		}
 	})
-	for _, sh := range a.shards {
-		<-sh.done
-	}
 }
 
-// closeDrain closes the ops channels so the drains apply everything still
-// queued and exit (graceful shutdown semantics). The caller guarantees no
-// concurrent enqueues.
+// closeDrain gracefully drains every replica (graceful shutdown semantics).
+// The caller guarantees no concurrent enqueues.
 func (a *Accumulator) closeDrain() {
-	for _, sh := range a.shards {
-		close(sh.ops)
-	}
-	for _, sh := range a.shards {
-		<-sh.done
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, r := range a.replicas {
+		if r.status == replicaActive {
+			r.eng.closeDrain()
+		} else {
+			r.eng.stop()
+		}
 	}
 }
 
-// enqueue places o on the next shard in round-robin order, waiting up to
-// EnqueueWait for room; a persistently full queue is ErrBusy (backpressure)
-// and a deleted accumulator is ErrGone.
-func (a *Accumulator) enqueue(o op) error {
-	if telemetry.Enabled() {
-		o.enq = time.Now()
+// active returns the replicas currently serving (not permanently
+// quarantined). Caller holds mu (shared or exclusive).
+func (a *Accumulator) active() []*replica {
+	out := make([]*replica, 0, len(a.replicas))
+	for _, r := range a.replicas {
+		if r.status == replicaActive {
+			out = append(out, r)
+		}
 	}
-	sh := a.shards[a.next.Add(1)%uint64(len(a.shards))]
-	select {
-	case <-sh.quit:
+	return out
+}
+
+// ingest admits one frame and fans it out to every active replica, then
+// journals it. The first active replica is the admission gate (its full
+// queue is the 429 backpressure signal); once admitted there, the frame
+// blocks until it lands on every other active replica, so an accepted frame
+// is never partially replicated. Runs under the shared replication lock:
+// an exclusive acquisition (certify/audit) observes either all of a frame's
+// effects or none.
+func (a *Accumulator) ingest(o op) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	admitted := false
+	for _, r := range a.replicas {
+		if r.status != replicaActive {
+			continue
+		}
+		if !admitted {
+			// First active replica is the admission gate.
+			if err := r.eng.enqueue(o, false); err != nil {
+				return err
+			}
+			admitted = true
+			continue
+		}
+		if err := r.eng.enqueue(o, true); err != nil {
+			// ErrGone here means delete raced the ingest; the accepted
+			// frame dies with the accumulator.
+			return err
+		}
+	}
+	if !admitted {
 		return ErrGone
-	default:
 	}
-	select {
-	case sh.ops <- o:
-		mQueueDepth.Inc()
-		return nil
-	default:
+	if a.aud != nil && !o.seed {
+		if err := a.aud.journalOp(a.name, o); err != nil {
+			// The frame is folded but not journaled — a real durability
+			// fault the audit replay will name. Surface it loudly.
+			return fmt.Errorf("server: journal: %w", err)
+		}
 	}
-	t := time.NewTimer(a.cfg.EnqueueWait)
-	defer t.Stop()
-	select {
-	case sh.ops <- o:
-		mQueueDepth.Inc()
-		return nil
-	case <-sh.quit:
-		return ErrGone
-	case <-t.C:
-		mRejectedAdds.Inc()
-		flight.Event("backpressure-429",
-			trace.Str("acc", a.name),
-			trace.Int("queue_depth", mQueueDepth.Value()),
-			trace.Int("queue_cap", int64(a.cfg.QueueDepth*len(a.shards))))
-		return ErrBusy
-	}
+	return nil
 }
 
 // AddFloats enqueues one accepted frame of values. The slice is owned by
 // the accumulator from this point on.
-func (a *Accumulator) AddFloats(xs []float64) error { return a.enqueue(op{xs: xs}) }
+func (a *Accumulator) AddFloats(xs []float64) error { return a.ingest(op{xs: xs}) }
 
 // AddFloatsTraced is AddFloats carrying a trace context: the shard-side
 // fold becomes a child span of tctx. The invalid context costs nothing.
 func (a *Accumulator) AddFloatsTraced(xs []float64, tctx trace.Context) error {
-	return a.enqueue(op{xs: xs, tctx: tctx})
+	return a.ingest(op{xs: xs, tctx: tctx})
 }
 
 // AddHP enqueues one HP partial sum (an exact hand-off from another
@@ -435,107 +399,138 @@ func (a *Accumulator) AddHPTraced(h *core.HP, tctx trace.Context) error {
 	if h.Params() != a.params {
 		return core.ErrParamMismatch
 	}
-	return a.enqueue(op{hp: h, tctx: tctx})
+	return a.ingest(op{hp: h, tctx: tctx})
 }
 
-// State flushes every shard (a snap op queues behind all previously
-// accepted work, so the reply reflects every frame acked before the call)
-// and merges the partials in fixed shard order through the sign-rule
-// overflow check — the service's deterministic combine point, mirroring
-// omp.Reduce's MergeChecked. The merged limbs are bit-identical for every
-// dispatch interleaving; only the overflow verdict depends on the combine
-// trajectory, which the fixed order pins given the shard partials.
+// State flushes the replica set at a quiescent point and returns the
+// majority-agreed Info. Divergent minority replicas are quarantined and
+// reseeded as a side effect, but the read itself tolerates divergence as
+// long as a quorum agrees — this is the snapshot/checkpoint path, which
+// must never persist a lying replica's value but also must not wedge a
+// graceful shutdown over one bad replica. Reads served to clients go
+// through Certified, which fails closed instead.
 func (a *Accumulator) State() (Info, error) {
-	mergeSpan := trace.StartRoot("server.merge")
-	mergeSpan.Attr(trace.Str("acc", a.name))
-	mergeSpan.Attr(trace.Int("shards", int64(len(a.shards))))
-	defer mergeSpan.End()
-	replies := make([]chan shardState, len(a.shards))
-	for i, sh := range a.shards {
-		ch := make(chan shardState, 1)
-		select {
-		case sh.ops <- op{snap: ch, tctx: mergeSpan.Context()}:
-			mQueueDepth.Inc()
-		case <-sh.quit:
-			return Info{}, ErrGone
-		}
-		replies[i] = ch
-	}
-	merged := core.NewAccumulator(a.params)
-	adds, frames := a.baseAdds, a.baseFrames
-	firstErr := a.restoredErr
-	for i, ch := range replies {
-		var st shardState
-		select {
-		case st = <-ch:
-		case <-a.shards[i].done:
-			// Graceful close raced the snap: the drain applied it before
-			// exiting, or dropped it via quit; try a non-blocking read.
-			select {
-			case st = <-ch:
-			default:
-				return Info{}, ErrGone
-			}
-		}
-		if st.err != nil && firstErr == nil {
-			firstErr = st.err
-		}
-		merged.AddHP(st.sum)
-		adds += st.adds
-		frames += st.frames
-	}
-	if firstErr == nil {
-		firstErr = merged.Err()
-	}
-	txt, err := merged.Sum().MarshalText()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, cert, _, err := a.agree()
 	if err != nil {
 		return Info{}, err
+	}
+	return a.infoFrom(st, cert), nil
+}
+
+// Certified is the client read path: it flushes the replica set at a
+// quiescent point and serves the value only under a full agreement
+// certificate. Any divergence — even with a healthy quorum — fails the
+// read closed with ErrDiverged (HTTP 503) while the quarantine-and-reseed
+// pass repairs the minority, so a retry is expected to succeed.
+func (a *Accumulator) Certified() (Info, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	mCertReads.Inc()
+	st, cert, divergent, err := a.agree()
+	if err != nil {
+		return Info{}, err
+	}
+	if len(divergent) > 0 {
+		return Info{}, fmt.Errorf("%w: replicas %v disagreed with the quorum; quarantined and reseeded",
+			ErrDiverged, divergent)
+	}
+	return a.infoFrom(st, cert), nil
+}
+
+// infoFrom renders an agreed state as the wire Info. Caller holds mu.
+func (a *Accumulator) infoFrom(st engineState, cert *Certificate) Info {
+	txt, err := st.sum.MarshalText()
+	if err != nil {
+		// MarshalText on an in-format HP cannot fail; keep the read
+		// serving rather than inventing an error path.
+		txt = []byte("")
 	}
 	info := Info{
 		Name:   a.name,
 		N:      a.params.N,
 		K:      a.params.K,
-		Shards: len(a.shards),
-		Adds:   adds,
-		Frames: frames,
-		Sum:    merged.Float64(),
+		Shards: len(a.replicas[0].eng.shards),
+		Adds:   st.adds,
+		Frames: st.frames,
+		Sum:    st.sum.Float64(),
 		HP:     string(txt),
+		Cert:   cert,
 	}
-	if firstErr != nil {
-		info.Err = firstErr.Error()
+	if st.err != nil {
+		info.Err = st.err.Error()
 	}
-	return info, nil
+	return info
 }
 
 // checkpoint returns the accumulator's state as a core.SumCheckpoint (Step
 // = values applied, Sum = merged canonical HP) plus its frame count and
-// sticky error, for the snapshot writer.
+// sticky error, for the snapshot writer. Divergence-tolerant: the snapshot
+// must record the majority value even while a minority replica is lying.
 func (a *Accumulator) checkpoint() (*core.SumCheckpoint, uint64, string, error) {
-	info, err := a.State()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, _, _, err := a.agree()
 	if err != nil {
 		return nil, 0, "", err
 	}
-	var h core.HP
-	if err := h.UnmarshalText([]byte(info.HP)); err != nil {
-		return nil, 0, "", err
+	errText := ""
+	if st.err != nil {
+		errText = st.err.Error()
 	}
-	return &core.SumCheckpoint{Step: info.Adds, Sum: &h}, info.Frames, info.Err, nil
+	return &core.SumCheckpoint{Step: st.adds, Sum: st.sum}, st.frames, errText, nil
 }
 
-// seedRestore installs a restored checkpoint: the HP value is enqueued on
-// shard 0 (associativity makes the landing shard irrelevant) and the
-// counters and sticky error are carried at the accumulator level.
+// seedRestore installs a restored checkpoint into every replica and, when
+// auditing is on, journals the hand-off so replay can verify the restored
+// state extends the journaled trajectory exactly.
 func (a *Accumulator) seedRestore(ck *core.SumCheckpoint, frames uint64, errText string) error {
-	if ck.Sum.Params() != a.params {
-		return core.ErrParamMismatch
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, r := range a.replicas {
+		if err := r.eng.seed(ck, frames, errText); err != nil {
+			return err
+		}
 	}
-	if err := a.enqueue(op{hp: ck.Sum, seed: true}); err != nil {
-		return err
-	}
-	a.baseAdds = ck.Step
-	a.baseFrames = frames
-	if errText != "" {
-		a.restoredErr = errors.New(errText)
+	if a.aud != nil {
+		if err := a.aud.journalSeed(a.name, ck, frames); err != nil {
+			return fmt.Errorf("server: journal: %w", err)
+		}
 	}
 	return nil
+}
+
+// resumeCount returns the frames already accepted under id (0 for unknown
+// ids, including the empty id).
+func (a *Accumulator) resumeCount(id string) int {
+	if id == "" {
+		return 0
+	}
+	a.resMu.Lock()
+	defer a.resMu.Unlock()
+	return a.resume[id]
+}
+
+// noteAccepted records that count frames of id's stream are now accepted.
+// The map is bounded: the oldest ids fall off, trading resume coverage for
+// memory — a client retrying a stream older than the window double-counts
+// nothing, it just loses skip-ahead and gets a certificate mismatch from
+// its own bookkeeping instead.
+func (a *Accumulator) noteAccepted(id string, count int) {
+	if id == "" {
+		return
+	}
+	const maxResumeIDs = 1024
+	a.resMu.Lock()
+	defer a.resMu.Unlock()
+	if _, ok := a.resume[id]; !ok {
+		if len(a.resumeFIFO) >= maxResumeIDs {
+			oldest := a.resumeFIFO[0]
+			a.resumeFIFO = a.resumeFIFO[1:]
+			delete(a.resume, oldest)
+		}
+		a.resumeFIFO = append(a.resumeFIFO, id)
+	}
+	a.resume[id] = count
 }

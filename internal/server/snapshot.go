@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 )
@@ -74,14 +75,66 @@ func (s *Server) Snapshot(path string) error {
 		buf = append(buf, e.ckpt...)
 	}
 	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("server: snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := writeFileDurable(path, buf); err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
 	mSnapshots.Inc()
+	return nil
+}
+
+// snapshotCrash is a test-only crash injection point: when non-nil it is
+// called at each durability stage of the snapshot write, and a non-nil
+// return aborts the write there — simulating the process dying at that
+// instant. Stages: "written" (temp file written and fsynced, not yet
+// renamed) and "renamed" (renamed over path, parent directory not yet
+// synced).
+var snapshotCrash func(stage string) error
+
+// writeFileDurable writes buf to path so that a crash at any instant leaves
+// either the complete old file or the complete new one: write to a temp
+// file, fsync it (data hits the platter before the rename can be observed),
+// rename into place, then fsync the parent directory (the rename itself is
+// durable). Skipping either fsync risks a post-crash file whose name exists
+// but whose bytes are garbage — exactly the torn state the CRC would catch,
+// but catching it means losing the snapshot; ordering the syncs means never
+// creating it.
+func writeFileDurable(path string, buf []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if snapshotCrash != nil {
+		if err := snapshotCrash("written"); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if snapshotCrash != nil {
+		if err := snapshotCrash("renamed"); err != nil {
+			return err
+		}
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		serr := dir.Sync()
+		dir.Close()
+		if serr != nil {
+			return serr
+		}
+	}
 	return nil
 }
 
