@@ -1,12 +1,14 @@
 // Command benchsum is the reproducible summation benchmark runner behind
 // BENCH_sum.json. It times one pass over a fixed pseudorandom workload
 // through each HP summation path — the pre-PR Listing 1+2 loop, the fused
-// sparse kernel, the carry-save batch kernel, the omp reduction, the atomic
-// XADD/CAS/bulk-flush accumulators, and the two-phase scan — and writes a
-// schema-tagged JSON report with throughput, speedup over the legacy
-// baseline, and heap-allocation rates. Parallel workloads are swept over
-// worker counts 1/2/4/NumCPU; every configuration must produce the same
-// checksum bit-for-bit.
+// sparse kernel, the carry-save batch kernel, the exponent-indexed
+// superaccumulator (plus its forced-spill stress), the omp reduction, the
+// atomic XADD/CAS/bulk-flush accumulators, and the two-phase scan — and
+// writes a schema-tagged JSON report with throughput, speedup over the
+// legacy baseline, heap-allocation rates, and the machine's measured
+// memory-bandwidth ceiling. Parallel workloads are swept over worker counts
+// 1/2/4/NumCPU; every configuration must produce the same checksum
+// bit-for-bit.
 //
 //	benchsum -count 1048576 -trials 5 -out BENCH_sum.json
 //	benchsum -validate BENCH_sum.json
@@ -48,7 +50,7 @@ type config struct {
 
 // guardedWorkloads are the paths the -against regression gate holds to
 // within maxSpeedupDrop of the committed report's speedup.
-var guardedWorkloads = []string{"serial-fused", "serial-batch"}
+var guardedWorkloads = []string{"serial-fused", "serial-batch", "serial-super"}
 
 const maxSpeedupDrop = 0.25
 
@@ -189,6 +191,26 @@ func workloads(cfg config) []workload {
 			b.AddSlice(xs)
 			return b.Float64(), b.Err()
 		}},
+		{"serial-super", 1, true, 0, func(xs []float64) (float64, error) {
+			s := core.NewSuper(p)
+			s.AddSlice(xs)
+			return s.Float64(), s.Err()
+		}},
+		// Forced-spill stress: feed the superaccumulator in 64-value slices
+		// with an explicit Spill after each, so the bin fold runs ~16x more
+		// often than the counted bound requires. The gap between this and
+		// serial-super is the amortized spill overhead; the checksum is
+		// bit-identical regardless (spill placement is invariant).
+		{"super-spill", 1, true, 0, func(xs []float64) (float64, error) {
+			s := core.NewSuper(p)
+			for len(xs) > 0 {
+				n := min(64, len(xs))
+				s.AddSlice(xs[:n])
+				s.Spill()
+				xs = xs[n:]
+			}
+			return s.Float64(), s.Err()
+		}},
 	}
 	for _, workers := range cfg.sweep {
 		workers := workers
@@ -196,11 +218,11 @@ func workloads(cfg config) []workload {
 			workload{"omp-reduce", workers, true, 0, func(xs []float64) (float64, error) {
 				team := omp.NewTeam(workers)
 				total := omp.Reduce(team, len(xs),
-					func(int) *core.BatchAccumulator { return core.NewBatch(p) },
-					func(local *core.BatchAccumulator, _, lo, hi int) {
+					func(int) *core.SuperAccumulator { return core.NewSuper(p) },
+					func(local *core.SuperAccumulator, _, lo, hi int) {
 						local.AddSlice(xs[lo:hi])
 					},
-					func(into, from *core.BatchAccumulator) { into.MergeChecked(from) })
+					func(into, from *core.SuperAccumulator) { into.MergeChecked(from) })
 				return total.Float64(), total.Err()
 			}},
 			workload{"atomic-xadd", workers, true, 0, func(xs []float64) (float64, error) {
@@ -407,7 +429,42 @@ func run(cfg config) (*bench.Report, error) {
 	if err := report.FillSpeedups(); err != nil {
 		return nil, err
 	}
+	report.MemBandwidthBytesPerSec = measureBandwidth(xs, cfg.trials)
+	report.CeilingAddsPerSec = report.MemBandwidthBytesPerSec / 8
 	return report, nil
+}
+
+// bandwidthSink keeps the compiler from eliding the bandwidth pass.
+var bandwidthSink uint64
+
+// measureBandwidth times a pure streaming read over the workload buffer —
+// 64-bit loads folded with xor, no summation arithmetic at all — and
+// returns the best bytes/sec across the trials. Best, not median: the pass
+// measures the machine's ceiling, so cache-warm best-case is the honest
+// roofline for the serial kernels, which walk the same buffer.
+func measureBandwidth(xs []float64, trials int) float64 {
+	words := make([]uint64, len(xs))
+	for i, x := range xs {
+		words[i] = math.Float64bits(x)
+	}
+	bytes := float64(len(words) * 8)
+	best := math.MaxFloat64
+	for t := 0; t < trials+1; t++ { // +1: first pass warms the cache
+		var acc uint64
+		start := time.Now()
+		for _, w := range words {
+			acc ^= w
+		}
+		elapsed := time.Since(start).Seconds()
+		bandwidthSink += acc
+		if t > 0 && elapsed < best {
+			best = elapsed
+		}
+	}
+	if best <= 0 || len(words) == 0 {
+		return 0
+	}
+	return bytes / best
 }
 
 func printTable(r *bench.Report) {
@@ -421,4 +478,19 @@ func printTable(r *bench.Report) {
 			bench.F(w.AddsPerSec), bench.F(w.Speedup), bench.F(w.MallocsPerOp))
 	}
 	t.Fprint(os.Stdout)
+	if r.MemBandwidthBytesPerSec > 0 {
+		fmt.Printf("memory-bandwidth ceiling: %s B/s streaming read = %s adds/sec upper bound (serial-super reaches %.0f%%)\n",
+			bench.N(int(r.MemBandwidthBytesPerSec)), bench.N(int(r.CeilingAddsPerSec)),
+			ceilingFraction(r)*100)
+	}
+}
+
+// ceilingFraction is serial-super's adds/sec as a fraction of the measured
+// memory-bandwidth ceiling (0 when either is absent).
+func ceilingFraction(r *bench.Report) float64 {
+	w := r.Lookup("serial-super")
+	if w == nil || r.CeilingAddsPerSec <= 0 {
+		return 0
+	}
+	return w.AddsPerSec / r.CeilingAddsPerSec
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -76,6 +77,17 @@ type Report struct {
 	// Baseline names the workload whose AddsPerSec defines Speedup == 1.
 	Baseline  string     `json:"baseline"`
 	Workloads []Workload `json:"workloads"`
+
+	// MemBandwidthBytesPerSec is the measured streaming read bandwidth of
+	// the benchmark machine over the workload buffer (best of the trials —
+	// a ceiling, not a median), from a pure 64-bit load-and-xor pass with
+	// no summation arithmetic. CeilingAddsPerSec is that bandwidth divided
+	// by 8 bytes per float64: the adds/sec an ideal zero-arithmetic kernel
+	// could reach on this machine, the roofline the serial workloads chase.
+	// Optional (absent in older artifacts); machine-specific, so
+	// CompareReports never gates on them.
+	MemBandwidthBytesPerSec float64 `json:"mem_bandwidth_bytes_per_sec,omitempty"`
+	CeilingAddsPerSec       float64 `json:"ceiling_adds_per_sec,omitempty"`
 }
 
 // Lookup returns the first workload with the given name (after WriteJSON's
@@ -159,6 +171,9 @@ func (r *Report) Validate() error {
 	if base.Speedup < 0.999 || base.Speedup > 1.001 {
 		return fmt.Errorf("bench: baseline speedup %g != 1", base.Speedup)
 	}
+	if r.MemBandwidthBytesPerSec < 0 || r.CeilingAddsPerSec < 0 {
+		return fmt.Errorf("bench: negative bandwidth ceiling")
+	}
 	return nil
 }
 
@@ -211,29 +226,61 @@ func ReadReport(path string) (*Report, error) {
 	return &r, nil
 }
 
+// RetiredWorkloads is the explicit allowlist of workload names that were
+// deliberately removed from the runner after a committed artifact recorded
+// them. A committed workload name absent from the current run fails
+// CompareReports unless listed here: a silently vanished workload would
+// otherwise pass the checksum phase of the gate without comparing anything
+// (a rename or deletion looks exactly like a passing run). Retire a name by
+// adding it here in the same change that removes the workload.
+var RetiredWorkloads = []string{
+	// (none currently retired)
+}
+
 // CompareReports is the regression gate between a freshly measured report
 // and a committed reference. It fails if the runs are not comparable (the
 // summand count or HP format differs — checksums would legitimately
 // diverge), if any (name, workers) entry present in both reports disagrees
-// on its checksum bit pattern, or if the current speedup of any workload
+// on its checksum bit pattern — all drifts are collected and reported
+// together, not just the first — or if the current speedup of any workload
 // named in guard has dropped more than maxDrop (a fraction, e.g. 0.25)
 // below the committed speedup. Speedups are relative to each report's own
-// baseline, so a uniformly slower machine cancels out; entries only one
-// side measured are ignored except that a guard workload must exist in the
-// current report wherever the committed one has it.
+// baseline, so a uniformly slower machine cancels out.
+//
+// Missing entries are asymmetric by design: a committed workload NAME with
+// no entry at all in the current run is a hard error unless it appears in
+// RetiredWorkloads — otherwise deleting or renaming an exact workload would
+// silently skip its checksum comparison. A missing specific (name, workers)
+// pair whose name is still present is NOT an error: the worker sweep
+// includes NumCPU, so the exact worker counts legitimately vary across
+// machines. Workloads only the current run has (newer than the artifact)
+// are ignored.
 func CompareReports(cur, committed *Report, guard []string, maxDrop float64) error {
 	if cur.Count != committed.Count || cur.HPLimbs != committed.HPLimbs || cur.HPFrac != committed.HPFrac {
 		return fmt.Errorf("bench: runs not comparable: count %d vs %d, format N=%d k=%d vs N=%d k=%d",
 			cur.Count, committed.Count, cur.HPLimbs, cur.HPFrac, committed.HPLimbs, committed.HPFrac)
 	}
+	retired := make(map[string]bool, len(RetiredWorkloads))
+	for _, name := range RetiredWorkloads {
+		retired[name] = true
+	}
+	var errs []error
+	missing := make(map[string]bool)
 	for _, ref := range committed.Workloads {
 		w := cur.LookupWorkers(ref.Name, ref.Workers)
 		if w == nil {
-			continue
+			if cur.Lookup(ref.Name) == nil && !retired[ref.Name] && !missing[ref.Name] {
+				missing[ref.Name] = true
+				errs = append(errs, fmt.Errorf(
+					"bench: committed workload %q missing from current run (add it to RetiredWorkloads if intentionally removed)",
+					ref.Name))
+			}
+			continue // worker-count sweep differences are machine-dependent
 		}
 		if math.Float64bits(w.Checksum) != math.Float64bits(ref.Checksum) {
-			return fmt.Errorf("bench: %s workers=%d: checksum %x, committed %x (exact sums diverged)",
-				ref.Name, ref.Workers, math.Float64bits(w.Checksum), math.Float64bits(ref.Checksum))
+			errs = append(errs, fmt.Errorf(
+				"bench: %s workers=%d: checksum %x, committed %x (exact sums diverged)",
+				ref.Name, ref.Workers, math.Float64bits(w.Checksum), math.Float64bits(ref.Checksum)))
 		}
 	}
 	for _, name := range guard {
@@ -243,13 +290,16 @@ func CompareReports(cur, committed *Report, guard []string, maxDrop float64) err
 		}
 		w := cur.LookupWorkers(name, ref.Workers)
 		if w == nil {
-			return fmt.Errorf("bench: guarded workload %q workers=%d missing from current run",
-				name, ref.Workers)
+			errs = append(errs, fmt.Errorf(
+				"bench: guarded workload %q workers=%d missing from current run",
+				name, ref.Workers))
+			continue
 		}
 		if w.Speedup < ref.Speedup*(1-maxDrop) {
-			return fmt.Errorf("bench: %s speedup %.3f dropped >%.0f%% below committed %.3f",
-				name, w.Speedup, maxDrop*100, ref.Speedup)
+			errs = append(errs, fmt.Errorf(
+				"bench: %s speedup %.3f dropped >%.0f%% below committed %.3f",
+				name, w.Speedup, maxDrop*100, ref.Speedup))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -117,5 +118,63 @@ func TestCompareReportsGuards(t *testing.T) {
 	}
 	if err := CompareReports(v2Report(), committed, []string{"brand-new"}, 0.25); err != nil {
 		t.Errorf("guard absent from committed reference should pass: %v", err)
+	}
+}
+
+func TestCompareReportsMissingCommittedName(t *testing.T) {
+	committed := v2Report()
+	// A committed workload name with no entry at all in the current run is
+	// a hard error even when unguarded — a rename or deletion must not look
+	// like a passing gate.
+	cur := v2Report()
+	cur.Workloads = cur.Workloads[:2] // drop both omp-reduce entries
+	err := CompareReports(cur, committed, nil, 0.25)
+	if err == nil {
+		t.Fatal("vanished committed workload passed the gate")
+	}
+	if !strings.Contains(err.Error(), `"omp-reduce"`) || !strings.Contains(err.Error(), "RetiredWorkloads") {
+		t.Errorf("error does not name the workload and the allowlist: %v", err)
+	}
+	// The error is reported once per name, not once per (name, workers) row.
+	if n := strings.Count(err.Error(), "missing from current run"); n != 1 {
+		t.Errorf("missing name reported %d times, want 1: %v", n, err)
+	}
+
+	// Allowlisted names are exempt: that is how a workload retires.
+	defer func(old []string) { RetiredWorkloads = old }(RetiredWorkloads)
+	RetiredWorkloads = append(RetiredWorkloads, "omp-reduce")
+	if err := CompareReports(cur, committed, nil, 0.25); err != nil {
+		t.Errorf("retired workload still failed the gate: %v", err)
+	}
+
+	// A missing (name, workers) pair whose name is still present is fine:
+	// the worker sweep includes NumCPU, which varies across machines.
+	RetiredWorkloads = RetiredWorkloads[:len(RetiredWorkloads)-1]
+	cur = v2Report()
+	cur.Workloads = cur.Workloads[:3] // keep omp-reduce workers=1, drop workers=4
+	if err := CompareReports(cur, committed, nil, 0.25); err != nil {
+		t.Errorf("machine-dependent worker count failed the gate: %v", err)
+	}
+}
+
+func TestCompareReportsJoinsAllDrifts(t *testing.T) {
+	committed := v2Report()
+	cur := v2Report()
+	// Two checksum drifts and one guarded speedup drop must all surface in
+	// a single joined error, not just the first.
+	cur.LookupWorkers("serial-legacy", 1).Checksum = 0.25
+	cur.LookupWorkers("omp-reduce", 4).Checksum = 0.75
+	cur.LookupWorkers("serial-batch", 1).Speedup = 1
+	err := CompareReports(cur, committed, []string{"serial-batch"}, 0.25)
+	if err == nil {
+		t.Fatal("drifted reports passed")
+	}
+	for _, want := range []string{"serial-legacy", "omp-reduce", "serial-batch"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %s drift: %v", want, err)
+		}
+	}
+	if n := strings.Count(err.Error(), "checksum"); n != 2 {
+		t.Errorf("%d checksum drifts reported, want 2: %v", n, err)
 	}
 }

@@ -86,8 +86,9 @@ type BatchAccumulator struct {
 	eMin, eSpan int
 	sBias       int // s = e + sBias is the bit offset of the significand
 	err         error
-	sum         *HP      // lazily allocated canonical view, reused by Sum
-	mag         []uint64 // magnitude scratch for Float64, reused across calls
+	sum         *HP         // lazily allocated canonical view, reused by Sum
+	mag         []uint64    // magnitude scratch for Float64, reused across calls
+	kern        *limbKernel // unrolled full-width kernel, nil for generic formats
 }
 
 // NewBatch returns a zeroed batch accumulator with the given parameters.
@@ -105,13 +106,14 @@ func NewBatch(p Params) *BatchAccumulator {
 		limit: MaxBatchAdds,
 		sBias: 64*p.K - 1075,
 		mag:   make([]uint64, p.N),
+		kern:  kernelFor(p),
 	}
 	// Gate bounds: s >= 0 keeps the significand wholly above the fractional
 	// cutoff, and 53+s <= 64N-1 keeps its 53 bits (every normal float64 has
 	// bit 52 set) inside the signed range. Outside [1, 2046] the exponent
-	// encodes a zero, subnormal, or non-finite value.
-	b.eMin = max(1, 1075-64*p.K)
-	b.eSpan = min(2046, 64*p.N-54+1075-64*p.K) - b.eMin
+	// encodes a zero, subnormal, or non-finite value. gateBounds clamps the
+	// window closed for degenerate formats where it would be empty.
+	b.eMin, b.eSpan = gateBounds(p)
 	return b
 }
 
@@ -282,6 +284,10 @@ func (b *BatchAccumulator) Normalize() {
 	if telemetry.Enabled() {
 		mBatchFolds.Inc()
 	}
+	if b.kern != nil {
+		b.kern.foldCounts(b.vv, b.cbuf)
+		return
+	}
 	// Counts are signed and bounded (|count| <= limit < 2^62), and the
 	// running inter-limb carry h is at most ±1, so d never overflows and
 	// each step is a single Add64 or Sub64. The final carry out of limb 0
@@ -312,9 +318,20 @@ func (b *BatchAccumulator) AddHP(x *HP) {
 		}
 		return
 	}
+	b.addVec(x.limbs)
+}
+
+// addVec adds the big-endian limb vector into the value limbs as one
+// wrapping full-width quantity, through the unrolled kernel when one is
+// selected for the format.
+func (b *BatchAccumulator) addVec(src []uint64) {
+	if b.kern != nil {
+		b.kern.addVec(b.vv, src)
+		return
+	}
 	var c uint64
 	for i := b.p.N - 1; i >= 0; i-- {
-		b.vv[i], c = bits.Add64(b.vv[i], x.limbs[i], c)
+		b.vv[i], c = bits.Add64(b.vv[i], src[i], c)
 	}
 }
 
@@ -332,10 +349,7 @@ func (b *BatchAccumulator) Merge(from *BatchAccumulator) {
 		return
 	}
 	from.Normalize()
-	var c uint64
-	for i := b.p.N - 1; i >= 0; i-- {
-		b.vv[i], c = bits.Add64(b.vv[i], from.vv[i], c)
-	}
+	b.addVec(from.vv)
 }
 
 // MergeChecked is Merge with the paper's sign-rule overflow test applied to
@@ -358,10 +372,7 @@ func (b *BatchAccumulator) MergeChecked(from *BatchAccumulator) {
 	b.Normalize()
 	from.Normalize()
 	s0, s1 := b.vv[0]>>63, from.vv[0]>>63
-	var c uint64
-	for i := b.p.N - 1; i >= 0; i-- {
-		b.vv[i], c = bits.Add64(b.vv[i], from.vv[i], c)
-	}
+	b.addVec(from.vv)
 	if s0 == s1 && b.vv[0]>>63 != s0 && b.err == nil {
 		mOverflow.Inc()
 		coreFlight.Event("overflow", trace.Str("op", "merge-checked"))

@@ -28,6 +28,10 @@ var (
 		"BatchAccumulator.Normalize calls that had pending adds to account for.")
 	mBatchFolds = telemetry.NewCounter("core_batch_carry_folds_total",
 		"Normalize calls that found nonzero pending carry counts and ran the fold loop.")
+	mSuperAdds = telemetry.NewCounter("core_super_adds_total",
+		"Values accumulated through the exponent-indexed superaccumulator (SuperAccumulator.AddSlice elements).")
+	mSuperSpills = telemetry.NewCounter("core_super_spills_total",
+		"SuperAccumulator spills that folded at least one touched bin into the canonical limbs.")
 	mAdaptiveLimbs = telemetry.NewGauge("core_adaptive_limbs",
 		"Current limb count N of the most recently widened adaptive accumulator.")
 )

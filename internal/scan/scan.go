@@ -44,22 +44,22 @@ func Inclusive(p core.Params, xs []float64, workers int) ([]float64, error) {
 	}
 	team := omp.NewTeam(workers)
 
-	// Phase 1: exact block totals through the carry-save batch kernel
-	// (inherently wrapping — deferred carries make per-add overflow
-	// unobservable, which is exactly the policy here). A block partial that
-	// wraps is not an error — only phase 2, which follows the true prefix
-	// trajectory, decides overflow, so the verdict cannot depend on where
-	// the block boundaries fell. Conversion errors are sticky per block;
-	// scanning blocks in index order below reports the earliest one.
-	totals := make([]*core.BatchAccumulator, workers)
+	// Phase 1: exact block totals through the exponent-indexed
+	// superaccumulator (inherently wrapping — deferred bins make per-add
+	// overflow unobservable, which is exactly the policy here). A block
+	// partial that wraps is not an error — only phase 2, which follows the
+	// true prefix trajectory, decides overflow, so the verdict cannot depend
+	// on where the block boundaries fell. Conversion errors are sticky per
+	// block; scanning blocks in index order below reports the earliest one.
+	totals := make([]*core.SuperAccumulator, workers)
 	team.Run(func(tid int) {
 		lo, hi := omp.StaticBlock(n, workers, tid)
-		b := core.NewBatch(p)
-		b.AddSlice(xs[lo:hi])
-		totals[tid] = b
+		s := core.NewSuper(p)
+		s.AddSlice(xs[lo:hi])
+		totals[tid] = s
 	})
-	for _, b := range totals {
-		if err := b.Err(); err != nil {
+	for _, s := range totals {
+		if err := s.Err(); err != nil {
 			return nil, err
 		}
 	}

@@ -12,7 +12,7 @@ import (
 )
 
 // engine is one replica's summation state machine: Shards independent
-// BatchAccumulators, each owned by a drain goroutine fed from a bounded
+// SuperAccumulators, each owned by a drain goroutine fed from a bounded
 // channel. Frames are dispatched round-robin; because HP addition is exactly
 // associative and commutative, the dispatch policy, queue interleaving, and
 // shard count leave the merged sum bit-identical. The HTTP skin never
@@ -86,17 +86,17 @@ func newEngine(name string, p core.Params, cfg Config) *engine {
 }
 
 // drain is the shard's owner goroutine: it applies queued operations to its
-// private BatchAccumulator until the ops channel is closed (graceful close,
-// queue fully applied) or quit is closed (delete, queue dropped).
+// private SuperAccumulator (the exponent-indexed frontend — the fastest
+// serial fold) until the ops channel is closed (graceful close, queue fully
+// applied) or quit is closed (delete, queue dropped).
 func (e *engine) drain(sh *shard) {
 	defer close(sh.done)
-	b := core.NewBatch(e.params)
+	b := core.NewSuper(e.params)
 	var adds, frames uint64
 	apply := func(o op) {
 		switch {
 		case o.snap != nil:
 			sp := trace.Start(o.tctx, "server.snapshot")
-			b.Normalize()
 			o.snap <- shardState{sum: b.Sum().Clone(), err: b.Err(), adds: adds, frames: frames}
 			sp.End()
 		case o.hp != nil:

@@ -371,7 +371,7 @@ func (s *Server) handleSum(w http.ResponseWriter, r *http.Request) {
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 	dec := NewFrameDecoder(bufio.NewReader(body), s.cfg.MaxFramePayload)
-	b := core.NewBatch(p)
+	b := core.NewSuper(p)
 	var adds, frames uint64
 	var xs []float64
 	for {

@@ -245,15 +245,19 @@ func TestFrameTooLargeRejected(t *testing.T) {
 func TestBackpressure429AndResume(t *testing.T) {
 	// One shard with a one-deep queue and a negligible enqueue wait: a big
 	// frame parks the drain goroutine, the next fills the queue, and the
-	// third must be refused with 429 + Retry-After.
+	// third must be refused with 429 + Retry-After. The parking frame must
+	// keep the drain busy well past the scheduler's worst-case preemption
+	// latency (~20ms on GOMAXPROCS=1): if the admission waiter only wakes
+	// when the fold finishes and the queue has room again, the timed-out
+	// select can race the now-ready send and admit the frame.
 	s, c := newTestServer(t, Config{
 		Shards: 1, QueueDepth: 1, EnqueueWait: time.Millisecond,
-		MaxFramePayload: 64 << 20, MaxRequestBytes: 256 << 20,
+		MaxFramePayload: 256 << 20, MaxRequestBytes: 512 << 20,
 	})
 	if _, err := c.Create("bp", core.Params{}); err != nil {
 		t.Fatal(err)
 	}
-	big := make([]float64, 1<<22)
+	big := make([]float64, 1<<24)
 	for i := range big {
 		big[i] = 1.0 / (1 << 20)
 	}

@@ -147,14 +147,18 @@ func TestBackpressure429MetricsAudit(t *testing.T) {
 	defer telemetry.SetEnabled(telemetry.SetEnabled(true))
 	before := scrapeServerMetrics(t)
 
+	// As in TestBackpressure429AndResume, the parking frame must keep the
+	// drain busy well past the scheduler's worst-case preemption latency on
+	// GOMAXPROCS=1, or the timed-out admission select can race the
+	// fold-finished send and admit the frame.
 	s, c := newTestServer(t, Config{
 		Shards: 1, QueueDepth: 1, EnqueueWait: time.Millisecond,
-		MaxFramePayload: 64 << 20, MaxRequestBytes: 256 << 20,
+		MaxFramePayload: 256 << 20, MaxRequestBytes: 512 << 20,
 	})
 	if _, err := c.Create("bp", core.Params{}); err != nil {
 		t.Fatal(err)
 	}
-	big := make([]float64, 1<<22)
+	big := make([]float64, 1<<24)
 	for i := range big {
 		big[i] = 1.0 / (1 << 20)
 	}

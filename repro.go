@@ -82,6 +82,16 @@ type BatchAccumulator = core.BatchAccumulator
 // NewBatch returns a zeroed carry-save batch accumulator with format p.
 func NewBatch(p Params) *BatchAccumulator { return core.NewBatch(p) }
 
+// SuperAccumulator is the exponent-indexed superaccumulator: the fastest
+// sequential path, absorbing each value as a single indexed integer add
+// into a per-exponent bin and folding the bins into canonical form at
+// counted spill points. Its canonical sums are bit-identical to
+// Accumulator's. See core.SuperAccumulator.
+type SuperAccumulator = core.SuperAccumulator
+
+// NewSuper returns a zeroed exponent-indexed superaccumulator with format p.
+func NewSuper(p Params) *SuperAccumulator { return core.NewSuper(p) }
+
 // NewAccumulator returns a zeroed sequential accumulator with format p.
 func NewAccumulator(p Params) *Accumulator { return core.NewAccumulator(p) }
 
@@ -120,22 +130,22 @@ func ParallelSum(p Params, xs []float64, workers int) (float64, error) {
 
 // ParallelSumHP is ParallelSum returning the full-precision HP result.
 //
-// Each worker folds its block through the carry-save batch kernel, so block
-// partials are carried exactly mod 2^(64N) with carries deferred; the
-// master combines them in ascending thread order through a checked
-// accumulator. Conversion faults (NaN/Inf/range) are detected identically
-// to the sequential path; a partial that transiently exceeds the signed
-// range but cancels before its combine point is not an error, matching the
-// scan package's wrap-and-check-at-combine policy.
+// Each worker folds its block through the exponent-indexed superaccumulator,
+// so block partials are carried exactly mod 2^(64N) with carries deferred in
+// per-exponent bins; the master combines them in ascending thread order
+// through a checked accumulator. Conversion faults (NaN/Inf/range) are
+// detected identically to the sequential path; a partial that transiently
+// exceeds the signed range but cancels before its combine point is not an
+// error, matching the scan package's wrap-and-check-at-combine policy.
 func ParallelSumHP(p Params, xs []float64, workers int) (*HP, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("repro: worker count %d", workers)
 	}
 	team := omp.NewTeam(workers)
 	total := omp.Reduce(team, len(xs),
-		func(int) *core.BatchAccumulator { return core.NewBatch(p) },
-		func(local *core.BatchAccumulator, _, lo, hi int) { local.AddSlice(xs[lo:hi]) },
-		func(into, from *core.BatchAccumulator) { into.MergeChecked(from) })
+		func(int) *core.SuperAccumulator { return core.NewSuper(p) },
+		func(local *core.SuperAccumulator, _, lo, hi int) { local.AddSlice(xs[lo:hi]) },
+		func(into, from *core.SuperAccumulator) { into.MergeChecked(from) })
 	if err := total.Err(); err != nil {
 		return nil, err
 	}
