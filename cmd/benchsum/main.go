@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/omp"
 	"repro/internal/rng"
 	"repro/internal/scan"
@@ -49,8 +50,11 @@ type config struct {
 }
 
 // guardedWorkloads are the paths the -against regression gate holds to
-// within maxSpeedupDrop of the committed report's speedup.
-var guardedWorkloads = []string{"serial-fused", "serial-batch", "serial-super"}
+// within maxSpeedupDrop of the committed report's speedup. super-spill is
+// guarded alongside the hot loops: the spill fold is the fixed cost every
+// superaccumulator pays, and a regression there hides inside serial-super's
+// amortization until the spill cadence changes.
+var guardedWorkloads = []string{"serial-fused", "serial-batch", "serial-super", "super-spill"}
 
 const maxSpeedupDrop = 0.25
 
@@ -67,11 +71,15 @@ func main() {
 		validate = flag.String("validate", "", "validate an existing report and exit")
 		against  = flag.String("against", "", "committed report to gate against: fail on checksum drift or >25% speedup drop")
 
+		noasm       = flag.Bool("noasm", false, "disable the assembly kernels and AVX2 front loop (generic Go lanes only; equivalent to REPRO_NOASM=1)")
 		traceOn     = flag.Bool("trace", false, "record spans while benchmarking (perturbs timings; off for committed reports)")
 		traceSample = flag.Uint64("trace-sample", 1, "record 1 in every N traces (1 = all)")
 		flightDump  = flag.String("flight-dump", "", "write flight-recorder JSON here on SIGQUIT or overflow trip")
 	)
 	flag.Parse()
+	if *noasm {
+		core.SetAsmEnabled(false)
+	}
 	if *traceOn {
 		trace.SetEnabled(true)
 		trace.SetSampling(*traceSample)
@@ -369,18 +377,19 @@ func run(cfg config) (*bench.Report, error) {
 	xs := rng.UniformSet(rng.New(cfg.seed), cfg.count, -0.5, 0.5)
 
 	report := &bench.Report{
-		Schema:     bench.SumReportSchema,
-		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		CPUs:       runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		HPLimbs:    cfg.params.N,
-		HPFrac:     cfg.params.K,
-		Count:      cfg.count,
-		Trials:     cfg.trials,
-		Baseline:   baselineName,
+		Schema:      bench.SumReportSchema,
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		CPUFeatures: cpu.Features(),
+		HPLimbs:     cfg.params.N,
+		HPFrac:      cfg.params.K,
+		Count:       cfg.count,
+		Trials:      cfg.trials,
+		Baseline:    baselineName,
 	}
 
 	var wantSum float64
@@ -416,6 +425,7 @@ func run(cfg config) (*bench.Report, error) {
 		wl := bench.Workload{
 			Name:            w.name,
 			Workers:         w.workers,
+			Backend:         core.KernelBackend(cfg.params),
 			SecondsPerTrial: d.Seconds(),
 			AddsPerSec:      float64(cfg.count) / d.Seconds(),
 			MallocsPerOp:    float64(after.Mallocs-before.Mallocs) / float64(cfg.count),
@@ -471,13 +481,16 @@ func printTable(r *bench.Report) {
 	t := bench.Table{
 		Title: fmt.Sprintf("benchsum: N=%d k=%d, %s summands, median of %d trials",
 			r.HPLimbs, r.HPFrac, bench.N(r.Count), r.Trials),
-		Headers: []string{"workload", "workers", "s/trial", "adds/sec", "speedup", "mallocs/op"},
+		Headers: []string{"workload", "workers", "backend", "s/trial", "adds/sec", "speedup", "mallocs/op"},
 	}
 	for _, w := range r.Workloads {
-		t.AddRow(w.Name, fmt.Sprintf("%d", w.Workers), bench.F(w.SecondsPerTrial),
+		t.AddRow(w.Name, fmt.Sprintf("%d", w.Workers), w.Backend, bench.F(w.SecondsPerTrial),
 			bench.F(w.AddsPerSec), bench.F(w.Speedup), bench.F(w.MallocsPerOp))
 	}
 	t.Fprint(os.Stdout)
+	if r.CPUFeatures != "" {
+		fmt.Printf("cpu features: %s\n", r.CPUFeatures)
+	}
 	if r.MemBandwidthBytesPerSec > 0 {
 		fmt.Printf("memory-bandwidth ceiling: %s B/s streaming read = %s adds/sec upper bound (serial-super reaches %.0f%%)\n",
 			bench.N(int(r.MemBandwidthBytesPerSec)), bench.N(int(r.CeilingAddsPerSec)),

@@ -13,14 +13,21 @@ import (
 // any incompatible field change so CI's schema check fails loudly instead
 // of silently comparing mismatched reports.
 //
-// v2 (current): adds the gomaxprocs field and a per-workload worker-count
-// sweep — a workload name may appear once per worker count, so entries are
-// keyed by (name, workers).
+// v3 (current): adds the report-level cpu_features string (the detected
+// kernel-relevant CPU features, e.g. "adx,avx2,bmi2") and a per-workload
+// backend field naming the kernel lane the workload dispatched to
+// ("asm+avx2", "asm", "avx2", or "generic") — a committed number is
+// meaningless without knowing which kernels produced it.
 //
-// v1: one entry per workload name. ReadReport still accepts v1 files so
-// older committed artifacts remain comparable.
+// v2: adds the gomaxprocs field and a per-workload worker-count sweep — a
+// workload name may appear once per worker count, so entries are keyed by
+// (name, workers).
+//
+// v1: one entry per workload name. ReadReport still accepts v1 and v2
+// files so older committed artifacts remain comparable.
 const (
-	SumReportSchema   = "repro/bench-sum/v2"
+	SumReportSchema   = "repro/bench-sum/v3"
+	SumReportSchemaV2 = "repro/bench-sum/v2"
 	SumReportSchemaV1 = "repro/bench-sum/v1"
 )
 
@@ -46,6 +53,12 @@ type Workload struct {
 	// through the network service (cmd/hpsumd's ingest path); zero and
 	// omitted for in-process paths.
 	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
+	// Backend names the kernel lane the workload's accumulators dispatched
+	// to: "asm+avx2", "asm", "avx2", or "generic" (v3; empty when read
+	// from older artifacts). The exact sums are backend-invariant — only
+	// the timings depend on it — but a throughput number is not
+	// reproducible without it.
+	Backend string `json:"backend,omitempty"`
 	// Checksum is the rounded float64 result of the workload's sum (the
 	// last prefix for scans). All exact paths must agree bit-for-bit —
 	// across workloads and across worker counts; it also keeps the
@@ -66,6 +79,11 @@ type Report struct {
 	// scheduler's effective parallelism (v2; 0 when read from a v1 file).
 	CPUs       int `json:"cpus"`
 	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// CPUFeatures is the comma-joined set of kernel-relevant CPU features
+	// the probe detected on the measuring machine (e.g. "adx,avx2,bmi2"),
+	// empty when none were detected or on pre-v3 artifacts. Machine
+	// identity, not a gate: CompareReports ignores it.
+	CPUFeatures string `json:"cpu_features,omitempty"`
 
 	// HPLimbs/HPFrac are the HP format (paper N and k) every workload used.
 	HPLimbs int `json:"hp_limbs"`
@@ -114,16 +132,19 @@ func (r *Report) LookupWorkers(name string, workers int) *Workload {
 // Validate checks the report's structural invariants: the schema tag, the
 // format and run parameters, per-workload sanity (positive throughput,
 // workers >= 1, unique keys), and that the baseline workload exists with
-// speedup 1 (within rounding). Both the current v2 schema and legacy v1
-// reports validate; v1 additionally requires workload names to be unique
-// on their own.
+// speedup 1 (within rounding). The current v3 schema and legacy v2/v1
+// reports all validate; v1 additionally requires workload names to be
+// unique on their own, and v3 requires every workload to name its kernel
+// backend.
 func (r *Report) Validate() error {
-	if r.Schema != SumReportSchema && r.Schema != SumReportSchemaV1 {
-		return fmt.Errorf("bench: schema %q, want %q (or legacy %q)",
-			r.Schema, SumReportSchema, SumReportSchemaV1)
+	switch r.Schema {
+	case SumReportSchema, SumReportSchemaV2, SumReportSchemaV1:
+	default:
+		return fmt.Errorf("bench: schema %q, want %q (or legacy %q, %q)",
+			r.Schema, SumReportSchema, SumReportSchemaV2, SumReportSchemaV1)
 	}
-	if r.Schema == SumReportSchema && r.GOMAXPROCS < 1 {
-		return fmt.Errorf("bench: v2 report without gomaxprocs")
+	if r.Schema != SumReportSchemaV1 && r.GOMAXPROCS < 1 {
+		return fmt.Errorf("bench: %s report without gomaxprocs", r.Schema)
 	}
 	if r.HPLimbs < 2 || r.HPFrac < 1 || r.HPFrac >= r.HPLimbs {
 		return fmt.Errorf("bench: implausible HP format N=%d k=%d", r.HPLimbs, r.HPFrac)
@@ -162,6 +183,15 @@ func (r *Report) Validate() error {
 		}
 		if w.MallocsPerOp < 0 {
 			return fmt.Errorf("bench: workload %q: mallocs_per_op %g", w.Name, w.MallocsPerOp)
+		}
+		switch w.Backend {
+		case "asm+avx2", "asm", "avx2", "generic":
+		case "":
+			if r.Schema == SumReportSchema {
+				return fmt.Errorf("bench: v3 workload %q without kernel backend", w.Name)
+			}
+		default:
+			return fmt.Errorf("bench: workload %q: unknown backend %q", w.Name, w.Backend)
 		}
 	}
 	base := r.Lookup(r.Baseline)
@@ -209,8 +239,8 @@ func (r *Report) WriteJSON(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// ReadReport parses and validates a BENCH_sum.json file (schema v2, or a
-// legacy v1 artifact).
+// ReadReport parses and validates a BENCH_sum.json file (schema v3, or a
+// legacy v2/v1 artifact).
 func ReadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -7,24 +7,25 @@ import (
 	"testing"
 )
 
-func v2Report() *Report {
+func testReport() *Report {
 	return &Report{
-		Schema:     SumReportSchema,
-		GoVersion:  "go1.24",
-		GOOS:       "linux",
-		GOARCH:     "amd64",
-		CPUs:       8,
-		GOMAXPROCS: 8,
-		HPLimbs:    6,
-		HPFrac:     3,
-		Count:      1024,
-		Trials:     3,
-		Baseline:   "serial-legacy",
+		Schema:      SumReportSchema,
+		GoVersion:   "go1.24",
+		GOOS:        "linux",
+		GOARCH:      "amd64",
+		CPUs:        8,
+		GOMAXPROCS:  8,
+		CPUFeatures: "adx,avx2,bmi2",
+		HPLimbs:     6,
+		HPFrac:      3,
+		Count:       1024,
+		Trials:      3,
+		Baseline:    "serial-legacy",
 		Workloads: []Workload{
-			{Name: "serial-legacy", Workers: 1, SecondsPerTrial: 1, AddsPerSec: 1024, Speedup: 1, Checksum: 0.5},
-			{Name: "serial-batch", Workers: 1, SecondsPerTrial: 0.25, AddsPerSec: 4096, Speedup: 4, Checksum: 0.5},
-			{Name: "omp-reduce", Workers: 1, SecondsPerTrial: 0.5, AddsPerSec: 2048, Speedup: 2, Checksum: 0.5},
-			{Name: "omp-reduce", Workers: 4, SecondsPerTrial: 0.125, AddsPerSec: 8192, Speedup: 8, Checksum: 0.5},
+			{Name: "serial-legacy", Workers: 1, SecondsPerTrial: 1, AddsPerSec: 1024, Speedup: 1, Checksum: 0.5, Backend: "generic"},
+			{Name: "serial-batch", Workers: 1, SecondsPerTrial: 0.25, AddsPerSec: 4096, Speedup: 4, Checksum: 0.5, Backend: "asm+avx2"},
+			{Name: "omp-reduce", Workers: 1, SecondsPerTrial: 0.5, AddsPerSec: 2048, Speedup: 2, Checksum: 0.5, Backend: "asm+avx2"},
+			{Name: "omp-reduce", Workers: 4, SecondsPerTrial: 0.125, AddsPerSec: 8192, Speedup: 8, Checksum: 0.5, Backend: "asm+avx2"},
 		},
 	}
 }
@@ -70,7 +71,7 @@ func TestReadReportAcceptsV1(t *testing.T) {
 }
 
 func TestLookupWorkers(t *testing.T) {
-	r := v2Report()
+	r := testReport()
 	if err := r.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestLookupWorkers(t *testing.T) {
 }
 
 func TestCompareReportsGuards(t *testing.T) {
-	cur, committed := v2Report(), v2Report()
+	cur, committed := testReport(), testReport()
 	if err := CompareReports(cur, committed, []string{"serial-batch"}, 0.25); err != nil {
 		t.Fatalf("identical reports: %v", err)
 	}
@@ -111,22 +112,22 @@ func TestCompareReportsGuards(t *testing.T) {
 	}
 	// A guarded workload missing from the current run fails; one missing
 	// from the committed reference (not yet benchmarked back then) passes.
-	cur = v2Report()
+	cur = testReport()
 	cur.Workloads = cur.Workloads[:1]
 	if err := CompareReports(cur, committed, []string{"serial-batch"}, 0.25); err == nil {
 		t.Error("missing guarded workload passed")
 	}
-	if err := CompareReports(v2Report(), committed, []string{"brand-new"}, 0.25); err != nil {
+	if err := CompareReports(testReport(), committed, []string{"brand-new"}, 0.25); err != nil {
 		t.Errorf("guard absent from committed reference should pass: %v", err)
 	}
 }
 
 func TestCompareReportsMissingCommittedName(t *testing.T) {
-	committed := v2Report()
+	committed := testReport()
 	// A committed workload name with no entry at all in the current run is
 	// a hard error even when unguarded — a rename or deletion must not look
 	// like a passing gate.
-	cur := v2Report()
+	cur := testReport()
 	cur.Workloads = cur.Workloads[:2] // drop both omp-reduce entries
 	err := CompareReports(cur, committed, nil, 0.25)
 	if err == nil {
@@ -150,7 +151,7 @@ func TestCompareReportsMissingCommittedName(t *testing.T) {
 	// A missing (name, workers) pair whose name is still present is fine:
 	// the worker sweep includes NumCPU, which varies across machines.
 	RetiredWorkloads = RetiredWorkloads[:len(RetiredWorkloads)-1]
-	cur = v2Report()
+	cur = testReport()
 	cur.Workloads = cur.Workloads[:3] // keep omp-reduce workers=1, drop workers=4
 	if err := CompareReports(cur, committed, nil, 0.25); err != nil {
 		t.Errorf("machine-dependent worker count failed the gate: %v", err)
@@ -158,8 +159,8 @@ func TestCompareReportsMissingCommittedName(t *testing.T) {
 }
 
 func TestCompareReportsJoinsAllDrifts(t *testing.T) {
-	committed := v2Report()
-	cur := v2Report()
+	committed := testReport()
+	cur := testReport()
 	// Two checksum drifts and one guarded speedup drop must all surface in
 	// a single joined error, not just the first.
 	cur.LookupWorkers("serial-legacy", 1).Checksum = 0.25
@@ -176,5 +177,32 @@ func TestCompareReportsJoinsAllDrifts(t *testing.T) {
 	}
 	if n := strings.Count(err.Error(), "checksum"); n != 2 {
 		t.Errorf("%d checksum drifts reported, want 2: %v", n, err)
+	}
+}
+
+// TestReadReportAcceptsV2 keeps the pre-backend artifact readable: v2
+// entries carry no backend, and that is only an error under v3.
+func TestReadReportAcceptsV2(t *testing.T) {
+	r := testReport()
+	r.Schema = SumReportSchemaV2
+	r.CPUFeatures = ""
+	for i := range r.Workloads {
+		r.Workloads[i].Backend = ""
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("v2 report rejected: %v", err)
+	}
+}
+
+// TestValidateBackend: v3 requires a known backend on every workload.
+func TestValidateBackend(t *testing.T) {
+	r := testReport()
+	r.Workloads[0].Backend = ""
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "backend") {
+		t.Errorf("v3 workload without backend validated: %v", err)
+	}
+	r.Workloads[0].Backend = "sse9"
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "sse9") {
+		t.Errorf("unknown backend validated: %v", err)
 	}
 }

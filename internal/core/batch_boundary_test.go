@@ -135,8 +135,10 @@ func TestGateDegenerateClamp(t *testing.T) {
 
 	s := NewSuper(p)
 	s.eMin = 1 << 30
-	s.bins = s.bins[:1]
-	s.lo, s.hi = len(s.bins), -1
+	s.nbins = 1
+	s.bins = s.bins[:superStripes]
+	s.fold = s.fold[:1]
+	s.lo, s.hi = 1, -1
 	s.AddSlice(xs)
 	if s.Err() != wantErr || !s.Sum().Equal(oracle) {
 		t.Fatal("closed-gate super accumulator diverged from the fused path")

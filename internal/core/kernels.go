@@ -1,6 +1,9 @@
 package core
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // This file holds the specialized unrolled limb kernels for the shipped HP
 // formats, in the spirit of Accum384: the full-width fold, normalize, and
@@ -18,9 +21,54 @@ import "math/bits"
 // rounding, not the full-width integer arithmetic unrolled here, so one
 // kernel serves every K of a given width.
 
+// asmOn gates dispatch to the hand-written amd64 assembly kernels. It is
+// initialized by the build-specific dispatch file (true on amd64 outside
+// the purego tag unless the REPRO_NOASM kill switch is set, false
+// everywhere else) and consulted at accumulator construction — existing
+// accumulators keep the kernels they were built with, so toggling is safe
+// concurrently with running folds.
+var asmOn atomic.Bool
+
+// AsmEnabled reports whether newly constructed accumulators dispatch to
+// the assembly kernels.
+func AsmEnabled() bool { return asmOn.Load() }
+
+// SetAsmEnabled enables or disables assembly dispatch for accumulators
+// constructed after the call, returning the previous setting. Enabling is
+// a no-op on builds without assembly (non-amd64, or the purego tag). The
+// differential tests use this to pin the assembly kernels against the
+// generic loops in one process; it is also the programmatic arm of the
+// REPRO_NOASM environment kill switch.
+func SetAsmEnabled(on bool) (prev bool) {
+	prev = asmOn.Load()
+	asmOn.Store(on && haveAsm)
+	return prev
+}
+
+// KernelBackend describes the kernel lanes a freshly constructed
+// accumulator of format p would select, for benchmark reports and
+// diagnostics: "asm+avx2" (unrolled assembly limb kernels plus the AVX2
+// superaccumulator front loop), "asm" (assembly limb kernels, scalar
+// front loop), "avx2" (AVX2 front loop with generic limb loops — formats
+// without a shipped unrolled width), or "generic".
+func KernelBackend(p Params) string {
+	limbAsm := AsmEnabled() && asmKernelFor(p.N) != nil
+	switch {
+	case limbAsm && useAVX2():
+		return "asm+avx2"
+	case limbAsm:
+		return "asm"
+	case useAVX2():
+		return "avx2"
+	default:
+		return "generic"
+	}
+}
+
 // limbKernel bundles the unrolled full-width primitives for one limb count.
 type limbKernel struct {
-	n int
+	n   int
+	asm bool // true for the hand-written assembly variants
 	// addVec adds src into dst (dst += src) as a single 64n-bit
 	// two's-complement quantity, discarding the carry out of the top limb —
 	// the wrapping full-width add behind AddHP and the Merge combines.
@@ -31,9 +79,15 @@ type limbKernel struct {
 	foldCounts func(vv, cbuf []uint64)
 }
 
-// kernelFor returns the unrolled kernel for p's limb count, or nil when the
+// kernelFor returns the unrolled kernel for p's limb count — the assembly
+// variant when dispatch allows it, the Go one otherwise — or nil when the
 // format has no specialization.
 func kernelFor(p Params) *limbKernel {
+	if AsmEnabled() {
+		if k := asmKernelFor(p.N); k != nil {
+			return k
+		}
+	}
 	switch p.N {
 	case 2:
 		return kern2
@@ -133,4 +187,18 @@ func foldCounts8(vv, cbuf []uint64) {
 	h = foldStep(&v[1], h+int64(c[3]))
 	foldStep(&v[0], h+int64(c[2]))
 	c[7], c[6], c[5], c[4], c[3], c[2] = 0, 0, 0, 0, 0, 0
+}
+
+// foldStripesGeneric collapses the superaccumulator's interleaved bin
+// stripes: dst[j] receives the sum of the superStripes lanes of bin j and
+// the lanes are zeroed. The per-bin stripe sums cannot overflow — the
+// absolute values of all stripes together are bounded by the spill bound
+// (see MaxSuperAdds) — and any association order yields the same int64.
+// The AVX2 variant in kernels_amd64.s is bit-identical.
+func foldStripesGeneric(dst, bins []int64) {
+	for j := range dst {
+		q := bins[superStripes*j : superStripes*j+4 : superStripes*j+4]
+		dst[j] = q[0] + q[1] + q[2] + q[3]
+		q[0], q[1], q[2], q[3] = 0, 0, 0, 0
+	}
 }

@@ -37,10 +37,23 @@ import (
 
 // MaxSuperAdds is the number of adds a SuperAccumulator absorbs between
 // spills. Each fast-path add contributes a signed significand of magnitude
-// at most 2^53 - 1 to exactly one bin, so after A adds from a zeroed bin
-// |bin| <= A*(2^53 - 1), which stays below the int64 capacity 2^63 for
-// every A <= 2^10. AddSlice amortizes the bound over whole chunks.
+// at most 2^53 - 1 to exactly one bin stripe, so after A adds the absolute
+// values across all stripes of a bin sum to at most A*(2^53 - 1), which
+// stays below the int64 capacity 2^63 for every A <= 2^10 — the stripe sum
+// the spill computes therefore cannot overflow either. AddSlice amortizes
+// the bound over whole chunks.
 const MaxSuperAdds = 1 << 10
+
+// superStripes is the number of independent int64 lanes interleaved per
+// exponent bin: bins[superStripes*i + lane]. The scalar paths always add
+// into lane 0; the AVX2 front loop maps its four vector lanes onto the
+// four stripes, so a run of same-exponent values lands on four independent
+// store-forwarding chains instead of serializing on one memory word —
+// same-magnitude streams are the common case (any well-scaled workload)
+// and the dependent add-to-memory latency is what bounds the scalar loop.
+// Spill sums the stripes of each touched bin before folding; integer
+// addition commutes, so striping is invisible in the canonical result.
+const superStripes = 4
 
 // SuperAccumulator sums float64 values into an HP number through the
 // exponent-indexed superaccumulator frontend: one indexed 64-bit add per
@@ -60,14 +73,27 @@ const MaxSuperAdds = 1 << 10
 // its own and combine with Merge or MergeChecked.
 type SuperAccumulator struct {
 	p Params
-	// bins[i] is the signed sum of the 53-bit significands of every
+	// bins holds superStripes interleaved signed lanes per in-gate biased
+	// exponent: the stripes of bin i are bins[superStripes*i .. +3], and
+	// their sum is the signed total of the 53-bit significands of every
 	// fast-path value with biased exponent eMin+i since the last spill.
-	// len(bins) == eSpan+1, the gate invariant the hot loop relies on.
+	// len(bins) == superStripes*nbins.
 	bins []int64
-	// lo..hi is the touched-bin watermark: Spill walks only this range, so
-	// well-scaled streams (a narrow band of exponents) pay a short fold no
-	// matter how wide the format's gate is. lo > hi means no bin touched.
+	// nbins == eSpan+1 is the exponent-bin count, the gate bound the hot
+	// loops compare against.
+	nbins int
+	// fold is the per-spill stripe-sum scratch (nbins entries), reused so
+	// Spill stays allocation-free.
+	fold []int64
+	// lo..hi is the touched-bin watermark in exponent-bin space: Spill
+	// walks only this range, so well-scaled streams (a narrow band of
+	// exponents) pay a short fold no matter how wide the format's gate is.
+	// lo > hi means no bin touched.
 	lo, hi int
+	// avx2 freezes the front-loop dispatch decision at construction: true
+	// selects the AVX2 assembly chunk loop (amd64, !purego, feature probe
+	// and kill switches permitting), false the generic Go loop.
+	avx2 bool
 	// room counts adds until the next forced spill; bounded by spillEvery.
 	room       uint64
 	spillEvery uint64 // normally MaxSuperAdds; lowered in tests
@@ -102,8 +128,11 @@ func NewSuper(p Params) *SuperAccumulator {
 		mag:        make([]uint64, p.N),
 	}
 	s.eMin, s.eSpan = gateBounds(p)
-	s.bins = make([]int64, s.eSpan+1)
-	s.lo, s.hi = len(s.bins), -1
+	s.nbins = s.eSpan + 1
+	s.bins = make([]int64, superStripes*s.nbins)
+	s.fold = make([]int64, s.nbins)
+	s.lo, s.hi = s.nbins, -1
+	s.avx2 = useAVX2()
 	return s
 }
 
@@ -134,10 +163,10 @@ func (s *SuperAccumulator) Err() error { return s.err }
 
 // Reset zeroes the accumulator and clears the sticky error.
 func (s *SuperAccumulator) Reset() {
-	for i := s.lo; i <= s.hi; i++ {
-		s.bins[i] = 0
+	if s.hi >= s.lo {
+		clear(s.bins[superStripes*s.lo : superStripes*(s.hi+1)])
 	}
-	s.lo, s.hi = len(s.bins), -1
+	s.lo, s.hi = s.nbins, -1
 	s.room = s.spillEvery
 	s.sum.SetZero()
 	s.err = nil
@@ -152,13 +181,13 @@ func (s *SuperAccumulator) Add(x float64) {
 	s.room--
 	bv := math.Float64bits(x)
 	i := int(bv>>52&0x7ff) - s.eMin
-	if uint(i) >= uint(len(s.bins)) {
+	if uint(i) >= uint(s.nbins) {
 		s.addSlow(x)
 		return
 	}
 	m := int64(bv&(1<<52-1) | 1<<52)
 	sm := int64(bv) >> 63
-	s.bins[i] += (m ^ sm) - sm
+	s.bins[superStripes*i] += (m ^ sm) - sm
 	if i < s.lo {
 		s.lo = i
 	}
@@ -188,25 +217,38 @@ func (s *SuperAccumulator) AddSlice(xs []float64) {
 	}
 }
 
-// addChunk is the indexed inner loop: per element, one exponent extract,
-// one gate compare, a branchless signed-significand build, and a single
-// int64 add into the selected bin. The watermark updates are predictable
-// (almost never taken once the stream's exponent band is established), and
-// binding eSpan to len(bins) lets the compiler drop the bin bound check.
+// addChunk dispatches the inner loop: the AVX2 assembly lane when the
+// construction-time probe selected it, the generic Go loop otherwise.
+// Both produce identical bins, watermarks, and sticky errors — proven by
+// the asm differential tests and FuzzAsmKernelDifferential.
 func (s *SuperAccumulator) addChunk(xs []float64) {
+	if s.avx2 {
+		s.addChunkAsm(xs)
+		return
+	}
+	s.addChunkGeneric(xs)
+}
+
+// addChunkGeneric is the portable indexed inner loop: per element, one
+// exponent extract, one gate compare, a branchless signed-significand
+// build, and a single int64 add into stripe 0 of the selected bin. The
+// watermark updates are predictable (almost never taken once the stream's
+// exponent band is established).
+func (s *SuperAccumulator) addChunkGeneric(xs []float64) {
 	bins := s.bins
+	nb := s.nbins
 	eMin := s.eMin
 	lo, hi := s.lo, s.hi
 	for _, x := range xs {
 		bv := math.Float64bits(x)
 		i := int(bv>>52&0x7ff) - eMin
-		if uint(i) >= uint(len(bins)) {
+		if uint(i) >= uint(nb) {
 			s.addSlow(x)
 			continue
 		}
 		m := int64(bv&(1<<52-1) | 1<<52)
 		sm := int64(bv) >> 63
-		bins[i] += (m ^ sm) - sm
+		bins[superStripes*i] += (m ^ sm) - sm
 		if i < lo {
 			lo = i
 		}
@@ -242,12 +284,16 @@ func (s *SuperAccumulator) addSlow(x float64) {
 }
 
 // Spill folds every touched bin into the canonical limbs and zeroes it:
-// bin i holds an exact signed 64-bit sum of significands at scale
-// 2^(eMin+i-1075), which lands as a two-limb window at bit offset
-// s = eMin+i+sBias — the same window shape as the fused kernel, with the
-// carry or borrow propagated only while nonzero and wrapped past the top
-// limb exactly as full-width addition would. A spill with no touched bins
-// is a cheap no-op, so canonicalization points may call it freely.
+// the stripes of bin i sum (overflow-free, by the MaxSuperAdds bound) to
+// an exact signed 64-bit total of significands at scale 2^(eMin+i-1075),
+// which lands as a two-limb window at bit offset s = eMin+i+sBias — the
+// same window shape as the fused kernel, with the carry or borrow
+// propagated only while nonzero and wrapped past the top limb exactly as
+// full-width addition would. The stripe sums are computed (and the
+// stripes zeroed) by a single foldStripes pass over the watermarked range
+// — vectorized on the AVX2 lane — before the scalar window folds. A spill
+// with no touched bins is a cheap no-op, so canonicalization points may
+// call it freely.
 func (s *SuperAccumulator) Spill() {
 	s.room = s.spillEvery
 	if s.hi < s.lo {
@@ -256,13 +302,14 @@ func (s *SuperAccumulator) Spill() {
 	if telemetry.Enabled() {
 		mSuperSpills.Inc()
 	}
-	for i := s.lo; i <= s.hi; i++ {
-		b := s.bins[i]
+	lo := s.lo
+	fold := s.fold[lo : s.hi+1]
+	s.foldStripes(fold, s.bins[superStripes*lo:superStripes*(s.hi+1)])
+	for j, b := range fold {
 		if b == 0 {
 			continue
 		}
-		s.bins[i] = 0
-		sv := i + s.eMin + s.sBias
+		sv := lo + j + s.eMin + s.sBias
 		neg := b < 0
 		mag := uint64(b)
 		if neg {
@@ -281,7 +328,7 @@ func (s *SuperAccumulator) Spill() {
 			s.sum.addSparse(d)
 		}
 	}
-	s.lo, s.hi = len(s.bins), -1
+	s.lo, s.hi = s.nbins, -1
 }
 
 // AddHP adds a canonical HP value (a partial sum) in wrapping mode,

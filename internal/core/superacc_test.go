@@ -296,6 +296,17 @@ func TestSuperGoldenUniformSum(t *testing.T) {
 	}
 }
 
+// binTotal sums the interleaved stripes of bin i — the deferred signed
+// significand total regardless of which lane (scalar stripe 0, or any AVX2
+// lane) the adds landed in.
+func binTotal(s *SuperAccumulator, i int) int64 {
+	var t int64
+	for l := 0; l < superStripes; l++ {
+		t += s.bins[superStripes*i+l]
+	}
+	return t
+}
+
 // TestSuperGoldenBins pins the deferred representation itself: a fast-path
 // add must land as a signed significand in the bin its raw exponent
 // selects, leaving the canonical limbs untouched until Spill.
@@ -310,11 +321,11 @@ func TestSuperGoldenBins(t *testing.T) {
 	if !s.sum.IsZero() {
 		t.Fatal("fast-path adds touched the canonical limbs before Spill")
 	}
-	if got := s.bins[eOne-s.eMin]; got != 2<<52 {
+	if got := binTotal(s, eOne-s.eMin); got != 2<<52 {
 		t.Fatalf("bin[1.0] = %d, want %d", got, int64(2)<<52)
 	}
-	if got := s.bins[eOne-1-s.eMin]; got != -(1 << 52) {
-		t.Fatalf("bin[0.5] = %d, want %d", got, -int64(1)<<52)
+	if got := binTotal(s, eOne-1-s.eMin); got != -(1 << 52) {
+		t.Fatalf("bin[0.5] = %d, want %d", got, -(int64(1) << 52))
 	}
 	if got := s.Float64(); got != 1.5 {
 		t.Fatalf("sum = %g, want 1.5", got)

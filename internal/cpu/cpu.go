@@ -1,0 +1,78 @@
+// Package cpu is a zero-dependency runtime feature probe for the hand-
+// written assembly kernels in internal/core. On amd64 it queries CPUID and
+// XGETBV directly (no cgo, no external modules); everywhere else — and
+// under the `purego` build tag — every feature reads false and the generic
+// Go kernels are the only lane.
+//
+// Two kill switches exist beyond the build tag:
+//
+//   - the REPRO_NOASM environment variable (any value except "" or "0")
+//     disables assembly at process start, before any kernel is selected;
+//   - core.SetAsmEnabled flips dispatch programmatically, which the
+//     differential tests use to pin the assembly kernels against the
+//     generic loops inside one process.
+//
+// The probe reports only the features the kernels dispatch on, not the
+// full CPUID surface.
+package cpu
+
+import (
+	"os"
+	"strings"
+)
+
+// X86 holds the detected amd64 features the assembly kernels dispatch on.
+// All fields are false on other architectures, under the purego build tag,
+// and when the REPRO_NOASM kill switch is set.
+var X86 struct {
+	// HasAVX2 is true when the CPU supports AVX2 and the OS has enabled
+	// YMM state (XGETBV), gating the vectorized superaccumulator front
+	// loop and the stripe fold.
+	HasAVX2 bool
+	// HasADX reports the ADX carry-chain extension (ADCX/ADOX). The limb
+	// kernels need only baseline ADC, so this is informational: it rides
+	// the feature string so committed benchmark artifacts name the
+	// machine's carry hardware.
+	HasADX bool
+	// HasBMI2 reports BMI2 (SHLX/SHRX and friends); informational, like
+	// HasADX.
+	HasBMI2 bool
+}
+
+// killSwitch records that REPRO_NOASM disabled the probe at startup.
+var killSwitch bool
+
+// KillSwitch reports whether the REPRO_NOASM environment variable disabled
+// assembly dispatch at process start.
+func KillSwitch() bool { return killSwitch }
+
+// AsmAllowed reports whether assembly kernels may be dispatched at all:
+// true only on amd64, outside the purego build tag, with no kill switch.
+// Individual kernels additionally gate on the X86 feature bits.
+func AsmAllowed() bool { return asmSupported && !killSwitch }
+
+// Features returns the detected feature set as a stable comma-joined
+// string, e.g. "adx,avx2,bmi2". It is empty when nothing beyond baseline
+// amd64 is available, on other architectures, and under purego or the
+// kill switch — benchmark reports record it so cross-machine comparisons
+// are explainable.
+func Features() string {
+	var fs []string
+	if X86.HasADX {
+		fs = append(fs, "adx")
+	}
+	if X86.HasAVX2 {
+		fs = append(fs, "avx2")
+	}
+	if X86.HasBMI2 {
+		fs = append(fs, "bmi2")
+	}
+	return strings.Join(fs, ",")
+}
+
+// noasmEnv reads the kill switch from the environment: set and not "0"
+// means "disable assembly".
+func noasmEnv() bool {
+	v := os.Getenv("REPRO_NOASM")
+	return v != "" && v != "0"
+}

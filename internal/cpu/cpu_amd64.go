@@ -1,0 +1,46 @@
+//go:build amd64 && !purego
+
+package cpu
+
+// asmSupported is true exactly when this build can contain assembly
+// kernels: the purego tag swaps in cpu_noasm.go instead.
+const asmSupported = true
+
+// cpuid executes the CPUID instruction for (leaf, sub).
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv executes XGETBV with XCR0, returning the enabled-state mask the
+// OS exposes to user code.
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	if noasmEnv() {
+		killSwitch = true
+		return
+	}
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	osYMM := false
+	if c1&osxsaveBit != 0 {
+		// XCR0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled before
+		// YMM registers are safe to touch.
+		lo, _ := xgetbv()
+		osYMM = lo&0x6 == 0x6
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const (
+		avx2Bit = 1 << 5
+		bmi2Bit = 1 << 8
+		adxBit  = 1 << 19
+	)
+	X86.HasAVX2 = c1&avxBit != 0 && osYMM && b7&avx2Bit != 0
+	X86.HasBMI2 = b7&bmi2Bit != 0
+	X86.HasADX = b7&adxBit != 0
+}

@@ -1,0 +1,13 @@
+//go:build !amd64 || purego
+
+package cpu
+
+// asmSupported is false in the purego lane and on architectures without
+// assembly kernels; X86 keeps its zero value and dispatch stays generic.
+const asmSupported = false
+
+func init() {
+	// The kill switch is still recorded so diagnostics (and the feature
+	// string in benchmark reports) stay truthful across build modes.
+	killSwitch = noasmEnv()
+}

@@ -1,0 +1,72 @@
+package cpu
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestFeaturesString: the feature string is a stable comma-joined subset
+// of the known names, consistent with the X86 bits, with no stray entries
+// — it is embedded verbatim in committed benchmark artifacts.
+func TestFeaturesString(t *testing.T) {
+	got := Features()
+	want := map[string]bool{"adx": X86.HasADX, "avx2": X86.HasAVX2, "bmi2": X86.HasBMI2}
+	if got == "" {
+		for name, have := range want {
+			if have {
+				t.Fatalf("Features() empty but %s detected", name)
+			}
+		}
+		return
+	}
+	seen := map[string]bool{}
+	for _, f := range strings.Split(got, ",") {
+		have, known := want[f]
+		if !known {
+			t.Fatalf("Features() contains unknown entry %q in %q", f, got)
+		}
+		if !have {
+			t.Fatalf("Features() lists %q but the X86 bit is false", f)
+		}
+		if seen[f] {
+			t.Fatalf("Features() repeats %q in %q", f, got)
+		}
+		seen[f] = true
+	}
+	for name, have := range want {
+		if have && !seen[name] {
+			t.Fatalf("X86 reports %s but Features() = %q omits it", name, got)
+		}
+	}
+}
+
+// TestAsmAllowedConsistency: features can only be reported when assembly
+// dispatch is possible at all — the purego lane and the kill switch must
+// zero the probe, not just mask it downstream.
+func TestAsmAllowedConsistency(t *testing.T) {
+	if !AsmAllowed() && runtime.GOARCH == "amd64" && !KillSwitch() {
+		// purego build on amd64: the feature struct must be zero too.
+		if X86.HasAVX2 || X86.HasADX || X86.HasBMI2 {
+			t.Fatal("purego build reports CPU features")
+		}
+	}
+	if KillSwitch() && (X86.HasAVX2 || X86.HasADX || X86.HasBMI2) {
+		t.Fatal("kill switch set but features still reported")
+	}
+}
+
+// TestNoasmEnvParsing pins the kill-switch parse: empty and "0" mean
+// enabled, anything else disables.
+func TestNoasmEnvParsing(t *testing.T) {
+	cases := []struct {
+		val  string
+		kill bool
+	}{{"", false}, {"0", false}, {"1", true}, {"true", true}, {"no", true}}
+	for _, c := range cases {
+		t.Setenv("REPRO_NOASM", c.val)
+		if got := noasmEnv(); got != c.kill {
+			t.Errorf("REPRO_NOASM=%q: noasmEnv() = %v, want %v", c.val, got, c.kill)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// TestLoopbackEnvelopeBackendInvariant runs the same workload through the
+// full hpsumd loopback path (client framing, server ingest, shard fold,
+// canonical HP envelope) once on the assembly kernel lane and once on the
+// generic lane, and requires byte-identical HP envelope certificates. The
+// envelope is the cross-machine equality certificate (DESIGN.md), so the
+// kernel backend must be invisible in it — this is the end-to-end
+// counterpart of the per-kernel differential tests. On builds or machines
+// without assembly the two runs both take the generic lane and the test
+// degenerates to a determinism check, which is still worth keeping.
+func TestLoopbackEnvelopeBackendInvariant(t *testing.T) {
+	xs := rng.UniformSet(rng.New(20160523), 50000, -0.5, 0.5)
+	run := func(asm bool) string {
+		prev := core.SetAsmEnabled(asm)
+		defer core.SetAsmEnabled(prev)
+		_, c := newTestServer(t, Config{})
+		if _, err := c.Create("inv", core.Params384); err != nil {
+			t.Fatal(err)
+		}
+		c.FrameLen = 1009 // ragged frames: chunk boundaries off the vector width
+		if _, err := c.Stream("inv", xs); err != nil {
+			t.Fatal(err)
+		}
+		info, err := c.Get("inv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.HP == "" {
+			t.Fatal("empty HP envelope")
+		}
+		return info.HP
+	}
+	asmEnv := run(true)
+	genEnv := run(false)
+	if asmEnv != genEnv {
+		t.Fatalf("HP envelope depends on kernel backend:\n  asm     %s\n  generic %s", asmEnv, genEnv)
+	}
+}
