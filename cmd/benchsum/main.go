@@ -3,8 +3,9 @@
 // through each HP summation path — the pre-PR Listing 1+2 loop, the fused
 // sparse kernel, the carry-save batch kernel, the exponent-indexed
 // superaccumulator (plus its forced-spill stress), the omp reduction, the
-// atomic XADD/CAS/bulk-flush accumulators, and the two-phase scan — and
-// writes a schema-tagged JSON report with throughput, speedup over the
+// atomic XADD/CAS/bulk-flush accumulators, the two-phase scan, and the
+// gossip-convergence cluster sweep (nodes x fanout, frames/sec plus
+// rounds-to-convergence) — and writes a schema-tagged JSON report with throughput, speedup over the
 // legacy baseline, heap-allocation rates, and the machine's measured
 // memory-bandwidth ceiling. Parallel workloads are swept over worker counts
 // 1/2/4/NumCPU; every configuration must produce the same checksum
@@ -25,11 +26,13 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/gossip"
 	"repro/internal/omp"
 	"repro/internal/rng"
 	"repro/internal/scan"
@@ -367,6 +370,152 @@ func serverLoopback(cfg config) workload {
 	}}
 }
 
+// gossipWorkload is a workload whose wire traffic is data-dependent: the
+// gossip frame count and the rounds a cluster needs to converge vary with
+// goroutine scheduling, so instead of the static frames field it carries a
+// stats hook reporting the last pass's measured numbers.
+type gossipWorkload struct {
+	workload
+	stats func() (frames, rounds float64)
+}
+
+// gossipWorkloads is the nodes x fanout convergence sweep: each pass
+// stands up an in-process gossip cluster, partitions the summands across
+// the member nodes, and spins until every node's cluster read agrees
+// bit-for-bit. The merged sum rides the exact-path identity check like
+// every other exact workload.
+func gossipWorkloads(cfg config) []gossipWorkload {
+	var ws []gossipWorkload
+	for _, nodes := range []int{3, 5} {
+		for _, fanout := range []int{1, 2} {
+			ws = append(ws, gossipConvergence(cfg, nodes, fanout))
+		}
+	}
+	return ws
+}
+
+// memGossipTransport delivers frames synchronously between the in-process
+// nodes of one gossip-convergence pass, counting every frame.
+type memGossipTransport struct {
+	mu     sync.RWMutex
+	nodes  map[string]*gossip.Node
+	frames atomic.Int64
+}
+
+func (m *memGossipTransport) add(n *gossip.Node) {
+	m.mu.Lock()
+	m.nodes[n.Self().ID] = n
+	m.mu.Unlock()
+}
+
+func (m *memGossipTransport) Send(dst gossip.Peer, frame []byte) error {
+	m.mu.RLock()
+	n := m.nodes[dst.ID]
+	m.mu.RUnlock()
+	if n == nil {
+		return fmt.Errorf("gossip-convergence: unknown peer %s", dst.ID)
+	}
+	m.frames.Add(1)
+	return n.Handle(frame)
+}
+
+// staticLocal serves one precomputed partial as a node's sole contribution.
+type staticLocal struct{ c gossip.Contribution }
+
+func (l staticLocal) Contributions() ([]gossip.Contribution, error) {
+	return []gossip.Contribution{l.c}, nil
+}
+
+func gossipConvergence(cfg config, nodes, fanout int) gossipWorkload {
+	p := cfg.params
+	name := fmt.Sprintf("gossip-convergence-n%df%d", nodes, fanout)
+	var lastFrames, lastRounds float64
+	fn := func(xs []float64) (float64, error) {
+		tr := &memGossipTransport{nodes: make(map[string]*gossip.Node, nodes)}
+		peers := make([]gossip.Peer, nodes)
+		for i := range peers {
+			id := fmt.Sprintf("bench-%d", i)
+			peers[i] = gossip.Peer{ID: id, Addr: id}
+		}
+		ns := make([]*gossip.Node, 0, nodes)
+		defer func() {
+			for _, n := range ns {
+				n.Close()
+			}
+		}()
+		for i := 0; i < nodes; i++ {
+			lo := i * len(xs) / nodes
+			hi := (i + 1) * len(xs) / nodes
+			h, err := core.SumHP(p, xs[lo:hi])
+			if err != nil {
+				return 0, err
+			}
+			seeds := make([]gossip.Peer, 0, nodes-1)
+			for j, q := range peers {
+				if j != i {
+					seeds = append(seeds, q)
+				}
+			}
+			n, err := gossip.NewNode(gossip.Config{
+				Self:      peers[i],
+				Epoch:     1,
+				Params:    p,
+				Seeds:     seeds,
+				Interval:  time.Millisecond,
+				Fanout:    fanout,
+				Local:     staticLocal{gossip.Contribution{Acc: "bench", HP: h, Adds: uint64(hi - lo), Frames: 1}},
+				Transport: tr,
+			})
+			if err != nil {
+				return 0, err
+			}
+			tr.add(n)
+			ns = append(ns, n)
+		}
+		for _, n := range ns {
+			n.Start()
+		}
+
+		want := uint64(len(xs))
+		deadline := time.Now().Add(30 * time.Second)
+		var info gossip.ClusterInfo
+		for {
+			converged, digest := true, ""
+			for _, n := range ns {
+				ci, err := n.ClusterRead("bench")
+				if err != nil {
+					return 0, err
+				}
+				if ci.Adds != want || ci.Contributors != nodes ||
+					(digest != "" && ci.Digest != digest) {
+					converged = false
+					break
+				}
+				digest, info = ci.Digest, ci
+			}
+			if converged {
+				break
+			}
+			if time.Now().After(deadline) {
+				return 0, fmt.Errorf("%s: cluster did not converge", name)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		var rounds uint64
+		for _, n := range ns {
+			if s := n.Stats(); s.Rounds > rounds {
+				rounds = s.Rounds
+			}
+		}
+		lastFrames, lastRounds = float64(tr.frames.Load()), float64(rounds)
+		return info.Sum, nil
+	}
+	return gossipWorkload{
+		workload: workload{name, nodes, true, 0, fn},
+		stats:    func() (float64, float64) { return lastFrames, lastRounds },
+	}
+}
+
 func run(cfg config) (*bench.Report, error) {
 	if err := cfg.params.Validate(); err != nil {
 		return nil, err
@@ -436,6 +585,46 @@ func run(cfg config) (*bench.Report, error) {
 		}
 		report.Workloads = append(report.Workloads, wl)
 	}
+
+	// The gossip convergence sweep runs in a second pass because its wire
+	// traffic is data-dependent — frames and rounds come from the stats
+	// hook, not the static frames field.
+	for _, g := range gossipWorkloads(cfg) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		sum, err := g.fn(xs)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", g.name, err)
+		}
+		if haveWant && math.Float64bits(sum) != math.Float64bits(wantSum) {
+			return nil, fmt.Errorf("%s: checksum %x, want %x (cluster merge not bit-identical)",
+				g.name, math.Float64bits(sum), math.Float64bits(wantSum))
+		}
+
+		var failed error
+		d := bench.MeasureMedian(cfg.trials, func() {
+			if _, err := g.fn(xs); err != nil && failed == nil {
+				failed = err
+			}
+		})
+		if failed != nil {
+			return nil, fmt.Errorf("%s: %w", g.name, failed)
+		}
+		frames, rounds := g.stats()
+		report.Workloads = append(report.Workloads, bench.Workload{
+			Name:                g.name,
+			Workers:             g.workers,
+			Backend:             core.KernelBackend(cfg.params),
+			SecondsPerTrial:     d.Seconds(),
+			AddsPerSec:          float64(cfg.count) / d.Seconds(),
+			MallocsPerOp:        float64(after.Mallocs-before.Mallocs) / float64(cfg.count),
+			FramesPerSec:        frames / d.Seconds(),
+			RoundsToConvergence: rounds,
+			Checksum:            sum,
+		})
+	}
 	if err := report.FillSpeedups(); err != nil {
 		return nil, err
 	}
@@ -488,6 +677,12 @@ func printTable(r *bench.Report) {
 			bench.F(w.AddsPerSec), bench.F(w.Speedup), bench.F(w.MallocsPerOp))
 	}
 	t.Fprint(os.Stdout)
+	for _, w := range r.Workloads {
+		if w.RoundsToConvergence > 0 {
+			fmt.Printf("%s: %s gossip frames/sec, converged in %.0f rounds\n",
+				w.Name, bench.N(int(w.FramesPerSec)), w.RoundsToConvergence)
+		}
+	}
 	if r.CPUFeatures != "" {
 		fmt.Printf("cpu features: %s\n", r.CPUFeatures)
 	}

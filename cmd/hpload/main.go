@@ -7,6 +7,13 @@
 //	hpload -addr http://127.0.0.1:8080 -clients 8 -count 1000000 -seed 1
 //	hpload -addr ... -duration 5s            # soak: repeat rounds until the clock runs out
 //	hpload -addr ... -corrupt                # also probe the 4xx rejection paths
+//	hpload -cluster -addr http://n1:8080,http://n2:8080,http://n3:8080
+//
+// With -cluster the tool drives a gossip-replicated deployment instead of a
+// single daemon: -addr lists every node, writes are sprayed across all of
+// them, and each node's /gossip/sum read is polled until the whole cluster
+// serves one bit-identical total (verified against the serial oracle). The
+// summary line reports per-node convergence lag as p50/p95/p99.
 //
 // Exit status 0 means every round verified; any mismatch, transport error,
 // or rejection-path surprise is fatal. The tool prints per-round throughput
@@ -15,6 +22,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/gossip"
 	"repro/internal/rng"
 	"repro/internal/server"
 	"repro/internal/trace"
@@ -56,8 +65,12 @@ type config struct {
 	// keep leaves each round's accumulator on the server instead of deleting
 	// it, so a daemon running with -audit-log can attest the verified totals
 	// in its shutdown record (deletion would orphan the journaled frames).
-	keep   bool
-	params core.Params
+	keep bool
+	// cluster treats addr as a comma-separated node list: spray writes
+	// across all nodes and verify gossip convergence instead of a
+	// single-node certified read.
+	cluster bool
+	params  core.Params
 }
 
 func run(args []string, out io.Writer) error {
@@ -73,6 +86,7 @@ func run(args []string, out io.Writer) error {
 	fs.BoolVar(&cfg.corrupt, "corrupt", false, "also send corrupt/oversize/non-finite frames and require 4xx")
 	fs.BoolVar(&cfg.expectDivergence, "expect-divergence", false, "require >=1 fail-closed 503 read (daemon must be running a -replica-fault-plan)")
 	fs.BoolVar(&cfg.keep, "keep", false, "leave round accumulators on the server (so a shutdown audit record can attest them)")
+	fs.BoolVar(&cfg.cluster, "cluster", false, "treat -addr as a comma-separated list of clustered nodes; spray writes and verify gossip convergence")
 	n := fs.Int("n", 6, "HP total limbs N")
 	k := fs.Int("k", 3, "HP fractional limbs k")
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +106,9 @@ func run(args []string, out io.Writer) error {
 	if cfg.duration > 0 {
 		deadline = time.Now().Add(cfg.duration)
 		rounds = int(math.MaxInt32)
+	}
+	if cfg.cluster {
+		return clusterRun(cfg, rounds, deadline, out)
 	}
 	divergences := 0
 	for i := 0; i < rounds; i++ {
@@ -298,4 +315,152 @@ func corruptProbes(cfg config) error {
 		return fmt.Errorf("probes damaged the accumulator: sum=%v err=%q", info.Sum, info.Err)
 	}
 	return nil
+}
+
+// clusterRun drives a gossip-replicated deployment: every round sprays one
+// seeded workload across all nodes and polls each node's cluster read until
+// the whole cluster serves the oracle total bit for bit. Per-node
+// convergence lags (write completion to first bit-identical read) accumulate
+// across rounds into the closing p50/p95/p99 summary line.
+func clusterRun(cfg config, rounds int, deadline time.Time, out io.Writer) error {
+	var peers []string
+	for _, a := range strings.Split(cfg.addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			peers = append(peers, a)
+		}
+	}
+	if len(peers) < 2 {
+		return fmt.Errorf("-cluster needs at least two comma-separated node URLs in -addr, got %d", len(peers))
+	}
+	var lags []time.Duration
+	for i := 0; i < rounds; i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		roundLags, err := clusterRound(cfg, peers, cfg.seed+uint64(i), out)
+		lags = append(lags, roundLags...)
+		if err != nil {
+			return fmt.Errorf("round %d (seed %d): %w", i, cfg.seed+uint64(i), err)
+		}
+	}
+	sort.Slice(lags, func(a, b int) bool { return lags[a] < lags[b] })
+	q := func(p float64) float64 {
+		return float64(lags[int(p*float64(len(lags)-1)+0.5)]) / 1e6
+	}
+	fmt.Fprintf(out, "cluster of %d nodes: convergence lag(ms) p50/p95/p99 = %.1f/%.1f/%.1f over %d node-reads\n",
+		len(peers), q(0.50), q(0.95), q(0.99), len(lags))
+	return nil
+}
+
+// clusterRead fetches one node's merged cluster view of the accumulator.
+func clusterRead(base, name string) (gossip.ClusterInfo, error) {
+	var info gossip.ClusterInfo
+	resp, err := http.Get(base + "/gossip/sum/" + name)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return info, fmt.Errorf("GET /gossip/sum/%s: HTTP %d", name, resp.StatusCode)
+	}
+	return info, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+// clusterRound creates the accumulator on every node, streams shuffled
+// client partitions sprayed round-robin across nodes, then polls until every
+// node's cluster read matches the serial oracle bit for bit with one digest.
+// It returns each node's convergence lag.
+func clusterRound(cfg config, peers []string, seed uint64, out io.Writer) ([]time.Duration, error) {
+	name := fmt.Sprintf("hpload-%d", seed)
+	for _, p := range peers {
+		c := &server.Client{Base: p, FrameLen: cfg.frameLen}
+		if _, err := c.Create(name, cfg.params); err != nil {
+			return nil, fmt.Errorf("create on %s: %w", p, err)
+		}
+	}
+
+	xs := rng.UniformSet(rng.New(seed), cfg.count, -0.5, 0.5)
+	parts := make([][]float64, cfg.clients)
+	for i, x := range xs {
+		parts[i%cfg.clients] = append(parts[i%cfg.clients], x)
+	}
+	for i := range parts {
+		rng.New(seed ^ uint64(i+1)).Shuffle(parts[i])
+	}
+
+	oracle := core.NewAccumulator(cfg.params)
+	oracle.AddAll(xs)
+	if err := oracle.Err(); err != nil {
+		return nil, err
+	}
+	txt, err := oracle.Sum().MarshalText()
+	if err != nil {
+		return nil, err
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.clients)
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := &server.Client{Base: peers[i%len(peers)], FrameLen: cfg.frameLen}
+			_, errs[i] = cl.Stream(name, parts[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("client %d (node %s): %w", i, peers[i%len(peers)], err)
+		}
+	}
+	written := time.Now()
+
+	// Poll every node until its merged read IS the oracle. Lag is measured
+	// per node from write completion to its first bit-identical read.
+	lags := make([]time.Duration, len(peers))
+	converged := make([]bool, len(peers))
+	infos := make([]gossip.ClusterInfo, len(peers))
+	pollDeadline := time.Now().Add(60 * time.Second)
+	for remaining := len(peers); remaining > 0; {
+		for i, p := range peers {
+			if converged[i] {
+				continue
+			}
+			info, err := clusterRead(p, name)
+			if err != nil {
+				continue // the node may still be assembling contributions
+			}
+			infos[i] = info
+			if info.Adds == uint64(len(xs)) && info.HP == string(txt) {
+				converged[i] = true
+				lags[i] = time.Since(written)
+				remaining--
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		if time.Now().After(pollDeadline) {
+			return nil, fmt.Errorf("cluster never converged: %+v", infos)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Bit-identical means one digest everywhere, not just equal sums.
+	for i := range peers {
+		if infos[i].Digest != infos[0].Digest {
+			return nil, fmt.Errorf("digest divergence: node %s has %s, node %s has %s",
+				peers[i], infos[i].Digest, peers[0], infos[0].Digest)
+		}
+	}
+
+	maxLag := time.Duration(0)
+	for _, l := range lags {
+		if l > maxLag {
+			maxLag = l
+		}
+	}
+	fmt.Fprintf(out, "seed %d: %d values x %d clients sprayed over %d nodes, all converged bit-identical (lag max %v, digest %.16s...)\n",
+		seed, len(xs), cfg.clients, len(peers), maxLag.Round(time.Millisecond), infos[0].Digest)
+	return lags, nil
 }

@@ -2,10 +2,16 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/gossip"
 	"repro/internal/server"
 )
 
@@ -68,5 +74,79 @@ func TestBadFlagsRejected(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-n", "1", "-k", "9"}, &out); err == nil {
 		t.Fatal("invalid params accepted")
+	}
+}
+
+// startCluster brings up n in-process clustered nodes — each the same
+// /v1 + /gossip mux hpsumd mounts — daisy-chain seeded, and returns their
+// base URLs.
+func startCluster(t *testing.T, n int) []string {
+	t.Helper()
+	var urls []string
+	for i := 0; i < n; i++ {
+		s := server.New(server.Config{})
+		var gn atomic.Pointer[gossip.Node]
+		mux := http.NewServeMux()
+		mux.Handle("/v1/", s.Handler())
+		gh := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			gn.Load().Handler().ServeHTTP(w, r)
+		})
+		mux.Handle("/gossip", gh)
+		mux.Handle("/gossip/", gh)
+		ts := httptest.NewServer(mux)
+
+		var seeds []gossip.Peer
+		if i > 0 {
+			seeds = []gossip.Peer{{ID: urls[i-1], Addr: urls[i-1]}}
+		}
+		node, err := gossip.NewNode(gossip.Config{
+			Self:      gossip.Peer{ID: fmt.Sprintf("node%d", i), Addr: ts.URL},
+			Epoch:     1,
+			Params:    core.Params384,
+			Seeds:     seeds,
+			Interval:  10 * time.Millisecond,
+			Local:     gossip.ServerLocal{S: s},
+			Transport: gossip.NewHTTPTransport(0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gn.Store(node)
+		node.Start()
+		t.Cleanup(func() {
+			node.Close()
+			ts.Close()
+			s.Close()
+		})
+		urls = append(urls, ts.URL)
+	}
+	return urls
+}
+
+func TestClusterModeConvergesAndReportsLag(t *testing.T) {
+	urls := startCluster(t, 3)
+	var out bytes.Buffer
+	err := run([]string{
+		"-cluster", "-addr", strings.Join(urls, ","),
+		"-clients", "4", "-count", "6000", "-rounds", "2", "-seed", "5",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"all converged bit-identical",
+		"cluster of 3 nodes: convergence lag(ms) p50/p95/p99",
+		"over 6 node-reads",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestClusterModeRejectsSingleNode(t *testing.T) {
+	if err := run([]string{"-cluster", "-addr", "http://one"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("single-node cluster accepted")
 	}
 }

@@ -10,6 +10,15 @@
 //	hpsumd -addr :8080 -restore state.hpss -snapshot state.hpss
 //	hpsumd -addr :8080 -replicas 3              # 2-of-3 certified reads
 //	hpsumd -addr :8080 -journal f.hpfj -audit-log a.hpal -audit-interval 30s
+//	hpsumd -addr :8081 -node-id b -peers http://127.0.0.1:8080 \
+//	    -gossip-interval 500ms -gossip-state b.hpgc   # join a gossip cluster
+//
+// With -peers (or -node-id) the daemon joins a gossip cluster: Brahms-style
+// membership keeps a bounded peer view, and per-round anti-entropy
+// exchanges HP envelope digests so every node converges to bit-identical
+// cluster totals (served at /gossip/sum/<name>). -gossip-state persists the
+// contribution store across restarts; a restarted node reseeds from it
+// under a fresh epoch and catches up via anti-entropy.
 //
 // With -replicas n every accumulator runs n lock-step replicas and reads
 // are served only under a k-of-n agreement certificate (fail-closed 503 on
@@ -35,12 +44,15 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/gossip"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -73,6 +85,11 @@ func run(args []string, ready chan<- string) error {
 		auditLog    = fs.String("audit-log", "", "append hash-linked audit records to this path (required with -journal)")
 		auditEvery  = fs.Duration("audit-interval", 0, "cut a periodic audit record this often (0 = shutdown record only)")
 		faultPlan   = fs.String("replica-fault-plan", "", "inject Byzantine replica faults, e.g. \"seed=7;lie:replica=1,limit=1\" (testing only)")
+		peers       = fs.String("peers", "", "comma-separated peer base URLs to gossip with (enables clustering)")
+		gossipEvery = fs.Duration("gossip-interval", time.Second, "push/pull round interval")
+		gossipFan   = fs.Int("gossip-fanout", 2, "peers contacted per gossip round")
+		nodeID      = fs.String("node-id", "", "stable cluster identity (default: the listen address; enables clustering)")
+		gossipState = fs.String("gossip-state", "", "persist the gossip contribution store here on shutdown and reseed from it at startup")
 		traceOn     = fs.Bool("trace", false, "record spans (export at /debug/trace as Chrome trace-event JSON)")
 		traceSample = fs.Uint64("trace-sample", 1, "record 1 in every N traces (1 = all)")
 		flightDump  = fs.String("flight-dump", "", "write flight-recorder JSON here on SIGQUIT, stall, crash, or 5xx")
@@ -129,16 +146,78 @@ func run(args []string, ready chan<- string) error {
 		fmt.Fprintf(os.Stderr, "hpsumd: restored %d accumulator(s) from %s\n", n, *restore)
 	}
 
-	// Service API takes /v1/; everything else (/, /metrics, /debug/...)
-	// falls through to the telemetry exporter.
+	// Service API takes /v1/; gossip (if enabled) takes /gossip; everything
+	// else (/, /metrics, /debug/...) falls through to the telemetry
+	// exporter. The gossip node needs the bound address for its own
+	// identity, so the routes go in first through a holder that 503s until
+	// the node exists.
+	clustered := *peers != "" || *nodeID != ""
+	var gnode atomic.Pointer[gossip.Node]
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", s.Handler())
+	if clustered {
+		gossipHandler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			n := gnode.Load()
+			if n == nil {
+				http.Error(w, "gossip: node starting", http.StatusServiceUnavailable)
+				return
+			}
+			n.Handler().ServeHTTP(w, r)
+		})
+		mux.Handle("/gossip", gossipHandler)
+		mux.Handle("/gossip/", gossipHandler)
+	}
 	mux.Handle("/", telemetry.Handler())
 	srv, err := telemetry.ServeHandler(*addr, mux)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "hpsumd: serving on %s (N=%d, k=%d, %d shards)\n", srv.Addr(), p.N, p.K, *shards)
+
+	if clustered {
+		id := *nodeID
+		if id == "" {
+			id = srv.Addr()
+		}
+		var seeds []gossip.Peer
+		for _, u := range strings.Split(*peers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				seeds = append(seeds, gossip.Peer{ID: u, Addr: u})
+			}
+		}
+		var recovery []byte
+		epoch := uint64(time.Now().Unix())
+		if *gossipState != "" {
+			if blob, err := os.ReadFile(*gossipState); err == nil {
+				// A lagging clock must not reuse a checkpointed epoch: the
+				// restart always moves to a strictly newer one.
+				if rec, err := gossip.NewStore(p).RestoreCheckpoint(blob); err == nil && rec >= epoch {
+					epoch = rec + 1
+				}
+				recovery = blob
+			}
+		}
+		n, err := gossip.NewNode(gossip.Config{
+			Self:      gossip.Peer{ID: id, Addr: "http://" + srv.Addr()},
+			Epoch:     epoch,
+			Params:    p,
+			Seeds:     seeds,
+			Interval:  *gossipEvery,
+			Fanout:    *gossipFan,
+			Local:     gossip.ServerLocal{S: s},
+			Transport: gossip.NewHTTPTransport(0),
+			Recovery:  recovery,
+		})
+		if err != nil {
+			srv.Close()
+			s.Close()
+			return fmt.Errorf("gossip: %w", err)
+		}
+		gnode.Store(n)
+		n.Start()
+		fmt.Fprintf(os.Stderr, "hpsumd: gossiping as %s (epoch %d, %d seed(s), every %s, fanout %d)\n",
+			id, epoch, len(seeds), *gossipEvery, *gossipFan)
+	}
 	if ready != nil {
 		ready <- srv.Addr()
 	}
@@ -179,6 +258,20 @@ func run(args []string, ready chan<- string) error {
 	// goroutines and the audit files.
 	close(stopAudit)
 	auditWG.Wait()
+	if n := gnode.Load(); n != nil {
+		// Checkpoint before Close (a closed node cannot cut one), then
+		// announce departure and stop gossiping before the listener drops.
+		if *gossipState != "" {
+			if blob, err := n.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "hpsumd: gossip checkpoint: %v\n", err)
+			} else if err := os.WriteFile(*gossipState, blob, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "hpsumd: gossip state %s: %v\n", *gossipState, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "hpsumd: gossip state written to %s\n", *gossipState)
+			}
+		}
+		n.Close()
+	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "hpsumd: http shutdown: %v\n", err)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/gossip"
 	"repro/internal/rng"
 	"repro/internal/server"
 )
@@ -233,5 +235,93 @@ func TestReplicatedAuditedLifecycle(t *testing.T) {
 	}
 	if fe.Adds != uint64(len(xs)+len(tail)) {
 		t.Fatalf("attested adds %d, want %d", fe.Adds, len(xs)+len(tail))
+	}
+}
+
+// TestGossipCluster: two clustered daemons, each ingesting its own slice of
+// the workload into the same named accumulator, must converge to one
+// bit-identical cluster total served from /gossip/sum on both nodes.
+func TestGossipCluster(t *testing.T) {
+	xs := rng.UniformSet(rng.New(23), 4000, -1, 1)
+	half := len(xs) / 2
+
+	urlA, doneA := startDaemon(t, "-node-id", "alpha", "-gossip-interval", "20ms")
+	urlB, doneB := startDaemon(t, "-node-id", "beta", "-gossip-interval", "20ms",
+		"-peers", urlA)
+
+	for i, part := range [][]float64{xs[:half], xs[half:]} {
+		c := &server.Client{Base: []string{urlA, urlB}[i]}
+		if _, err := c.Create("t", core.Params{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Stream("t", part); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	oracle := core.NewAccumulator(core.Params384)
+	oracle.AddAll(xs)
+	txt, err := oracle.Sum().MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	read := func(base string) (gossip.ClusterInfo, error) {
+		var info gossip.ClusterInfo
+		resp, err := http.Get(base + "/gossip/sum/t")
+		if err != nil {
+			return info, err
+		}
+		defer resp.Body.Close()
+		return info, json.NewDecoder(resp.Body).Decode(&info)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		a, errA := read(urlA)
+		b, errB := read(urlB)
+		if errA == nil && errB == nil &&
+			a.Adds == uint64(len(xs)) && a.Digest == b.Digest && a.HP == string(txt) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never converged:\n a=%+v (%v)\n b=%+v (%v)\n oracle %s",
+				a, errA, b, errB, txt)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Membership is mutual even though only beta was seeded.
+	resp, err := http.Get(urlA + "/gossip/peers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peersReplyA struct {
+		Peers []gossip.Peer `json:"peers"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&peersReplyA)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range peersReplyA.Peers {
+		if p.ID == "beta" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("alpha never learned beta: %+v", peersReplyA.Peers)
+	}
+
+	// One SIGTERM reaches both daemons; each must shut down cleanly.
+	stopDaemon(t, doneA)
+	select {
+	case err := <-doneB:
+		if err != nil {
+			t.Fatalf("second daemon shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second daemon did not shut down")
 	}
 }

@@ -50,9 +50,15 @@ type Workload struct {
 	// steady-state hot paths are required to hold this at ~0.
 	MallocsPerOp float64 `json:"mallocs_per_op"`
 	// FramesPerSec is the wire-frame throughput for workloads that stream
-	// through the network service (cmd/hpsumd's ingest path); zero and
-	// omitted for in-process paths.
+	// through the network service (cmd/hpsumd's ingest path) or the gossip
+	// layer; zero and omitted for in-process paths.
 	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
+	// RoundsToConvergence is, for gossip workloads, the number of gossip
+	// rounds the slowest node needed before every node's certified read
+	// agreed bit-for-bit (from the last timed pass). Zero and omitted for
+	// non-gossip workloads. Informational — CompareReports never gates on
+	// it, as the count is scheduling-dependent.
+	RoundsToConvergence float64 `json:"rounds_to_convergence,omitempty"`
 	// Backend names the kernel lane the workload's accumulators dispatched
 	// to: "asm+avx2", "asm", "avx2", or "generic" (v3; empty when read
 	// from older artifacts). The exact sums are backend-invariant — only

@@ -1,0 +1,389 @@
+package gossip
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+	"repro/internal/server"
+)
+
+// The acceptance property of the gossip layer: a 5-node cluster whose every
+// frame crosses a fault injector (drops, duplicates, corruption) — and one
+// of whose nodes crashes mid-ingest and restarts from its checkpoint under
+// a bumped epoch — converges on every surviving node to a certified cluster
+// read that is bit-identical across nodes AND bit-identical to a serial
+// oracle over all values, proven by the SHA-256 envelope digest. Rank 0
+// additionally journals its local ingest and must replay cleanly through
+// the audit chain afterwards.
+
+const (
+	chaosNodes     = 5
+	chaosAcc       = "chaos"
+	chaosPerRank   = 120
+	chaosCrashRank = 2
+	chaosBatch     = 40
+)
+
+func chaosValues(r int) []float64 {
+	return rng.UniformSet(rng.New(uint64(3000+r)), chaosPerRank, -1, 1)
+}
+
+// chaosOracle computes the reference HP text serially, outside every layer
+// under test.
+func chaosOracle(t *testing.T) string {
+	t.Helper()
+	var all []float64
+	for r := 0; r < chaosNodes; r++ {
+		all = append(all, chaosValues(r)...)
+	}
+	hp, err := core.SumHP(core.Params384, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, err := hp.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(txt)
+}
+
+// swapSink routes Pump callbacks to whichever node is currently installed,
+// so a crashed-and-restarted node takes over the same transport.
+type swapSink struct{ p atomic.Pointer[Node] }
+
+func (s *swapSink) Handle(frame []byte) error { return s.p.Load().Handle(frame) }
+func (s *swapSink) NoteUnreachable(pr Peer)   { s.p.Load().NoteUnreachable(pr) }
+
+// chaosBoard is the side channel the test uses to detect convergence: each
+// rank publishes its latest cluster read, and convergence means every rank
+// reports the full add count with one identical digest. It deliberately
+// does not touch the gossip substrate — a rank that crashed simply stops
+// publishing, holding convergence open until its successor catches up.
+type chaosBoard struct {
+	mu   sync.Mutex
+	info map[int]ClusterInfo
+}
+
+func newChaosBoard() *chaosBoard {
+	return &chaosBoard{info: make(map[int]ClusterInfo)}
+}
+
+func (b *chaosBoard) publish(rank int, info ClusterInfo) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.info[rank] = info
+}
+
+func (b *chaosBoard) converged(wantAdds uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.info) != chaosNodes {
+		return false
+	}
+	first := b.info[0]
+	for _, info := range b.info {
+		if info.Adds != wantAdds || info.Digest == "" || info.Digest != first.Digest {
+			return false
+		}
+	}
+	return true
+}
+
+// chaosServer builds the local summation engine for one rank.
+func chaosServer(t *testing.T, auditDir string) (*server.Server, *server.Accumulator) {
+	t.Helper()
+	s := server.New(server.Config{Shards: 2, Replicas: 3, Quorum: 2})
+	if auditDir != "" {
+		if err := os.MkdirAll(auditDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		jpath := filepath.Join(auditDir, "frames.hpfj")
+		lpath := filepath.Join(auditDir, "audit.hpal")
+		if err := s.EnableAudit(jpath, lpath); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc, _, err := s.Create(chaosAcc, core.Params384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, acc
+}
+
+func chaosIngest(acc *server.Accumulator, xs []float64) error {
+	for off := 0; off < len(xs); off += chaosBatch {
+		end := off + chaosBatch
+		if end > len(xs) {
+			end = len(xs)
+		}
+		if err := acc.AddFloats(append([]float64(nil), xs[off:end]...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// awaitLocalAdds polls the engine until the quiescent checkpoint reflects
+// every add — ingest is applied by shard workers, so a checkpoint cut
+// immediately after AddFloats returns may lag by a batch.
+func awaitLocalAdds(acc *server.Accumulator, want uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		_, adds, _, err := acc.Envelope()
+		if err == nil && adds >= want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("local adds %d never reached %d (err=%v)", adds, want, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// pollConverged publishes this rank's cluster reads until the whole board
+// converges (or the deadline passes).
+func pollConverged(rank int, sink *swapSink, board *chaosBoard, wantAdds uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if info, err := sink.p.Load().ClusterRead(chaosAcc); err == nil {
+			board.publish(rank, info)
+		}
+		if board.converged(wantAdds) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			info, err := sink.p.Load().ClusterRead(chaosAcc)
+			return fmt.Errorf("rank %d never converged: last read %+v (err=%v)", rank, info, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func chaosSeeds(self int) []Peer {
+	var seeds []Peer
+	for r := 0; r < chaosNodes; r++ {
+		if r != self {
+			seeds = append(seeds, MPIPeer(r))
+		}
+	}
+	return seeds
+}
+
+func chaosNode(t *testing.T, rank int, epoch uint64, s *server.Server, tr Transport, recovery []byte) *Node {
+	t.Helper()
+	n, err := NewNode(Config{
+		Self:      MPIPeer(rank),
+		Epoch:     epoch,
+		Params:    core.Params384,
+		Seeds:     chaosSeeds(rank),
+		Interval:  4 * time.Millisecond,
+		Fanout:    2,
+		Local:     ServerLocal{S: s},
+		Transport: tr,
+		Recovery:  recovery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// chaosRank is one rank's life: ingest, gossip, converge. The crash rank
+// ingests 60%, checkpoints, drops off the network without a goodbye (its
+// leave frames are discarded with the transport queue, exactly as a crash
+// would lose them), then restarts from the checkpoint under epoch+1, a
+// fresh empty engine, and anti-entropy catch-up for the remaining 40%.
+func chaosRank(t *testing.T, c *mpi.Comm, board *chaosBoard, ckstore *mpi.CheckpointStore, auditDir string, finals []ClusterInfo) error {
+	const convergeTimeout = 45 * time.Second
+	rank := c.Rank()
+	vals := chaosValues(rank)
+	wantAdds := uint64(chaosNodes * chaosPerRank)
+
+	dir := ""
+	if rank == 0 {
+		dir = auditDir
+	}
+	srv, acc := chaosServer(t, dir)
+	tr := NewMPITransport(512)
+	sink := &swapSink{}
+
+	node := chaosNode(t, rank, 1, srv, tr, nil)
+	sink.p.Store(node)
+	node.Start()
+
+	if rank == chaosCrashRank {
+		// Phase 1: partial ingest, checkpoint, crash.
+		cut := len(vals) * 60 / 100
+		crash := make(chan struct{})
+		var phase1Err error
+		go func() {
+			defer close(crash)
+			phase1Err = func() error {
+				if err := chaosIngest(acc, vals[:cut]); err != nil {
+					return err
+				}
+				if err := awaitLocalAdds(acc, uint64(cut), convergeTimeout); err != nil {
+					return err
+				}
+				blob, err := node.Checkpoint()
+				if err != nil {
+					return err
+				}
+				ckstore.Put(rank, blob)
+				return nil
+			}()
+		}()
+		tr.Pump(c, sink, crash)
+		if phase1Err != nil {
+			return fmt.Errorf("rank %d phase 1: %w", rank, phase1Err)
+		}
+		node.Close()
+		srv.Close()
+		// The crash loses everything still queued — including the leave
+		// frames Close just enqueued. Peers must rediscover the node, not
+		// be told.
+		for len(tr.sendq) > 0 {
+			<-tr.sendq
+		}
+
+		blob, ok := ckstore.Get(rank)
+		if !ok {
+			return fmt.Errorf("rank %d: checkpoint missing after crash", rank)
+		}
+		srv, acc = chaosServer(t, "") // the engine's state died with the process
+		node = chaosNode(t, rank, 2, srv, tr, blob)
+		sink.p.Store(node)
+		node.Start()
+		vals = vals[cut:] // phase 2 ingests only the post-checkpoint tail
+	}
+
+	stop := make(chan struct{})
+	var driveErr error
+	go func() {
+		defer close(stop)
+		driveErr = func() error {
+			if err := chaosIngest(acc, vals); err != nil {
+				return err
+			}
+			return pollConverged(rank, sink, board, wantAdds, convergeTimeout)
+		}()
+	}()
+	tr.Pump(c, sink, stop)
+	if driveErr != nil {
+		return fmt.Errorf("rank %d: %w", rank, driveErr)
+	}
+
+	info, err := node.ClusterRead(chaosAcc)
+	if err != nil {
+		return fmt.Errorf("rank %d final read: %w", rank, err)
+	}
+	finals[rank] = info
+	node.Close()
+
+	if rank == 0 {
+		if _, err := srv.AuditRecord("chaos-final"); err != nil {
+			return fmt.Errorf("rank 0 audit record: %w", err)
+		}
+	}
+	srv.Close()
+	if rank == 0 {
+		if err := srv.CloseAudit(); err != nil {
+			return fmt.Errorf("rank 0 audit close: %w", err)
+		}
+	}
+	return nil
+}
+
+// verifyChaosAudit replays rank 0's hash-linked audit log against its frame
+// journal in-process — the same check `hpaudit -log ... -journal ...` runs
+// in CI against the files this test leaves in REPRO_GOSSIP_AUDIT_DIR.
+func verifyChaosAudit(t *testing.T, auditDir string) {
+	t.Helper()
+	logData, err := os.ReadFile(filepath.Join(auditDir, "audit.hpal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := audit.ReadLog(logData)
+	if err != nil {
+		t.Fatalf("audit log corrupt: %v", err)
+	}
+	jf, err := os.Open(filepath.Join(auditDir, "frames.hpfj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	if _, err := audit.Verify(records, audit.NewJournalReader(jf)); err != nil {
+		t.Fatalf("audit replay diverged: %v", err)
+	}
+}
+
+func TestClusterChaos(t *testing.T) {
+	plans := []struct {
+		name string
+		plan string
+	}{
+		{"drop", "seed=11;drop:p=0.15"},
+		{"dup", "seed=12;dup:p=0.25"},
+		{"corrupt", "seed=13;corrupt:p=0.2"},
+		{"mixed", "seed=14;drop:p=0.1;dup:p=0.15;corrupt:p=0.1"},
+	}
+	only := os.Getenv("REPRO_GOSSIP_PLAN")
+	auditBase := os.Getenv("REPRO_GOSSIP_AUDIT_DIR")
+	if auditBase == "" {
+		auditBase = t.TempDir()
+	}
+	oracle := chaosOracle(t)
+
+	for _, tc := range plans {
+		if only != "" && tc.name != only {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			inj, err := faults.Parse(tc.plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			auditDir := filepath.Join(auditBase, tc.name)
+			board := newChaosBoard()
+			ckstore := mpi.NewCheckpointStore()
+			finals := make([]ClusterInfo, chaosNodes)
+
+			werr := mpi.RunWith(chaosNodes, mpi.RunOpts{Inject: inj}, func(c *mpi.Comm) error {
+				return chaosRank(t, c, board, ckstore, auditDir, finals)
+			})
+			if werr != nil {
+				t.Fatalf("world error: %v", werr)
+			}
+
+			for r, info := range finals {
+				if info.HP != oracle {
+					t.Errorf("rank %d merged HP differs from serial oracle:\n got %s\nwant %s", r, info.HP, oracle)
+				}
+				if info.Digest != finals[0].Digest {
+					t.Errorf("rank %d digest %s != rank 0 digest %s", r, info.Digest, finals[0].Digest)
+				}
+				if info.Adds != uint64(chaosNodes*chaosPerRank) {
+					t.Errorf("rank %d adds %d, want %d", r, info.Adds, chaosNodes*chaosPerRank)
+				}
+			}
+			// 4 steady nodes + the crash rank's two epochs.
+			if finals[0].Contributors != chaosNodes+1 || finals[0].Nodes != chaosNodes {
+				t.Errorf("contributors=%d nodes=%d, want %d/%d",
+					finals[0].Contributors, finals[0].Nodes, chaosNodes+1, chaosNodes)
+			}
+
+			verifyChaosAudit(t, auditDir)
+			assertNoLeakedGoroutines(t)
+		})
+	}
+}

@@ -1,0 +1,46 @@
+package gossip
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// gossipGoroutines returns the stacks of goroutines currently parked inside
+// this package — the round loop ticker, the sender workers, the watchdog,
+// and any transport pump. Mirrors the mpi leak-test convention.
+func gossipGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var out []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(g, "repro/internal/gossip.") &&
+			!strings.Contains(g, "testing.tRunner") &&
+			!strings.Contains(g, "testing.runFuzzing") {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// assertNoLeakedGoroutines polls (goroutine exit is asynchronous after
+// Close returns only once the WaitGroups drain, but runtime bookkeeping can
+// lag) and fails the test with the offending stacks if any gossip goroutine
+// survives 5s past teardown.
+func assertNoLeakedGoroutines(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var leaked []string
+	for {
+		leaked = gossipGoroutines()
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("%d gossip goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+}

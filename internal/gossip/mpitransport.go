@@ -1,0 +1,144 @@
+package gossip
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// MPITag is the mpi user tag all gossip frames travel on.
+const MPITag = 9
+
+// MPIPeer returns the canonical Peer identity for a rank in an mpi-backed
+// cluster: the address is the decimal rank the transport routes by.
+func MPIPeer(rank int) Peer {
+	return Peer{ID: "rank-" + strconv.Itoa(rank), Addr: strconv.Itoa(rank)}
+}
+
+// MPITransport routes gossip frames over an in-process mpi world, riding
+// the checksummed-frame substrate in internal/mpi: every frame is
+// integrity-checked and sequence-deduplicated on receive, and the fault
+// injector sits on the send path, so chaos plans exercise the whole gossip
+// stack.
+//
+// Frames travel on the eager (ack-free) path deliberately. A gossip pump
+// is a single goroutine that must keep receiving to keep its peers'
+// deliveries acked; blocking it in an acked SendTimeout makes every pump
+// stall on every other pump and the cluster livelocks under loss. Gossip
+// needs no per-frame reliability anyway — the anti-entropy digest exchange
+// IS the retransmission protocol, re-shipping anything a dropped or
+// corrupted frame failed to deliver.
+//
+// A Comm is single-goroutine-owned, but the node's sender workers and the
+// inbound path are concurrent, so the transport funnels everything through
+// one Pump goroutine that owns the Comm: Send only enqueues (dropping on a
+// full queue), and Pump alternates between flushing the queue and polling
+// every peer with the non-blocking TryRecv.
+type MPITransport struct {
+	sendq chan mpiOut
+}
+
+type mpiOut struct {
+	rank  int
+	peer  Peer
+	frame []byte
+}
+
+// NewMPITransport returns a transport with the given queue depth (default
+// 256).
+func NewMPITransport(queue int) *MPITransport {
+	if queue <= 0 {
+		queue = 256
+	}
+	return &MPITransport{sendq: make(chan mpiOut, queue)}
+}
+
+// Send implements Transport by enqueueing for the pump. A full queue drops
+// the frame rather than blocking a sender worker; anti-entropy re-ships
+// anything that mattered.
+func (t *MPITransport) Send(dst Peer, frame []byte) error {
+	rank, err := strconv.Atoi(dst.Addr)
+	if err != nil {
+		return fmt.Errorf("gossip: mpi peer %q has non-rank address %q", dst.ID, dst.Addr)
+	}
+	select {
+	case t.sendq <- mpiOut{rank: rank, peer: dst, frame: frame}:
+	default:
+		mOutboundDropped.Inc()
+	}
+	return nil
+}
+
+// Sink is the node-side surface Pump feeds: inbound frames and delivery
+// failures. *Node implements it; a restartable harness can interpose an
+// atomically-swapped pointer so a crashed-and-restarted node takes over the
+// same transport.
+type Sink interface {
+	Handle(frame []byte) error
+	NoteUnreachable(p Peer)
+}
+
+// Pump runs the transport event loop on the goroutine that owns c,
+// delivering outbound frames and feeding inbound ones to sink.Handle until
+// stop closes. Unroutable destinations and crashed peers feed the failure
+// detector via NoteUnreachable. On stop it makes one best-effort pass over
+// the remaining queue — that is what carries the leave frames a Close
+// enqueues.
+//
+// Under a fault plan with a crash class, the injected panic unwinds the
+// calling goroutine; run Pump on the rank's main goroutine so mpi.RunWith
+// converts it to a *faults.CrashError.
+func (t *MPITransport) Pump(c *mpi.Comm, sink Sink, stop <-chan struct{}) {
+	deliver := func(f mpiOut) {
+		if f.rank < 0 || f.rank >= c.Size() || f.rank == c.Rank() || c.Crashed(f.rank) {
+			sink.NoteUnreachable(f.peer)
+			return
+		}
+		if err := c.Send(f.rank, MPITag, f.frame); err != nil {
+			sink.NoteUnreachable(f.peer)
+		}
+	}
+	for {
+		select {
+		case <-stop:
+			for {
+				select {
+				case f := <-t.sendq:
+					deliver(f)
+				default:
+					return
+				}
+			}
+		default:
+		}
+		progress := false
+	sends:
+		for i := 0; i < 16; i++ {
+			select {
+			case f := <-t.sendq:
+				deliver(f)
+				progress = true
+			default:
+				break sends
+			}
+		}
+		for src := 0; src < c.Size(); src++ {
+			if src == c.Rank() {
+				continue
+			}
+			for {
+				payload, ok, err := c.TryRecv(src, MPITag)
+				if err != nil || !ok {
+					break
+				}
+				progress = true
+				sink.Handle(payload)
+			}
+		}
+		if !progress {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package gossip
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// memNet delivers frames synchronously between in-process nodes — the
+// simplest Transport, with optional per-destination outage injection.
+type memNet struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+	down  map[string]bool
+}
+
+func newMemNet() *memNet {
+	return &memNet{nodes: make(map[string]*Node), down: make(map[string]bool)}
+}
+
+func (m *memNet) add(n *Node) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[n.Self().ID] = n
+}
+
+func (m *memNet) setDown(id string, down bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down[id] = down
+}
+
+func (m *memNet) Send(dst Peer, frame []byte) error {
+	m.mu.Lock()
+	n, down := m.nodes[dst.ID], m.down[dst.ID]
+	var fromDown bool
+	if msg, _, err := DecodeMessage(frame); err == nil {
+		fromDown = m.down[msg.From.ID]
+	}
+	m.mu.Unlock()
+	if fromDown {
+		return nil // a dark node's frames vanish; it doesn't know it's dark
+	}
+	if n == nil || down {
+		return fmt.Errorf("memnet: no route to %s", dst.ID)
+	}
+	return n.Handle(frame)
+}
+
+// staticLocal reports fixed contributions, mutable under a lock.
+type staticLocal struct {
+	mu sync.Mutex
+	cs []Contribution
+}
+
+func (l *staticLocal) set(cs ...Contribution) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cs = cs
+}
+
+func (l *staticLocal) Contributions() ([]Contribution, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Contribution(nil), l.cs...), nil
+}
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestNodeConvergence: three nodes, each contributing a distinct slice of
+// values, converge to bit-identical cluster reads that match a serial
+// oracle over all values.
+func TestNodeConvergence(t *testing.T) {
+	net := newMemNet()
+	parts := [][]float64{
+		{1.5, -2.25, 1e30, -1e30},
+		{3.75, 1e-30},
+		{-0.125, 2.5, 42.0},
+	}
+	var all []float64
+	var nodes []*Node
+	for i, part := range parts {
+		all = append(all, part...)
+		local := &staticLocal{}
+		local.set(Contribution{
+			Acc: "t", HP: mkHP(t, core.Params384, part...),
+			Adds: uint64(len(part)), Frames: uint64(len(part)),
+		})
+		var seeds []Peer
+		if i > 0 {
+			seeds = []Peer{{ID: "n0", Addr: "n0"}} // star join through n0
+		}
+		n, err := NewNode(Config{
+			Self:      Peer{ID: fmt.Sprintf("n%d", i), Addr: fmt.Sprintf("n%d", i)},
+			Epoch:     1,
+			Params:    core.Params384,
+			Seeds:     seeds,
+			Interval:  3 * time.Millisecond,
+			Fanout:    2,
+			Local:     local,
+			Transport: net,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.add(n)
+		t.Cleanup(n.Close)
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+
+	wantAdds := uint64(len(all))
+	reads := make([]ClusterInfo, len(nodes))
+	waitFor(t, "cluster convergence", 10*time.Second, func() bool {
+		for i, n := range nodes {
+			info, err := n.ClusterRead("t")
+			if err != nil {
+				return false
+			}
+			reads[i] = info
+		}
+		for _, r := range reads {
+			if r.Adds != wantAdds || r.Digest != reads[0].Digest {
+				return false
+			}
+		}
+		return true
+	})
+
+	oracle, err := mkHP(t, core.Params384, all...).MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reads {
+		if r.HP != string(oracle) {
+			t.Fatalf("node %d merged HP %s != oracle %s", i, r.HP, oracle)
+		}
+		if r.Contributors != 3 || r.Nodes != 3 {
+			t.Fatalf("node %d: contributors=%d nodes=%d, want 3/3", i, r.Contributors, r.Nodes)
+		}
+	}
+
+	// Membership converged too: everyone learned everyone.
+	waitFor(t, "full membership", 10*time.Second, func() bool {
+		for _, n := range nodes {
+			if len(n.Peers()) != len(nodes)-1 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// A later local update (more frames = higher version) propagates.
+	grown := append(append([]float64(nil), parts[1]...), 9.5, -1.25)
+	nodes[1].cfg.Local.(*staticLocal).set(Contribution{
+		Acc: "t", HP: mkHP(t, core.Params384, grown...),
+		Adds: uint64(len(grown)), Frames: uint64(len(grown)),
+	})
+	all2 := append(append([]float64(nil), all...), 9.5, -1.25)
+	oracle2, err := mkHP(t, core.Params384, all2...).MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "update propagation", 10*time.Second, func() bool {
+		for _, n := range nodes {
+			info, err := n.ClusterRead("t")
+			if err != nil || info.HP != string(oracle2) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Satellite: ticker loop, push/pull sender workers, and watchdog all
+	// drain on Close.
+	for _, n := range nodes {
+		n.Close()
+	}
+	assertNoLeakedGoroutines(t)
+}
+
+// TestNodeLeaveAndSuspicion: a departing node's leave frame removes it from
+// peers' views immediately; an unreachable peer is evicted by suspicion
+// after SuspectAfter consecutive send failures.
+func TestNodeLeaveAndSuspicion(t *testing.T) {
+	net := newMemNet()
+	mk := func(id string, seeds ...Peer) *Node {
+		n, err := NewNode(Config{
+			Self:         Peer{ID: id, Addr: id},
+			Epoch:        1,
+			Params:       core.Params384,
+			Seeds:        seeds,
+			Interval:     3 * time.Millisecond,
+			SuspectAfter: 3,
+			Transport:    net,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.add(n)
+		t.Cleanup(n.Close)
+		return n
+	}
+	a := mk("a")
+	b := mk("b", Peer{ID: "a", Addr: "a"})
+	c := mk("c", Peer{ID: "a", Addr: "a"})
+	for _, n := range []*Node{a, b, c} {
+		n.Start()
+	}
+	waitFor(t, "mesh", 10*time.Second, func() bool {
+		return len(a.Peers()) == 2 && len(b.Peers()) == 2 && len(c.Peers()) == 2
+	})
+
+	// Graceful leave: c announces its departure on Close.
+	c.Close()
+	waitFor(t, "leave to propagate", 10*time.Second, func() bool {
+		for _, p := range a.Peers() {
+			if p.ID == "c" {
+				return false
+			}
+		}
+		for _, p := range b.Peers() {
+			if p.ID == "c" {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Crash (no leave): b goes dark; a's failure detector evicts it.
+	net.setDown("b", true)
+	waitFor(t, "suspicion eviction", 10*time.Second, func() bool {
+		for _, p := range a.Peers() {
+			if p.ID == "b" {
+				return false
+			}
+		}
+		return true
+	})
+
+	a.Close()
+	b.Close()
+	assertNoLeakedGoroutines(t)
+}
+
+// TestNodeRecoveryEpochBump: restarting from a checkpoint must bump the
+// epoch; the restored node's old-epoch entries survive and new activity
+// lands in the new epoch.
+func TestNodeRecoveryEpochBump(t *testing.T) {
+	net := newMemNet()
+	local := &staticLocal{}
+	local.set(Contribution{Acc: "t", HP: mkHP(t, core.Params384, 5.0), Adds: 1, Frames: 1})
+	n1, err := NewNode(Config{
+		Self: Peer{ID: "r", Addr: "r"}, Epoch: 1, Params: core.Params384,
+		Interval: 3 * time.Millisecond, Local: local, Transport: net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := n1.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1.Close()
+
+	// Same epoch: refused.
+	if _, err := NewNode(Config{
+		Self: Peer{ID: "r", Addr: "r"}, Epoch: 1, Params: core.Params384,
+		Transport: net, Recovery: blob,
+	}); err == nil {
+		t.Fatal("restart without an epoch bump was accepted")
+	}
+
+	local2 := &staticLocal{}
+	local2.set(Contribution{Acc: "t", HP: mkHP(t, core.Params384, 7.0), Adds: 1, Frames: 1})
+	n3, err := NewNode(Config{
+		Self: Peer{ID: "r", Addr: "r"}, Epoch: 2, Params: core.Params384,
+		Interval: 3 * time.Millisecond, Local: local2, Transport: net,
+		Recovery: blob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := n3.ClusterRead("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old-epoch contribution (5.0) + new-epoch contribution (7.0).
+	oracle, _ := mkHP(t, core.Params384, 5.0, 7.0).MarshalText()
+	if info.HP != string(oracle) {
+		t.Fatalf("recovered read %s != oracle %s", info.HP, oracle)
+	}
+	if info.Contributors != 2 || info.Nodes != 1 {
+		t.Fatalf("contributors=%d nodes=%d, want 2/1", info.Contributors, info.Nodes)
+	}
+	n3.Close()
+	assertNoLeakedGoroutines(t)
+}
+
+// TestNodeIgnoresSelfAlias: seed lists and peers' views name nodes by URL
+// before their real IDs are known, so a node can be echoed its own address
+// under a URL identity. Learning that alias would waste a view slot and a
+// fanout target on self-sends; the node must drop it at every learn path.
+func TestNodeIgnoresSelfAlias(t *testing.T) {
+	self := Peer{ID: "a", Addr: "http://a"}
+	alias := Peer{ID: "http://a", Addr: "http://a"}
+	other := Peer{ID: "b", Addr: "http://b"}
+	net := &memNet{nodes: map[string]*Node{}, down: map[string]bool{}}
+	n, err := NewNode(Config{
+		Self:      self,
+		Epoch:     1,
+		Params:    core.Params384,
+		Seeds:     []Peer{alias, other},
+		Transport: net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+
+	assertNoAlias := func(stage string) {
+		t.Helper()
+		for _, p := range n.Peers() {
+			if p.ID == alias.ID {
+				t.Fatalf("%s: self alias %q in view %v", stage, alias.ID, n.Peers())
+			}
+		}
+	}
+	assertNoAlias("after seeding")
+	if len(n.Peers()) != 1 {
+		t.Fatalf("view %v, want just %q", n.Peers(), other.ID)
+	}
+
+	// A push claiming to come from the alias, carrying the alias in its
+	// view, must not teach the node about itself either.
+	frame, err := AppendMessage(nil, &Message{
+		Kind: MsgPush, From: alias, Epoch: 1, View: []Peer{alias, other},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Handle(frame); err != nil {
+		t.Fatal(err)
+	}
+	assertNoAlias("after aliased push")
+}

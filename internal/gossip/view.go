@@ -1,0 +1,283 @@
+package gossip
+
+import (
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// view is the bounded Brahms membership sample plus per-peer failure
+// suspicion. It is not safe for concurrent use; the Node serializes access
+// under its own mutex (like Store).
+type view struct {
+	self  string // own node id, never stored
+	max   int
+	peers map[string]*peerState
+}
+
+type peerState struct {
+	peer   Peer
+	misses int // consecutive send failures; reset by any sign of life
+}
+
+func newView(self string, max int) *view {
+	return &view{self: self, max: max, peers: make(map[string]*peerState)}
+}
+
+// learn inserts or refreshes a peer and clears its suspicion counter. A
+// full view only rotates through rebuild (the Brahms round step), so a
+// single pushy sender cannot crowd the view between rounds.
+func (v *view) learn(p Peer) {
+	if p.ID == "" || p.ID == v.self {
+		return
+	}
+	if st, ok := v.peers[p.ID]; ok {
+		st.peer = p // addr may move across restarts
+		st.misses = 0
+		return
+	}
+	if len(v.peers) >= v.max {
+		return
+	}
+	v.peers[p.ID] = &peerState{peer: p}
+}
+
+// remove drops a peer (leave message or suspicion eviction).
+func (v *view) remove(id string) { delete(v.peers, id) }
+
+// miss records one failed send. It reports true when the peer crossed the
+// suspicion threshold and was evicted.
+func (v *view) miss(id string, threshold int) bool {
+	st, ok := v.peers[id]
+	if !ok {
+		return false
+	}
+	st.misses++
+	if st.misses >= threshold {
+		delete(v.peers, id)
+		return true
+	}
+	return false
+}
+
+// alive resets a peer's suspicion counter after a successful send.
+func (v *view) alive(id string) {
+	if st, ok := v.peers[id]; ok {
+		st.misses = 0
+	}
+}
+
+// snapshot returns the current membership in deterministic (sorted-id)
+// order.
+func (v *view) snapshot() []Peer {
+	out := make([]Peer, 0, len(v.peers))
+	for _, st := range v.peers {
+		out = append(out, st.peer)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (v *view) size() int { return len(v.peers) }
+
+// sample draws up to k distinct peers uniformly from the view.
+func (v *view) sample(k int, r *rng.Source) []Peer {
+	all := v.snapshot()
+	if k >= len(all) {
+		return all
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(len(all)-i)
+		all[i], all[j] = all[j], all[i]
+	}
+	return all[:k]
+}
+
+// rebuild is the Brahms round-end view update: the next view mixes peers
+// pushed at us, peers learned from pull replies, and the history sampler's
+// long-memory slots in roughly the classic 45/45/10 split. Two defenses
+// from the paper are kept: a push flood (more pushers in one round than the
+// view can hold) skips the update entirely, so an attacker spraying
+// addresses cannot take the view over in one round; and the sampler's
+// min-wise slots contribute peers an adversary cannot displace without
+// winning independent hash minima.
+func (v *view) rebuild(pushed, pulled []Peer, s *sampler, r *rng.Source) {
+	pushed = dedupPeers(pushed, v.self)
+	pulled = dedupPeers(pulled, v.self)
+	if len(pushed) > v.max {
+		return // push flood: distrust the round
+	}
+	if len(pushed) == 0 && len(pulled) == 0 {
+		return
+	}
+	alpha := (v.max*45 + 99) / 100
+	beta := (v.max*45 + 99) / 100
+	gamma := v.max - min(alpha, len(pushed)) - min(beta, len(pulled))
+	if gamma < 0 {
+		gamma = 0
+	}
+
+	next := make(map[string]Peer, v.max)
+	add := func(ps []Peer) {
+		for _, p := range ps {
+			if len(next) >= v.max {
+				return
+			}
+			if _, ok := next[p.ID]; !ok {
+				next[p.ID] = p
+			}
+		}
+	}
+	add(samplePeers(pushed, alpha, r))
+	add(samplePeers(pulled, beta, r))
+	add(s.sample(gamma, r))
+	// Backfill from the current view so a quiet round does not shrink
+	// membership below the bound.
+	add(v.snapshot())
+
+	fresh := make(map[string]*peerState, len(next))
+	for id, p := range next {
+		if st, ok := v.peers[id]; ok {
+			st.peer = p
+			fresh[id] = st
+		} else {
+			fresh[id] = &peerState{peer: p}
+		}
+	}
+	v.peers = fresh
+}
+
+func dedupPeers(ps []Peer, self string) []Peer {
+	seen := make(map[string]bool, len(ps))
+	out := ps[:0:0]
+	for _, p := range ps {
+		if p.ID == "" || p.ID == self || seen[p.ID] {
+			continue
+		}
+		seen[p.ID] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+func samplePeers(ps []Peer, k int, r *rng.Source) []Peer {
+	if k >= len(ps) {
+		return ps
+	}
+	ps = append([]Peer(nil), ps...)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(len(ps)-i)
+		ps[i], ps[j] = ps[j], ps[i]
+	}
+	return ps[:k]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sampler is the Brahms history sampler: a fixed bank of min-wise
+// independent hash slots. Each slot keeps the peer whose seeded hash is the
+// minimum over every id ever observed, so the bank converges to a uniform
+// sample of the node's full history — an eclipse attacker flooding fresh
+// addresses cannot displace an old honest peer from a slot without finding
+// an id that hashes below it under that slot's seed.
+type sampler struct {
+	slots []samplerSlot
+}
+
+type samplerSlot struct {
+	seed uint64
+	min  uint64
+	peer Peer // zero ID = unset
+}
+
+func newSampler(size int, seed uint64) *sampler {
+	s := &sampler{slots: make([]samplerSlot, size)}
+	x := seed
+	for i := range s.slots {
+		x = splitmix64(x + 0x9e3779b97f4a7c15)
+		s.slots[i] = samplerSlot{seed: x, min: ^uint64(0)}
+	}
+	return s
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func idHash(seed uint64, id string) uint64 {
+	// FNV-1a folded through splitmix so each slot's seed yields an
+	// independent ordering over ids.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return splitmix64(h ^ seed)
+}
+
+// observe offers a peer to every slot.
+func (s *sampler) observe(p Peer, self string) {
+	if p.ID == "" || p.ID == self {
+		return
+	}
+	for i := range s.slots {
+		sl := &s.slots[i]
+		h := idHash(sl.seed, p.ID)
+		switch {
+		case sl.peer.ID == "" || h < sl.min:
+			sl.min, sl.peer = h, p
+		case sl.peer.ID == p.ID:
+			sl.peer = p // refresh a moved address
+		}
+	}
+}
+
+// invalidate clears every slot holding id (Brahms slot re-validation after
+// a peer is suspected dead), letting live peers win the slots back.
+func (s *sampler) invalidate(id string) {
+	for i := range s.slots {
+		if s.slots[i].peer.ID == id {
+			s.slots[i].peer = Peer{}
+			s.slots[i].min = ^uint64(0)
+		}
+	}
+}
+
+// sample draws up to k distinct peers from the populated slots.
+func (s *sampler) sample(k int, r *rng.Source) []Peer {
+	if k <= 0 {
+		return nil
+	}
+	byID := make(map[string]Peer)
+	for i := range s.slots {
+		if p := s.slots[i].peer; p.ID != "" {
+			byID[p.ID] = p
+		}
+	}
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	if k < len(ids) {
+		for i := 0; i < k; i++ {
+			j := i + r.Intn(len(ids)-i)
+			ids[i], ids[j] = ids[j], ids[i]
+		}
+		ids = ids[:k]
+	}
+	out := make([]Peer, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, byID[id])
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestViewBoundsAndSuspicion(t *testing.T) {
+	v := newView("self", 4)
+	for i := 0; i < 10; i++ {
+		v.learn(Peer{ID: fmt.Sprintf("p%d", i), Addr: "a"})
+	}
+	if v.size() != 4 {
+		t.Fatalf("view size %d, want bound 4", v.size())
+	}
+	v.learn(Peer{ID: "self"})
+	for _, p := range v.snapshot() {
+		if p.ID == "self" {
+			t.Fatal("view contains self")
+		}
+	}
+
+	// Two misses keep the peer; the third evicts.
+	id := v.snapshot()[0].ID
+	if v.miss(id, 3) || v.miss(id, 3) {
+		t.Fatal("evicted before threshold")
+	}
+	if !v.miss(id, 3) {
+		t.Fatal("not evicted at threshold")
+	}
+	if v.size() != 3 {
+		t.Fatalf("view size %d after eviction, want 3", v.size())
+	}
+	// A sign of life resets the counter.
+	id2 := v.snapshot()[0].ID
+	v.miss(id2, 3)
+	v.miss(id2, 3)
+	v.learn(Peer{ID: id2, Addr: "a"})
+	if v.miss(id2, 3) {
+		t.Fatal("learn did not reset the suspicion counter")
+	}
+}
+
+// TestViewRebuildFloodDefense: a round where more distinct peers pushed
+// than the view can hold is treated as an eclipse attempt and the update is
+// skipped entirely.
+func TestViewRebuildFloodDefense(t *testing.T) {
+	r := rng.New(1)
+	s := newSampler(8, 1)
+	v := newView("self", 4)
+	honest := []Peer{{ID: "h1"}, {ID: "h2"}}
+	for _, p := range honest {
+		v.learn(p)
+		s.observe(p, "self")
+	}
+	before := v.snapshot()
+
+	var flood []Peer
+	for i := 0; i < 20; i++ {
+		flood = append(flood, Peer{ID: fmt.Sprintf("evil%d", i)})
+	}
+	v.rebuild(flood, nil, s, r)
+	after := v.snapshot()
+	if len(after) != len(before) {
+		t.Fatalf("flooded rebuild changed the view: %v -> %v", before, after)
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("flooded rebuild changed the view: %v -> %v", before, after)
+		}
+	}
+
+	// A sane rebuild does rotate pushed peers in.
+	v.rebuild([]Peer{{ID: "h3"}}, []Peer{{ID: "h4"}}, s, r)
+	found := map[string]bool{}
+	for _, p := range v.snapshot() {
+		found[p.ID] = true
+	}
+	if !found["h3"] || !found["h4"] {
+		t.Fatalf("rebuild dropped fresh peers: %v", v.snapshot())
+	}
+}
+
+// TestSamplerMinWise: each slot keeps the minimum-hash id over the whole
+// observation history, so the bank depends only on the SET of ids observed,
+// never on their order or repetition count. That is the eclipse defense: an
+// attacker gains nothing by flooding last, flooding often, or racing the
+// honest peers — its ids only win slots where they genuinely hash lowest.
+func TestSamplerMinWise(t *testing.T) {
+	old := Peer{ID: "old-peer", Addr: "a"}
+	s := newSampler(16, 42)
+	s.observe(old, "self")
+	for i := 0; i < 1000; i++ {
+		s.observe(Peer{ID: fmt.Sprintf("fresh%d", i)}, "self")
+	}
+
+	// Same set, reversed order, with repetitions: identical slots.
+	s2 := newSampler(16, 42)
+	for i := 999; i >= 0; i-- {
+		s2.observe(Peer{ID: fmt.Sprintf("fresh%d", i)}, "self")
+		s2.observe(Peer{ID: fmt.Sprintf("fresh%d", i)}, "self")
+	}
+	s2.observe(old, "self")
+	for i := range s.slots {
+		if s.slots[i].peer != s2.slots[i].peer {
+			t.Fatal("sampler bank depends on observation order")
+		}
+	}
+
+	// Invalidation clears exactly the dead peer's slots and lets live
+	// peers win them back.
+	s3 := newSampler(8, 7)
+	s3.observe(old, "self")
+	s3.invalidate(old.ID)
+	for _, sl := range s3.slots {
+		if sl.peer.ID != "" {
+			t.Fatal("invalidate left the dead peer in a slot")
+		}
+	}
+	s3.observe(Peer{ID: "newcomer"}, "self")
+	got := s3.sample(8, rng.New(7))
+	if len(got) != 1 || got[0].ID != "newcomer" {
+		t.Fatalf("sample after re-observation = %v, want just newcomer", got)
+	}
+}

@@ -1,0 +1,440 @@
+// Package gossip clusters hpsumd daemons into a convergent summation
+// fabric: a Brahms-style membership/peer-sampling layer (push/pull rounds,
+// bounded views, a min-wise history sampler for eclipse resistance, failure
+// suspicion) carrying an anti-entropy protocol over per-node HP envelope
+// contributions.
+//
+// The replication model leans on the paper's central property: HP
+// fixed-point addition is exactly associative and commutative, so a partial
+// sum is a state-based CRDT — almost. Addition is NOT idempotent, so nodes
+// never gossip "my current total" (re-merging it would double-count).
+// Instead the replicated object is a grow-only map of contributions keyed
+// by (accumulator, origin node, epoch): only the owner writes a key, each
+// write carries a monotone version (the owner's frame count), and the join
+// keeps the higher version per key. That map IS a join-semilattice, so any
+// gossip schedule, any duplication, and any message loss converge every
+// node to the same map — and because the merge of the map's envelopes runs
+// in fixed sorted-key order through the engine's checked combine, every
+// node's cluster read is bit-identical.
+package gossip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/trace"
+)
+
+// Wire format: one gossip frame is
+//
+//	kind(1) | payloadLen(4, big-endian) | payload | crc32(4, big-endian)
+//
+// with the CRC-32 (IEEE, matching the server ingest frames and the
+// core.SumCheckpoint convention) covering everything before it. Four frame
+// kinds exist, all asynchronous one-way messages so neither transport (HTTP
+// POST or mpi reliable frames) needs blocking request/response matching:
+//
+//	'P' — push: the sender advertises itself, a bounded view sample, and
+//	      its contribution digests (Brahms push + anti-entropy probe);
+//	'Q' — pull request: the sender asks for the receiver's view and for
+//	      any contributions newer than the digests it encloses;
+//	'R' — pull reply: view sample + digests + the entries the requester
+//	      was missing;
+//	'D' — delta: entries only — the anti-entropy repair a digest mismatch
+//	      triggers;
+//	'L' — leave: the sender is departing; drop it from views and samplers.
+//
+// The payload is a self-contained Message: sender identity and epoch, a
+// trace context (zero = untraced) so gossip rounds stitch into end-to-end
+// traces, and bounded view/digest/entry sections.
+const (
+	MsgPush    byte = 'P'
+	MsgPullReq byte = 'Q'
+	MsgPullRep byte = 'R'
+	MsgDelta   byte = 'D'
+	MsgLeave   byte = 'L'
+
+	wireVersion = 1
+
+	frameHeaderLen  = 5 // kind + payload length
+	frameTrailerLen = 4 // crc32
+	frameOverhead   = frameHeaderLen + frameTrailerLen
+)
+
+// MaxFramePayload caps one gossip frame's payload, mirroring the server
+// ingest bound: the decoder rejects larger length prefixes before
+// allocating or trusting anything past the header.
+const MaxFramePayload = 1 << 20
+
+// Section bounds: a frame that claims more is rejected before its contents
+// are walked, so a corrupt count cannot force a huge allocation.
+const (
+	MaxViewEntries = 64
+	MaxDigests     = 1024
+	MaxEntries     = 256
+
+	maxIDLen   = 128
+	maxAddrLen = 256
+	maxAccLen  = 128
+	maxEnvLen  = 1 << 16
+)
+
+// Frame decoding errors; use errors.Is to classify.
+var (
+	ErrFrameTooLarge = errors.New("gossip: frame payload exceeds limit")
+	ErrFrameChecksum = errors.New("gossip: frame checksum mismatch")
+	ErrFrameKind     = errors.New("gossip: unknown frame kind")
+	ErrFrameTrunc    = errors.New("gossip: truncated frame")
+	ErrFrameVersion  = errors.New("gossip: unknown wire version")
+	ErrFrameBounds   = errors.New("gossip: frame section exceeds bounds")
+)
+
+// Peer identifies one cluster member: a stable node id plus the address its
+// transport delivers to (a base URL for HTTP, a decimal rank for mpi).
+type Peer struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Digest summarizes one contribution for anti-entropy: its key, the owner's
+// monotone version, and the first 8 bytes of the SHA-256 of the envelope
+// frame — enough to detect both staleness (version) and equivocation (same
+// version, different bytes) without shipping the envelope.
+type Digest struct {
+	Acc     string
+	Node    string
+	Epoch   uint64
+	Version uint64
+	Sum     [8]byte
+}
+
+// Entry is one shipped contribution: the owner's exact HP partial for one
+// accumulator, wrapped in the server's FrameHP hand-off envelope ('h' frame
+// bytes), plus the counters a cluster read reports.
+type Entry struct {
+	Acc     string
+	Node    string
+	Epoch   uint64
+	Version uint64
+	Adds    uint64
+	Frames  uint64
+	Env     []byte
+}
+
+// key is an Entry's identity in the contribution map.
+func (e *Entry) key() entryKey { return entryKey{acc: e.Acc, node: e.Node, epoch: e.Epoch} }
+
+// Message is one decoded gossip frame.
+type Message struct {
+	Kind    byte
+	From    Peer
+	Epoch   uint64
+	Trace   trace.Context
+	View    []Peer
+	Digests []Digest
+	Entries []Entry
+}
+
+// AppendMessage encodes m as one gossip frame appended to buf. Sections
+// beyond the wire bounds are an error — callers bound them when building
+// messages, so an oversize here is a bug, not an input condition.
+func AppendMessage(buf []byte, m *Message) ([]byte, error) {
+	switch m.Kind {
+	case MsgPush, MsgPullReq, MsgPullRep, MsgDelta, MsgLeave:
+	default:
+		return buf, fmt.Errorf("%w 0x%02x", ErrFrameKind, m.Kind)
+	}
+	if len(m.View) > MaxViewEntries || len(m.Digests) > MaxDigests || len(m.Entries) > MaxEntries {
+		return buf, fmt.Errorf("%w: %d view, %d digests, %d entries",
+			ErrFrameBounds, len(m.View), len(m.Digests), len(m.Entries))
+	}
+	start := len(buf)
+	buf = append(buf, m.Kind)
+	buf = binary.BigEndian.AppendUint32(buf, 0) // payload length, patched below
+	payloadStart := len(buf)
+
+	buf = append(buf, wireVersion)
+	var err error
+	if buf, err = appendPeer(buf, m.From); err != nil {
+		return buf[:start], err
+	}
+	buf = binary.BigEndian.AppendUint64(buf, m.Epoch)
+	buf = binary.BigEndian.AppendUint64(buf, m.Trace.TraceID)
+	buf = binary.BigEndian.AppendUint64(buf, m.Trace.SpanID)
+
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.View)))
+	for _, p := range m.View {
+		if buf, err = appendPeer(buf, p); err != nil {
+			return buf[:start], err
+		}
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Digests)))
+	for i := range m.Digests {
+		if buf, err = appendDigest(buf, &m.Digests[i]); err != nil {
+			return buf[:start], err
+		}
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Entries)))
+	for i := range m.Entries {
+		if buf, err = appendEntry(buf, &m.Entries[i]); err != nil {
+			return buf[:start], err
+		}
+	}
+
+	plen := len(buf) - payloadStart
+	if plen > MaxFramePayload {
+		return buf[:start], fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, plen, MaxFramePayload)
+	}
+	binary.BigEndian.PutUint32(buf[start+1:], uint32(plen))
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:])), nil
+}
+
+func appendPeer(buf []byte, p Peer) ([]byte, error) {
+	if len(p.ID) == 0 || len(p.ID) > maxIDLen {
+		return buf, fmt.Errorf("gossip: peer id length %d (want 1..%d)", len(p.ID), maxIDLen)
+	}
+	if len(p.Addr) > maxAddrLen {
+		return buf, fmt.Errorf("gossip: peer addr length %d > %d", len(p.Addr), maxAddrLen)
+	}
+	buf = append(buf, byte(len(p.ID)))
+	buf = append(buf, p.ID...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.Addr)))
+	buf = append(buf, p.Addr...)
+	return buf, nil
+}
+
+func appendDigest(buf []byte, d *Digest) ([]byte, error) {
+	if err := checkNames(d.Acc, d.Node); err != nil {
+		return buf, err
+	}
+	buf = append(buf, byte(len(d.Acc)))
+	buf = append(buf, d.Acc...)
+	buf = append(buf, byte(len(d.Node)))
+	buf = append(buf, d.Node...)
+	buf = binary.BigEndian.AppendUint64(buf, d.Epoch)
+	buf = binary.BigEndian.AppendUint64(buf, d.Version)
+	buf = append(buf, d.Sum[:]...)
+	return buf, nil
+}
+
+func appendEntry(buf []byte, e *Entry) ([]byte, error) {
+	if err := checkNames(e.Acc, e.Node); err != nil {
+		return buf, err
+	}
+	if len(e.Env) == 0 || len(e.Env) > maxEnvLen {
+		return buf, fmt.Errorf("gossip: entry envelope length %d (want 1..%d)", len(e.Env), maxEnvLen)
+	}
+	buf = append(buf, byte(len(e.Acc)))
+	buf = append(buf, e.Acc...)
+	buf = append(buf, byte(len(e.Node)))
+	buf = append(buf, e.Node...)
+	buf = binary.BigEndian.AppendUint64(buf, e.Epoch)
+	buf = binary.BigEndian.AppendUint64(buf, e.Version)
+	buf = binary.BigEndian.AppendUint64(buf, e.Adds)
+	buf = binary.BigEndian.AppendUint64(buf, e.Frames)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Env)))
+	buf = append(buf, e.Env...)
+	return buf, nil
+}
+
+func checkNames(acc, node string) error {
+	if len(acc) == 0 || len(acc) > maxAccLen {
+		return fmt.Errorf("gossip: accumulator name length %d (want 1..%d)", len(acc), maxAccLen)
+	}
+	if len(node) == 0 || len(node) > maxIDLen {
+		return fmt.Errorf("gossip: node id length %d (want 1..%d)", len(node), maxIDLen)
+	}
+	return nil
+}
+
+// DecodeMessage decodes the first gossip frame in data, returning the
+// message and the number of bytes consumed so callers can walk a stream of
+// concatenated frames. Every length and count is checked against the wire
+// bounds before it is trusted; the checksum is verified before any section
+// is walked. Decoded byte slices (entry envelopes) are copies — they do not
+// alias data.
+func DecodeMessage(data []byte) (*Message, int, error) {
+	if len(data) < frameOverhead {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrFrameTrunc, len(data))
+	}
+	kind := data[0]
+	switch kind {
+	case MsgPush, MsgPullReq, MsgPullRep, MsgDelta, MsgLeave:
+	default:
+		return nil, 0, fmt.Errorf("%w 0x%02x", ErrFrameKind, kind)
+	}
+	plen := int(binary.BigEndian.Uint32(data[1:5]))
+	if plen > MaxFramePayload {
+		return nil, 0, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, plen, MaxFramePayload)
+	}
+	total := frameHeaderLen + plen + frameTrailerLen
+	if len(data) < total {
+		return nil, 0, fmt.Errorf("%w: frame claims %d bytes, have %d", ErrFrameTrunc, total, len(data))
+	}
+	body := data[:frameHeaderLen+plen]
+	stored := binary.BigEndian.Uint32(data[frameHeaderLen+plen:])
+	if got := crc32.ChecksumIEEE(body); got != stored {
+		return nil, 0, fmt.Errorf("%w (stored %08x, computed %08x)", ErrFrameChecksum, stored, got)
+	}
+
+	d := wireReader{buf: body[frameHeaderLen:]}
+	if v := d.u8(); v != wireVersion {
+		return nil, 0, fmt.Errorf("%w %d", ErrFrameVersion, v)
+	}
+	m := &Message{Kind: kind}
+	m.From = d.peer()
+	m.Epoch = d.u64()
+	m.Trace = trace.Context{TraceID: d.u64(), SpanID: d.u64()}
+
+	nview := int(d.u16())
+	if nview > MaxViewEntries {
+		return nil, 0, fmt.Errorf("%w: %d view entries > %d", ErrFrameBounds, nview, MaxViewEntries)
+	}
+	for i := 0; i < nview && d.err == nil; i++ {
+		m.View = append(m.View, d.peer())
+	}
+	ndig := int(d.u16())
+	if d.err == nil && ndig > MaxDigests {
+		return nil, 0, fmt.Errorf("%w: %d digests > %d", ErrFrameBounds, ndig, MaxDigests)
+	}
+	for i := 0; i < ndig && d.err == nil; i++ {
+		m.Digests = append(m.Digests, d.digest())
+	}
+	nent := int(d.u16())
+	if d.err == nil && nent > MaxEntries {
+		return nil, 0, fmt.Errorf("%w: %d entries > %d", ErrFrameBounds, nent, MaxEntries)
+	}
+	for i := 0; i < nent && d.err == nil; i++ {
+		m.Entries = append(m.Entries, d.entry())
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrFrameTrunc, len(d.buf))
+	}
+	if m.From.ID == "" {
+		return nil, 0, fmt.Errorf("gossip: frame without sender id")
+	}
+	return m, total, nil
+}
+
+// wireReader is a bounds-checked cursor over one frame's payload. The first
+// failed read latches err and every later read returns zero values, so the
+// decode loop stays linear without per-field error plumbing.
+type wireReader struct {
+	buf []byte
+	err error
+}
+
+func (d *wireReader) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: reading %s", ErrFrameTrunc, what)
+	}
+}
+
+func (d *wireReader) u8() byte {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail("byte")
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *wireReader) u16() uint16 {
+	if d.err != nil || len(d.buf) < 2 {
+		d.fail("uint16")
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf)
+	d.buf = d.buf[2:]
+	return v
+}
+
+func (d *wireReader) u64() uint64 {
+	if d.err != nil || len(d.buf) < 8 {
+		d.fail("uint64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *wireReader) bytes(n int, what string) []byte {
+	if d.err != nil || n < 0 || len(d.buf) < n {
+		d.fail(what)
+		return nil
+	}
+	v := d.buf[:n]
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *wireReader) str(n int, max int, what string) string {
+	if d.err == nil && n > max {
+		d.err = fmt.Errorf("%w: %s length %d > %d", ErrFrameBounds, what, n, max)
+		return ""
+	}
+	return string(d.bytes(n, what))
+}
+
+func (d *wireReader) peer() Peer {
+	var p Peer
+	p.ID = d.str(int(d.u8()), maxIDLen, "peer id")
+	p.Addr = d.str(int(d.u16()), maxAddrLen, "peer addr")
+	if d.err == nil && p.ID == "" {
+		d.err = fmt.Errorf("gossip: empty peer id")
+	}
+	return p
+}
+
+func (d *wireReader) digest() Digest {
+	var g Digest
+	g.Acc = d.str(int(d.u8()), maxAccLen, "digest acc")
+	g.Node = d.str(int(d.u8()), maxIDLen, "digest node")
+	g.Epoch = d.u64()
+	g.Version = d.u64()
+	copy(g.Sum[:], d.bytes(8, "digest sum"))
+	if d.err == nil && (g.Acc == "" || g.Node == "") {
+		d.err = fmt.Errorf("gossip: empty digest key")
+	}
+	return g
+}
+
+func (d *wireReader) entry() Entry {
+	var e Entry
+	e.Acc = d.str(int(d.u8()), maxAccLen, "entry acc")
+	e.Node = d.str(int(d.u8()), maxIDLen, "entry node")
+	e.Epoch = d.u64()
+	e.Version = d.u64()
+	e.Adds = d.u64()
+	e.Frames = d.u64()
+	elen := int(d.u32())
+	if d.err == nil && (elen == 0 || elen > maxEnvLen) {
+		d.err = fmt.Errorf("%w: entry envelope length %d", ErrFrameBounds, elen)
+		return e
+	}
+	env := d.bytes(elen, "entry envelope")
+	if d.err == nil && (e.Acc == "" || e.Node == "") {
+		d.err = fmt.Errorf("gossip: empty entry key")
+	}
+	if d.err == nil {
+		e.Env = append([]byte(nil), env...)
+	}
+	return e
+}
+
+func (d *wireReader) u32() uint32 {
+	if d.err != nil || len(d.buf) < 4 {
+		d.fail("uint32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}

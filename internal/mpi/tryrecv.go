@@ -1,0 +1,34 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// TryRecv is a non-blocking receive: it returns (payload, true, nil) when a
+// valid message with tag from src is already queued, (nil, false, nil) when
+// nothing is pending, and a non-nil error when the receive can never
+// complete (src crashed with nothing left queued, or the world aborted).
+//
+// It rides the ordinary reliable receive path with an already-expired
+// deadline: corrupt frames are still discarded, duplicates still absorbed,
+// and acks still sent — so a TryRecv poll loop composes with SendTimeout on
+// the far side exactly like RecvTimeout does. An expired deadline never
+// allocates a timer in the mailbox wait, so polling an empty mailbox is
+// cheap. Like every Comm receive, TryRecv must be called from the single
+// goroutine that owns the Comm.
+func (c *Comm) TryRecv(src, tag int) ([]byte, bool, error) {
+	if tag < 0 {
+		return nil, false, fmt.Errorf("mpi: user tag %d must be >= 0", tag)
+	}
+	payload, err := c.recvFrame(src, tag, time.Now())
+	if err != nil {
+		var te *TimeoutError
+		if errors.As(err, &te) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return payload, true, nil
+}

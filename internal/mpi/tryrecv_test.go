@@ -1,0 +1,97 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// TestTryRecvPolling: TryRecv reports "nothing pending" without blocking,
+// returns a queued payload exactly once, and keeps the reliable-path
+// semantics (a SendTimeout on the far side completes against a TryRecv
+// poll loop, acks included).
+func TestTryRecvPolling(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		const tag = 5
+		if c.Rank() == 1 {
+			time.Sleep(10 * time.Millisecond) // let rank 0 poll empty first
+			return c.SendTimeout(0, tag, []byte("payload"), 2*time.Second)
+		}
+
+		if _, _, err := c.TryRecv(1, -3); err == nil {
+			t.Error("negative tag accepted")
+		}
+		if payload, ok, err := c.TryRecv(1, tag); err != nil || ok || payload != nil {
+			t.Errorf("empty mailbox: payload=%q ok=%v err=%v", payload, ok, err)
+		}
+
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			payload, ok, err := c.TryRecv(1, tag)
+			if err != nil {
+				t.Fatalf("TryRecv: %v", err)
+			}
+			if ok {
+				if !bytes.Equal(payload, []byte("payload")) {
+					t.Errorf("payload %q", payload)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("message never arrived")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+
+		// Consumed: the same message is not delivered twice.
+		if _, ok, err := c.TryRecv(1, tag); err != nil || ok {
+			t.Errorf("message delivered twice: ok=%v err=%v", ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNoLeakedGoroutines(t)
+}
+
+// TestTryRecvCrashedPeer: once the source rank is dead with nothing queued,
+// TryRecv must return a hard *PeerCrashedError rather than "try again" —
+// that is what lets a poll loop feed a failure detector.
+func TestTryRecvCrashedPeer(t *testing.T) {
+	inj, err := faults.Parse("seed=21;crash:rank=1,after=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := RunWith(2, RunOpts{Inject: inj}, func(c *Comm) error {
+		const tag = 5
+		if c.Rank() == 1 {
+			return c.Send(0, tag, []byte("never arrives")) // crash fires here
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			_, ok, err := c.TryRecv(1, tag)
+			if err != nil {
+				var pce *PeerCrashedError
+				if !errors.As(err, &pce) {
+					t.Fatalf("got %v, want PeerCrashedError", err)
+				}
+				return nil
+			}
+			if ok {
+				t.Fatal("crashed rank's frame was delivered")
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("crash never surfaced through TryRecv")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	})
+	if !faults.OnlyCrashes(werr) {
+		t.Fatalf("world error beyond the injected crash: %v", werr)
+	}
+	assertNoLeakedGoroutines(t)
+}

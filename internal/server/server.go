@@ -482,6 +482,19 @@ func (a *Accumulator) checkpoint() (*core.SumCheckpoint, uint64, string, error) 
 	return &core.SumCheckpoint{Step: st.adds, Sum: st.sum}, st.frames, errText, nil
 }
 
+// Envelope returns the accumulator's current canonical HP partial together
+// with its adds and frames counters — the contribution the gossip layer
+// replicates across the cluster. Like checkpoint it reads the agreed
+// (majority) state, so a gossiped partial always matches what snapshots and
+// certified reads see. The returned HP is a copy the caller owns.
+func (a *Accumulator) Envelope() (*core.HP, uint64, uint64, error) {
+	ck, frames, _, err := a.checkpoint()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return ck.Sum.Clone(), ck.Step, frames, nil
+}
+
 // seedRestore installs a restored checkpoint into every replica and, when
 // auditing is on, journals the hand-off so replay can verify the restored
 // state extends the journaled trajectory exactly.
